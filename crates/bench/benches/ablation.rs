@@ -1,0 +1,69 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * sequence-dependent vs table costs (what SRFE's reordering exploits),
+//! * scheduled batch dispatch vs independent min-cost inside the engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aorta_core::{Aorta, DispatchPolicy, EngineConfig};
+use aorta_device::PervasiveLab;
+use aorta_sched::{run_algorithm, workload, Algorithm};
+use aorta_sim::{CpuModel, SimDuration, SimRng};
+
+fn bench_sequence_dependence(c: &mut Criterion) {
+    let cpu = CpuModel::instant();
+    let mut group = c.benchmark_group("ablation_sequence_dependence");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let (kin_inst, kin_model) = workload::uniform_targets(20, 10, &mut SimRng::seed(7000));
+    group.bench_function("lerfa_srfe_kinematic", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter(|| run_algorithm(&Algorithm::LerfaSrfe, &kin_inst, &kin_model, &cpu, &mut rng));
+    });
+    let (tab_inst, tab_model) = workload::uniform_table(20, 10, &mut SimRng::seed(7000));
+    group.bench_function("lerfa_srfe_table", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter(|| run_algorithm(&Algorithm::LerfaSrfe, &tab_inst, &tab_model, &cpu, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_dispatch_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dispatch_policy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, policy) in [
+        ("scheduled", DispatchPolicy::Scheduled),
+        ("min_cost", DispatchPolicy::MinCost),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let lab = PervasiveLab::standard()
+                    .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+                let mut aorta = Aorta::with_lab(EngineConfig::seeded(7).with_dispatch(policy), lab);
+                for i in 0..10 {
+                    aorta
+                        .execute_sql(&format!(
+                            r#"CREATE AQ q{i} AS
+                               SELECT photo(c.ip, s.loc, "p")
+                               FROM sensor s, camera c
+                               WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+                        ))
+                        .expect("valid query");
+                }
+                aorta.run_for(SimDuration::from_mins(1));
+                aorta.stats()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequence_dependence, bench_dispatch_policy);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 (§2.3) — cost-model microbenchmarks: the profile-driven estimate the
+//! optimizer computes per (request, candidate) pair, and the camera
+//! kinematics it approximates. Accuracy numbers via `repro -- e6`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aorta_core::{estimate_action_cost, ActionProfile, CostContext};
+use aorta_device::{CameraSpec, DeviceKind, OpCostTable, PhotoSize, PtzPosition};
+
+fn bench_cost(c: &mut Criterion) {
+    let profile = ActionProfile::photo();
+    let table = OpCostTable::defaults_for(DeviceKind::Camera);
+    let spec = CameraSpec::axis_2130();
+    let from = PtzPosition::new(-120.0, 5.0, 0.2);
+    let to = PtzPosition::new(85.0, -40.0, 0.7);
+
+    let mut group = c.benchmark_group("cost_model_e6");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("profile_estimate", |b| {
+        let ctx = CostContext::camera(from, to);
+        b.iter(|| estimate_action_cost(&profile, &table, &ctx).expect("valid profile"));
+    });
+    group.bench_function("kinematic_ground_truth", |b| {
+        b.iter(|| spec.photo_time(&from, &to, PhotoSize::Medium));
+    });
+    group.bench_function("profile_xml_round_trip", |b| {
+        let xml = profile.to_xml();
+        b.iter(|| ActionProfile::from_xml(&xml).expect("round trip"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

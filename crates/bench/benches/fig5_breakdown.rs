@@ -1,0 +1,32 @@
+//! Figure 5 — the scheduling-time side of the breakdown at 20 requests /
+//! 10 cameras: wall-clock cost of each algorithm's *assignment phase* in
+//! isolation (the service side is virtual time; see `repro -- fig5`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aorta_sched::{workload, Algorithm};
+use aorta_sim::{OpCounter, SimRng};
+
+fn bench_fig5(c: &mut Criterion) {
+    let (inst, model) = workload::uniform_targets(20, 10, &mut SimRng::seed(2000));
+    let mut group = c.benchmark_group("fig5_scheduling_phase");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for alg in Algorithm::paper_lineup() {
+        group.bench_function(alg.name().replace(' ', ""), |b| {
+            let mut rng = SimRng::seed(8);
+            b.iter(|| {
+                let mut ops = OpCounter::new();
+                alg.schedule(&inst, &model, &mut ops, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

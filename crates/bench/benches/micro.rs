@@ -1,0 +1,59 @@
+//! Microbenchmarks of the substrates: SQL parsing, XML parsing, wire
+//! message round trips, scan operators, probing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
+use aorta_net::{DeviceRegistry, Message, Prober, ScanOperator};
+use aorta_sim::{SimRng, SimTime};
+
+const SNAPSHOT: &str = r#"CREATE AQ snapshot AS
+    SELECT photo(c.ip, s.loc, "photos/admin")
+    FROM sensor s, camera c
+    WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#;
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("sql_parse_snapshot", |b| {
+        b.iter(|| aorta_sql::parse(SNAPSHOT).expect("valid SQL"));
+    });
+
+    let catalog_xml = aorta_device::catalog_for(DeviceKind::Sensor);
+    group.bench_function("xml_parse_catalog", |b| {
+        b.iter(|| aorta_device::parse_catalog(&catalog_xml).expect("valid catalog"));
+    });
+
+    let msg = Message::ReadAttrs {
+        names: vec!["accel_x".into(), "accel_y".into(), "temp".into()],
+    };
+    group.bench_function("wire_encode_decode", |b| {
+        b.iter(|| Message::decode(msg.encode()).expect("round trip"));
+    });
+
+    group.bench_function("sensor_scan_10_motes", |b| {
+        let mut registry = DeviceRegistry::from_lab(PervasiveLab::standard());
+        let scan = ScanOperator::new(DeviceKind::Sensor);
+        let mut rng = SimRng::seed(11);
+        b.iter(|| scan.run(&mut registry, SimTime::ZERO, &mut rng));
+    });
+
+    group.bench_function("probe_camera", |b| {
+        let mut registry =
+            DeviceRegistry::from_lab(PervasiveLab::standard().with_reliable_cameras());
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(12);
+        b.iter(|| prober.probe(&mut registry, DeviceId::camera(0), SimTime::ZERO, &mut rng));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

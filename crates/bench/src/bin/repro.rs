@@ -1,0 +1,260 @@
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//!
+//! ```text
+//! repro                 # all experiments
+//! repro fig4            # one: e1 | fig4 | fig5 | fig6 | e5 | e6 | e7 | ablation
+//! repro --runs 10       # runs averaged per point (default 10, like the paper)
+//! repro --csv results/  # also write per-figure CSV series for plotting
+//! ```
+
+use std::env;
+use std::path::PathBuf;
+
+use aorta_bench::experiments::{self, MakespanPoint};
+use aorta_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut runs = experiments::RUNS_PER_POINT;
+    let mut which: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--runs" => {
+                runs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--runs needs a positive integer"));
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    iter.next()
+                        .unwrap_or_else(|| die("--csv needs a directory")),
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|ablation]..."
+                );
+                return;
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("cannot create {}: {e}", dir.display()));
+        }
+    }
+    CSV_DIR.with(|slot| *slot.borrow_mut() = csv_dir);
+    if which.is_empty() {
+        which = ["e1", "fig4", "fig5", "fig6", "e5", "e6", "e7", "ablation"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    for name in which {
+        match name.as_str() {
+            "e1" => e1(),
+            "fig4" => fig4(runs),
+            "fig5" => fig5(runs),
+            "fig6" => fig6(runs),
+            "e5" => e5(runs),
+            "e6" => e6(),
+            "e7" => e7(runs),
+            "ablation" => ablation(runs),
+            other => die(&format!("unknown experiment '{other}'")),
+        }
+    }
+}
+
+fn e7(runs: u64) {
+    let rows = experiments::e7_scale(runs.min(3), 7200);
+    println!("== E7 (extension): scheduling at scale, ratio n/m = 4 ==");
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        "n".into(),
+        "m".into(),
+        "makespan(s)".into(),
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.algorithm.to_string(),
+            r.n.to_string(),
+            r.m.to_string(),
+            format!("{:.2}", r.service_secs),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablation(runs: u64) {
+    println!("== A1 (ablation): sequence-dependence is what SRFE exploits ==");
+    let mut t = Table::new(vec!["configuration".into(), "service makespan(s)".into()]);
+    for r in experiments::ablation_sequence_dependence(runs, 7000) {
+        t.row(vec![r.label.clone(), format!("{:.2}", r.service_secs)]);
+    }
+    println!("{}", t.render());
+
+    println!("== A2 (ablation): batch dispatch vs independent min-cost ==");
+    let mut t = Table::new(vec!["configuration".into(), "mean latency(s)".into()]);
+    for r in experiments::ablation_dispatch_policy(10, 7100) {
+        t.row(vec![r.label.clone(), format!("{:.2}", r.service_secs)]);
+    }
+    println!("{}", t.render());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2)
+}
+
+thread_local! {
+    static CSV_DIR: std::cell::RefCell<Option<PathBuf>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Writes one CSV series when `--csv` was given.
+fn write_csv(name: &str, header: &str, rows: &[String]) {
+    CSV_DIR.with(|slot| {
+        if let Some(dir) = slot.borrow().as_ref() {
+            let mut body = String::from(header);
+            body.push('\n');
+            for r in rows {
+                body.push_str(r);
+                body.push('\n');
+            }
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("repro: failed to write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+    });
+}
+
+fn print_points(title: &str, x_label: &str, points: &[MakespanPoint]) {
+    println!("== {title} ==");
+    let slug: String = title
+        .chars()
+        .take_while(|c| *c != ':')
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    write_csv(
+        &slug,
+        "algorithm,x,makespan_s,sched_s,service_s",
+        &points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{},{},{:.4},{:.4},{:.4}",
+                    p.algorithm, p.x, p.makespan_secs, p.sched_secs, p.service_secs
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        x_label.into(),
+        "makespan(s)".into(),
+        "sched(s)".into(),
+        "service(s)".into(),
+    ]);
+    for p in points {
+        t.row(vec![
+            p.algorithm.to_string(),
+            p.x.to_string(),
+            format!("{:.2}", p.makespan_secs),
+            format!("{:.3}", p.sched_secs),
+            format!("{:.2}", p.service_secs),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig4(runs: u64) {
+    let points = experiments::fig4(runs, 1000);
+    print_points(
+        "Figure 4: makespan vs #requests (10 cameras, uniform workload)",
+        "#requests",
+        &points,
+    );
+    let violations = experiments::check_fig4_shape(&points);
+    if violations.is_empty() {
+        println!("shape check: OK (RANDOM worst; proposed beat LS/SA; sub-linear scaling)\n");
+    } else {
+        println!("shape check VIOLATIONS: {violations:#?}\n");
+    }
+}
+
+fn fig5(runs: u64) {
+    let points = experiments::fig5(runs, 2000);
+    print_points(
+        "Figure 5: time breakdown at 20 requests, 10 cameras",
+        "#requests",
+        &points,
+    );
+}
+
+fn fig6(runs: u64) {
+    let points = experiments::fig6(runs, 3000);
+    print_points(
+        "Figure 6: makespan vs skewness (10 cameras, 20 requests)",
+        "skew(%)",
+        &points,
+    );
+}
+
+fn e5(runs: u64) {
+    let points = experiments::e5(runs, 4000);
+    println!("== E5: makespan depends only on #requests/#devices (uniform workload) ==");
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        "n".into(),
+        "m".into(),
+        "n/m".into(),
+        "service(s)".into(),
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.algorithm.to_string(),
+            p.n.to_string(),
+            p.m.to_string(),
+            format!("{:.1}", p.n as f64 / p.m as f64),
+            format!("{:.2}", p.service_secs),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn e1() {
+    let report = aorta_bench::experiments::e1(10, 500);
+    println!("== E1 (§6.2): action failure rate, 10 queries / 2 cameras / 10 min ==");
+    let mut t = Table::new(vec![
+        "synchronization".into(),
+        "requests".into(),
+        "failures".into(),
+        "failure rate".into(),
+    ]);
+    for row in &report {
+        t.row(vec![
+            row.label.clone(),
+            row.requests.to_string(),
+            row.failures.to_string(),
+            format!("{:.1}%", row.failure_rate * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn e6() {
+    let rows = aorta_bench::experiments::e6(2000, 600);
+    println!("== E6 (§2.3): cost model accuracy, estimated vs actual photo() time ==");
+    let mut t = Table::new(vec!["metric".into(), "value".into()]);
+    for (k, v) in rows {
+        t.row(vec![k, v]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,373 @@
+//! Actions and action profiles (§2.2, §2.3).
+//!
+//! An action is a "system built-in or user-defined function that operates
+//! devices". Its **action profile** "specifies the composition of an action
+//! in terms of the sequential and/or parallel execution of a number of
+//! atomic operations" and drives the cost model. Profiles are XML files,
+//! like everything the administrator registers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use aorta_data::{Value, ValueType};
+use aorta_device::{DeviceId, DeviceKind};
+use aorta_net::DeviceRegistry;
+use aorta_sim::{SimRng, SimTime};
+use aorta_xml::{Document, Element, Node};
+
+/// How many travel units an atomic operation consumes in a given execution
+/// context (the physical-status dependence of the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitsSpec {
+    /// One invocation of a fixed-cost operation.
+    One,
+    /// Degrees of pan travel from the current to the target head position.
+    PanDelta,
+    /// Degrees of tilt travel.
+    TiltDelta,
+    /// Normalized zoom travel.
+    ZoomDelta,
+    /// Radio hops to the device (sensor depth).
+    DepthHops,
+}
+
+impl UnitsSpec {
+    fn as_str(self) -> &'static str {
+        match self {
+            UnitsSpec::One => "one",
+            UnitsSpec::PanDelta => "pan_delta",
+            UnitsSpec::TiltDelta => "tilt_delta",
+            UnitsSpec::ZoomDelta => "zoom_delta",
+            UnitsSpec::DepthHops => "depth_hops",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "one" => Ok(UnitsSpec::One),
+            "pan_delta" => Ok(UnitsSpec::PanDelta),
+            "tilt_delta" => Ok(UnitsSpec::TiltDelta),
+            "zoom_delta" => Ok(UnitsSpec::ZoomDelta),
+            "depth_hops" => Ok(UnitsSpec::DepthHops),
+            other => Err(format!("unknown units spec '{other}'")),
+        }
+    }
+}
+
+/// A node of the action-profile composition tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileNode {
+    /// One atomic operation, looked up in the device type's
+    /// `atomic_operation_cost.xml` table.
+    Op {
+        /// Atomic operation name.
+        name: String,
+        /// Travel units the operation consumes.
+        units: UnitsSpec,
+    },
+    /// Children execute one after another (costs add).
+    Seq(Vec<ProfileNode>),
+    /// Children execute in parallel (cost is the maximum).
+    Par(Vec<ProfileNode>),
+}
+
+/// An action profile: the composition tree plus the device kind it targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionProfile {
+    /// The device kind the action operates.
+    pub kind: DeviceKind,
+    /// The composition tree.
+    pub root: ProfileNode,
+}
+
+impl ActionProfile {
+    /// The built-in `photo()` profile: move all three head axes in parallel,
+    /// then capture a medium photo — the §2.3 example of status-dependent
+    /// cost.
+    pub fn photo() -> Self {
+        ActionProfile {
+            kind: DeviceKind::Camera,
+            root: ProfileNode::Seq(vec![
+                ProfileNode::Par(vec![
+                    ProfileNode::Op {
+                        name: "move_head_pan".into(),
+                        units: UnitsSpec::PanDelta,
+                    },
+                    ProfileNode::Op {
+                        name: "move_head_tilt".into(),
+                        units: UnitsSpec::TiltDelta,
+                    },
+                    ProfileNode::Op {
+                        name: "zoom".into(),
+                        units: UnitsSpec::ZoomDelta,
+                    },
+                ]),
+                ProfileNode::Op {
+                    name: "capture_medium".into(),
+                    units: UnitsSpec::One,
+                },
+            ]),
+        }
+    }
+
+    /// The built-in `sendphoto()` profile: connect to the phone, deliver an
+    /// MMS.
+    pub fn sendphoto() -> Self {
+        ActionProfile {
+            kind: DeviceKind::Phone,
+            root: ProfileNode::Seq(vec![
+                ProfileNode::Op {
+                    name: "connect".into(),
+                    units: UnitsSpec::One,
+                },
+                ProfileNode::Op {
+                    name: "receive_mms".into(),
+                    units: UnitsSpec::One,
+                },
+            ]),
+        }
+    }
+
+    /// The built-in `beep()` profile: reach the mote over its radio path,
+    /// then beep.
+    pub fn beep() -> Self {
+        ActionProfile {
+            kind: DeviceKind::Sensor,
+            root: ProfileNode::Seq(vec![
+                ProfileNode::Op {
+                    name: "connect_hop".into(),
+                    units: UnitsSpec::DepthHops,
+                },
+                ProfileNode::Op {
+                    name: "beep".into(),
+                    units: UnitsSpec::One,
+                },
+            ]),
+        }
+    }
+
+    /// Serializes to the profile XML format.
+    pub fn to_xml(&self) -> String {
+        fn node_to_el(n: &ProfileNode) -> Element {
+            match n {
+                ProfileNode::Op { name, units } => Element::new("op")
+                    .with_attr("name", name.clone())
+                    .with_attr("units", units.as_str()),
+                ProfileNode::Seq(children) => {
+                    let mut e = Element::new("seq");
+                    for c in children {
+                        e.push_child(Node::Element(node_to_el(c)));
+                    }
+                    e
+                }
+                ProfileNode::Par(children) => {
+                    let mut e = Element::new("par");
+                    for c in children {
+                        e.push_child(Node::Element(node_to_el(c)));
+                    }
+                    e
+                }
+            }
+        }
+        let root = Element::new("action_profile")
+            .with_attr("device", self.kind.to_string())
+            .with_child(node_to_el(&self.root));
+        Document::new(root).to_pretty_string()
+    }
+
+    /// Parses the profile XML format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on syntax errors or unknown elements/attributes.
+    pub fn from_xml(xml: &str) -> Result<ActionProfile, String> {
+        fn el_to_node(e: &Element) -> Result<ProfileNode, String> {
+            match e.name() {
+                "op" => Ok(ProfileNode::Op {
+                    name: e
+                        .attr("name")
+                        .ok_or("an <op> is missing its 'name'")?
+                        .to_string(),
+                    units: UnitsSpec::parse(e.attr("units").unwrap_or("one"))?,
+                }),
+                "seq" => Ok(ProfileNode::Seq(
+                    e.children().map(el_to_node).collect::<Result<_, _>>()?,
+                )),
+                "par" => Ok(ProfileNode::Par(
+                    e.children().map(el_to_node).collect::<Result<_, _>>()?,
+                )),
+                other => Err(format!("unknown profile element <{other}>")),
+            }
+        }
+        let doc = Document::parse(xml).map_err(|e| e.to_string())?;
+        let root = doc.root();
+        if root.name() != "action_profile" {
+            return Err(format!(
+                "expected <action_profile>, found <{}>",
+                root.name()
+            ));
+        }
+        let kind: DeviceKind = root
+            .attr("device")
+            .ok_or("missing 'device' attribute")?
+            .parse()?;
+        let inner = root
+            .children()
+            .next()
+            .ok_or("profile has no composition tree")?;
+        Ok(ActionProfile {
+            kind,
+            root: el_to_node(inner)?,
+        })
+    }
+}
+
+/// A user-supplied action implementation: given the registry, the selected
+/// device, the evaluated arguments and the current virtual time, perform the
+/// action and return its completion time.
+pub type CustomHandler = Arc<
+    dyn Fn(&mut DeviceRegistry, DeviceId, &[Value], SimTime, &mut SimRng) -> Result<SimTime, String>
+        + Send
+        + Sync,
+>;
+
+/// How an action executes on its selected device.
+#[derive(Clone)]
+pub enum ActionHandler {
+    /// The built-in `photo(camera_ip, location, directory)`.
+    Photo,
+    /// The built-in `sendphoto(phone_no, photo_pathname)`.
+    SendPhoto,
+    /// The built-in `beep(sensor_id)`.
+    Beep,
+    /// A user-defined action (the paper's pre-compiled `.dll` code block,
+    /// here a Rust closure registered in-process).
+    Custom(CustomHandler),
+}
+
+impl fmt::Debug for ActionHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ActionHandler::Photo => "Photo",
+            ActionHandler::SendPhoto => "SendPhoto",
+            ActionHandler::Beep => "Beep",
+            ActionHandler::Custom(_) => "Custom(..)",
+        };
+        write!(f, "ActionHandler::{name}")
+    }
+}
+
+/// A registered action: name, typed parameters, profile, handler.
+#[derive(Debug, Clone)]
+pub struct ActionDef {
+    /// Action name (`photo`, `sendphoto`, …).
+    pub name: String,
+    /// Parameter types, in order.
+    pub params: Vec<ValueType>,
+    /// The cost profile.
+    pub profile: ActionProfile,
+    /// The implementation.
+    pub handler: ActionHandler,
+}
+
+impl ActionDef {
+    /// The built-in `photo(camera_ip, location, directory)` action of the
+    /// paper's example query.
+    pub fn builtin_photo() -> Self {
+        ActionDef {
+            name: "photo".into(),
+            params: vec![ValueType::Str, ValueType::Location, ValueType::Str],
+            profile: ActionProfile::photo(),
+            handler: ActionHandler::Photo,
+        }
+    }
+
+    /// The built-in `sendphoto(phone_no, photo_pathname)` action (§2.2).
+    pub fn builtin_sendphoto() -> Self {
+        ActionDef {
+            name: "sendphoto".into(),
+            params: vec![ValueType::Str, ValueType::Str],
+            profile: ActionProfile::sendphoto(),
+            handler: ActionHandler::SendPhoto,
+        }
+    }
+
+    /// The built-in `beep(sensor_id)` action.
+    pub fn builtin_beep() -> Self {
+        ActionDef {
+            name: "beep".into(),
+            params: vec![ValueType::Int],
+            profile: ActionProfile::beep(),
+            handler: ActionHandler::Beep,
+        }
+    }
+
+    /// The device kind this action operates.
+    pub fn kind(&self) -> DeviceKind {
+        self.profile.kind
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_target_right_kinds() {
+        assert_eq!(ActionDef::builtin_photo().kind(), DeviceKind::Camera);
+        assert_eq!(ActionDef::builtin_sendphoto().kind(), DeviceKind::Phone);
+        assert_eq!(ActionDef::builtin_beep().kind(), DeviceKind::Sensor);
+        assert_eq!(ActionDef::builtin_photo().arity(), 3);
+    }
+
+    #[test]
+    fn profile_xml_round_trip() {
+        for p in [
+            ActionProfile::photo(),
+            ActionProfile::sendphoto(),
+            ActionProfile::beep(),
+        ] {
+            let xml = p.to_xml();
+            let back = ActionProfile::from_xml(&xml).unwrap();
+            assert_eq!(back, p, "{xml}");
+        }
+    }
+
+    #[test]
+    fn photo_profile_is_par_then_capture() {
+        let p = ActionProfile::photo();
+        let ProfileNode::Seq(steps) = &p.root else {
+            panic!("photo profile should be a Seq");
+        };
+        assert!(matches!(steps[0], ProfileNode::Par(_)));
+        assert!(matches!(
+            &steps[1],
+            ProfileNode::Op { name, .. } if name == "capture_medium"
+        ));
+    }
+
+    #[test]
+    fn profile_xml_rejects_malformed() {
+        assert!(ActionProfile::from_xml("<wrong/>").is_err());
+        assert!(ActionProfile::from_xml(r#"<action_profile device="camera"/>"#).is_err());
+        assert!(ActionProfile::from_xml(
+            r#"<action_profile device="camera"><widget/></action_profile>"#
+        )
+        .is_err());
+        assert!(ActionProfile::from_xml(
+            r#"<action_profile device="camera"><op name="x" units="furlongs"/></action_profile>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn handler_debug_hides_closure() {
+        let h = ActionHandler::Custom(Arc::new(|_, _, _, now, _| Ok(now)));
+        assert_eq!(format!("{h:?}"), "ActionHandler::Custom(..)");
+    }
+}

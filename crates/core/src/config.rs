@@ -1,0 +1,114 @@
+//! Engine configuration.
+
+use aorta_sim::SimDuration;
+
+/// How a batch of concurrent action requests is distributed over devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Each request independently goes to its currently-cheapest available
+    /// candidate (pure device-selection optimization, §2.3).
+    MinCost,
+    /// Batches of two or more requests are scheduled together with
+    /// LERFA + SRFE (§5); singletons fall back to min-cost.
+    Scheduled,
+}
+
+/// Tunable engine parameters.
+///
+/// The defaults correspond to the paper's deployment: synchronization and
+/// probing on, scheduled dispatch, one-second sensor sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Master seed for all engine randomness.
+    pub seed: u64,
+    /// Enable the locking mechanism (§4). Turning this off reproduces the
+    /// §6.2 interference failures.
+    pub sync_enabled: bool,
+    /// Enable the probing mechanism (§4). Turning it off skips availability
+    /// checks and uses the last known status for costing.
+    pub probe_enabled: bool,
+    /// How often the engine samples the sensor table for events.
+    pub sample_period: SimDuration,
+    /// A request that cannot start executing within this window fails with
+    /// "no device available" (events are transient; a late action is
+    /// useless).
+    pub request_timeout: SimDuration,
+    /// Batch dispatch policy.
+    pub dispatch: DispatchPolicy,
+    /// Extra execution attempts on *other* candidates after a device-level
+    /// failure (connect timeout, busy rejection). Zero (the default, and the
+    /// paper's behaviour) fails the request on first error.
+    pub retry_failed: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 42,
+            sync_enabled: true,
+            probe_enabled: true,
+            sample_period: SimDuration::from_secs(1),
+            request_timeout: SimDuration::from_secs(30),
+            dispatch: DispatchPolicy::Scheduled,
+            retry_failed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Disables synchronization (the §6.2 "without locking" arm).
+    pub fn without_sync(mut self) -> Self {
+        self.sync_enabled = false;
+        self
+    }
+
+    /// Disables probing.
+    pub fn without_probing(mut self) -> Self {
+        self.probe_enabled = false;
+        self
+    }
+
+    /// Sets the dispatch policy, builder style.
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Enables failover retries, builder style.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retry_failed = retries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_deployment() {
+        let c = EngineConfig::default();
+        assert!(c.sync_enabled);
+        assert!(c.probe_enabled);
+        assert_eq!(c.dispatch, DispatchPolicy::Scheduled);
+        assert_eq!(c.sample_period, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn builders_toggle_flags() {
+        let c = EngineConfig::seeded(7).without_sync().without_probing();
+        assert_eq!(c.seed, 7);
+        assert!(!c.sync_enabled);
+        assert!(!c.probe_enabled);
+        let c = EngineConfig::default().with_dispatch(DispatchPolicy::MinCost);
+        assert_eq!(c.dispatch, DispatchPolicy::MinCost);
+    }
+}

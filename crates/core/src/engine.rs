@@ -1,0 +1,514 @@
+//! The [`Aorta`] facade: SQL entry point, registration, and catalog/device
+//! access. The continuous-execution machinery lives in [`crate::exec`].
+
+use std::collections::BTreeMap;
+
+use aorta_data::Tuple;
+use aorta_device::{DeviceKind, PervasiveLab};
+use aorta_net::{DeviceRegistry, Prober};
+use aorta_sim::{EventQueue, SimRng, SimTime, TraceBuffer};
+use aorta_sql::ast::{CreateAction, Select, Statement};
+
+use crate::actions::{ActionDef, ActionHandler, ActionProfile, CustomHandler};
+use crate::catalog::Catalog;
+use crate::exec::{EngineEvent, RawStats};
+use crate::expr::{eval_expr, eval_predicate, Env, EvalContext};
+use crate::lock::LockManager;
+use crate::plan::AqPlan;
+use crate::shared::SharedActionOperator;
+use crate::{EngineConfig, EngineError};
+
+/// What a successfully executed statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutput {
+    /// `CREATE AQ` registered a continuous query with this ID.
+    QueryRegistered(u32),
+    /// `DROP AQ` removed the named query.
+    QueryDropped,
+    /// `CREATE ACTION` registered an action.
+    ActionRegistered,
+    /// A one-shot `SELECT` returned rows.
+    Rows(Vec<Tuple>),
+    /// `EXPLAIN` rendered a plan.
+    Plan(String),
+}
+
+/// The Aorta pervasive query processor.
+///
+/// Owns the device registry (the communication layer's dynamic view), the
+/// catalog, the lock manager, and the virtual clock. See the crate docs for
+/// an end-to-end example.
+pub struct Aorta {
+    pub(crate) config: EngineConfig,
+    pub(crate) registry: DeviceRegistry,
+    pub(crate) catalog: Catalog,
+    pub(crate) locks: LockManager,
+    pub(crate) prober: Prober,
+    pub(crate) rng: SimRng,
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<EngineEvent>,
+    pub(crate) operators: BTreeMap<String, SharedActionOperator>,
+    /// Rising-edge state per (query, event-device): true while the event
+    /// predicate currently holds, so one physical event fires one request.
+    pub(crate) edge: BTreeMap<(u32, i64), bool>,
+    pub(crate) raw_stats: RawStats,
+    /// Execution trace for debugging and tests (ring buffer).
+    pub(crate) trace: TraceBuffer,
+    /// Custom handlers registered before their `CREATE ACTION` statement.
+    staged_handlers: BTreeMap<String, CustomHandler>,
+}
+
+impl Aorta {
+    /// An engine over an empty device registry.
+    pub fn new(config: EngineConfig) -> Self {
+        Aorta::with_registry(config, DeviceRegistry::new())
+    }
+
+    /// An engine over a [`PervasiveLab`] fixture.
+    pub fn with_lab(config: EngineConfig, lab: PervasiveLab) -> Self {
+        Aorta::with_registry(config, DeviceRegistry::from_lab(lab))
+    }
+
+    /// An engine over an explicit registry.
+    pub fn with_registry(config: EngineConfig, registry: DeviceRegistry) -> Self {
+        let mut rng = SimRng::seed(config.seed);
+        let engine_rng = rng.fork(0xE16);
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::ZERO, EngineEvent::Sample);
+        Aorta {
+            config,
+            registry,
+            catalog: Catalog::with_builtins(),
+            locks: LockManager::new(),
+            prober: Prober::new(),
+            rng: engine_rng,
+            now: SimTime::ZERO,
+            queue,
+            operators: BTreeMap::new(),
+            edge: BTreeMap::new(),
+            raw_stats: RawStats::default(),
+            trace: TraceBuffer::with_capacity(4096),
+            staged_handlers: BTreeMap::new(),
+        }
+    }
+
+    /// The engine's execution trace (probe timeouts, dispatch decisions,
+    /// action failures), oldest first.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Disables tracing (zero overhead for long benchmark runs).
+    pub fn disable_trace(&mut self) {
+        self.trace = TraceBuffer::disabled();
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Shared access to the device registry.
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the device registry (join/leave devices).
+    pub fn registry_mut(&mut self) -> &mut DeviceRegistry {
+        &mut self.registry
+    }
+
+    /// The catalog of actions and registered queries.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The lock manager (introspection).
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// The shared action operator for an action name, if any query uses it.
+    pub fn shared_operator(&self, action: &str) -> Option<&SharedActionOperator> {
+        self.operators.get(action)
+    }
+
+    /// Stages the implementation for an upcoming `CREATE ACTION name(…)`
+    /// statement — the in-process equivalent of the paper's pre-compiled
+    /// `.dll` code block.
+    pub fn register_handler(&mut self, name: impl Into<String>, handler: CustomHandler) {
+        self.staged_handlers.insert(name.into(), handler);
+    }
+
+    /// Renders the registered continuous queries as a SQL script that,
+    /// executed on a fresh engine (with the same actions registered),
+    /// recreates the catalog — the administrator's backup/restore path.
+    pub fn dump_queries(&self) -> String {
+        let mut out = String::new();
+        for plan in self.catalog.queries() {
+            out.push_str(&format!("CREATE AQ {} AS SELECT ", plan.name));
+            for (i, a) in plan.actions.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{}({})",
+                    a.action,
+                    a.args
+                        .iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            out.push_str(&format!(" FROM {} {}", plan.event_kind, plan.event_binding));
+            let mut conjuncts: Vec<String> =
+                plan.event_conjuncts.iter().map(|c| c.to_string()).collect();
+            if let Some(d) = &plan.device {
+                out.push_str(&format!(", {} {}", d.kind, d.binding));
+                conjuncts.extend(d.conjuncts.iter().map(|c| c.to_string()));
+            }
+            if !conjuncts.is_empty() {
+                out.push_str(" WHERE ");
+                out.push_str(&conjuncts.join(" AND "));
+            }
+            out.push_str(";\n");
+        }
+        out
+    }
+
+    /// Parses, validates, plans and applies a batch of SQL statements.
+    ///
+    /// Returns one [`ExecOutput`] per statement; the whole batch fails on
+    /// the first error.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] on syntax, validation, planning or catalog problems.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<Vec<ExecOutput>, EngineError> {
+        let statements = aorta_sql::parse(sql)?;
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> Result<ExecOutput, EngineError> {
+        self.catalog.validation_context().validate(&stmt)?;
+        match stmt {
+            Statement::CreateAction(ca) => {
+                self.create_action(ca)?;
+                Ok(ExecOutput::ActionRegistered)
+            }
+            Statement::CreateAq(aq) => {
+                let plan = AqPlan::plan(&aq.name, &aq.select, &self.catalog)?;
+                for a in &plan.actions {
+                    self.operators.entry(a.action.clone()).or_default();
+                }
+                let id = self.catalog.register_query(plan)?;
+                Ok(ExecOutput::QueryRegistered(id))
+            }
+            Statement::DropAq(name) => {
+                self.catalog.drop_query(&name)?;
+                self.edge.retain(|_, _| true); // stale edges are harmless
+                Ok(ExecOutput::QueryDropped)
+            }
+            Statement::Select(select) => Ok(ExecOutput::Rows(self.run_select(&select)?)),
+            Statement::Explain(inner) => match *inner {
+                Statement::CreateAq(aq) => {
+                    let plan = AqPlan::plan(&aq.name, &aq.select, &self.catalog)?;
+                    Ok(ExecOutput::Plan(plan.to_string()))
+                }
+                Statement::Select(select) => {
+                    match AqPlan::plan("adhoc", &select, &self.catalog) {
+                        Ok(plan) => Ok(ExecOutput::Plan(plan.to_string())),
+                        // A scalar SELECT has no action plan; describe scans.
+                        Err(_) => Ok(ExecOutput::Plan(format!("Scan+Filter: {select}\n"))),
+                    }
+                }
+                other => Ok(ExecOutput::Plan(other.to_string())),
+            },
+        }
+    }
+
+    fn create_action(&mut self, ca: CreateAction) -> Result<(), EngineError> {
+        // The profile path selects a built-in template unless the user
+        // staged XML under that name; the library path selects the staged
+        // handler.
+        let handler = match self.staged_handlers.remove(&ca.name) {
+            Some(h) => ActionHandler::Custom(h),
+            None => {
+                return Err(EngineError::Catalog(format!(
+                    "no handler registered for action '{}'; call register_handler() first \
+                     (the in-process equivalent of the paper's pre-compiled library)",
+                    ca.name
+                )))
+            }
+        };
+        // Infer the device kind from the profile attribute naming convention
+        // (profiles/<kind>/…) or default to Sensor-less generic: use the
+        // first parameter typed Location → Camera, else Phone for Str pairs.
+        let profile = match &ca.profile {
+            Some(path) if path.contains("camera") => ActionProfile::photo(),
+            Some(path) if path.contains("phone") => ActionProfile::sendphoto(),
+            Some(path) if path.contains("sensor") => ActionProfile::beep(),
+            _ => ActionProfile::sendphoto(),
+        };
+        let def = ActionDef {
+            name: ca.name,
+            params: ca.params.iter().map(|(t, _)| *t).collect(),
+            profile,
+            handler,
+        };
+        self.catalog.register_action(def)
+    }
+
+    /// Runs a one-shot scalar SELECT: scans every FROM table once, filters,
+    /// projects.
+    fn run_select(&mut self, select: &Select) -> Result<Vec<Tuple>, EngineError> {
+        // Scan each bound table through the communication layer.
+        let mut scans: Vec<(String, DeviceKind, Vec<Tuple>)> = Vec::new();
+        for t in &select.tables {
+            let kind: DeviceKind = t.table.parse().map_err(EngineError::Planning)?;
+            let tuples =
+                aorta_net::ScanOperator::new(kind).run(&mut self.registry, self.now, &mut self.rng);
+            scans.push((t.binding().to_string(), kind, tuples));
+        }
+        // Cross product with filtering (FROM lists are 1–2 tables here).
+        let mut rows = Vec::new();
+        let mut cursor = vec![0usize; scans.len()];
+        'outer: loop {
+            {
+                let mut env = Env::new();
+                let schemas: Vec<_> = scans
+                    .iter()
+                    .map(|(b, k, _)| (b.clone(), self.registry.schema(*k).clone()))
+                    .collect();
+                for (i, (_, _, tuples)) in scans.iter().enumerate() {
+                    if tuples.is_empty() {
+                        break 'outer;
+                    }
+                    env = env.bind(&schemas[i].0, &schemas[i].1, &tuples[cursor[i]]);
+                }
+                let ctx = EvalContext {
+                    registry: &self.registry,
+                };
+                let keep = match &select.predicate {
+                    Some(p) => eval_predicate(p, &env, &ctx)?,
+                    None => true,
+                };
+                if keep {
+                    let mut values = Vec::with_capacity(select.projections.len());
+                    for p in &select.projections {
+                        values.push(eval_expr(p, &env, &ctx)?);
+                    }
+                    rows.push(Tuple::new(values));
+                }
+            }
+            // Advance the cross-product cursor.
+            let mut i = scans.len();
+            loop {
+                if i == 0 {
+                    break 'outer;
+                }
+                i -= 1;
+                cursor[i] += 1;
+                if cursor[i] < scans[i].2.len() {
+                    break;
+                }
+                cursor[i] = 0;
+            }
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineError;
+    use aorta_data::Value;
+    use aorta_sim::SimDuration;
+
+    fn quiet_lab() -> PervasiveLab {
+        PervasiveLab::standard()
+    }
+
+    fn eventful_lab() -> PervasiveLab {
+        PervasiveLab::standard().with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO)
+    }
+
+    const SNAPSHOT: &str = r#"CREATE AQ snapshot AS
+        SELECT photo(c.ip, s.loc, "photos/admin")
+        FROM sensor s, camera c
+        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#;
+
+    #[test]
+    fn registers_and_drops_queries() {
+        let mut aorta = Aorta::with_lab(EngineConfig::default(), quiet_lab());
+        let out = aorta.execute_sql(SNAPSHOT).unwrap();
+        assert_eq!(out, vec![ExecOutput::QueryRegistered(0)]);
+        assert_eq!(aorta.catalog().query_count(), 1);
+        assert!(aorta.shared_operator("photo").is_some());
+        let out = aorta.execute_sql("DROP AQ snapshot").unwrap();
+        assert_eq!(out, vec![ExecOutput::QueryDropped]);
+        assert_eq!(aorta.catalog().query_count(), 0);
+        // Dropping twice errors.
+        assert!(matches!(
+            aorta.execute_sql("DROP AQ snapshot"),
+            Err(EngineError::Catalog(_))
+        ));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let mut aorta = Aorta::with_lab(EngineConfig::default(), quiet_lab());
+        let err = aorta
+            .execute_sql("SELECT nothing FROM toaster")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown table"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_query_takes_photos_on_events() {
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(7), eventful_lab());
+        aorta.execute_sql(SNAPSHOT).unwrap();
+        aorta.run_for(SimDuration::from_mins(3));
+        let stats = aorta.stats();
+        assert!(stats.events_detected >= 3, "{stats:?}");
+        assert!(stats.requests >= 3, "{stats:?}");
+        assert!(stats.executed >= 2, "{stats:?}");
+        assert!(stats.photos_ok >= 2, "{stats:?}");
+        // With sync on, no interference outcomes.
+        assert_eq!(stats.photos_wrong, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn one_shot_select_returns_rows() {
+        let mut aorta = Aorta::with_lab(EngineConfig::default(), quiet_lab());
+        let out = aorta
+            .execute_sql("SELECT s.id, s.loc FROM sensor s WHERE s.id < 3")
+            .unwrap();
+        let ExecOutput::Rows(rows) = &out[0] else {
+            panic!("expected rows");
+        };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(0), Some(&Value::Int(0)));
+        assert!(matches!(rows[0].get(1), Some(Value::Location(_))));
+    }
+
+    #[test]
+    fn cross_product_select_with_coverage() {
+        let mut aorta = Aorta::with_lab(EngineConfig::default(), quiet_lab());
+        let out = aorta
+            .execute_sql("SELECT s.id, c.id FROM sensor s, camera c WHERE coverage(c.id, s.loc)")
+            .unwrap();
+        let ExecOutput::Rows(rows) = &out[0] else {
+            panic!("expected rows");
+        };
+        // Every mote is covered by at least one camera (§6.1),
+        // so there are at least 10 qualifying pairs.
+        assert!(rows.len() >= 10, "got {}", rows.len());
+    }
+
+    #[test]
+    fn explain_shows_action_plan() {
+        let mut aorta = Aorta::with_lab(EngineConfig::default(), quiet_lab());
+        let out = aorta
+            .execute_sql(&format!("EXPLAIN {}", &SNAPSHOT[10..])) // strip CREATE AQ? no — EXPLAIN CREATE AQ
+            .unwrap_or_else(|_| {
+                aorta
+                    .execute_sql(
+                        r#"EXPLAIN SELECT photo(c.ip, s.loc, "d")
+                           FROM sensor s, camera c WHERE s.accel_x > 500"#,
+                    )
+                    .unwrap()
+            });
+        let ExecOutput::Plan(text) = &out[0] else {
+            panic!("expected plan");
+        };
+        assert!(text.contains("ActionOp photo"), "{text}");
+    }
+
+    #[test]
+    fn create_action_requires_staged_handler() {
+        let mut aorta = Aorta::with_lab(EngineConfig::default(), quiet_lab());
+        let err = aorta
+            .execute_sql(r#"CREATE ACTION mystery(Int x) AS "lib/mystery.dll""#)
+            .unwrap_err();
+        assert!(err.to_string().contains("register_handler"), "{err}");
+    }
+
+    #[test]
+    fn custom_action_end_to_end() {
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(9), eventful_lab());
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let hits2 = hits.clone();
+        aorta.register_handler(
+            "record_event",
+            std::sync::Arc::new(move |_reg, _dev, args, now, _rng| {
+                assert!(!args.is_empty());
+                hits2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(now + SimDuration::from_millis(10))
+            }),
+        );
+        aorta
+            .execute_sql(
+                r#"CREATE ACTION record_event(Int sensor_id) AS "lib/record.dll"
+                   PROFILE "profiles/sensor/record.xml""#,
+            )
+            .unwrap();
+        aorta
+            .execute_sql(
+                r#"CREATE AQ recorder AS
+                   SELECT record_event(s.id)
+                   FROM sensor t, sensor s
+                   WHERE s.accel_x > 500"#,
+            )
+            .unwrap();
+        aorta.run_for(SimDuration::from_mins(2));
+        assert!(
+            hits.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "custom handler never ran"
+        );
+    }
+
+    #[test]
+    fn sendphoto_delivers_mms() {
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(11), eventful_lab());
+        aorta
+            .execute_sql(
+                r#"CREATE AQ notify AS
+                   SELECT sendphoto(p.number, "photos/admin/latest.jpg")
+                   FROM sensor s, phone p
+                   WHERE s.accel_x > 500"#,
+            )
+            .unwrap();
+        aorta.run_for(SimDuration::from_mins(2));
+        let stats = aorta.stats();
+        assert!(stats.messages_delivered >= 1, "{stats:?}");
+        let phone = aorta
+            .registry()
+            .get(aorta_device::DeviceId::phone(0))
+            .unwrap()
+            .sim
+            .as_phone()
+            .unwrap();
+        assert!(!phone.inbox().is_empty());
+        assert!(phone.inbox()[0].body.contains("latest.jpg"));
+    }
+
+    #[test]
+    fn clock_advances_with_run_for() {
+        let mut aorta = Aorta::with_lab(EngineConfig::default(), quiet_lab());
+        assert_eq!(aorta.now(), SimTime::ZERO);
+        aorta.run_for(SimDuration::from_secs(90));
+        assert_eq!(aorta.now(), SimTime::ZERO + SimDuration::from_secs(90));
+    }
+}

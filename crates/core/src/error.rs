@@ -1,0 +1,64 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the engine's public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// SQL lexing/parsing/validation failed.
+    Sql(aorta_sql::SqlError),
+    /// The statement is valid SQL but not plannable (e.g. no event table).
+    Planning(String),
+    /// A name collision or missing registration in the catalog.
+    Catalog(String),
+    /// Expression evaluation failed at runtime.
+    Eval(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Planning(m) => write!(f, "planning error: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Sql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aorta_sql::SqlError> for EngineError {
+    fn from(e: aorta_sql::SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_lowercase_messages() {
+        let e = EngineError::Planning("query has no event table".into());
+        assert_eq!(e.to_string(), "planning error: query has no event table");
+        let c = EngineError::Catalog("action 'photo' already registered".into());
+        assert!(c.to_string().contains("already registered"));
+    }
+
+    #[test]
+    fn wraps_sql_errors_with_source() {
+        let sql = aorta_sql::SqlError::new(1, 2, "boom");
+        let e: EngineError = sql.clone().into();
+        assert_eq!(e.to_string(), sql.to_string());
+        assert!(Error::source(&e).is_some());
+    }
+}

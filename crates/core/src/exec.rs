@@ -1,0 +1,817 @@
+//! The continuous executor: event detection, device-selection optimization,
+//! synchronization, and action execution on the virtual clock.
+//!
+//! Every `sample_period` the engine scans the sensor tables through the
+//! communication layer, evaluates each registered query's event conjuncts,
+//! and fires an [`ActionRequest`] per rising edge. Requests pending in one
+//! epoch are batched per shared action operator and dispatched together:
+//! probe candidates (§4), estimate costs from the probed physical status
+//! (§2.3), assign with LERFA + SRFE when the batch warrants scheduling (§5),
+//! lock devices for the assigned window (§4), and execute on the simulated
+//! hardware.
+
+use std::collections::BTreeMap;
+
+use aorta_data::{Tuple, Value};
+use aorta_device::{
+    DeviceId, DeviceKind, PhotoError, PhotoOutcome, PhotoSize, PhysicalStatus, PtzPosition,
+};
+use aorta_net::ScanOperator;
+use aorta_sim::{SimDuration, SimTime};
+
+use crate::actions::{ActionDef, ActionHandler};
+use crate::cost::{estimate_action_cost, CostContext};
+use crate::expr::{eval_expr, eval_predicate, Env, EvalContext};
+use crate::shared::ActionRequest;
+use crate::{Aorta, DispatchPolicy};
+
+/// Events on the engine's internal virtual-time queue.
+///
+/// `Execute` carries its whole request (~300 bytes); `Sample` is a unit
+/// variant fired once per second of virtual time, so the size skew is
+/// irrelevant to throughput and not worth boxing.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum EngineEvent {
+    /// Periodic sensor sampling + dispatch.
+    Sample,
+    /// A previously assigned request starts executing on its device.
+    Execute {
+        /// The request to execute.
+        request: ActionRequest,
+        /// The selected device.
+        device: DeviceId,
+    },
+}
+
+/// Raw engine counters (photo outcomes are derived at read time, since
+/// interference can downgrade a photo after the fact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RawStats {
+    pub events_detected: u64,
+    pub requests: u64,
+    pub executed: u64,
+    pub connect_failures: u64,
+    pub busy_rejections: u64,
+    pub no_candidate: u64,
+    pub timed_out: u64,
+    pub out_of_range: u64,
+    pub action_errors: u64,
+    pub messages_delivered: u64,
+    pub beeps_delivered: u64,
+    pub latency_total_us: u64,
+    pub latency_count: u64,
+    pub retries: u64,
+}
+
+/// A snapshot of engine statistics.
+///
+/// The §6.2 failure-rate metric is [`EngineStats::failure_rate`]: failed
+/// requests (connection timeouts, busy rejections, no available candidate,
+/// start-deadline misses) plus ruined photos (blurred / wrong position),
+/// over all requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Physical events detected (rising edges).
+    pub events_detected: u64,
+    /// Action requests created.
+    pub requests: u64,
+    /// Requests whose action was accepted by a device.
+    pub executed: u64,
+    /// Connection-level failures (camera connect timeout, phone out of
+    /// coverage, mote radio loss).
+    pub connect_failures: u64,
+    /// Commands rejected by a busy camera (unsynchronized mode).
+    pub busy_rejections: u64,
+    /// Requests with no available candidate after probing/filtering.
+    pub no_candidate: u64,
+    /// Requests that could not start within the request timeout.
+    pub timed_out: u64,
+    /// Photo targets outside camera travel limits.
+    pub out_of_range: u64,
+    /// Custom-action errors.
+    pub action_errors: u64,
+    /// Photos that completed sharp and on target.
+    pub photos_ok: u64,
+    /// Photos ruined by head redirection during capture.
+    pub photos_blurred: u64,
+    /// Photos taken at the wrong position after redirection mid-movement.
+    pub photos_wrong: u64,
+    /// MMS/SMS deliveries.
+    pub messages_delivered: u64,
+    /// Mote beeps delivered.
+    pub beeps_delivered: u64,
+    /// Mean event-to-action-completion latency over executed requests.
+    pub mean_action_latency: Option<SimDuration>,
+    /// Failover retries dispatched after device-level failures.
+    pub retries: u64,
+    /// Probes attempted.
+    pub probes: u64,
+    /// Probes that timed out.
+    pub probe_timeouts: u64,
+    /// Successful lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Lock conflicts observed by the optimizer.
+    pub lock_conflicts: u64,
+}
+
+impl EngineStats {
+    /// Failed requests: errors plus ruined photos.
+    pub fn failures(&self) -> u64 {
+        self.connect_failures
+            + self.busy_rejections
+            + self.no_candidate
+            + self.timed_out
+            + self.out_of_range
+            + self.action_errors
+            + self.photos_blurred
+            + self.photos_wrong
+    }
+
+    /// Failures over requests; `None` before any request exists.
+    pub fn failure_rate(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.failures() as f64 / self.requests as f64)
+        }
+    }
+}
+
+impl Aorta {
+    /// Advances the virtual clock to `deadline`, processing every engine
+    /// event due on the way.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked above");
+            self.now = t;
+            match event {
+                EngineEvent::Sample => self.handle_sample(),
+                EngineEvent::Execute { request, device } => self.execute_request(&request, device),
+            }
+        }
+        self.now = deadline;
+    }
+
+    /// Advances the virtual clock by `duration`.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.run_until(self.now + duration);
+    }
+
+    /// A statistics snapshot (photo outcomes recomputed from the cameras).
+    pub fn stats(&self) -> EngineStats {
+        let raw = self.raw_stats;
+        let mut photos_ok = 0;
+        let mut photos_blurred = 0;
+        let mut photos_wrong = 0;
+        for entry in self.registry.of_kind(DeviceKind::Camera) {
+            if let Some(cam) = entry.sim.as_camera() {
+                photos_ok += cam.count_outcome(PhotoOutcome::Ok) as u64;
+                photos_blurred += cam.count_outcome(PhotoOutcome::Blurred) as u64;
+                photos_wrong += cam.count_outcome(PhotoOutcome::WrongPosition) as u64;
+            }
+        }
+        EngineStats {
+            events_detected: raw.events_detected,
+            requests: raw.requests,
+            executed: raw.executed,
+            connect_failures: raw.connect_failures,
+            busy_rejections: raw.busy_rejections,
+            no_candidate: raw.no_candidate,
+            timed_out: raw.timed_out,
+            out_of_range: raw.out_of_range,
+            action_errors: raw.action_errors,
+            photos_ok,
+            photos_blurred,
+            photos_wrong,
+            messages_delivered: raw.messages_delivered,
+            beeps_delivered: raw.beeps_delivered,
+            mean_action_latency: raw
+                .latency_total_us
+                .checked_div(raw.latency_count)
+                .map(SimDuration::from_micros),
+            retries: raw.retries,
+            probes: self.prober.probes_sent(),
+            probe_timeouts: self.prober.timeouts(),
+            lock_acquisitions: self.locks.acquisitions(),
+            lock_conflicts: self.locks.conflicts(),
+        }
+    }
+
+    // --- sampling & event detection -----------------------------------------
+
+    fn handle_sample(&mut self) {
+        // Schedule the next epoch first so a panic in user handlers cannot
+        // stall the clock.
+        self.queue
+            .push(self.now + self.config.sample_period, EngineEvent::Sample);
+
+        let plans: Vec<crate::AqPlan> = self.catalog.queries().cloned().collect();
+        if plans.is_empty() {
+            return;
+        }
+
+        // One scan per device kind per epoch, shared by all queries.
+        let mut cache: BTreeMap<DeviceKind, Vec<Tuple>> = BTreeMap::new();
+        for plan in &plans {
+            cache.entry(plan.event_kind).or_insert_with(|| {
+                ScanOperator::new(plan.event_kind).run(&mut self.registry, self.now, &mut self.rng)
+            });
+            if let Some(d) = &plan.device {
+                let kind = d.kind;
+                cache.entry(kind).or_insert_with(|| {
+                    ScanOperator::new(kind).run(&mut self.registry, self.now, &mut self.rng)
+                });
+            }
+        }
+
+        for plan in &plans {
+            self.detect_events(plan, &cache);
+        }
+        self.dispatch_pending();
+    }
+
+    fn detect_events(&mut self, plan: &crate::AqPlan, cache: &BTreeMap<DeviceKind, Vec<Tuple>>) {
+        let event_schema = self.registry.schema(plan.event_kind).clone();
+        let id_idx = event_schema.index_of("id").expect("catalogs define id");
+        let event_tuples = cache.get(&plan.event_kind).expect("scanned above").clone();
+
+        for tuple in &event_tuples {
+            let matched = {
+                let ctx = EvalContext {
+                    registry: &self.registry,
+                };
+                let env = Env::new().bind(&plan.event_binding, &event_schema, tuple);
+                plan.event_conjuncts
+                    .iter()
+                    .all(|c| eval_predicate(c, &env, &ctx).unwrap_or(false))
+            };
+            let source = tuple.get(id_idx).and_then(Value::as_i64).unwrap_or(-1);
+            let key = (plan.query_id, source);
+            let was = self.edge.insert(key, matched).unwrap_or(false);
+            if !matched || was {
+                continue; // not a rising edge
+            }
+            self.raw_stats.events_detected += 1;
+            self.trace.emit(
+                self.now,
+                "event",
+                format!(
+                    "query {} fired on {} {}",
+                    plan.query_id, plan.event_kind, source
+                ),
+            );
+
+            // Candidate filtering per event.
+            let candidates = self.candidates_for(plan, tuple, cache);
+            for call in &plan.actions {
+                self.raw_stats.requests += 1;
+                let request = ActionRequest {
+                    query_id: plan.query_id,
+                    action: call.action.clone(),
+                    event_tuple: tuple.clone().tagged(plan.query_id),
+                    event_binding: plan.event_binding.clone(),
+                    event_kind: plan.event_kind,
+                    device_binding: plan.device.as_ref().map(|d| (d.binding.clone(), d.kind)),
+                    args: call.args.clone(),
+                    candidates: candidates.clone(),
+                    created_at: self.now,
+                    attempts: 0,
+                };
+                self.operators
+                    .entry(call.action.clone())
+                    .or_default()
+                    .push(request);
+            }
+        }
+    }
+
+    fn candidates_for(
+        &self,
+        plan: &crate::AqPlan,
+        event_tuple: &Tuple,
+        cache: &BTreeMap<DeviceKind, Vec<Tuple>>,
+    ) -> Vec<(DeviceId, Tuple)> {
+        let Some(device_part) = &plan.device else {
+            return Vec::new();
+        };
+        let device_schema = self.registry.schema(device_part.kind).clone();
+        let event_schema = self.registry.schema(plan.event_kind).clone();
+        let id_idx = device_schema.index_of("id").expect("catalogs define id");
+        let ctx = EvalContext {
+            registry: &self.registry,
+        };
+        let mut out = Vec::new();
+        for dt in cache.get(&device_part.kind).into_iter().flatten() {
+            let env = Env::new()
+                .bind(&plan.event_binding, &event_schema, event_tuple)
+                .bind(&device_part.binding, &device_schema, dt);
+            let pass = device_part
+                .conjuncts
+                .iter()
+                .all(|c| eval_predicate(c, &env, &ctx).unwrap_or(false));
+            if pass {
+                if let Some(idx) = dt.get(id_idx).and_then(Value::as_i64) {
+                    out.push((DeviceId::new(device_part.kind, idx as u32), dt.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    // --- dispatch ------------------------------------------------------------
+
+    fn dispatch_pending(&mut self) {
+        let action_names: Vec<String> = self.operators.keys().cloned().collect();
+        for name in action_names {
+            let batch = self
+                .operators
+                .get_mut(&name)
+                .map(|op| op.drain())
+                .unwrap_or_default();
+            if batch.is_empty() {
+                continue;
+            }
+            self.dispatch_batch(&name, batch);
+        }
+    }
+
+    fn dispatch_batch(&mut self, action: &str, mut batch: Vec<ActionRequest>) {
+        let Some(def) = self.catalog.action(action).cloned() else {
+            self.raw_stats.action_errors += batch.len() as u64;
+            return;
+        };
+
+        // Probe every distinct candidate once per batch (§4).
+        let mut devices: Vec<DeviceId> = batch
+            .iter()
+            .flat_map(|r| r.candidates.iter().map(|(d, _)| *d))
+            .collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let mut status: BTreeMap<DeviceId, PhysicalStatus> = BTreeMap::new();
+        for &d in &devices {
+            let probed = if self.config.probe_enabled {
+                match self
+                    .prober
+                    .probe(&mut self.registry, d, self.now, &mut self.rng)
+                {
+                    aorta_net::ProbeOutcome::Available { status, .. } => Some(status),
+                    _ => None,
+                }
+            } else {
+                self.unprobed_status(d)
+            };
+            match probed {
+                Some(s) => {
+                    status.insert(d, s);
+                }
+                None => self.trace.emit(
+                    self.now,
+                    "probe",
+                    format!("{d} unavailable, excluded from device selection"),
+                ),
+            }
+        }
+
+        // LERFA ordering: least eligible (fewest available candidates) first.
+        if self.config.dispatch == DispatchPolicy::Scheduled && batch.len() > 1 {
+            batch.sort_by_key(|r| {
+                r.candidates
+                    .iter()
+                    .filter(|(d, _)| status.contains_key(d))
+                    .count()
+            });
+        }
+
+        // Per-device predicted state over the batch.
+        let mut free_at: BTreeMap<DeviceId, SimTime> = BTreeMap::new();
+        let mut predicted: BTreeMap<DeviceId, PhysicalStatus> = status.clone();
+        for &d in status.keys() {
+            let free = if self.config.sync_enabled {
+                self.locks.locked_until(d, self.now).unwrap_or(self.now)
+            } else {
+                self.now
+            };
+            free_at.insert(d, free);
+        }
+
+        // Phase 1: assignment (LERFA's min workload-plus-cost rule).
+        let mut lanes: BTreeMap<DeviceId, Vec<(ActionRequest, SimDuration)>> = BTreeMap::new();
+        for request in batch {
+            let mut best: Option<(SimTime, SimDuration, DeviceId)> = None;
+            for (d, _) in &request.candidates {
+                let Some(st) = predicted.get(d) else { continue };
+                let Some(cost) = self.estimate_request_cost(&def, &request, *d, st) else {
+                    continue;
+                };
+                let finish = free_at[d] + cost;
+                if best.is_none_or(|(bf, _, _)| finish < bf) {
+                    best = Some((finish, cost, *d));
+                }
+            }
+            let Some((finish, cost, d)) = best else {
+                self.raw_stats.no_candidate += 1;
+                self.trace.emit(
+                    self.now,
+                    "dispatch",
+                    format!("query {}: no available candidate", request.query_id),
+                );
+                continue;
+            };
+            let start = free_at[&d];
+            if start > request.created_at + self.config.request_timeout {
+                self.raw_stats.timed_out += 1;
+                self.trace.emit(
+                    self.now,
+                    "dispatch",
+                    format!(
+                        "query {}: earliest start on {d} misses the request deadline",
+                        request.query_id
+                    ),
+                );
+                continue;
+            }
+            self.trace.emit(
+                self.now,
+                "dispatch",
+                format!(
+                    "query {} assigned to {d} (estimate {cost})",
+                    request.query_id
+                ),
+            );
+            // Without synchronization the optimizer does not know device
+            // workload, so it never queues — every request fires at once
+            // and interference ensues (§6.2).
+            if self.config.sync_enabled {
+                free_at.insert(d, finish);
+            }
+            if let Some(next) = self.predict_next_status(&def, &request, d, &predicted[&d]) {
+                predicted.insert(d, next);
+            }
+            lanes.entry(d).or_default().push((request, cost));
+        }
+
+        // Phase 2: per-device SRFE ordering + scheduling of Execute events.
+        for (d, mut lane) in lanes {
+            let base = if self.config.sync_enabled {
+                self.locks.locked_until(d, self.now).unwrap_or(self.now)
+            } else {
+                self.now
+            };
+            // SRFE: greedy nearest-first chain from the device's probed
+            // status (re-estimating after each predicted status change).
+            // The MinCost policy ablates this: each device services its
+            // queue in assignment order.
+            if self.config.dispatch == DispatchPolicy::MinCost {
+                let mut t = if self.config.sync_enabled {
+                    base
+                } else {
+                    self.now
+                };
+                let mut holder = None;
+                for (req, cost) in lane {
+                    holder.get_or_insert(req.query_id);
+                    let start = if self.config.sync_enabled {
+                        t.max(self.now)
+                    } else {
+                        self.now
+                    };
+                    self.queue.push(
+                        start,
+                        EngineEvent::Execute {
+                            device: d,
+                            request: req,
+                        },
+                    );
+                    t = start + cost + SimDuration::from_millis(5);
+                }
+                if self.config.sync_enabled {
+                    let q = holder.unwrap_or(0);
+                    if !self.locks.try_lock(d, q, self.now, t) {
+                        self.locks.extend(d, self.now, t);
+                    }
+                }
+                continue;
+            }
+            let mut ordered: Vec<(ActionRequest, SimDuration)> = Vec::with_capacity(lane.len());
+            let mut st = status.get(&d).cloned();
+            while !lane.is_empty() {
+                let (idx, cost) = {
+                    let mut best = (0usize, SimDuration::MAX);
+                    for (i, (req, est)) in lane.iter().enumerate() {
+                        let c = match &st {
+                            Some(s) => self.estimate_request_cost(&def, req, d, s).unwrap_or(*est),
+                            None => *est,
+                        };
+                        if c < best.1 {
+                            best = (i, c);
+                        }
+                    }
+                    best
+                };
+                let (req, _) = lane.swap_remove(idx);
+                if let Some(s) = &st {
+                    if let Some(next) = self.predict_next_status(&def, &req, d, s) {
+                        st = Some(next);
+                    }
+                }
+                ordered.push((req, cost));
+            }
+
+            // Cost estimates are rounded to whole microseconds, so queued
+            // starts carry a small guard to keep the next command strictly
+            // after the previous one completes on the device.
+            const SCHEDULE_GUARD: SimDuration = SimDuration::from_millis(5);
+            let mut t = base;
+            let mut holder = None;
+            for (req, cost) in ordered {
+                holder.get_or_insert(req.query_id);
+                let start = if self.config.sync_enabled {
+                    t.max(self.now)
+                } else {
+                    self.now
+                };
+                self.queue.push(
+                    start,
+                    EngineEvent::Execute {
+                        device: d,
+                        request: req,
+                    },
+                );
+                t = start + cost + SCHEDULE_GUARD;
+            }
+            if self.config.sync_enabled {
+                let q = holder.unwrap_or(0);
+                if !self.locks.try_lock(d, q, self.now, t) {
+                    self.locks.extend(d, self.now, t);
+                }
+            }
+        }
+    }
+
+    /// Status without probing: the engine's last-known view.
+    fn unprobed_status(&mut self, d: DeviceId) -> Option<PhysicalStatus> {
+        let entry = self.registry.get(d)?;
+        if !entry.online {
+            return None;
+        }
+        Some(match &entry.sim {
+            aorta_net::DeviceSim::Camera(c) => PhysicalStatus::CameraHead(c.rest_position()),
+            aorta_net::DeviceSim::Mote(m) => PhysicalStatus::SensorLink {
+                depth: m.depth(),
+                battery_volts: m.battery_volts(),
+            },
+            aorta_net::DeviceSim::Phone(_) => PhysicalStatus::PhoneCoverage { in_coverage: true },
+            aorta_net::DeviceSim::Rfid(_) => PhysicalStatus::RfidField { tags_in_range: 0 },
+        })
+    }
+
+    /// Cost estimate for one request on one device (profile-driven, §2.3).
+    fn estimate_request_cost(
+        &self,
+        def: &ActionDef,
+        request: &ActionRequest,
+        device: DeviceId,
+        status: &PhysicalStatus,
+    ) -> Option<SimDuration> {
+        let mut ctx = CostContext::from_status(status);
+        if def.kind() == DeviceKind::Camera {
+            let target = self.photo_target(request, device)?;
+            ctx = ctx.with_target(target);
+            // A probe may be absent for unprobed dispatch; default home.
+            if ctx.from.is_none() {
+                ctx.from = Some(PtzPosition::HOME);
+            }
+        }
+        let table = self.registry.cost_table(def.kind());
+        estimate_action_cost(&def.profile, table, &ctx).ok()
+    }
+
+    fn predict_next_status(
+        &self,
+        def: &ActionDef,
+        request: &ActionRequest,
+        device: DeviceId,
+        status: &PhysicalStatus,
+    ) -> Option<PhysicalStatus> {
+        if def.kind() == DeviceKind::Camera {
+            self.photo_target(request, device)
+                .map(PhysicalStatus::CameraHead)
+        } else {
+            Some(*status)
+        }
+    }
+
+    /// The head position a photo request aims `device` at: the first
+    /// Location-typed argument, projected through the camera's mount.
+    fn photo_target(&self, request: &ActionRequest, device: DeviceId) -> Option<PtzPosition> {
+        let loc = self
+            .arg_values(request, device)?
+            .into_iter()
+            .find_map(|v| v.as_location().copied())?;
+        let cam = self.registry.camera(device)?;
+        Some(cam.spec().clamp(cam.aim_at(&loc)))
+    }
+
+    /// Evaluates the request's argument expressions against the event tuple
+    /// and (when available) the device's candidate tuple.
+    fn arg_values(&self, request: &ActionRequest, device: DeviceId) -> Option<Vec<Value>> {
+        let event_schema = self.registry.schema(request.event_kind).clone();
+        let device_tuple = request
+            .candidates
+            .iter()
+            .find(|(d, _)| *d == device)
+            .map(|(_, t)| t.clone());
+        let device_schema = request
+            .device_binding
+            .as_ref()
+            .map(|(_, k)| self.registry.schema(*k).clone());
+        let ctx = EvalContext {
+            registry: &self.registry,
+        };
+        let mut env = Env::new().bind(&request.event_binding, &event_schema, &request.event_tuple);
+        if let (Some((binding, _)), Some(schema), Some(tuple)) = (
+            request.device_binding.as_ref(),
+            device_schema.as_ref(),
+            device_tuple.as_ref(),
+        ) {
+            env = env.bind(binding, schema, tuple);
+        }
+        let mut out = Vec::with_capacity(request.args.len());
+        for a in &request.args {
+            out.push(eval_expr(a, &env, &ctx).ok()?);
+        }
+        Some(out)
+    }
+
+    // --- execution -----------------------------------------------------------
+
+    /// After a device-level failure, re-dispatches the request to its
+    /// remaining candidates (when retries are configured). Returns whether
+    /// a retry was launched — if so, the failure is counted as a retry
+    /// rather than a terminal failure.
+    fn maybe_retry(&mut self, request: &ActionRequest, failed_device: DeviceId) -> bool {
+        if request.attempts >= self.config.retry_failed {
+            return false;
+        }
+        let mut retry = request.clone();
+        retry.attempts += 1;
+        retry.candidates.retain(|(d, _)| *d != failed_device);
+        if retry.candidates.is_empty() {
+            return false;
+        }
+        self.raw_stats.retries += 1;
+        self.trace.emit(
+            self.now,
+            "dispatch",
+            format!(
+                "query {}: retrying after failure on {failed_device} (attempt {})",
+                retry.query_id, retry.attempts
+            ),
+        );
+        let action = retry.action.clone();
+        self.dispatch_batch(&action, vec![retry]);
+        true
+    }
+
+    fn record_latency(&mut self, created_at: SimTime, completed_at: SimTime) {
+        self.raw_stats.latency_total_us += completed_at
+            .saturating_duration_since(created_at)
+            .as_micros();
+        self.raw_stats.latency_count += 1;
+    }
+
+    fn execute_request(&mut self, request: &ActionRequest, device: DeviceId) {
+        let Some(def) = self.catalog.action(&request.action).cloned() else {
+            self.raw_stats.action_errors += 1;
+            return;
+        };
+        let args = self.arg_values(request, device).unwrap_or_default();
+        match &def.handler {
+            ActionHandler::Photo => self.execute_photo(request, device),
+            ActionHandler::SendPhoto => {
+                let body = args
+                    .iter()
+                    .rev()
+                    .find_map(|v| v.as_str().map(str::to_string))
+                    .unwrap_or_else(|| "photo.jpg".to_string());
+                let now = self.now;
+                let delivered = self
+                    .registry
+                    .get_mut(device)
+                    .and_then(|e| e.sim.as_phone_mut())
+                    .and_then(|p| {
+                        p.deliver(now, aorta_device::MessageKind::Mms, body, &mut self.rng)
+                    });
+                match delivered {
+                    Some(done) => {
+                        self.raw_stats.executed += 1;
+                        self.raw_stats.messages_delivered += 1;
+                        self.record_latency(request.created_at, done);
+                        if self.config.sync_enabled {
+                            self.locks.extend(device, self.now, done);
+                        }
+                    }
+                    None => {
+                        if !self.maybe_retry(request, device) {
+                            self.raw_stats.connect_failures += 1;
+                        }
+                    }
+                }
+            }
+            ActionHandler::Beep => {
+                let now = self.now;
+                let ok = self
+                    .registry
+                    .get_mut(device)
+                    .and_then(|e| e.sim.as_mote_mut())
+                    .map(|m| m.beep(now, &mut self.rng))
+                    .unwrap_or(false);
+                if ok {
+                    self.raw_stats.executed += 1;
+                    self.raw_stats.beeps_delivered += 1;
+                    self.record_latency(request.created_at, now);
+                } else if !self.maybe_retry(request, device) {
+                    self.raw_stats.connect_failures += 1;
+                }
+            }
+            ActionHandler::Custom(handler) => {
+                let handler = handler.clone();
+                let now = self.now;
+                match handler(&mut self.registry, device, &args, now, &mut self.rng) {
+                    Ok(done) => {
+                        self.raw_stats.executed += 1;
+                        self.record_latency(request.created_at, done);
+                        if self.config.sync_enabled {
+                            self.locks.extend(device, self.now, done);
+                        }
+                    }
+                    Err(_) => self.raw_stats.action_errors += 1,
+                }
+            }
+        }
+    }
+
+    fn execute_photo(&mut self, request: &ActionRequest, device: DeviceId) {
+        let Some(target) = self.photo_target(request, device) else {
+            self.raw_stats.action_errors += 1;
+            return;
+        };
+        let now = self.now;
+        // Synchronization invariant: never command a busy device. If the
+        // previous action ran longer than estimated, wait it out.
+        if self.config.sync_enabled {
+            if let Some(cam) = self.registry.camera(device) {
+                if cam.is_busy(now) {
+                    let retry = cam
+                        .photos()
+                        .last()
+                        .map(|p| p.completes_at)
+                        .unwrap_or(now + SimDuration::from_millis(100))
+                        .max(now + SimDuration::from_millis(1));
+                    self.locks.extend(device, now, retry);
+                    self.queue.push(
+                        retry,
+                        EngineEvent::Execute {
+                            request: request.clone(),
+                            device,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        let Some(cam) = self.registry.camera_mut(device) else {
+            self.raw_stats.action_errors += 1;
+            return;
+        };
+        match cam.begin_photo(now, target, PhotoSize::Medium, &mut self.rng) {
+            Ok(record) => {
+                self.raw_stats.executed += 1;
+                self.record_latency(request.created_at, record.completes_at);
+                if self.config.sync_enabled {
+                    self.locks.extend(device, now, record.completes_at);
+                }
+            }
+            Err(e) => {
+                self.trace
+                    .emit(now, "action", format!("photo on {device} failed: {e}"));
+                // Out-of-range targets fail on every camera alike; the
+                // transient errors are worth failing over.
+                let retried =
+                    !matches!(e, PhotoError::OutOfRange) && self.maybe_retry(request, device);
+                if !retried {
+                    match e {
+                        PhotoError::ConnectTimeout => self.raw_stats.connect_failures += 1,
+                        PhotoError::BusyRejected => self.raw_stats.busy_rejections += 1,
+                        PhotoError::OutOfRange => self.raw_stats.out_of_range += 1,
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Expression evaluation over bound tuples.
+
+use std::cmp::Ordering;
+
+use aorta_data::{Schema, Tuple, Value};
+use aorta_net::DeviceRegistry;
+use aorta_sql::ast::{BinOp, Expr, UnOp};
+
+use crate::EngineError;
+
+/// Read-only engine state scalar builtins may consult.
+pub struct EvalContext<'a> {
+    /// The device registry (for `coverage()`).
+    pub registry: &'a DeviceRegistry,
+}
+
+/// A set of table bindings: binding name → (schema, current tuple).
+#[derive(Debug, Default)]
+pub struct Env<'a> {
+    bindings: Vec<(&'a str, &'a Schema, &'a Tuple)>,
+}
+
+impl<'a> Env<'a> {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Adds a binding, builder style.
+    pub fn bind(mut self, name: &'a str, schema: &'a Schema, tuple: &'a Tuple) -> Self {
+        self.bindings.push((name, schema, tuple));
+        self
+    }
+
+    fn lookup(&self, qualifier: Option<&str>, name: &str) -> Result<Value, EngineError> {
+        match qualifier {
+            Some(q) => {
+                let (_, schema, tuple) = self
+                    .bindings
+                    .iter()
+                    .find(|(b, _, _)| *b == q)
+                    .ok_or_else(|| EngineError::Eval(format!("unbound table '{q}'")))?;
+                let idx = schema.index_of(name).ok_or_else(|| {
+                    EngineError::Eval(format!("table '{q}' has no attribute '{name}'"))
+                })?;
+                Ok(tuple.get(idx).cloned().unwrap_or(Value::Null))
+            }
+            None => {
+                for (_, schema, tuple) in &self.bindings {
+                    if let Some(idx) = schema.index_of(name) {
+                        return Ok(tuple.get(idx).cloned().unwrap_or(Value::Null));
+                    }
+                }
+                Err(EngineError::Eval(format!("unknown attribute '{name}'")))
+            }
+        }
+    }
+}
+
+/// Evaluates an expression to a value.
+///
+/// SQL three-valued logic is approximated conservatively: any comparison or
+/// arithmetic with a NULL operand yields NULL, and a NULL predicate is
+/// treated as *not satisfied* by callers.
+///
+/// # Errors
+///
+/// [`EngineError::Eval`] on unbound names, type mismatches, unknown
+/// functions, or division by zero.
+pub fn eval_expr(expr: &Expr, env: &Env<'_>, ctx: &EvalContext<'_>) -> Result<Value, EngineError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => env.lookup(qualifier.as_deref(), name),
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, env, ctx)?;
+            match (op, v) {
+                (_, Value::Null) => Ok(Value::Null),
+                (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+                (UnOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
+                (op, v) => Err(EngineError::Eval(format!("cannot apply {op:?} to {v}"))),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(lhs, env, ctx)?;
+            // Short-circuit logic (also gives NULL-safe AND/OR).
+            match op {
+                BinOp::And => {
+                    if l == Value::Bool(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval_expr(rhs, env, ctx)?;
+                    return logic_and(l, r);
+                }
+                BinOp::Or => {
+                    if l == Value::Bool(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval_expr(rhs, env, ctx)?;
+                    return logic_or(l, r);
+                }
+                _ => {}
+            }
+            let r = eval_expr(rhs, env, ctx)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let ord = l
+                        .compare(&r)
+                        .map_err(|e| EngineError::Eval(e.to_string()))?;
+                    let b = match op {
+                        BinOp::Eq => ord == Ordering::Equal,
+                        BinOp::Ne => ord != Ordering::Equal,
+                        BinOp::Lt => ord == Ordering::Less,
+                        BinOp::Le => ord != Ordering::Greater,
+                        BinOp::Gt => ord == Ordering::Greater,
+                        BinOp::Ge => ord != Ordering::Less,
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Bool(b))
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, l, r),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Expr::Call { name, args } => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_expr(a, env, ctx)?);
+            }
+            call_builtin(name, &values, ctx)
+        }
+    }
+}
+
+fn logic_and(l: Value, r: Value) -> Result<Value, EngineError> {
+    match (l.as_bool(), r.as_bool(), l.is_null() || r.is_null()) {
+        (Some(a), Some(b), _) => Ok(Value::Bool(a && b)),
+        (_, Some(false), _) | (Some(false), _, _) => Ok(Value::Bool(false)),
+        (_, _, true) => Ok(Value::Null),
+        _ => Err(EngineError::Eval("AND expects boolean operands".into())),
+    }
+}
+
+fn logic_or(l: Value, r: Value) -> Result<Value, EngineError> {
+    match (l.as_bool(), r.as_bool(), l.is_null() || r.is_null()) {
+        (Some(a), Some(b), _) => Ok(Value::Bool(a || b)),
+        (_, Some(true), _) | (Some(true), _, _) => Ok(Value::Bool(true)),
+        (_, _, true) => Ok(Value::Null),
+        _ => Err(EngineError::Eval("OR expects boolean operands".into())),
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
+    // Integer arithmetic when both sides are integers; float otherwise.
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        return match op {
+            BinOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+            BinOp::Div => {
+                if b == 0 {
+                    Err(EngineError::Eval("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(EngineError::Eval(format!(
+                "cannot apply {op} to non-numeric operands"
+            )))
+        }
+    };
+    match op {
+        BinOp::Add => Ok(Value::Float(a + b)),
+        BinOp::Sub => Ok(Value::Float(a - b)),
+        BinOp::Mul => Ok(Value::Float(a * b)),
+        BinOp::Div => {
+            if b == 0.0 {
+                Err(EngineError::Eval("division by zero".into()))
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Scalar builtins: `coverage(camera_id, location)` (the paper's Boolean
+/// coverage test) and `distance(location, location)`.
+fn call_builtin(name: &str, args: &[Value], ctx: &EvalContext<'_>) -> Result<Value, EngineError> {
+    match name {
+        "coverage" => {
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let id = args[0]
+                .as_i64()
+                .ok_or_else(|| EngineError::Eval("coverage() expects a camera id".into()))?;
+            let loc = args[1]
+                .as_location()
+                .ok_or_else(|| EngineError::Eval("coverage() expects a location".into()))?;
+            let covered = ctx
+                .registry
+                .camera(aorta_device::DeviceId::camera(id as u32))
+                .is_some_and(|c| c.covers(loc));
+            Ok(Value::Bool(covered))
+        }
+        "distance" => {
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let a = args[0]
+                .as_location()
+                .ok_or_else(|| EngineError::Eval("distance() expects locations".into()))?;
+            let b = args[1]
+                .as_location()
+                .ok_or_else(|| EngineError::Eval("distance() expects locations".into()))?;
+            Ok(Value::Float(a.distance(b)))
+        }
+        other => Err(EngineError::Eval(format!(
+            "unknown scalar function '{other}' (actions are not evaluated as scalars)"
+        ))),
+    }
+}
+
+/// Convenience: evaluate a predicate; NULL counts as not satisfied.
+pub(crate) fn eval_predicate(
+    expr: &Expr,
+    env: &Env<'_>,
+    ctx: &EvalContext<'_>,
+) -> Result<bool, EngineError> {
+    match eval_expr(expr, env, ctx)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(EngineError::Eval(format!(
+            "predicate evaluated to non-boolean {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aorta_data::{AttrKind, Location, ValueType};
+    use aorta_device::PervasiveLab;
+    use aorta_sql::ast::Statement;
+    use aorta_sql::parse;
+
+    fn sensor_schema() -> Schema {
+        Schema::builder("sensor")
+            .attr("id", ValueType::Int, AttrKind::NonSensory)
+            .attr("loc", ValueType::Location, AttrKind::NonSensory)
+            .attr("accel_x", ValueType::Int, AttrKind::Sensory)
+            .build()
+    }
+
+    fn predicate_of(sql: &str) -> Expr {
+        let stmts = parse(sql).unwrap();
+        match stmts.into_iter().next().unwrap() {
+            Statement::Select(s) => s.predicate.unwrap(),
+            _ => panic!("expected SELECT"),
+        }
+    }
+
+    fn registry() -> DeviceRegistry {
+        DeviceRegistry::from_lab(PervasiveLab::standard())
+    }
+
+    #[test]
+    fn threshold_predicate_fires_on_spike() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let schema = sensor_schema();
+        let pred = predicate_of("SELECT id FROM sensor s WHERE s.accel_x > 500");
+        let quiet = Tuple::new(vec![
+            Value::Int(0),
+            Value::Location(Location::ORIGIN),
+            Value::Int(12),
+        ]);
+        let spike = Tuple::new(vec![
+            Value::Int(0),
+            Value::Location(Location::ORIGIN),
+            Value::Int(612),
+        ]);
+        let env = Env::new().bind("s", &schema, &quiet);
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(false));
+        let env = Env::new().bind("s", &schema, &spike);
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(true));
+    }
+
+    #[test]
+    fn null_sensory_value_does_not_fire() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let schema = sensor_schema();
+        let pred = predicate_of("SELECT id FROM sensor s WHERE s.accel_x > 500");
+        let lost = Tuple::new(vec![Value::Int(0), Value::Null, Value::Null]);
+        let env = Env::new().bind("s", &schema, &lost);
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(false));
+    }
+
+    #[test]
+    fn coverage_builtin_consults_cameras() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        // Mote 0's location is covered in the standard lab.
+        let mote_loc = reg
+            .get(aorta_device::DeviceId::sensor(0))
+            .unwrap()
+            .sim
+            .location()
+            .unwrap();
+        let covered = call_builtin(
+            "coverage",
+            &[Value::Int(0), Value::Location(mote_loc)],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(covered, Value::Bool(true));
+        // A location far outside the lab is not.
+        let far = call_builtin(
+            "coverage",
+            &[
+                Value::Int(0),
+                Value::Location(Location::new(500.0, 0.0, 0.0)),
+            ],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(far, Value::Bool(false));
+        // Unknown camera id → false, not an error.
+        let unknown = call_builtin(
+            "coverage",
+            &[Value::Int(99), Value::Location(mote_loc)],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(unknown, Value::Bool(false));
+    }
+
+    #[test]
+    fn distance_builtin() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let d = call_builtin(
+            "distance",
+            &[
+                Value::Location(Location::new(0.0, 0.0, 0.0)),
+                Value::Location(Location::new(3.0, 4.0, 0.0)),
+            ],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(d, Value::Float(5.0));
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let schema = sensor_schema();
+        let t = Tuple::new(vec![
+            Value::Int(2),
+            Value::Location(Location::ORIGIN),
+            Value::Int(100),
+        ]);
+        let env = Env::new().bind("s", &schema, &t);
+        let pred = predicate_of("SELECT id FROM sensor s WHERE s.accel_x = 10 * s.id + 80");
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(true));
+        let float_pred = predicate_of("SELECT id FROM sensor s WHERE s.accel_x / 8.0 = 12.5");
+        assert_eq!(eval_predicate(&float_pred, &env, &ctx), Ok(true));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let env = Env::new();
+        let pred = predicate_of("SELECT x FROM t WHERE 1 / 0 = 1");
+        assert!(matches!(
+            eval_predicate(&pred, &env, &ctx),
+            Err(EngineError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn logic_short_circuits_avoid_rhs_errors() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let env = Env::new();
+        // FALSE AND <error> → false.
+        let pred = predicate_of("SELECT x FROM t WHERE FALSE AND nosuch > 1");
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(false));
+        // TRUE OR <error> → true.
+        let pred = predicate_of("SELECT x FROM t WHERE TRUE OR nosuch > 1");
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(true));
+    }
+
+    #[test]
+    fn not_and_negation() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let env = Env::new();
+        let pred = predicate_of("SELECT x FROM t WHERE NOT FALSE");
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(true));
+        let pred = predicate_of("SELECT x FROM t WHERE -3 < -2");
+        assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(true));
+    }
+
+    #[test]
+    fn unbound_names_are_errors() {
+        let reg = registry();
+        let ctx = EvalContext { registry: &reg };
+        let env = Env::new();
+        let pred = predicate_of("SELECT x FROM t WHERE z.a > 1");
+        let err = eval_predicate(&pred, &env, &ctx).unwrap_err();
+        assert!(err.to_string().contains("unbound table"), "{err}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Device locking (§4).
+//!
+//! "When a device has been selected to execute an action, the optimizer will
+//! lock it until it finishes executing the action … Subsequent actions on
+//! this device cannot start before the device is unlocked."
+//!
+//! Locks live engine-side (the optimizer holds them, not the devices) and
+//! are time-scoped on the virtual clock: a lock taken for an action covers
+//! the interval up to the action's completion.
+
+use std::collections::BTreeMap;
+
+use aorta_device::DeviceId;
+use aorta_sim::SimTime;
+
+/// One held lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Lock {
+    holder_query: u32,
+    until: SimTime,
+}
+
+/// The engine's device lock manager.
+///
+/// # Example
+///
+/// ```
+/// use aorta_core::LockManager;
+/// use aorta_device::DeviceId;
+/// use aorta_sim::SimTime;
+///
+/// let mut locks = LockManager::new();
+/// let cam = DeviceId::camera(0);
+/// assert!(locks.try_lock(cam, 1, SimTime::ZERO, SimTime::from_micros(100)));
+/// assert!(!locks.try_lock(cam, 2, SimTime::from_micros(50), SimTime::from_micros(200)));
+/// assert!(locks.try_lock(cam, 2, SimTime::from_micros(150), SimTime::from_micros(200)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LockManager {
+    locks: BTreeMap<DeviceId, Lock>,
+    acquisitions: u64,
+    conflicts: u64,
+}
+
+impl LockManager {
+    /// A manager with no locks held.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// True when the device is locked at instant `now`.
+    pub fn is_locked(&self, device: DeviceId, now: SimTime) -> bool {
+        self.locks.get(&device).is_some_and(|l| now < l.until)
+    }
+
+    /// The instant the current lock (if any) expires.
+    pub fn locked_until(&self, device: DeviceId, now: SimTime) -> Option<SimTime> {
+        self.locks
+            .get(&device)
+            .filter(|l| now < l.until)
+            .map(|l| l.until)
+    }
+
+    /// The query currently holding the device.
+    pub fn holder(&self, device: DeviceId, now: SimTime) -> Option<u32> {
+        self.locks
+            .get(&device)
+            .filter(|l| now < l.until)
+            .map(|l| l.holder_query)
+    }
+
+    /// Attempts to lock `device` for `query` from `now` until `until`.
+    ///
+    /// Fails (returns `false`) when another lock is still active at `now`.
+    /// Expired locks are reclaimed implicitly.
+    pub fn try_lock(&mut self, device: DeviceId, query: u32, now: SimTime, until: SimTime) -> bool {
+        if self.is_locked(device, now) {
+            self.conflicts += 1;
+            return false;
+        }
+        self.locks.insert(
+            device,
+            Lock {
+                holder_query: query,
+                until,
+            },
+        );
+        self.acquisitions += 1;
+        true
+    }
+
+    /// Extends the current lock's expiry (e.g. when the actual action ran
+    /// longer than estimated).
+    ///
+    /// Returns `false` when the device holds no active lock at `now`.
+    pub fn extend(&mut self, device: DeviceId, now: SimTime, until: SimTime) -> bool {
+        match self.locks.get_mut(&device) {
+            Some(l) if now < l.until => {
+                l.until = l.until.max(until);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Releases the lock explicitly (early completion).
+    pub fn unlock(&mut self, device: DeviceId) {
+        self.locks.remove(&device);
+    }
+
+    /// Drops all expired locks (housekeeping; correctness never needs it).
+    pub fn sweep(&mut self, now: SimTime) {
+        self.locks.retain(|_, l| now < l.until);
+    }
+
+    /// Number of devices with an entry (possibly expired until swept).
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Total successful acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Total failed attempts due to an active lock.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn lock_blocks_until_expiry() {
+        let mut m = LockManager::new();
+        let d = DeviceId::camera(0);
+        assert!(m.try_lock(d, 1, t(0), t(100)));
+        assert!(m.is_locked(d, t(50)));
+        assert_eq!(m.holder(d, t(50)), Some(1));
+        assert_eq!(m.locked_until(d, t(50)), Some(t(100)));
+        assert!(!m.try_lock(d, 2, t(99), t(300)));
+        assert_eq!(m.conflicts(), 1);
+        // At expiry the lock is free.
+        assert!(!m.is_locked(d, t(100)));
+        assert!(m.try_lock(d, 2, t(100), t(200)));
+        assert_eq!(m.acquisitions(), 2);
+    }
+
+    #[test]
+    fn independent_devices_do_not_interfere() {
+        let mut m = LockManager::new();
+        assert!(m.try_lock(DeviceId::camera(0), 1, t(0), t(100)));
+        assert!(m.try_lock(DeviceId::camera(1), 2, t(0), t(100)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn explicit_unlock_frees_early() {
+        let mut m = LockManager::new();
+        let d = DeviceId::phone(0);
+        m.try_lock(d, 1, t(0), t(1_000));
+        m.unlock(d);
+        assert!(!m.is_locked(d, t(10)));
+        assert!(m.try_lock(d, 2, t(10), t(20)));
+    }
+
+    #[test]
+    fn extend_pushes_expiry_out() {
+        let mut m = LockManager::new();
+        let d = DeviceId::camera(0);
+        m.try_lock(d, 1, t(0), t(100));
+        assert!(m.extend(d, t(50), t(500)));
+        assert!(m.is_locked(d, t(400)));
+        // Extending backwards never shortens.
+        assert!(m.extend(d, t(60), t(200)));
+        assert_eq!(m.locked_until(d, t(60)), Some(t(500)));
+        // Extending an expired lock fails.
+        assert!(!m.extend(d, t(600), t(700)));
+    }
+
+    #[test]
+    fn sweep_removes_expired_only() {
+        let mut m = LockManager::new();
+        m.try_lock(DeviceId::camera(0), 1, t(0), t(100));
+        m.try_lock(DeviceId::camera(1), 1, t(0), t(1_000));
+        m.sweep(t(500));
+        assert_eq!(m.len(), 1);
+        assert!(m.is_locked(DeviceId::camera(1), t(500)));
+        assert!(!m.is_empty());
+    }
+}

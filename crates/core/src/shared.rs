@@ -1,0 +1,158 @@
+//! Shared action operators (§2.3).
+//!
+//! "We make concurrent queries that have the same embedded action share a
+//! single action operator in their query plans. We add the query ID to the
+//! input tuples … Such action operator sharing saves system resources and
+//! facilitates group optimization of actions."
+//!
+//! One [`SharedActionOperator`] exists per action *name*; every query whose
+//! plan embeds that action feeds its requests through it. The operator is
+//! the batching point: all requests pending in one dispatch epoch are handed
+//! to the optimizer together, which is what enables the §5 workload
+//! scheduling.
+
+use std::collections::BTreeMap;
+
+use aorta_data::Tuple;
+use aorta_device::{DeviceId, DeviceKind};
+use aorta_sim::SimTime;
+use aorta_sql::ast::Expr;
+
+/// One instantiated action request — "the request from a query for the
+/// execution of an action with instantiated input parameter values" (§5).
+///
+/// The triggering event tuple rides along (tagged with the query ID, per
+/// §2.3) so that argument expressions referencing the event binding can be
+/// evaluated once the optimizer has selected a device; each candidate
+/// carries its scan tuple for the device-side arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionRequest {
+    /// The query that produced the request (the tuple's tag).
+    pub query_id: u32,
+    /// Action name.
+    pub action: String,
+    /// The event tuple that fired.
+    pub event_tuple: Tuple,
+    /// Binding name of the event table in the query (`s`).
+    pub event_binding: String,
+    /// The event table's device kind.
+    pub event_kind: DeviceKind,
+    /// Binding name and kind of the device table, when the plan has one.
+    pub device_binding: Option<(String, DeviceKind)>,
+    /// The action call's argument expressions (evaluated per selected
+    /// device at execution).
+    pub args: Vec<Expr>,
+    /// Candidate devices with their scan tuples, from the candidate filter.
+    pub candidates: Vec<(DeviceId, Tuple)>,
+    /// When the triggering event was detected.
+    pub created_at: SimTime,
+    /// How many times this request has already failed and been re-dispatched.
+    pub attempts: u32,
+}
+
+/// The per-action-name shared operator: a request accumulator with
+/// statistics.
+#[derive(Debug, Default)]
+pub struct SharedActionOperator {
+    pending: Vec<ActionRequest>,
+    /// Which queries share this operator (for introspection).
+    subscribers: BTreeMap<u32, u64>,
+    total_enqueued: u64,
+}
+
+impl SharedActionOperator {
+    /// An empty operator.
+    pub fn new() -> Self {
+        SharedActionOperator::default()
+    }
+
+    /// Enqueues one request.
+    pub fn push(&mut self, request: ActionRequest) {
+        *self.subscribers.entry(request.query_id).or_insert(0) += 1;
+        self.total_enqueued += 1;
+        self.pending.push(request);
+    }
+
+    /// Drains every pending request for batch dispatch.
+    pub fn drain(&mut self) -> Vec<ActionRequest> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Requests currently pending.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Distinct queries that have fed this operator.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Requests enqueued over the operator's lifetime.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// Per-query request counts (query ID → requests), for introspection.
+    pub fn per_query_counts(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.subscribers.iter().map(|(&q, &n)| (q, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(query_id: u32) -> ActionRequest {
+        ActionRequest {
+            query_id,
+            action: "photo".into(),
+            event_tuple: Tuple::new(vec![]).tagged(query_id),
+            event_binding: "s".into(),
+            event_kind: DeviceKind::Sensor,
+            device_binding: Some(("c".into(), DeviceKind::Camera)),
+            args: Vec::new(),
+            candidates: vec![
+                (DeviceId::camera(0), Tuple::new(vec![])),
+                (DeviceId::camera(1), Tuple::new(vec![])),
+            ],
+            created_at: SimTime::ZERO,
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn batches_requests_from_multiple_queries() {
+        let mut op = SharedActionOperator::new();
+        op.push(req(1));
+        op.push(req(2));
+        op.push(req(1));
+        assert_eq!(op.pending_len(), 3);
+        assert_eq!(op.subscriber_count(), 2);
+        let batch = op.drain();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(op.pending_len(), 0);
+        assert_eq!(op.total_enqueued(), 3);
+        // Query tags survive into the batch — the operator knows which
+        // tuples are for which query.
+        assert_eq!(batch[0].query_id, 1);
+        assert_eq!(batch[1].query_id, 2);
+    }
+
+    #[test]
+    fn per_query_counts_accumulate() {
+        let mut op = SharedActionOperator::new();
+        for _ in 0..3 {
+            op.push(req(7));
+        }
+        op.push(req(9));
+        let counts: Vec<(u32, u64)> = op.per_query_counts().collect();
+        assert_eq!(counts, vec![(7, 3), (9, 1)]);
+    }
+
+    #[test]
+    fn drain_on_empty_is_empty() {
+        let mut op = SharedActionOperator::new();
+        assert!(op.drain().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for the data model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by data-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An unknown type name in a schema or profile.
+    UnknownType(String),
+    /// Two values that cannot be ordered against each other.
+    Incomparable(String, String),
+    /// A schema refers to an attribute that does not exist.
+    NoSuchAttribute(String, String),
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// The table whose schema was violated.
+        table: String,
+        /// Attributes in the schema.
+        expected: usize,
+        /// Values in the tuple.
+        actual: usize,
+    },
+    /// A value of the wrong type for its attribute.
+    TypeMismatch {
+        /// The offending attribute.
+        attribute: String,
+        /// Declared type name.
+        expected: String,
+        /// Observed value rendering.
+        actual: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownType(t) => write!(f, "unknown type name '{t}'"),
+            DataError::Incomparable(a, b) => write!(f, "values {a} and {b} are not comparable"),
+            DataError::NoSuchAttribute(table, attr) => {
+                write!(f, "table '{table}' has no attribute '{attr}'")
+            }
+            DataError::ArityMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "tuple for table '{table}' has {actual} values, schema expects {expected}"
+            ),
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "attribute '{attribute}' expects {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let cases: Vec<(DataError, &str)> = vec![
+            (DataError::UnknownType("W".into()), "unknown type"),
+            (
+                DataError::Incomparable("1".into(), "\"a\"".into()),
+                "not comparable",
+            ),
+            (
+                DataError::NoSuchAttribute("sensor".into(), "zoom".into()),
+                "no attribute",
+            ),
+            (
+                DataError::ArityMismatch {
+                    table: "camera".into(),
+                    expected: 4,
+                    actual: 2,
+                },
+                "schema expects 4",
+            ),
+            (
+                DataError::TypeMismatch {
+                    attribute: "loc".into(),
+                    expected: "LOCATION".into(),
+                    actual: "7".into(),
+                },
+                "expects LOCATION",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg}");
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

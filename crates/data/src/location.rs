@@ -1,0 +1,191 @@
+//! Physical locations in the monitored space.
+
+use std::fmt;
+
+/// A point in the monitored space, in metres.
+///
+/// Sensor motes have fixed locations (paper §3.2 assumes so); camera mounts
+/// have locations and view ranges; `photo()` targets are locations.
+///
+/// # Example
+///
+/// ```
+/// use aorta_data::Location;
+///
+/// let door = Location::new(0.0, 3.0, 1.0);
+/// let desk = Location::new(4.0, 0.0, 1.0);
+/// assert_eq!(door.distance(&desk), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Location {
+    /// East–west coordinate, metres.
+    pub x: f64,
+    /// North–south coordinate, metres.
+    pub y: f64,
+    /// Height, metres.
+    pub z: f64,
+}
+
+impl Location {
+    /// The origin.
+    pub const ORIGIN: Location = Location {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a location from coordinates in metres.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Location { x, y, z }
+    }
+
+    /// Euclidean distance to `other`, metres.
+    pub fn distance(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Horizontal (x–y plane) distance to `other`, metres.
+    pub fn horizontal_distance(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Bearing of `other` from `self` in the x–y plane, degrees in
+    /// `(-180, 180]` measured counter-clockwise from the +x axis.
+    pub fn bearing_to(&self, other: &Location) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x).to_degrees()
+    }
+
+    /// Elevation angle of `other` from `self`, degrees in `[-90, 90]`.
+    pub fn elevation_to(&self, other: &Location) -> f64 {
+        let h = self.horizontal_distance(other);
+        let dz = other.z - self.z;
+        dz.atan2(h).to_degrees()
+    }
+
+    /// Parses from the `"x,y,z"` format used in profile files.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the string is not three comma-separated
+    /// finite numbers.
+    pub fn parse(s: &str) -> Result<Location, String> {
+        let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(format!("location '{s}' must have exactly 3 coordinates"));
+        }
+        let mut coords = [0.0f64; 3];
+        for (slot, part) in coords.iter_mut().zip(&parts) {
+            *slot = part
+                .parse::<f64>()
+                .map_err(|_| format!("location coordinate '{part}' is not a number"))?;
+            if !slot.is_finite() {
+                return Err(format!("location coordinate '{part}' is not finite"));
+            }
+        }
+        Ok(Location::new(coords[0], coords[1], coords[2]))
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{},{}", self.x, self.y, self.z)
+    }
+}
+
+impl std::str::FromStr for Location {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Location::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_classic_triangle() {
+        let a = Location::new(0.0, 0.0, 0.0);
+        let b = Location::new(3.0, 4.0, 0.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.horizontal_distance(&b), 5.0);
+    }
+
+    #[test]
+    fn vertical_component_counts_in_3d_only() {
+        let a = Location::new(0.0, 0.0, 0.0);
+        let b = Location::new(0.0, 0.0, 2.0);
+        assert_eq!(a.distance(&b), 2.0);
+        assert_eq!(a.horizontal_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Location::ORIGIN;
+        assert_eq!(o.bearing_to(&Location::new(1.0, 0.0, 0.0)), 0.0);
+        assert_eq!(o.bearing_to(&Location::new(0.0, 1.0, 0.0)), 90.0);
+        assert_eq!(o.bearing_to(&Location::new(-1.0, 0.0, 0.0)), 180.0);
+        assert_eq!(o.bearing_to(&Location::new(0.0, -1.0, 0.0)), -90.0);
+    }
+
+    #[test]
+    fn elevation_angles() {
+        let cam = Location::new(0.0, 0.0, 3.0);
+        let floor = Location::new(3.0, 0.0, 0.0);
+        assert!((cam.elevation_to(&floor) + 45.0).abs() < 1e-9);
+        let up = Location::new(0.0, 0.0, 5.0);
+        assert_eq!(cam.elevation_to(&up), 90.0);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let l = Location::new(1.5, -2.0, 0.25);
+        assert_eq!(Location::parse(&l.to_string()), Ok(l));
+        assert_eq!(
+            "1, 2, 3".parse::<Location>(),
+            Ok(Location::new(1.0, 2.0, 3.0))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Location::parse("1,2").is_err());
+        assert!(Location::parse("a,b,c").is_err());
+        assert!(Location::parse("1,2,inf").is_err());
+        assert!(Location::parse("").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_symmetric(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                   bx in -100.0..100.0f64, by in -100.0..100.0f64) {
+            let a = Location::new(ax, ay, 0.0);
+            let b = Location::new(bx, by, 0.0);
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(coords in proptest::collection::vec(-50.0..50.0f64, 9)) {
+            let a = Location::new(coords[0], coords[1], coords[2]);
+            let b = Location::new(coords[3], coords[4], coords[5]);
+            let c = Location::new(coords[6], coords[7], coords[8]);
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_parse_round_trip(x in -1000.0..1000.0f64, y in -1000.0..1000.0f64, z in -10.0..10.0f64) {
+            let l = Location::new(x, y, z);
+            let parsed = Location::parse(&l.to_string()).unwrap();
+            prop_assert!((parsed.x - l.x).abs() < 1e-9);
+            prop_assert!((parsed.y - l.y).abs() < 1e-9);
+            prop_assert!((parsed.z - l.z).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Virtual-table schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{DataError, Tuple, ValueType};
+
+/// Whether an attribute must be acquired live from the device or can be
+/// served from static metadata (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AttrKind {
+    /// Real-time data acquired by *sensing* the device: sensor readings,
+    /// camera head position, battery voltage.
+    Sensory,
+    /// Static data served from the registry cache: locations, IP addresses,
+    /// phone numbers.
+    NonSensory,
+}
+
+impl fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrKind::Sensory => f.write_str("sensory"),
+            AttrKind::NonSensory => f.write_str("non-sensory"),
+        }
+    }
+}
+
+/// One attribute of a virtual device table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    name: String,
+    value_type: ValueType,
+    kind: AttrKind,
+}
+
+impl AttrDef {
+    /// Creates an attribute definition.
+    pub fn new(name: impl Into<String>, value_type: ValueType, kind: AttrKind) -> Self {
+        AttrDef {
+            name: name.into(),
+            value_type,
+            kind,
+        }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's declared type.
+    pub fn value_type(&self) -> ValueType {
+        self.value_type
+    }
+
+    /// Whether the attribute is sensory or non-sensory.
+    pub fn kind(&self) -> AttrKind {
+        self.kind
+    }
+}
+
+/// The schema of a virtual device table (e.g. `sensor`, `camera`, `phone`).
+///
+/// Cheap to clone (`Arc` internally); attribute lookups are by name.
+///
+/// # Example
+///
+/// ```
+/// use aorta_data::{AttrKind, Schema, ValueType};
+///
+/// let s = Schema::builder("camera")
+///     .attr("id", ValueType::Int, AttrKind::NonSensory)
+///     .attr("pan", ValueType::Float, AttrKind::Sensory)
+///     .build();
+/// assert_eq!(s.table(), "camera");
+/// assert_eq!(s.attr(1).unwrap().name(), "pan");
+/// assert!(s.sensory().any(|a| a.name() == "pan"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct SchemaInner {
+    table: String,
+    attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Starts building a schema for the named table.
+    pub fn builder(table: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            table: table.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// The table name.
+    pub fn table(&self) -> &str {
+        &self.inner.table
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.inner.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.attrs.is_empty()
+    }
+
+    /// The attribute at `index`.
+    pub fn attr(&self, index: usize) -> Option<&AttrDef> {
+        self.inner.attrs.get(index)
+    }
+
+    /// The position of the named attribute.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.inner.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The named attribute's definition.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::NoSuchAttribute`] when absent.
+    pub fn require(&self, name: &str) -> Result<&AttrDef, DataError> {
+        self.inner
+            .attrs
+            .iter()
+            .find(|a| a.name == name)
+            .ok_or_else(|| DataError::NoSuchAttribute(self.inner.table.clone(), name.to_string()))
+    }
+
+    /// Iterates over all attributes in declaration order.
+    pub fn iter(&self) -> std::slice::Iter<'_, AttrDef> {
+        self.inner.attrs.iter()
+    }
+
+    /// Iterates over sensory attributes only.
+    pub fn sensory(&self) -> impl Iterator<Item = &AttrDef> {
+        self.iter().filter(|a| a.kind == AttrKind::Sensory)
+    }
+
+    /// Iterates over non-sensory attributes only.
+    pub fn non_sensory(&self) -> impl Iterator<Item = &AttrDef> {
+        self.iter().filter(|a| a.kind == AttrKind::NonSensory)
+    }
+
+    /// Validates a tuple against this schema (arity and value types).
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::ArityMismatch`] or [`DataError::TypeMismatch`].
+    pub fn check(&self, tuple: &Tuple) -> Result<(), DataError> {
+        if tuple.len() != self.len() {
+            return Err(DataError::ArityMismatch {
+                table: self.inner.table.clone(),
+                expected: self.len(),
+                actual: tuple.len(),
+            });
+        }
+        for (attr, value) in self.iter().zip(tuple.values()) {
+            if !value.conforms_to(attr.value_type) {
+                return Err(DataError::TypeMismatch {
+                    attribute: attr.name.clone(),
+                    expected: attr.value_type.to_string(),
+                    actual: value.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.inner.table)?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", a.name, a.value_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental [`Schema`] construction.
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    table: String,
+    attrs: Vec<AttrDef>,
+}
+
+impl SchemaBuilder {
+    /// Appends an attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate attribute name — schemas are static program
+    /// data, so this is a programming error rather than a runtime condition.
+    pub fn attr(mut self, name: impl Into<String>, value_type: ValueType, kind: AttrKind) -> Self {
+        let name = name.into();
+        assert!(
+            !self.attrs.iter().any(|a| a.name == name),
+            "duplicate attribute '{name}' in schema for '{}'",
+            self.table
+        );
+        self.attrs.push(AttrDef::new(name, value_type, kind));
+        self
+    }
+
+    /// Finishes the schema.
+    pub fn build(self) -> Schema {
+        Schema {
+            inner: Arc::new(SchemaInner {
+                table: self.table,
+                attrs: self.attrs,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Location, Value};
+
+    fn sensor_schema() -> Schema {
+        Schema::builder("sensor")
+            .attr("id", ValueType::Int, AttrKind::NonSensory)
+            .attr("loc", ValueType::Location, AttrKind::NonSensory)
+            .attr("accel_x", ValueType::Int, AttrKind::Sensory)
+            .attr("temp", ValueType::Float, AttrKind::Sensory)
+            .build()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sensor_schema();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("temp"), Some(3));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.attr(0).unwrap().name(), "id");
+        assert!(s.attr(9).is_none());
+        assert!(s.require("loc").is_ok());
+        assert!(matches!(
+            s.require("zoom"),
+            Err(DataError::NoSuchAttribute(..))
+        ));
+    }
+
+    #[test]
+    fn sensory_partition() {
+        let s = sensor_schema();
+        let sensory: Vec<&str> = s.sensory().map(|a| a.name()).collect();
+        let non: Vec<&str> = s.non_sensory().map(|a| a.name()).collect();
+        assert_eq!(sensory, ["accel_x", "temp"]);
+        assert_eq!(non, ["id", "loc"]);
+    }
+
+    #[test]
+    fn check_accepts_valid_tuple() {
+        let s = sensor_schema();
+        let t = Tuple::new(vec![
+            Value::Int(1),
+            Value::Location(Location::ORIGIN),
+            Value::Int(600),
+            Value::Int(22), // Int widens to Float
+        ]);
+        assert_eq!(s.check(&t), Ok(()));
+    }
+
+    #[test]
+    fn check_accepts_nulls() {
+        let s = sensor_schema();
+        let t = Tuple::new(vec![Value::Int(1), Value::Null, Value::Null, Value::Null]);
+        assert_eq!(s.check(&t), Ok(()));
+    }
+
+    #[test]
+    fn check_rejects_arity_and_type() {
+        let s = sensor_schema();
+        assert!(matches!(
+            s.check(&Tuple::new(vec![Value::Int(1)])),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        let bad = Tuple::new(vec![
+            Value::Int(1),
+            Value::from("not a location"),
+            Value::Int(600),
+            Value::Float(22.0),
+        ]);
+        assert!(matches!(s.check(&bad), Err(DataError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attr_panics() {
+        let _ = Schema::builder("t")
+            .attr("a", ValueType::Int, AttrKind::Sensory)
+            .attr("a", ValueType::Int, AttrKind::Sensory);
+    }
+
+    #[test]
+    fn display_lists_attributes() {
+        let s = sensor_schema();
+        assert_eq!(
+            s.to_string(),
+            "sensor(id INT, loc LOCATION, accel_x INT, temp FLOAT)"
+        );
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let s = sensor_schema();
+        let s2 = s.clone();
+        assert_eq!(s, s2);
+        assert!(Arc::ptr_eq(&s.inner, &s2.inner));
+    }
+}

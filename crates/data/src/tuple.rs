@@ -1,0 +1,167 @@
+//! Tuples flowing through the query engine.
+
+use std::fmt;
+
+use crate::Value;
+
+/// A row of values, optionally tagged with the IDs of the queries it belongs
+/// to.
+///
+/// The paper (§2.3) shares one action operator among concurrent queries with
+/// the same embedded action and "adds the query ID to the input tuples of a
+/// query so that the operator knows which tuples are for which query" —
+/// hence the tag set.
+///
+/// # Example
+///
+/// ```
+/// use aorta_data::{Tuple, Value};
+///
+/// let t = Tuple::new(vec![Value::Int(1), Value::from("hall")]).tagged(7);
+/// assert_eq!(t.get(1), Some(&Value::from("hall")));
+/// assert!(t.has_tag(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+    query_tags: Vec<u32>,
+}
+
+impl Tuple {
+    /// Creates an untagged tuple.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values,
+            query_tags: Vec::new(),
+        }
+    }
+
+    /// An empty tuple (zero attributes).
+    pub fn empty() -> Self {
+        Tuple::default()
+    }
+
+    /// Adds a query-ID tag, returning `self` (builder style).
+    pub fn tagged(mut self, query_id: u32) -> Self {
+        self.add_tag(query_id);
+        self
+    }
+
+    /// Adds a query-ID tag if not already present.
+    pub fn add_tag(&mut self, query_id: u32) {
+        if !self.query_tags.contains(&query_id) {
+            self.query_tags.push(query_id);
+        }
+    }
+
+    /// True if the tuple is tagged for the given query.
+    pub fn has_tag(&self, query_id: u32) -> bool {
+        self.query_tags.contains(&query_id)
+    }
+
+    /// The query-ID tags in insertion order.
+    pub fn tags(&self) -> &[u32] {
+        &self.query_tags
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the tuple has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at `index`.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// All values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenates two tuples (used by the candidate join), merging tags.
+    pub fn concat(mut self, other: Tuple) -> Tuple {
+        self.values.extend(other.values);
+        for t in other.query_tags {
+            self.add_tag(t);
+        }
+        self
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t: Tuple = [Value::Int(1), Value::from("x")].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(0), Some(&Value::Int(1)));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.values().len(), 2);
+        assert!(Tuple::empty().is_empty());
+    }
+
+    #[test]
+    fn tags_dedupe() {
+        let mut t = Tuple::new(vec![]).tagged(1).tagged(2).tagged(1);
+        assert_eq!(t.tags(), &[1, 2]);
+        t.add_tag(2);
+        assert_eq!(t.tags(), &[1, 2]);
+        assert!(t.has_tag(2));
+        assert!(!t.has_tag(3));
+    }
+
+    #[test]
+    fn concat_merges_values_and_tags() {
+        let a = Tuple::new(vec![Value::Int(1)]).tagged(1);
+        let b = Tuple::new(vec![Value::Int(2)]).tagged(1).tagged(2);
+        let c = a.concat(b);
+        assert_eq!(c.values(), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(c.tags(), &[1, 2]);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        assert_eq!(t.to_string(), "(1, \"a\", NULL)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn into_values_round_trip() {
+        let t = Tuple::new(vec![Value::Int(9)]);
+        assert_eq!(t.into_values(), vec![Value::Int(9)]);
+    }
+}

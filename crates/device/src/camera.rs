@@ -1,0 +1,1042 @@
+//! The PTZ network-camera simulator.
+//!
+//! The paper ran all scheduling experiments on "a homegrown camera simulator
+//! … tuned through extensive tests on the real cameras" (AXIS 2130 PTZ,
+//! §6.3). This module is that simulator: pan/tilt/zoom kinematics whose
+//! `photo()` execution time spans the paper's reported **[0.36 s, 5.36 s]**
+//! range depending on head travel, plus the failure and interference
+//! behaviour §4 and §6.2 describe (blurred photos, wrong positions,
+//! connection timeouts under concurrent unsynchronized commands).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use aorta_data::Location;
+use aorta_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{DeviceId, PhysicalStatus};
+
+/// A camera head position: pan and tilt in degrees, zoom normalized to
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtzPosition {
+    /// Pan angle, degrees, in the spec's pan range.
+    pub pan: f64,
+    /// Tilt angle, degrees, in the spec's tilt range.
+    pub tilt: f64,
+    /// Zoom, normalized to `[0, 1]` of the zoom travel.
+    pub zoom: f64,
+}
+
+impl PtzPosition {
+    /// The home (power-on) position: centred, zoomed out.
+    pub const HOME: PtzPosition = PtzPosition {
+        pan: 0.0,
+        tilt: 0.0,
+        zoom: 0.0,
+    };
+
+    /// Creates a position.
+    pub fn new(pan: f64, tilt: f64, zoom: f64) -> Self {
+        PtzPosition { pan, tilt, zoom }
+    }
+
+    /// Linear interpolation between two positions (`t` in `[0, 1]`).
+    pub fn lerp(&self, other: &PtzPosition, t: f64) -> PtzPosition {
+        let t = t.clamp(0.0, 1.0);
+        PtzPosition {
+            pan: self.pan + (other.pan - self.pan) * t,
+            tilt: self.tilt + (other.tilt - self.tilt) * t,
+            zoom: self.zoom + (other.zoom - self.zoom) * t,
+        }
+    }
+
+    /// Angular distance to `other`, per axis `(pan, tilt, zoom)`.
+    pub fn axis_distances(&self, other: &PtzPosition) -> (f64, f64, f64) {
+        (
+            (self.pan - other.pan).abs(),
+            (self.tilt - other.tilt).abs(),
+            (self.zoom - other.zoom).abs(),
+        )
+    }
+}
+
+impl fmt::Display for PtzPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pan={:.1}° tilt={:.1}° zoom={:.2}",
+            self.pan, self.tilt, self.zoom
+        )
+    }
+}
+
+/// Requested photo size — an atomic-operation parameter with per-size
+/// capture cost ("take a photo of a specified size (small, medium or large)",
+/// §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhotoSize {
+    /// Small frame.
+    Small,
+    /// Medium frame — the size the built-in `photo()` action takes (§2.2).
+    Medium,
+    /// Large frame.
+    Large,
+}
+
+impl fmt::Display for PhotoSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhotoSize::Small => "small",
+            PhotoSize::Medium => "medium",
+            PhotoSize::Large => "large",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for PhotoSize {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Ok(PhotoSize::Small),
+            "medium" => Ok(PhotoSize::Medium),
+            "large" => Ok(PhotoSize::Large),
+            other => Err(format!("unknown photo size '{other}'")),
+        }
+    }
+}
+
+/// Kinematic and timing parameters of a camera model.
+///
+/// The default [`CameraSpec::axis_2130`] calibration makes the slowest
+/// single-axis full travel take 5.0 s, so the cost of a medium `photo()` is
+/// `0.36 s` (capture only) to `5.36 s` (full travel plus capture) — exactly
+/// the range the paper samples action costs from in §6.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraSpec {
+    /// Pan travel limits, degrees.
+    pub pan_range: (f64, f64),
+    /// Tilt travel limits, degrees.
+    pub tilt_range: (f64, f64),
+    /// Pan angular speed, degrees/second.
+    pub pan_speed: f64,
+    /// Tilt angular speed, degrees/second.
+    pub tilt_speed: f64,
+    /// Zoom travel speed, normalized units/second.
+    pub zoom_speed: f64,
+    /// Capture latency for a small photo.
+    pub capture_small: SimDuration,
+    /// Capture latency for a medium photo.
+    pub capture_medium: SimDuration,
+    /// Capture latency for a large photo.
+    pub capture_large: SimDuration,
+    /// TCP connect + handshake latency.
+    pub connect_time: SimDuration,
+    /// Maximum distance at which a subject is usable, metres.
+    pub view_range_m: f64,
+    /// Mechanical timing variance: actual head-movement time is scaled by a
+    /// uniform factor in `[1-j, 1+j]`. Zero (the default) gives exact
+    /// kinematics; the cost-model-accuracy experiment (E6) enables it.
+    pub move_jitter_frac: f64,
+}
+
+impl CameraSpec {
+    /// Calibration matching the AXIS 2130 PTZ cameras of the paper's lab.
+    pub fn axis_2130() -> Self {
+        CameraSpec {
+            pan_range: (-170.0, 170.0),
+            tilt_range: (-90.0, 10.0),
+            pan_speed: 68.0,  // 340° full travel in 5.0 s
+            tilt_speed: 20.0, // 100° full travel in 5.0 s
+            zoom_speed: 0.2,  // full zoom travel in 5.0 s
+            capture_small: SimDuration::from_millis(240),
+            capture_medium: SimDuration::from_millis(360),
+            capture_large: SimDuration::from_millis(540),
+            connect_time: SimDuration::from_millis(50),
+            view_range_m: 12.0,
+            move_jitter_frac: 0.0,
+        }
+    }
+
+    /// Enables mechanical timing jitter, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not in `[0, 1)`.
+    pub fn with_move_jitter(mut self, frac: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0,1)"
+        );
+        self.move_jitter_frac = frac;
+        self
+    }
+
+    /// Capture latency for a photo size.
+    pub fn capture_time(&self, size: PhotoSize) -> SimDuration {
+        match size {
+            PhotoSize::Small => self.capture_small,
+            PhotoSize::Medium => self.capture_medium,
+            PhotoSize::Large => self.capture_large,
+        }
+    }
+
+    /// Time to move the head between two positions.
+    ///
+    /// The three axes move in parallel (as on the real hardware), so the
+    /// movement time is the maximum over axes.
+    pub fn movement_time(&self, from: &PtzPosition, to: &PtzPosition) -> SimDuration {
+        let (dp, dt, dz) = from.axis_distances(to);
+        let secs = (dp / self.pan_speed)
+            .max(dt / self.tilt_speed)
+            .max(dz / self.zoom_speed);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Full `photo()` execution time: head movement plus capture.
+    pub fn photo_time(&self, from: &PtzPosition, to: &PtzPosition, size: PhotoSize) -> SimDuration {
+        self.movement_time(from, to) + self.capture_time(size)
+    }
+
+    /// Clamps a position into the travel limits.
+    pub fn clamp(&self, p: PtzPosition) -> PtzPosition {
+        PtzPosition {
+            pan: p.pan.clamp(self.pan_range.0, self.pan_range.1),
+            tilt: p.tilt.clamp(self.tilt_range.0, self.tilt_range.1),
+            zoom: p.zoom.clamp(0.0, 1.0),
+        }
+    }
+
+    /// True when `p` lies within the travel limits (small tolerance).
+    pub fn in_range(&self, p: &PtzPosition) -> bool {
+        const EPS: f64 = 1e-9;
+        p.pan >= self.pan_range.0 - EPS
+            && p.pan <= self.pan_range.1 + EPS
+            && p.tilt >= self.tilt_range.0 - EPS
+            && p.tilt <= self.tilt_range.1 + EPS
+            && (-EPS..=1.0 + EPS).contains(&p.zoom)
+    }
+}
+
+/// Stochastic failure parameters of a camera.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraFailureModel {
+    /// Probability that a connection attempt times out, independent of load.
+    pub connect_loss: f64,
+    /// Probability that a command sent to a *busy* camera is outright
+    /// rejected ("when a camera is busy with the first action, it will fail
+    /// to execute the second action", §4).
+    pub busy_reject: f64,
+    /// Additional connect-failure probability per unit of recent utilization
+    /// (the paper attributes the residual ~10% failure rate under
+    /// synchronization to "the heavy workload caused by the ten queries
+    /// continuously operating on the two cameras", §6.2).
+    pub stress_factor: f64,
+    /// Length of the sliding utilization window.
+    pub stress_window: SimDuration,
+}
+
+impl CameraFailureModel {
+    /// Calibration reproducing the §6.2 failure rates (~10% under load with
+    /// synchronization).
+    pub fn axis_default() -> Self {
+        CameraFailureModel {
+            connect_loss: 0.02,
+            busy_reject: 0.4,
+            stress_factor: 0.5,
+            stress_window: SimDuration::from_secs(60),
+        }
+    }
+
+    /// A perfectly reliable camera (used by the scheduling experiments,
+    /// which study makespan rather than failures).
+    pub fn reliable() -> Self {
+        CameraFailureModel {
+            connect_loss: 0.0,
+            busy_reject: 0.0,
+            stress_factor: 0.0,
+            stress_window: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// How a photo turned out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhotoOutcome {
+    /// Sharp photo of the requested target.
+    Ok,
+    /// The head was redirected during capture → blurred photo (§4).
+    Blurred,
+    /// The head was redirected during movement → photo of the wrong
+    /// position (§4).
+    WrongPosition,
+}
+
+/// Why a photo command failed before producing any photo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhotoError {
+    /// The connection to the camera timed out.
+    ConnectTimeout,
+    /// The camera was busy and rejected the command.
+    BusyRejected,
+    /// The requested head position is outside the camera's travel limits.
+    OutOfRange,
+}
+
+impl fmt::Display for PhotoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhotoError::ConnectTimeout => "connection to camera timed out",
+            PhotoError::BusyRejected => "camera is busy and rejected the command",
+            PhotoError::OutOfRange => "target position is outside camera travel limits",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for PhotoError {}
+
+/// A completed or in-flight photo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhotoRecord {
+    /// Sequence number on this camera.
+    pub seq: u64,
+    /// When the command was accepted.
+    pub requested_at: SimTime,
+    /// When the photo completes (head settled + capture done).
+    pub completes_at: SimTime,
+    /// The requested head position.
+    pub target: PtzPosition,
+    /// Requested size.
+    pub size: PhotoSize,
+    /// How it turned out (may be downgraded retroactively by interference).
+    pub outcome: PhotoOutcome,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    start: SimTime,
+    from: PtzPosition,
+    target: PtzPosition,
+    move_end: SimTime,
+    record: usize,
+}
+
+/// A simulated PTZ network camera.
+///
+/// The camera itself enforces **no synchronization** — that is the engine's
+/// job (§4). Sending it a command while busy triggers the interference
+/// semantics the paper observed: the in-flight photo is retroactively
+/// downgraded to [`PhotoOutcome::Blurred`] (if capturing) or
+/// [`PhotoOutcome::WrongPosition`] (if still moving), and the new command
+/// proceeds from wherever the head happens to be.
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::{Camera, PhotoSize};
+/// use aorta_data::Location;
+/// use aorta_sim::{SimRng, SimTime};
+///
+/// let mut cam = Camera::ceiling_mounted(0, Location::new(0.0, 0.0, 3.0));
+/// let mut rng = SimRng::seed(1);
+/// let target = cam.aim_at(&Location::new(2.0, 2.0, 1.0));
+/// let ticket = cam.begin_photo(SimTime::ZERO, target, PhotoSize::Medium, &mut rng)?;
+/// assert!(ticket.completes_at > SimTime::ZERO);
+/// # Ok::<(), aorta_device::PhotoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Camera {
+    id: DeviceId,
+    spec: CameraSpec,
+    mount: Location,
+    /// Bearing (degrees from +x axis) that pan=0 points at.
+    orientation: f64,
+    failure: CameraFailureModel,
+    position: PtzPosition,
+    busy_until: SimTime,
+    in_flight: Option<InFlight>,
+    busy_intervals: VecDeque<(SimTime, SimTime)>,
+    photos: Vec<PhotoRecord>,
+}
+
+impl Camera {
+    /// Creates a camera with explicit parameters.
+    pub fn new(
+        index: u32,
+        spec: CameraSpec,
+        mount: Location,
+        orientation: f64,
+        failure: CameraFailureModel,
+    ) -> Self {
+        Camera {
+            id: DeviceId::camera(index),
+            spec,
+            mount,
+            orientation,
+            failure,
+            position: PtzPosition::HOME,
+            busy_until: SimTime::ZERO,
+            in_flight: None,
+            busy_intervals: VecDeque::new(),
+            photos: Vec::new(),
+        }
+    }
+
+    /// An AXIS-2130-class camera mounted on the ceiling at `mount`, facing
+    /// the +x direction, with the default failure model.
+    pub fn ceiling_mounted(index: u32, mount: Location) -> Self {
+        Camera::new(
+            index,
+            CameraSpec::axis_2130(),
+            mount,
+            0.0,
+            CameraFailureModel::axis_default(),
+        )
+    }
+
+    /// Replaces the failure model (builder style).
+    pub fn with_failure(mut self, failure: CameraFailureModel) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// The device ID.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The camera's spec.
+    pub fn spec(&self) -> &CameraSpec {
+        &self.spec
+    }
+
+    /// The mount location.
+    pub fn mount(&self) -> Location {
+        self.mount
+    }
+
+    /// The head position the camera will rest at once the current command
+    /// (if any) finishes. This is what a probe reports and what the cost
+    /// model should plan from.
+    pub fn rest_position(&self) -> PtzPosition {
+        self.position
+    }
+
+    /// The instantaneous head position at `now` (interpolated mid-movement).
+    pub fn position_at(&self, now: SimTime) -> PtzPosition {
+        match &self.in_flight {
+            Some(f) if now < f.move_end => {
+                let total = (f.move_end - f.start).as_micros() as f64;
+                let done = (now.saturating_duration_since(f.start)).as_micros() as f64;
+                let t = if total <= 0.0 { 1.0 } else { done / total };
+                f.from.lerp(&f.target, t)
+            }
+            _ => self.position,
+        }
+    }
+
+    /// True while a command is executing at `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        now < self.busy_until
+    }
+
+    /// The head position required to aim at `loc`, with zoom auto-tuned to
+    /// the subject distance (§6.1: cameras "automatically tune \[their\] zoom
+    /// level based on the distance").
+    ///
+    /// The result is *not* clamped; use [`Camera::covers`] to check
+    /// feasibility or [`CameraSpec::clamp`] to force it into range.
+    pub fn aim_at(&self, loc: &Location) -> PtzPosition {
+        let bearing = self.mount.bearing_to(loc);
+        let mut pan = bearing - self.orientation;
+        // Normalize to (-180, 180].
+        while pan > 180.0 {
+            pan -= 360.0;
+        }
+        while pan <= -180.0 {
+            pan += 360.0;
+        }
+        let tilt = self.mount.elevation_to(loc);
+        let dist = self.mount.distance(loc);
+        let zoom = (dist / self.spec.view_range_m).clamp(0.0, 1.0);
+        PtzPosition::new(pan, tilt, zoom)
+    }
+
+    /// True when `loc` is inside this camera's view range — the
+    /// `coverage(camera_id, location)` Boolean of the paper's example query.
+    pub fn covers(&self, loc: &Location) -> bool {
+        self.mount.distance(loc) <= self.spec.view_range_m && self.spec.in_range(&self.aim_at(loc))
+    }
+
+    /// Pure cost estimate for a photo from `from` to `target` (what the
+    /// engine's cost model computes from the action profile).
+    pub fn estimate_photo_cost(
+        &self,
+        from: PtzPosition,
+        target: PtzPosition,
+        size: PhotoSize,
+    ) -> SimDuration {
+        self.spec.photo_time(&from, &target, size)
+    }
+
+    /// Fraction of the failure-model window the camera has been busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let window = self.failure.stress_window;
+        if window.is_zero() {
+            return 0.0;
+        }
+        let window_start = now - window;
+        let mut busy = SimDuration::ZERO;
+        // Recorded intervals extend to each command's completion time, so
+        // clamping to `now` also covers the still-running command.
+        for &(s, e) in &self.busy_intervals {
+            let s = s.max(window_start);
+            let e = e.min(now);
+            if e > s {
+                busy += e - s;
+            }
+        }
+        (busy.as_secs_f64() / window.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Probes the camera: samples base connection loss only and returns the
+    /// rest-position status on success (§4's probing mechanism).
+    pub fn probe(&self, _now: SimTime, rng: &mut SimRng) -> Option<PhysicalStatus> {
+        if rng.chance(self.failure.connect_loss) {
+            None
+        } else {
+            Some(PhysicalStatus::CameraHead(self.position))
+        }
+    }
+
+    /// Sends a `photo()` command at `now`.
+    ///
+    /// On success returns the record of the accepted photo (retrievable
+    /// later via [`Camera::photos`]; its `outcome` may still be downgraded
+    /// by a subsequent interfering command).
+    ///
+    /// # Errors
+    ///
+    /// * [`PhotoError::OutOfRange`] — target outside travel limits,
+    /// * [`PhotoError::ConnectTimeout`] — sampled connection failure
+    ///   (probability grows with recent utilization),
+    /// * [`PhotoError::BusyRejected`] — sampled rejection by a busy camera.
+    pub fn begin_photo(
+        &mut self,
+        now: SimTime,
+        target: PtzPosition,
+        size: PhotoSize,
+        rng: &mut SimRng,
+    ) -> Result<PhotoRecord, PhotoError> {
+        if !self.spec.in_range(&target) {
+            return Err(PhotoError::OutOfRange);
+        }
+        let p_connect = (self.failure.connect_loss
+            + self.failure.stress_factor * self.utilization(now))
+        .clamp(0.0, 1.0);
+        if rng.chance(p_connect) {
+            return Err(PhotoError::ConnectTimeout);
+        }
+
+        let mut start_pos = self.position;
+        if self.is_busy(now) {
+            if rng.chance(self.failure.busy_reject) {
+                return Err(PhotoError::BusyRejected);
+            }
+            // Interference: the in-flight photo is ruined and the new
+            // command starts from wherever the head happens to be.
+            start_pos = self.position_at(now);
+            if let Some(f) = self.in_flight.take() {
+                let ruined = if now < f.move_end {
+                    PhotoOutcome::WrongPosition
+                } else {
+                    PhotoOutcome::Blurred
+                };
+                self.photos[f.record].outcome = ruined;
+                // Truncate the previous busy interval at the takeover point.
+                if let Some(last) = self.busy_intervals.back_mut() {
+                    if last.1 > now {
+                        last.1 = now;
+                    }
+                }
+            }
+        }
+
+        let mut move_time = self.spec.movement_time(&start_pos, &target);
+        if self.spec.move_jitter_frac > 0.0 {
+            let j = self.spec.move_jitter_frac;
+            move_time = move_time.mul_f64(1.0 - j + 2.0 * j * rng.unit());
+        }
+        let move_end = now + move_time;
+        let end = move_end + self.spec.capture_time(size);
+        let record_idx = self.photos.len();
+        let record = PhotoRecord {
+            seq: record_idx as u64,
+            requested_at: now,
+            completes_at: end,
+            target,
+            size,
+            outcome: PhotoOutcome::Ok,
+        };
+        self.photos.push(record.clone());
+        self.in_flight = Some(InFlight {
+            start: now,
+            from: start_pos,
+            target,
+            move_end,
+            record: record_idx,
+        });
+        self.position = target;
+        self.busy_until = end;
+        self.push_busy_interval(now, end);
+        Ok(record)
+    }
+
+    fn push_busy_interval(&mut self, start: SimTime, end: SimTime) {
+        self.busy_intervals.push_back((start, end));
+        // Prune intervals that can no longer intersect the stress window.
+        let horizon = start - self.failure.stress_window - self.failure.stress_window;
+        while let Some(&(_, e)) = self.busy_intervals.front() {
+            if e < horizon && self.busy_intervals.len() > 1 {
+                self.busy_intervals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// All photos commanded so far (including ruined ones), oldest first.
+    pub fn photos(&self) -> &[PhotoRecord] {
+        &self.photos
+    }
+
+    /// Count of photos with the given outcome.
+    pub fn count_outcome(&self, outcome: PhotoOutcome) -> usize {
+        self.photos.iter().filter(|p| p.outcome == outcome).count()
+    }
+
+    /// Forces the head to a position immediately (test/setup helper).
+    pub fn force_position(&mut self, p: PtzPosition) {
+        self.position = p;
+        self.in_flight = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reliable_cam() -> Camera {
+        Camera::ceiling_mounted(0, Location::new(0.0, 0.0, 3.0))
+            .with_failure(CameraFailureModel::reliable())
+    }
+
+    #[test]
+    fn photo_cost_matches_paper_range() {
+        let spec = CameraSpec::axis_2130();
+        let min = spec.photo_time(&PtzPosition::HOME, &PtzPosition::HOME, PhotoSize::Medium);
+        assert_eq!(min, SimDuration::from_millis(360), "paper minimum 0.36s");
+        let far_a = PtzPosition::new(-170.0, 0.0, 0.0);
+        let far_b = PtzPosition::new(170.0, 0.0, 0.0);
+        let max = spec.photo_time(&far_a, &far_b, PhotoSize::Medium);
+        assert_eq!(max, SimDuration::from_millis(5360), "paper maximum 5.36s");
+    }
+
+    #[test]
+    fn axes_move_in_parallel() {
+        let spec = CameraSpec::axis_2130();
+        let from = PtzPosition::HOME;
+        let to = PtzPosition::new(68.0, 20.0, 0.2); // 1s on every axis
+        assert_eq!(spec.movement_time(&from, &to), SimDuration::from_secs(1));
+        let to2 = PtzPosition::new(136.0, 20.0, 0.2); // pan dominates: 2s
+        assert_eq!(spec.movement_time(&from, &to2), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn aim_at_computes_pan_tilt_zoom() {
+        let cam = reliable_cam();
+        // Subject 3m east, 2m below the mount.
+        let p = cam.aim_at(&Location::new(3.0, 0.0, 1.0));
+        assert!((p.pan - 0.0).abs() < 1e-9);
+        assert!(p.tilt < 0.0, "camera looks down, got {}", p.tilt);
+        assert!(p.zoom > 0.0 && p.zoom < 1.0);
+        // Subject to the north: pan 90.
+        let p = cam.aim_at(&Location::new(0.0, 3.0, 3.0));
+        assert!((p.pan - 90.0).abs() < 1e-9);
+        assert_eq!(p.tilt, 0.0);
+    }
+
+    #[test]
+    fn orientation_shifts_pan() {
+        let cam = Camera::new(
+            0,
+            CameraSpec::axis_2130(),
+            Location::ORIGIN,
+            90.0,
+            CameraFailureModel::reliable(),
+        );
+        let p = cam.aim_at(&Location::new(0.0, 3.0, 0.0));
+        assert!(
+            (p.pan - 0.0).abs() < 1e-9,
+            "north is pan 0 when oriented north"
+        );
+    }
+
+    #[test]
+    fn coverage_respects_distance_and_travel() {
+        let cam = reliable_cam();
+        assert!(cam.covers(&Location::new(4.0, 2.0, 1.0)));
+        assert!(!cam.covers(&Location::new(100.0, 0.0, 1.0)), "too far");
+        // Straight up is outside the tilt range (max +10°).
+        assert!(!cam.covers(&Location::new(0.0, 0.0, 8.0)));
+    }
+
+    #[test]
+    fn successful_photo_updates_position_and_busy() {
+        let mut cam = reliable_cam();
+        let mut rng = SimRng::seed(1);
+        let target = PtzPosition::new(34.0, -10.0, 0.1);
+        let rec = cam
+            .begin_photo(SimTime::ZERO, target, PhotoSize::Medium, &mut rng)
+            .unwrap();
+        // 34° pan at 68°/s = 0.5s move (dominates), + 0.36s capture.
+        assert_eq!(rec.completes_at, SimTime::from_micros(860_000));
+        assert!(cam.is_busy(SimTime::from_micros(500_000)));
+        assert!(!cam.is_busy(SimTime::from_micros(900_000)));
+        assert_eq!(cam.rest_position(), target);
+        assert_eq!(cam.count_outcome(PhotoOutcome::Ok), 1);
+    }
+
+    #[test]
+    fn sequence_dependent_cost() {
+        let cam = reliable_cam();
+        let near = PtzPosition::new(10.0, 0.0, 0.0);
+        let far = PtzPosition::new(160.0, 0.0, 0.0);
+        let from_home_to_near = cam.estimate_photo_cost(PtzPosition::HOME, near, PhotoSize::Medium);
+        let from_far_to_near = cam.estimate_photo_cost(far, near, PhotoSize::Medium);
+        assert!(
+            from_far_to_near > from_home_to_near,
+            "cost must depend on the starting head position"
+        );
+    }
+
+    #[test]
+    fn interference_ruins_in_flight_photo() {
+        let mut cam = reliable_cam();
+        let mut rng = SimRng::seed(2);
+        let t1 = PtzPosition::new(150.0, 0.0, 0.0); // long move: ~2.2s
+        let first = cam
+            .begin_photo(SimTime::ZERO, t1, PhotoSize::Medium, &mut rng)
+            .unwrap();
+        assert_eq!(first.outcome, PhotoOutcome::Ok);
+        // Second command arrives mid-movement.
+        let t2 = PtzPosition::new(-30.0, 0.0, 0.0);
+        let second = cam
+            .begin_photo(
+                SimTime::from_micros(1_000_000),
+                t2,
+                PhotoSize::Medium,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(cam.photos()[0].outcome, PhotoOutcome::WrongPosition);
+        assert_eq!(second.outcome, PhotoOutcome::Ok);
+        assert_eq!(cam.count_outcome(PhotoOutcome::Ok), 1);
+        // The new command started from the interpolated position (~68°),
+        // so its move is shorter than from 150°.
+        let dur = second.completes_at - SimTime::from_micros(1_000_000);
+        let from_interp =
+            cam.spec()
+                .photo_time(&PtzPosition::new(68.0, 0.0, 0.0), &t2, PhotoSize::Medium);
+        let diff = dur.max(from_interp) - dur.min(from_interp);
+        assert!(
+            diff <= SimDuration::from_micros(5),
+            "expected ~{from_interp}, got {dur}"
+        );
+    }
+
+    #[test]
+    fn interference_during_capture_blurs() {
+        let mut cam = reliable_cam();
+        let mut rng = SimRng::seed(3);
+        let t1 = PtzPosition::new(6.8, 0.0, 0.0); // 0.1s move + 0.36 capture
+        cam.begin_photo(SimTime::ZERO, t1, PhotoSize::Medium, &mut rng)
+            .unwrap();
+        // Arrives during the capture phase (after 0.1s move).
+        let t2 = PtzPosition::new(0.0, -5.0, 0.0);
+        cam.begin_photo(
+            SimTime::from_micros(200_000),
+            t2,
+            PhotoSize::Medium,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(cam.photos()[0].outcome, PhotoOutcome::Blurred);
+    }
+
+    #[test]
+    fn busy_reject_and_connect_timeout() {
+        let mut cam = reliable_cam().with_failure(CameraFailureModel {
+            connect_loss: 0.0,
+            busy_reject: 1.0,
+            stress_factor: 0.0,
+            stress_window: SimDuration::from_secs(60),
+        });
+        let mut rng = SimRng::seed(4);
+        cam.begin_photo(
+            SimTime::ZERO,
+            PtzPosition::new(100.0, 0.0, 0.0),
+            PhotoSize::Medium,
+            &mut rng,
+        )
+        .unwrap();
+        let err = cam
+            .begin_photo(
+                SimTime::from_micros(10),
+                PtzPosition::HOME,
+                PhotoSize::Medium,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, PhotoError::BusyRejected);
+
+        let mut cam2 = reliable_cam().with_failure(CameraFailureModel {
+            connect_loss: 1.0,
+            busy_reject: 0.0,
+            stress_factor: 0.0,
+            stress_window: SimDuration::from_secs(60),
+        });
+        let err = cam2
+            .begin_photo(
+                SimTime::ZERO,
+                PtzPosition::HOME,
+                PhotoSize::Medium,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, PhotoError::ConnectTimeout);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut cam = reliable_cam();
+        let mut rng = SimRng::seed(5);
+        let err = cam
+            .begin_photo(
+                SimTime::ZERO,
+                PtzPosition::new(200.0, 0.0, 0.0),
+                PhotoSize::Medium,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, PhotoError::OutOfRange);
+        assert!(cam.photos().is_empty());
+    }
+
+    #[test]
+    fn utilization_grows_under_load() {
+        let mut cam = reliable_cam();
+        let mut rng = SimRng::seed(6);
+        assert_eq!(cam.utilization(SimTime::ZERO), 0.0);
+        let rec = cam
+            .begin_photo(
+                SimTime::ZERO,
+                PtzPosition::new(170.0, 0.0, 0.0),
+                PhotoSize::Medium,
+                &mut rng,
+            )
+            .unwrap();
+        let after = rec.completes_at + SimDuration::from_secs(1);
+        let u = cam.utilization(after);
+        // ~2.86s busy inside the 60s window.
+        assert!(u > 0.03 && u < 0.06, "got {u}");
+    }
+
+    #[test]
+    fn probe_returns_rest_position() {
+        let cam = reliable_cam();
+        let mut rng = SimRng::seed(7);
+        let st = cam.probe(SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(st.as_camera_head(), Some(PtzPosition::HOME));
+    }
+
+    #[test]
+    fn position_interpolates_mid_move() {
+        let mut cam = reliable_cam();
+        let mut rng = SimRng::seed(8);
+        cam.begin_photo(
+            SimTime::ZERO,
+            PtzPosition::new(68.0, 0.0, 0.0),
+            PhotoSize::Medium,
+            &mut rng,
+        )
+        .unwrap(); // 1s move
+        let mid = cam.position_at(SimTime::from_micros(500_000));
+        assert!((mid.pan - 34.0).abs() < 1e-6, "got {}", mid.pan);
+        let done = cam.position_at(SimTime::from_micros(2_000_000));
+        assert_eq!(done.pan, 68.0);
+    }
+
+    proptest! {
+        /// photo() cost is always within the paper's [0.36, 5.36]s bounds for
+        /// medium photos between in-range positions.
+        #[test]
+        fn prop_cost_in_paper_bounds(
+            p1 in -170.0..170.0f64, t1 in -90.0..10.0f64, z1 in 0.0..1.0f64,
+            p2 in -170.0..170.0f64, t2 in -90.0..10.0f64, z2 in 0.0..1.0f64,
+        ) {
+            let spec = CameraSpec::axis_2130();
+            let cost = spec.photo_time(
+                &PtzPosition::new(p1, t1, z1),
+                &PtzPosition::new(p2, t2, z2),
+                PhotoSize::Medium,
+            );
+            prop_assert!(cost >= SimDuration::from_millis(360));
+            prop_assert!(cost <= SimDuration::from_millis(5360));
+        }
+
+        /// Movement time is a metric: symmetric and satisfies the triangle
+        /// inequality (needed for nearest-target greedy sequencing to be
+        /// well-behaved).
+        #[test]
+        fn prop_movement_metric(
+            a in -170.0..170.0f64, b in -170.0..170.0f64, c in -170.0..170.0f64,
+        ) {
+            let spec = CameraSpec::axis_2130();
+            let pa = PtzPosition::new(a, 0.0, 0.0);
+            let pb = PtzPosition::new(b, 0.0, 0.0);
+            let pc = PtzPosition::new(c, 0.0, 0.0);
+            prop_assert_eq!(spec.movement_time(&pa, &pb), spec.movement_time(&pb, &pa));
+            let direct = spec.movement_time(&pa, &pc);
+            let via = spec.movement_time(&pa, &pb) + spec.movement_time(&pb, &pc);
+            prop_assert!(direct <= via + aorta_sim::SimDuration::from_micros(2));
+        }
+
+        /// aim_at always yields a coverable position for points well inside
+        /// the view range, below the mount, and in front of the camera
+        /// (points behind it fall into the ±10° wedge outside pan travel).
+        #[test]
+        fn prop_aim_in_range_for_floor_targets(x in 0.5..5.0f64, y in -5.0..5.0f64) {
+            let cam = Camera::ceiling_mounted(0, Location::new(0.0, 0.0, 3.0));
+            let target = Location::new(x, y, 1.0);
+            prop_assert!(cam.covers(&target));
+            let aim = cam.aim_at(&target);
+            prop_assert!(cam.spec().in_range(&aim));
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+
+    #[test]
+    fn tilt_dominated_movement() {
+        let spec = CameraSpec::axis_2130();
+        // 2° of pan but 60° of tilt: tilt (20°/s → 3 s) dominates.
+        let t = spec.movement_time(
+            &PtzPosition::new(0.0, -60.0, 0.0),
+            &PtzPosition::new(2.0, 0.0, 0.0),
+        );
+        assert_eq!(t, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn zoom_dominated_movement() {
+        let spec = CameraSpec::axis_2130();
+        // Full zoom travel at 0.2/s = 5 s, dwarfing 10° of pan.
+        let t = spec.movement_time(
+            &PtzPosition::new(0.0, 0.0, 0.0),
+            &PtzPosition::new(10.0, 0.0, 1.0),
+        );
+        assert_eq!(t, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn photo_sizes_order_capture_cost() {
+        let spec = CameraSpec::axis_2130();
+        let home = PtzPosition::HOME;
+        let small = spec.photo_time(&home, &home, PhotoSize::Small);
+        let medium = spec.photo_time(&home, &home, PhotoSize::Medium);
+        let large = spec.photo_time(&home, &home, PhotoSize::Large);
+        assert!(small < medium && medium < large);
+        assert_eq!("medium".parse::<PhotoSize>(), Ok(PhotoSize::Medium));
+        assert!("huge".parse::<PhotoSize>().is_err());
+    }
+
+    #[test]
+    fn clamp_pins_out_of_range_targets() {
+        let spec = CameraSpec::axis_2130();
+        let clamped = spec.clamp(PtzPosition::new(500.0, -200.0, 3.0));
+        assert_eq!(clamped.pan, 170.0);
+        assert_eq!(clamped.tilt, -90.0);
+        assert_eq!(clamped.zoom, 1.0);
+        assert!(spec.in_range(&clamped));
+    }
+
+    #[test]
+    fn triple_interference_ruins_both_predecessors() {
+        let mut cam = Camera::ceiling_mounted(0, Location::new(0.0, 0.0, 3.0))
+            .with_failure(CameraFailureModel::reliable());
+        let mut rng = SimRng::seed(90);
+        // Three long moves, each interrupting the previous mid-flight.
+        cam.begin_photo(
+            SimTime::ZERO,
+            PtzPosition::new(160.0, 0.0, 0.0),
+            PhotoSize::Medium,
+            &mut rng,
+        )
+        .unwrap();
+        cam.begin_photo(
+            SimTime::from_micros(500_000),
+            PtzPosition::new(-160.0, 0.0, 0.0),
+            PhotoSize::Medium,
+            &mut rng,
+        )
+        .unwrap();
+        cam.begin_photo(
+            SimTime::from_micros(1_000_000),
+            PtzPosition::new(0.0, -45.0, 0.0),
+            PhotoSize::Medium,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(
+            cam.count_outcome(PhotoOutcome::Ok),
+            1,
+            "only the last survives"
+        );
+        assert_eq!(
+            cam.count_outcome(PhotoOutcome::WrongPosition)
+                + cam.count_outcome(PhotoOutcome::Blurred),
+            2
+        );
+    }
+
+    #[test]
+    fn jittered_movement_stays_within_bounds() {
+        let spec = CameraSpec::axis_2130().with_move_jitter(0.1);
+        let mut cam = Camera::new(
+            0,
+            spec.clone(),
+            Location::ORIGIN,
+            0.0,
+            CameraFailureModel::reliable(),
+        );
+        let mut rng = SimRng::seed(91);
+        let target = PtzPosition::new(68.0, 0.0, 0.0); // nominal 1s move
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            cam.force_position(PtzPosition::HOME);
+            let rec = cam
+                .begin_photo(t, target, PhotoSize::Medium, &mut rng)
+                .unwrap();
+            let dur = (rec.completes_at - t).as_secs_f64();
+            assert!((1.26..=1.47).contains(&dur), "got {dur}");
+            t = rec.completes_at + SimDuration::from_secs(1);
+        }
+    }
+}

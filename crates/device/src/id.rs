@@ -1,0 +1,173 @@
+//! Device identity.
+
+use std::fmt;
+
+/// The kind (type/model class) of a device.
+///
+/// The paper says "a type of devices" as shorthand for "a type or model of
+/// devices" (§3); each kind has its own virtual table schema, communication
+/// module, probe timeout and atomic-operation cost table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// PTZ network camera (AXIS 2130 class).
+    Camera,
+    /// Sensor mote (Berkeley MICA2 class).
+    Sensor,
+    /// Cell phone with SMS/MMS support.
+    Phone,
+    /// RFID portal reader (§8 future-work device type).
+    Rfid,
+}
+
+impl DeviceKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [DeviceKind; 4] = [
+        DeviceKind::Camera,
+        DeviceKind::Sensor,
+        DeviceKind::Phone,
+        DeviceKind::Rfid,
+    ];
+
+    /// The virtual-table name for this kind (`camera`, `sensor`, `phone`).
+    pub fn table_name(self) -> &'static str {
+        match self {
+            DeviceKind::Camera => "camera",
+            DeviceKind::Sensor => "sensor",
+            DeviceKind::Phone => "phone",
+            DeviceKind::Rfid => "rfid",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.table_name())
+    }
+}
+
+impl std::str::FromStr for DeviceKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "camera" => Ok(DeviceKind::Camera),
+            "sensor" | "mote" => Ok(DeviceKind::Sensor),
+            "phone" => Ok(DeviceKind::Phone),
+            "rfid" | "rfid_reader" => Ok(DeviceKind::Rfid),
+            other => Err(format!("unknown device kind '{other}'")),
+        }
+    }
+}
+
+/// A globally unique device identifier: kind plus per-kind index.
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::{DeviceId, DeviceKind};
+///
+/// let id = DeviceId::new(DeviceKind::Camera, 1);
+/// assert_eq!(id.to_string(), "camera-1");
+/// assert_eq!("camera-1".parse::<DeviceId>(), Ok(id));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId {
+    kind: DeviceKind,
+    index: u32,
+}
+
+impl DeviceId {
+    /// Creates an identifier.
+    pub fn new(kind: DeviceKind, index: u32) -> Self {
+        DeviceId { kind, index }
+    }
+
+    /// Shorthand for a camera ID.
+    pub fn camera(index: u32) -> Self {
+        DeviceId::new(DeviceKind::Camera, index)
+    }
+
+    /// Shorthand for a sensor ID.
+    pub fn sensor(index: u32) -> Self {
+        DeviceId::new(DeviceKind::Sensor, index)
+    }
+
+    /// Shorthand for a phone ID.
+    pub fn phone(index: u32) -> Self {
+        DeviceId::new(DeviceKind::Phone, index)
+    }
+
+    /// The device kind.
+    pub fn kind(self) -> DeviceKind {
+        self.kind
+    }
+
+    /// The per-kind index.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.kind, self.index)
+    }
+}
+
+impl std::str::FromStr for DeviceId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, index) = s
+            .rsplit_once('-')
+            .ok_or_else(|| format!("device id '{s}' must look like 'camera-0'"))?;
+        Ok(DeviceId::new(
+            kind.parse()?,
+            index
+                .parse()
+                .map_err(|_| format!("device id '{s}' has a non-numeric index"))?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for kind in DeviceKind::ALL {
+            let id = DeviceId::new(kind, 7);
+            assert_eq!(id.to_string().parse::<DeviceId>(), Ok(id));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<DeviceId>().is_err());
+        assert!("camera".parse::<DeviceId>().is_err());
+        assert!("toaster-1".parse::<DeviceId>().is_err());
+        assert!("camera-x".parse::<DeviceId>().is_err());
+    }
+
+    #[test]
+    fn kind_aliases() {
+        assert_eq!("mote".parse::<DeviceKind>(), Ok(DeviceKind::Sensor));
+        assert_eq!("CAMERA".parse::<DeviceKind>(), Ok(DeviceKind::Camera));
+    }
+
+    #[test]
+    fn shorthand_constructors() {
+        assert_eq!(DeviceId::camera(0).kind(), DeviceKind::Camera);
+        assert_eq!(DeviceId::sensor(3).index(), 3);
+        assert_eq!(DeviceId::phone(1).to_string(), "phone-1");
+    }
+
+    #[test]
+    fn ids_order_by_kind_then_index() {
+        let mut v = vec![DeviceId::phone(0), DeviceId::camera(2), DeviceId::camera(1)];
+        v.sort();
+        assert_eq!(
+            v,
+            [DeviceId::camera(1), DeviceId::camera(2), DeviceId::phone(0)]
+        );
+    }
+}

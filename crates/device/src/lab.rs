@@ -1,0 +1,209 @@
+//! The pervasive-lab fixture (§6.1).
+//!
+//! "The experiments involved … two AXIS 2130 PTZ network cameras, and ten
+//! Berkeley MICA2 motes with MTS310CA sensor boards. The two cameras were
+//! mounted on the ceiling of the pervasive lab. The ten motes were put at
+//! ten different places of interest in the lab. The location of each mote
+//! was in the view range of at least one camera."
+
+use aorta_data::Location;
+use aorta_sim::{SimDuration, SimRng};
+
+use crate::camera::{Camera, CameraFailureModel};
+use crate::phone::Phone;
+use crate::sensor::{Mote, SpikeModel};
+
+/// The standard experimental floor plan: an 8 m × 6 m lab, two
+/// ceiling-mounted cameras, ten motes at places of interest, one manager
+/// phone.
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::PervasiveLab;
+///
+/// let lab = PervasiveLab::standard();
+/// assert_eq!(lab.cameras.len(), 2);
+/// assert_eq!(lab.motes.len(), 10);
+/// // Every mote is in the view range of at least one camera (§6.1).
+/// for mote in &lab.motes {
+///     assert!(lab.cameras.iter().any(|c| c.covers(&mote.location())));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PervasiveLab {
+    /// Ceiling-mounted PTZ cameras.
+    pub cameras: Vec<Camera>,
+    /// Motes at the places of interest.
+    pub motes: Vec<Mote>,
+    /// The manager's phone (receives `sendphoto()` MMS messages).
+    pub phones: Vec<Phone>,
+}
+
+impl PervasiveLab {
+    /// Room extent, metres.
+    pub const ROOM: (f64, f64) = (8.0, 6.0);
+    /// Ceiling height, metres.
+    pub const CEILING: f64 = 3.0;
+
+    /// The paper's §6.1/§6.2 setup: 2 cameras, 10 motes, 1 phone.
+    pub fn standard() -> Self {
+        PervasiveLab::with_sizes(2, 10, 1)
+    }
+
+    /// A lab with the given number of cameras, motes and phones.
+    ///
+    /// Cameras spread along the room's long axis on the ceiling; motes form
+    /// a grid of "places of interest" on the walls/furniture at 1 m height.
+    pub fn with_sizes(cameras: usize, motes: usize, phones: usize) -> Self {
+        let (w, h) = Self::ROOM;
+        let cams = (0..cameras)
+            .map(|i| {
+                let frac = (i as f64 + 0.5) / cameras as f64;
+                // Oriented north so the ±10° dead wedge behind the pan range
+                // points at the south wall rather than across the room.
+                Camera::new(
+                    i as u32,
+                    crate::camera::CameraSpec::axis_2130(),
+                    Location::new(w * frac, h / 2.0, Self::CEILING),
+                    90.0,
+                    CameraFailureModel::axis_default(),
+                )
+            })
+            .collect();
+        let cols = (motes as f64).sqrt().ceil().max(1.0) as usize;
+        let rows = motes.div_ceil(cols);
+        let mote_list = (0..motes)
+            .map(|i| {
+                let c = i % cols;
+                let r = i / cols;
+                let x = w * (c as f64 + 0.5) / cols as f64;
+                let y = h * (r as f64 + 0.5) / rows.max(1) as f64;
+                Mote::new(i as u32, Location::new(x, y, 1.0), 1 + (i % 3) as u8)
+            })
+            .collect();
+        let phone_list = (0..phones)
+            .map(|i| Phone::new(i as u32, format!("852-5555-{:04}", i)))
+            .collect();
+        PervasiveLab {
+            cameras: cams,
+            motes: mote_list,
+            phones: phone_list,
+        }
+    }
+
+    /// Makes every camera perfectly reliable (scheduling experiments).
+    pub fn with_reliable_cameras(mut self) -> Self {
+        self.cameras = self
+            .cameras
+            .into_iter()
+            .map(|c| c.with_failure(CameraFailureModel::reliable()))
+            .collect();
+        self
+    }
+
+    /// Configures mote `i` to spike every `period` (the §6.2 workload), with
+    /// per-mote phase offsets spread by `stagger`.
+    pub fn with_periodic_events(mut self, period: SimDuration, stagger: SimDuration) -> Self {
+        self.motes = self
+            .motes
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                m.with_spikes(SpikeModel::Periodic {
+                    period,
+                    offset: stagger * i as u64,
+                    width: SimDuration::from_secs(2),
+                })
+            })
+            .collect();
+        self
+    }
+
+    /// Random target locations on the lab floor — the workload generator
+    /// used by the scheduling experiments.
+    pub fn random_floor_targets(&self, n: usize, rng: &mut SimRng) -> Vec<Location> {
+        let (w, h) = Self::ROOM;
+        (0..n)
+            .map(|_| Location::new(rng.unit() * w, rng.unit() * h, 0.5 + rng.unit()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_lab_matches_paper_setup() {
+        let lab = PervasiveLab::standard();
+        assert_eq!(lab.cameras.len(), 2);
+        assert_eq!(lab.motes.len(), 10);
+        assert_eq!(lab.phones.len(), 1);
+    }
+
+    #[test]
+    fn every_mote_covered_by_some_camera() {
+        let lab = PervasiveLab::standard();
+        for mote in &lab.motes {
+            assert!(
+                lab.cameras.iter().any(|c| c.covers(&mote.location())),
+                "mote {} at {} uncovered",
+                mote.id(),
+                mote.location()
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_lab_covers_motes_too() {
+        let lab = PervasiveLab::with_sizes(10, 30, 2);
+        assert_eq!(lab.cameras.len(), 10);
+        assert_eq!(lab.motes.len(), 30);
+        for mote in &lab.motes {
+            assert!(lab.cameras.iter().any(|c| c.covers(&mote.location())));
+        }
+    }
+
+    #[test]
+    fn devices_have_distinct_ids_and_positions() {
+        let lab = PervasiveLab::standard();
+        let mut ids: Vec<_> = lab.motes.iter().map(|m| m.id()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        let c0 = lab.cameras[0].mount();
+        let c1 = lab.cameras[1].mount();
+        assert!(c0.distance(&c1) > 1.0, "cameras should be spread out");
+    }
+
+    #[test]
+    fn periodic_events_stagger() {
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::from_secs(3));
+        use aorta_sim::SimTime;
+        assert!(lab.motes[0].spike_active(SimTime::ZERO));
+        assert!(!lab.motes[5].spike_active(SimTime::ZERO));
+        assert!(lab.motes[5].spike_active(SimTime::ZERO + SimDuration::from_secs(15)));
+    }
+
+    #[test]
+    fn floor_targets_inside_room() {
+        let lab = PervasiveLab::standard();
+        let mut rng = SimRng::seed(9);
+        for t in lab.random_floor_targets(100, &mut rng) {
+            assert!((0.0..=8.0).contains(&t.x));
+            assert!((0.0..=6.0).contains(&t.y));
+            assert!(t.z < PervasiveLab::CEILING);
+        }
+    }
+
+    #[test]
+    fn reliable_cameras_never_fail_connect() {
+        let lab = PervasiveLab::standard().with_reliable_cameras();
+        let mut rng = SimRng::seed(10);
+        use aorta_sim::SimTime;
+        for _ in 0..100 {
+            assert!(lab.cameras[0].probe(SimTime::ZERO, &mut rng).is_some());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # aorta-device — simulated heterogeneous devices
+//!
+//! The paper's testbed had AXIS 2130 PTZ network cameras, Berkeley MICA2
+//! motes (MTS310CA sensor boards) and MMS-capable phones. For all scheduling
+//! experiments the authors themselves used "a homegrown camera simulator …
+//! tuned through extensive tests on the real cameras" (§6.3); this crate is
+//! that simulator, plus mote and phone equivalents:
+//!
+//! * [`Camera`] — pan/tilt/zoom kinematics calibrated so a `photo()` action
+//!   costs between **0.36 s and 5.36 s** depending on head travel (the range
+//!   the paper reports), with interference semantics for unsynchronized
+//!   concurrent commands and a load-dependent failure model,
+//! * [`Mote`] — sensory attributes (acceleration, temperature, light,
+//!   battery), multi-hop depth, lossy radio, and a spike model that generates
+//!   the *events* that trigger action-embedded queries,
+//! * [`Phone`] — an SMS/MMS sink with a two-state coverage (reachability)
+//!   model,
+//! * [`OpCostTable`] — per-device-type atomic-operation cost tables with the
+//!   paper's `atomic_operation_cost.xml` on-disk format,
+//! * [`PervasiveLab`] — the paper's experimental floor plan (two
+//!   ceiling-mounted cameras, ten motes at places of interest) as a reusable
+//!   fixture.
+//!
+//! # Example
+//!
+//! ```
+//! use aorta_device::{Camera, CameraSpec, PhotoSize};
+//! use aorta_data::Location;
+//!
+//! let cam = Camera::ceiling_mounted(0, Location::new(2.0, 3.0, 3.0));
+//! let target = cam.aim_at(&Location::new(4.0, 1.0, 1.0));
+//! let cost = cam.estimate_photo_cost(cam.rest_position(), target, PhotoSize::Medium);
+//! assert!(cost >= CameraSpec::axis_2130().capture_time(PhotoSize::Medium));
+//! ```
+
+#![warn(missing_docs)]
+
+mod camera;
+mod id;
+mod lab;
+mod op;
+mod phone;
+mod profile;
+mod rfid;
+mod sensor;
+mod status;
+
+pub use camera::{
+    Camera, CameraFailureModel, CameraSpec, PhotoError, PhotoOutcome, PhotoRecord, PhotoSize,
+    PtzPosition,
+};
+pub use id::{DeviceId, DeviceKind};
+pub use lab::PervasiveLab;
+pub use op::{AtomicCost, OpCostTable};
+pub use phone::{CoverageModel, MessageKind, Phone};
+pub use profile::{catalog_for, parse_catalog};
+pub use rfid::{RfidReader, TagSchedule};
+pub use sensor::{Mote, MoteReading, SpikeModel};
+pub use status::PhysicalStatus;

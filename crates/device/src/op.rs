@@ -1,0 +1,328 @@
+//! Atomic operations and their cost tables.
+//!
+//! "We define an atomic operation as the smallest unit of operation that a
+//! type of devices can perform … for each type of devices, there is also an
+//! `atomic_operation_cost.xml` file included in its profiles" (§3.1). The
+//! engine's cost model composes these entries, per the action profile, into
+//! whole-action cost estimates.
+
+use std::collections::BTreeMap;
+
+use aorta_sim::SimDuration;
+use aorta_xml::{Document, Element};
+
+use crate::camera::{CameraSpec, PhotoSize};
+use crate::DeviceKind;
+
+/// The estimated cost of one atomic operation.
+///
+/// Most operations have a fixed cost ("an atomic operation has almost the
+/// same cost on devices of the same type", §3.1). Head movement is *rated*:
+/// its cost is per unit of travel, which is how the physical-status
+/// dependence of `photo()` enters the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicCost {
+    /// A fixed duration per invocation.
+    Fixed(SimDuration),
+    /// A duration per unit of travel (e.g. per degree of pan).
+    PerUnit(SimDuration),
+}
+
+impl AtomicCost {
+    /// Evaluates the cost for `units` of travel (ignored for fixed costs).
+    pub fn evaluate(self, units: f64) -> SimDuration {
+        match self {
+            AtomicCost::Fixed(d) => d,
+            AtomicCost::PerUnit(d) => d.mul_f64(units.max(0.0)),
+        }
+    }
+}
+
+/// The per-device-type atomic-operation cost table
+/// (`atomic_operation_cost.xml`).
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::{DeviceKind, OpCostTable};
+///
+/// let table = OpCostTable::defaults_for(DeviceKind::Camera);
+/// let xml = table.to_xml();
+/// let parsed = OpCostTable::from_xml(&xml)?;
+/// assert_eq!(parsed, table);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCostTable {
+    kind: DeviceKind,
+    ops: BTreeMap<String, AtomicCost>,
+}
+
+impl OpCostTable {
+    /// An empty table for a device kind.
+    pub fn new(kind: DeviceKind) -> Self {
+        OpCostTable {
+            kind,
+            ops: BTreeMap::new(),
+        }
+    }
+
+    /// The table pre-populated with the measured defaults for a kind —
+    /// the values our "homegrown measurement programs" (the simulators'
+    /// specs) produce.
+    pub fn defaults_for(kind: DeviceKind) -> Self {
+        let mut t = OpCostTable::new(kind);
+        match kind {
+            DeviceKind::Camera => {
+                let spec = CameraSpec::axis_2130();
+                t.set("connect", AtomicCost::Fixed(spec.connect_time));
+                // Per-degree pan cost: 1/pan_speed seconds.
+                t.set(
+                    "move_head_pan",
+                    AtomicCost::PerUnit(SimDuration::from_secs_f64(1.0 / spec.pan_speed)),
+                );
+                t.set(
+                    "move_head_tilt",
+                    AtomicCost::PerUnit(SimDuration::from_secs_f64(1.0 / spec.tilt_speed)),
+                );
+                t.set(
+                    "zoom",
+                    AtomicCost::PerUnit(SimDuration::from_secs_f64(1.0 / spec.zoom_speed)),
+                );
+                t.set(
+                    "capture_small",
+                    AtomicCost::Fixed(spec.capture_time(PhotoSize::Small)),
+                );
+                t.set(
+                    "capture_medium",
+                    AtomicCost::Fixed(spec.capture_time(PhotoSize::Medium)),
+                );
+                t.set(
+                    "capture_large",
+                    AtomicCost::Fixed(spec.capture_time(PhotoSize::Large)),
+                );
+                t.set(
+                    "transfer_photo",
+                    AtomicCost::Fixed(SimDuration::from_millis(200)),
+                );
+            }
+            DeviceKind::Sensor => {
+                // Rated per hop: deeper motes cost more to reach (§2.3's
+                // "the depth of a sensor in a multi-hop network affects the
+                // cost of connecting the sensor").
+                t.set(
+                    "connect_hop",
+                    AtomicCost::PerUnit(SimDuration::from_millis(30)),
+                );
+                t.set("read_attr", AtomicCost::Fixed(SimDuration::from_millis(20)));
+                t.set("beep", AtomicCost::Fixed(SimDuration::from_millis(50)));
+                t.set("blink", AtomicCost::Fixed(SimDuration::from_millis(50)));
+            }
+            DeviceKind::Phone => {
+                t.set("connect", AtomicCost::Fixed(SimDuration::from_millis(1500)));
+                t.set(
+                    "receive_sms",
+                    AtomicCost::Fixed(SimDuration::from_millis(800)),
+                );
+                t.set("receive_mms", AtomicCost::Fixed(SimDuration::from_secs(4)));
+            }
+            DeviceKind::Rfid => {
+                t.set("connect", AtomicCost::Fixed(SimDuration::from_millis(20)));
+                t.set(
+                    "scan_inventory",
+                    AtomicCost::Fixed(SimDuration::from_millis(80)),
+                );
+                t.set(
+                    "write_tag",
+                    AtomicCost::Fixed(SimDuration::from_millis(150)),
+                );
+            }
+        }
+        t
+    }
+
+    /// The device kind this table describes.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Adds or replaces an operation's cost.
+    pub fn set(&mut self, op: impl Into<String>, cost: AtomicCost) {
+        self.ops.insert(op.into(), cost);
+    }
+
+    /// Looks up an operation's cost.
+    pub fn get(&self, op: &str) -> Option<AtomicCost> {
+        self.ops.get(op).copied()
+    }
+
+    /// Looks up an operation's cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing operation.
+    pub fn require(&self, op: &str) -> Result<AtomicCost, String> {
+        self.get(op).ok_or_else(|| {
+            format!(
+                "no atomic operation '{}' for device kind '{}'",
+                op, self.kind
+            )
+        })
+    }
+
+    /// Iterates over `(name, cost)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, AtomicCost)> {
+        self.ops.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of operations in the table.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Serializes to the `atomic_operation_cost.xml` format.
+    pub fn to_xml(&self) -> String {
+        let mut root =
+            Element::new("atomic_operation_cost").with_attr("device", self.kind.to_string());
+        for (name, cost) in &self.ops {
+            let op = match cost {
+                AtomicCost::Fixed(d) => Element::new("op")
+                    .with_attr("name", name.clone())
+                    .with_attr("kind", "fixed")
+                    .with_attr("cost_us", d.as_micros().to_string()),
+                AtomicCost::PerUnit(d) => Element::new("op")
+                    .with_attr("name", name.clone())
+                    .with_attr("kind", "per_unit")
+                    .with_attr("cost_us", d.as_micros().to_string()),
+            };
+            root.push_child(aorta_xml::Node::Element(op));
+        }
+        Document::new(root).to_pretty_string()
+    }
+
+    /// Parses the `atomic_operation_cost.xml` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on XML syntax errors, an unknown device kind,
+    /// missing/unparseable attributes, or an unknown cost kind.
+    pub fn from_xml(xml: &str) -> Result<OpCostTable, String> {
+        let doc = Document::parse(xml).map_err(|e| e.to_string())?;
+        let root = doc.root();
+        if root.name() != "atomic_operation_cost" {
+            return Err(format!(
+                "expected <atomic_operation_cost>, found <{}>",
+                root.name()
+            ));
+        }
+        let kind: DeviceKind = root
+            .attr("device")
+            .ok_or("missing 'device' attribute")?
+            .parse()?;
+        let mut table = OpCostTable::new(kind);
+        for op in root.children_named("op") {
+            let name = op
+                .attr("name")
+                .ok_or("an <op> is missing its 'name' attribute")?;
+            let us: u64 = op.attr_parse("cost_us")?;
+            let d = SimDuration::from_micros(us);
+            let cost = match op.attr("kind").unwrap_or("fixed") {
+                "fixed" => AtomicCost::Fixed(d),
+                "per_unit" => AtomicCost::PerUnit(d),
+                other => return Err(format!("unknown cost kind '{other}' for op '{name}'")),
+            };
+            table.set(name, cost);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_expected_ops() {
+        let cam = OpCostTable::defaults_for(DeviceKind::Camera);
+        for op in [
+            "connect",
+            "move_head_pan",
+            "move_head_tilt",
+            "zoom",
+            "capture_medium",
+            "transfer_photo",
+        ] {
+            assert!(cam.get(op).is_some(), "missing {op}");
+        }
+        assert!(OpCostTable::defaults_for(DeviceKind::Sensor)
+            .get("beep")
+            .is_some());
+        assert!(OpCostTable::defaults_for(DeviceKind::Phone)
+            .get("receive_mms")
+            .is_some());
+    }
+
+    #[test]
+    fn rated_cost_matches_camera_spec() {
+        let cam = OpCostTable::defaults_for(DeviceKind::Camera);
+        // 68 degrees of pan at 68°/s = 1s.
+        let cost = cam.get("move_head_pan").unwrap().evaluate(68.0);
+        assert!((cost.as_secs_f64() - 1.0).abs() < 0.001, "got {cost}");
+        // Fixed cost ignores units.
+        let cap = cam.get("capture_medium").unwrap();
+        assert_eq!(cap.evaluate(999.0), SimDuration::from_millis(360));
+    }
+
+    #[test]
+    fn negative_units_clamp_to_zero() {
+        let c = AtomicCost::PerUnit(SimDuration::from_millis(10));
+        assert_eq!(c.evaluate(-5.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn xml_round_trip_all_kinds() {
+        for kind in DeviceKind::ALL {
+            let table = OpCostTable::defaults_for(kind);
+            let parsed = OpCostTable::from_xml(&table.to_xml()).unwrap();
+            assert_eq!(parsed, table, "{kind}");
+        }
+    }
+
+    #[test]
+    fn from_xml_rejects_malformed() {
+        assert!(OpCostTable::from_xml("not xml").is_err());
+        assert!(OpCostTable::from_xml("<wrong/>").is_err());
+        assert!(OpCostTable::from_xml(r#"<atomic_operation_cost device="toaster"/>"#).is_err());
+        assert!(OpCostTable::from_xml(
+            r#"<atomic_operation_cost device="camera"><op name="x" kind="weird" cost_us="1"/></atomic_operation_cost>"#
+        )
+        .is_err());
+        assert!(OpCostTable::from_xml(
+            r#"<atomic_operation_cost device="camera"><op cost_us="1"/></atomic_operation_cost>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn require_names_the_missing_op() {
+        let t = OpCostTable::new(DeviceKind::Phone);
+        let err = t.require("teleport").unwrap_err();
+        assert!(err.contains("teleport") && err.contains("phone"), "{err}");
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let t = OpCostTable::defaults_for(DeviceKind::Sensor);
+        let names: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(t.len(), names.len());
+        assert!(!t.is_empty());
+    }
+}

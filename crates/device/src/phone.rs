@@ -1,0 +1,292 @@
+//! The cell-phone simulator.
+//!
+//! Phones are action *sinks* in Aorta: the user-defined `sendphoto()` action
+//! of §2.2 delivers an MMS with a photo to the manager's phone. The paper's
+//! reliability concern is coverage: "a phone may become unreachable when its
+//! owner moves into an area that is out of the coverage of the service
+//! provider" (§4). Coverage here is a two-state Markov process sampled on
+//! each interaction.
+
+use aorta_data::Location;
+use aorta_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{DeviceId, PhysicalStatus};
+
+/// SMS vs MMS (different receive costs; MMS carries a payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Short text message.
+    Sms,
+    /// Multimedia message (e.g. a photo attachment).
+    Mms,
+}
+
+/// A two-state (in/out of coverage) Markov reachability model.
+///
+/// State is re-evaluated lazily: when `advance(now)` is called, the model
+/// flips a coin per elapsed `epoch` to decide transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageModel {
+    /// Probability of dropping out of coverage per epoch while covered.
+    pub p_drop: f64,
+    /// Probability of regaining coverage per epoch while uncovered.
+    pub p_regain: f64,
+    /// How often the state may flip.
+    pub epoch: SimDuration,
+}
+
+impl CoverageModel {
+    /// A phone that never leaves coverage.
+    pub fn always_covered() -> Self {
+        CoverageModel {
+            p_drop: 0.0,
+            p_regain: 1.0,
+            epoch: SimDuration::from_secs(10),
+        }
+    }
+
+    /// A phone whose owner wanders: expected ~5% of epochs out of coverage.
+    pub fn wandering() -> Self {
+        CoverageModel {
+            p_drop: 0.01,
+            p_regain: 0.2,
+            epoch: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// A delivered message, for assertions in tests and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedMessage {
+    /// When delivery completed.
+    pub at: SimTime,
+    /// SMS or MMS.
+    pub kind: MessageKind,
+    /// Payload description (e.g. a photo path).
+    pub body: String,
+}
+
+/// A simulated MMS-capable phone.
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::{MessageKind, Phone};
+/// use aorta_sim::{SimRng, SimTime};
+///
+/// let mut phone = Phone::new(0, "852-5555-0001");
+/// let mut rng = SimRng::seed(1);
+/// let done = phone
+///     .deliver(SimTime::ZERO, MessageKind::Mms, "photos/admin/door.jpg", &mut rng)
+///     .expect("always-covered phone accepts messages");
+/// assert!(done > SimTime::ZERO);
+/// assert_eq!(phone.inbox().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Phone {
+    id: DeviceId,
+    number: String,
+    coverage: CoverageModel,
+    in_coverage: bool,
+    last_advance: SimTime,
+    sms_time: SimDuration,
+    mms_time: SimDuration,
+    inbox: Vec<ReceivedMessage>,
+}
+
+impl Phone {
+    /// Creates an always-covered phone with the given number.
+    pub fn new(index: u32, number: impl Into<String>) -> Self {
+        Phone {
+            id: DeviceId::phone(index),
+            number: number.into(),
+            coverage: CoverageModel::always_covered(),
+            in_coverage: true,
+            last_advance: SimTime::ZERO,
+            sms_time: SimDuration::from_millis(800),
+            mms_time: SimDuration::from_secs(4),
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Sets the coverage model, builder style.
+    pub fn with_coverage(mut self, coverage: CoverageModel) -> Self {
+        self.coverage = coverage;
+        self
+    }
+
+    /// The device ID.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The phone number (a non-sensory attribute of the `phone` table).
+    pub fn number(&self) -> &str {
+        &self.number
+    }
+
+    /// The phone's nominal location is unknown (it moves with its owner);
+    /// probes answer with coverage state instead. This is always `None`.
+    pub fn location(&self) -> Option<Location> {
+        None
+    }
+
+    /// Advances the coverage Markov chain to `now`.
+    pub fn advance(&mut self, now: SimTime, rng: &mut SimRng) {
+        if self.coverage.epoch.is_zero() {
+            self.last_advance = now;
+            return;
+        }
+        let epochs = now.saturating_duration_since(self.last_advance).as_micros()
+            / self.coverage.epoch.as_micros().max(1);
+        for _ in 0..epochs.min(10_000) {
+            if self.in_coverage {
+                if rng.chance(self.coverage.p_drop) {
+                    self.in_coverage = false;
+                }
+            } else if rng.chance(self.coverage.p_regain) {
+                self.in_coverage = true;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Whether the phone is currently reachable (after advancing to `now`).
+    pub fn is_reachable(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
+        self.advance(now, rng);
+        self.in_coverage
+    }
+
+    /// Probes the phone (§4): reachability check plus coverage status.
+    pub fn probe(&mut self, now: SimTime, rng: &mut SimRng) -> Option<PhysicalStatus> {
+        if self.is_reachable(now, rng) {
+            Some(PhysicalStatus::PhoneCoverage { in_coverage: true })
+        } else {
+            None
+        }
+    }
+
+    /// Delivers a message; returns the completion time, or `None` when the
+    /// phone is out of coverage.
+    pub fn deliver(
+        &mut self,
+        now: SimTime,
+        kind: MessageKind,
+        body: impl Into<String>,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        if !self.is_reachable(now, rng) {
+            return None;
+        }
+        let cost = match kind {
+            MessageKind::Sms => self.sms_time,
+            MessageKind::Mms => self.mms_time,
+        };
+        let at = now + cost;
+        self.inbox.push(ReceivedMessage {
+            at,
+            kind,
+            body: body.into(),
+        });
+        Some(at)
+    }
+
+    /// The receive cost for a message kind (the atomic-operation cost).
+    pub fn receive_cost(&self, kind: MessageKind) -> SimDuration {
+        match kind {
+            MessageKind::Sms => self.sms_time,
+            MessageKind::Mms => self.mms_time,
+        }
+    }
+
+    /// Messages received so far, oldest first.
+    pub fn inbox(&self) -> &[ReceivedMessage] {
+        &self.inbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_covered_phone_delivers() {
+        let mut phone = Phone::new(0, "852-5555-0001");
+        let mut rng = SimRng::seed(1);
+        let t = phone
+            .deliver(SimTime::ZERO, MessageKind::Sms, "hello", &mut rng)
+            .unwrap();
+        assert_eq!(t, SimTime::from_micros(800_000));
+        assert_eq!(phone.inbox()[0].body, "hello");
+        assert_eq!(phone.number(), "852-5555-0001");
+    }
+
+    #[test]
+    fn mms_costs_more_than_sms() {
+        let phone = Phone::new(0, "x");
+        assert!(phone.receive_cost(MessageKind::Mms) > phone.receive_cost(MessageKind::Sms));
+    }
+
+    #[test]
+    fn out_of_coverage_phone_rejects() {
+        let mut phone = Phone::new(0, "x").with_coverage(CoverageModel {
+            p_drop: 1.0,
+            p_regain: 0.0,
+            epoch: SimDuration::from_secs(1),
+        });
+        let mut rng = SimRng::seed(2);
+        // After one epoch the phone has certainly dropped out.
+        let result = phone.deliver(
+            SimTime::from_micros(2_000_000),
+            MessageKind::Mms,
+            "photo",
+            &mut rng,
+        );
+        assert_eq!(result, None);
+        assert!(phone
+            .probe(SimTime::from_micros(3_000_000), &mut rng)
+            .is_none());
+        assert!(phone.inbox().is_empty());
+    }
+
+    #[test]
+    fn coverage_recovers() {
+        let mut phone = Phone::new(0, "x").with_coverage(CoverageModel {
+            p_drop: 1.0,
+            p_regain: 1.0,
+            epoch: SimDuration::from_secs(1),
+        });
+        let mut rng = SimRng::seed(3);
+        // Flips every epoch: after exactly 1 epoch -> out, after 2 -> in.
+        assert!(!phone.is_reachable(SimTime::from_micros(1_000_000), &mut rng));
+        assert!(phone.is_reachable(SimTime::from_micros(2_000_000), &mut rng));
+    }
+
+    #[test]
+    fn wandering_coverage_fraction() {
+        let mut rng = SimRng::seed(4);
+        let mut out_epochs = 0u32;
+        let mut phone = Phone::new(0, "x").with_coverage(CoverageModel::wandering());
+        for i in 1..=20_000u64 {
+            if !phone.is_reachable(SimTime::from_micros(i * 10_000_000), &mut rng) {
+                out_epochs += 1;
+            }
+        }
+        // Stationary out-of-coverage fraction = p_drop/(p_drop+p_regain) ≈ 4.8%.
+        let frac = out_epochs as f64 / 20_000.0;
+        assert!((0.03..=0.07).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn probe_reports_coverage_status() {
+        let mut phone = Phone::new(0, "x");
+        let mut rng = SimRng::seed(5);
+        let st = phone.probe(SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(st.as_phone_coverage(), Some(true));
+    }
+
+    #[test]
+    fn location_is_unknown() {
+        assert_eq!(Phone::new(0, "x").location(), None);
+    }
+}

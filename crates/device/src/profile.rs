@@ -1,0 +1,182 @@
+//! Device catalogs — the per-device-type profile files of §3.1.
+//!
+//! "A device catalog is an XML text file that keeps the names of the
+//! attributes supported by the type of devices …, the pointers to the system
+//! built-in methods for acquiring the values of the attributes, and the
+//! information about the semantics and properties of the attributes."
+//!
+//! This module generates the canonical catalogs for every device kind
+//! and parses catalogs back into [`Schema`]s for the communication layer.
+
+use aorta_data::{AttrKind, Schema, ValueType};
+use aorta_xml::{Document, Element, Node};
+
+use crate::DeviceKind;
+
+/// The canonical virtual-table schema for a device kind.
+///
+/// * `sensor(id, loc, depth, accel_x, accel_y, temp, light, battery)`
+/// * `camera(id, ip, loc, pan, tilt, zoom)`
+/// * `phone(id, number, in_coverage)`
+/// * `rfid(id, loc, tag_count, last_tag)`
+pub fn schema_for(kind: DeviceKind) -> Schema {
+    match kind {
+        DeviceKind::Sensor => Schema::builder("sensor")
+            .attr("id", ValueType::Int, AttrKind::NonSensory)
+            .attr("loc", ValueType::Location, AttrKind::NonSensory)
+            .attr("depth", ValueType::Int, AttrKind::NonSensory)
+            .attr("accel_x", ValueType::Int, AttrKind::Sensory)
+            .attr("accel_y", ValueType::Int, AttrKind::Sensory)
+            .attr("temp", ValueType::Float, AttrKind::Sensory)
+            .attr("light", ValueType::Int, AttrKind::Sensory)
+            .attr("battery", ValueType::Float, AttrKind::Sensory)
+            .build(),
+        DeviceKind::Camera => Schema::builder("camera")
+            .attr("id", ValueType::Int, AttrKind::NonSensory)
+            .attr("ip", ValueType::Str, AttrKind::NonSensory)
+            .attr("loc", ValueType::Location, AttrKind::NonSensory)
+            .attr("pan", ValueType::Float, AttrKind::Sensory)
+            .attr("tilt", ValueType::Float, AttrKind::Sensory)
+            .attr("zoom", ValueType::Float, AttrKind::Sensory)
+            .build(),
+        DeviceKind::Phone => Schema::builder("phone")
+            .attr("id", ValueType::Int, AttrKind::NonSensory)
+            .attr("number", ValueType::Str, AttrKind::NonSensory)
+            .attr("in_coverage", ValueType::Bool, AttrKind::Sensory)
+            .build(),
+        DeviceKind::Rfid => Schema::builder("rfid")
+            .attr("id", ValueType::Int, AttrKind::NonSensory)
+            .attr("loc", ValueType::Location, AttrKind::NonSensory)
+            .attr("tag_count", ValueType::Int, AttrKind::Sensory)
+            .attr("last_tag", ValueType::Str, AttrKind::Sensory)
+            .build(),
+    }
+}
+
+/// Generates the device-catalog XML for a kind.
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::{catalog_for, parse_catalog, DeviceKind};
+///
+/// let xml = catalog_for(DeviceKind::Sensor);
+/// let schema = parse_catalog(&xml)?;
+/// assert_eq!(schema.table(), "sensor");
+/// assert!(schema.index_of("accel_x").is_some());
+/// # Ok::<(), String>(())
+/// ```
+pub fn catalog_for(kind: DeviceKind) -> String {
+    let schema = schema_for(kind);
+    let mut root = Element::new("device_catalog").with_attr("device", kind.to_string());
+    for attr in schema.iter() {
+        let el = Element::new("attribute")
+            .with_attr("name", attr.name())
+            .with_attr("type", attr.value_type().to_string())
+            .with_attr(
+                "category",
+                match attr.kind() {
+                    AttrKind::Sensory => "sensory",
+                    AttrKind::NonSensory => "non_sensory",
+                },
+            )
+            .with_attr(
+                "acquire",
+                format!("builtin::{}::read_{}", kind, attr.name()),
+            );
+        root.push_child(Node::Element(el));
+    }
+    Document::new(root).to_pretty_string()
+}
+
+/// Parses a device-catalog XML document into a [`Schema`].
+///
+/// # Errors
+///
+/// Returns a message on XML syntax errors or missing/invalid attributes.
+pub fn parse_catalog(xml: &str) -> Result<Schema, String> {
+    let doc = Document::parse(xml).map_err(|e| e.to_string())?;
+    let root = doc.root();
+    if root.name() != "device_catalog" {
+        return Err(format!(
+            "expected <device_catalog>, found <{}>",
+            root.name()
+        ));
+    }
+    let kind: DeviceKind = root
+        .attr("device")
+        .ok_or("missing 'device' attribute")?
+        .parse()?;
+    let mut builder = Schema::builder(kind.table_name());
+    for attr in root.children_named("attribute") {
+        let name = attr
+            .attr("name")
+            .ok_or("an <attribute> is missing its 'name'")?;
+        let ty: ValueType = attr
+            .attr("type")
+            .ok_or_else(|| format!("attribute '{name}' is missing its 'type'"))?
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+        let kind = match attr.attr("category") {
+            Some("sensory") => AttrKind::Sensory,
+            Some("non_sensory") => AttrKind::NonSensory,
+            Some(other) => return Err(format!("unknown attribute category '{other}'")),
+            None => return Err(format!("attribute '{name}' is missing its 'category'")),
+        };
+        builder = builder.attr(name, ty, kind);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_round_trip_for_all_kinds() {
+        for kind in DeviceKind::ALL {
+            let xml = catalog_for(kind);
+            let parsed = parse_catalog(&xml).unwrap();
+            assert_eq!(parsed, schema_for(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn sensor_schema_has_paper_attributes() {
+        let s = schema_for(DeviceKind::Sensor);
+        // The example query uses s.accel_x and s.loc (§2.2).
+        assert!(s.index_of("accel_x").is_some());
+        assert!(s.index_of("loc").is_some());
+        // Battery voltage is classified sensory (§3.2).
+        assert_eq!(s.require("battery").unwrap().kind(), AttrKind::Sensory);
+        assert_eq!(s.require("loc").unwrap().kind(), AttrKind::NonSensory);
+    }
+
+    #[test]
+    fn camera_schema_exposes_head_position() {
+        let s = schema_for(DeviceKind::Camera);
+        // Zoom level is explicitly called out as sensory in §3.2.
+        assert_eq!(s.require("zoom").unwrap().kind(), AttrKind::Sensory);
+        assert_eq!(s.require("ip").unwrap().kind(), AttrKind::NonSensory);
+    }
+
+    #[test]
+    fn catalog_records_acquire_pointers() {
+        let xml = catalog_for(DeviceKind::Phone);
+        assert!(xml.contains("builtin::phone::read_in_coverage"), "{xml}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_catalog("<nope/>").is_err());
+        assert!(parse_catalog(r#"<device_catalog device="widget"/>"#).is_err());
+        assert!(parse_catalog(
+            r#"<device_catalog device="phone"><attribute name="x" type="INT" category="odd"/></device_catalog>"#
+        )
+        .is_err());
+        assert!(parse_catalog(
+            r#"<device_catalog device="phone"><attribute type="INT" category="sensory"/></device_catalog>"#
+        )
+        .is_err());
+    }
+}

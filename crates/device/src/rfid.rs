@@ -1,0 +1,263 @@
+//! The RFID-reader simulator — the "new type of devices" of §8's future
+//! work, exercising the communication layer's extensibility (§7 discusses
+//! RFID-tag frameworks as related work).
+//!
+//! A reader is an *event source* like a mote: tags entering its field
+//! change the `tag_count` sensory attribute, which queries can trigger on
+//! (`WHERE r.tag_count > 0`). Readers also support a `write_tag` atomic
+//! operation as an action target.
+
+use std::collections::BTreeSet;
+
+use aorta_data::Location;
+use aorta_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{DeviceId, DeviceKind, PhysicalStatus};
+
+/// When tags pass through the reader's field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagSchedule {
+    /// No scheduled traffic (only manually added tags).
+    Idle,
+    /// A tagged object passes every `period`, staying `dwell` in the field,
+    /// starting at `offset`.
+    Periodic {
+        /// Arrival period.
+        period: SimDuration,
+        /// Phase offset of the first arrival.
+        offset: SimDuration,
+        /// How long the tag stays in the field.
+        dwell: SimDuration,
+    },
+}
+
+/// A simulated RFID reader (portal style, fixed mount).
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::{RfidReader, TagSchedule};
+/// use aorta_data::Location;
+/// use aorta_sim::{SimDuration, SimRng, SimTime};
+///
+/// let reader = RfidReader::new(0, Location::new(1.0, 0.5, 1.2))
+///     .with_schedule(TagSchedule::Periodic {
+///         period: SimDuration::from_mins(1),
+///         offset: SimDuration::ZERO,
+///         dwell: SimDuration::from_secs(3),
+///     });
+/// let mut rng = SimRng::seed(1);
+/// assert!(reader.tag_count(SimTime::ZERO, &mut rng) >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RfidReader {
+    id: DeviceId,
+    location: Location,
+    schedule: TagSchedule,
+    /// Tags pinned into the field by tests/applications.
+    static_tags: BTreeSet<String>,
+    /// Probability a present tag is missed by one inventory round.
+    miss_prob: f64,
+    /// Duration of one inventory round.
+    inventory_time: SimDuration,
+}
+
+impl RfidReader {
+    /// Creates an idle reader at `location`.
+    pub fn new(index: u32, location: Location) -> Self {
+        RfidReader {
+            id: DeviceId::new(DeviceKind::Rfid, index),
+            location,
+            schedule: TagSchedule::Idle,
+            static_tags: BTreeSet::new(),
+            miss_prob: 0.05,
+            inventory_time: SimDuration::from_millis(80),
+        }
+    }
+
+    /// Sets the tag traffic schedule, builder style.
+    pub fn with_schedule(mut self, schedule: TagSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the per-round tag miss probability, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_miss_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "miss probability must be in [0,1]"
+        );
+        self.miss_prob = p;
+        self
+    }
+
+    /// The device ID.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The reader's mount location.
+    pub fn location(&self) -> Location {
+        self.location
+    }
+
+    /// Duration of one inventory round (the `scan_inventory` atomic op).
+    pub fn inventory_time(&self) -> SimDuration {
+        self.inventory_time
+    }
+
+    /// Pins a tag into the field (e.g. an object left at the portal).
+    pub fn add_tag(&mut self, tag: impl Into<String>) {
+        self.static_tags.insert(tag.into());
+    }
+
+    /// Removes a pinned tag; returns whether it was present.
+    pub fn remove_tag(&mut self, tag: &str) -> bool {
+        self.static_tags.remove(tag)
+    }
+
+    /// True when the schedule puts a moving tag in the field at `now`.
+    pub fn scheduled_tag_present(&self, now: SimTime) -> bool {
+        match &self.schedule {
+            TagSchedule::Idle => false,
+            TagSchedule::Periodic {
+                period,
+                offset,
+                dwell,
+            } => {
+                let t = now.as_micros();
+                let off = offset.as_micros();
+                if t < off || period.as_micros() == 0 {
+                    return false;
+                }
+                (t - off) % period.as_micros() < dwell.as_micros()
+            }
+        }
+    }
+
+    /// Runs one inventory round: each present tag is detected independently
+    /// with probability `1 - miss_prob`.
+    pub fn tag_count(&self, now: SimTime, rng: &mut SimRng) -> i64 {
+        let mut present = self.static_tags.len() as i64;
+        if self.scheduled_tag_present(now) {
+            present += 1;
+        }
+        (0..present).filter(|_| !rng.chance(self.miss_prob)).count() as i64
+    }
+
+    /// The identifier of the most recently seen tag (scheduled tags are
+    /// named after their arrival window).
+    pub fn last_tag(&self, now: SimTime) -> Option<String> {
+        if self.scheduled_tag_present(now) {
+            if let TagSchedule::Periodic { period, offset, .. } = &self.schedule {
+                let window = (now.as_micros() - offset.as_micros()) / period.as_micros().max(1);
+                return Some(format!("tag-{}-{window}", self.id.index()));
+            }
+        }
+        self.static_tags.iter().next_back().cloned()
+    }
+
+    /// Probes the reader (wired portal: reliable aside from inventory
+    /// timing).
+    pub fn probe(&self, now: SimTime, rng: &mut SimRng) -> Option<PhysicalStatus> {
+        Some(PhysicalStatus::RfidField {
+            tags_in_range: self.tag_count(now, rng) as u32,
+        })
+    }
+
+    /// The `write_tag` atomic operation: succeeds when a tag is in the
+    /// field and the round doesn't miss it.
+    pub fn write_tag(&mut self, now: SimTime, data: &str, rng: &mut SimRng) -> bool {
+        let present = !self.static_tags.is_empty() || self.scheduled_tag_present(now);
+        if present && !rng.chance(self.miss_prob) {
+            self.static_tags.insert(format!("written:{data}"));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic() -> RfidReader {
+        RfidReader::new(0, Location::new(1.0, 0.5, 1.2))
+            .with_miss_prob(0.0)
+            .with_schedule(TagSchedule::Periodic {
+                period: SimDuration::from_mins(1),
+                offset: SimDuration::from_secs(10),
+                dwell: SimDuration::from_secs(3),
+            })
+    }
+
+    #[test]
+    fn scheduled_tags_come_and_go() {
+        let r = periodic();
+        assert!(!r.scheduled_tag_present(SimTime::ZERO));
+        assert!(r.scheduled_tag_present(SimTime::from_micros(11_000_000)));
+        assert!(!r.scheduled_tag_present(SimTime::from_micros(14_000_000)));
+        assert!(r.scheduled_tag_present(SimTime::from_micros(71_000_000)));
+    }
+
+    #[test]
+    fn tag_count_includes_static_and_scheduled() {
+        let mut r = periodic();
+        let mut rng = SimRng::seed(1);
+        assert_eq!(r.tag_count(SimTime::ZERO, &mut rng), 0);
+        r.add_tag("pallet-7");
+        assert_eq!(r.tag_count(SimTime::ZERO, &mut rng), 1);
+        assert_eq!(r.tag_count(SimTime::from_micros(11_000_000), &mut rng), 2);
+        assert!(r.remove_tag("pallet-7"));
+        assert!(!r.remove_tag("pallet-7"));
+    }
+
+    #[test]
+    fn misses_lose_tags_sometimes() {
+        let mut r = RfidReader::new(0, Location::ORIGIN).with_miss_prob(0.5);
+        r.add_tag("a");
+        let mut rng = SimRng::seed(2);
+        let seen: i64 = (0..1000)
+            .map(|_| r.tag_count(SimTime::ZERO, &mut rng))
+            .sum();
+        assert!((400..600).contains(&seen), "got {seen}");
+    }
+
+    #[test]
+    fn last_tag_names_are_stable_per_window() {
+        let r = periodic();
+        let a = r.last_tag(SimTime::from_micros(10_500_000));
+        let b = r.last_tag(SimTime::from_micros(11_500_000));
+        assert_eq!(a, b);
+        assert_eq!(a.as_deref(), Some("tag-0-0"));
+        let next = r.last_tag(SimTime::from_micros(70_500_000));
+        assert_eq!(next.as_deref(), Some("tag-0-1"));
+        assert_eq!(r.last_tag(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn probe_reports_field_status() {
+        let mut rng = SimRng::seed(3);
+        let mut r = periodic();
+        r.add_tag("x");
+        let st = r.probe(SimTime::ZERO, &mut rng).unwrap();
+        match st {
+            PhysicalStatus::RfidField { tags_in_range } => assert_eq!(tags_in_range, 1),
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_tag_needs_a_present_tag() {
+        let mut rng = SimRng::seed(4);
+        let mut empty = RfidReader::new(0, Location::ORIGIN).with_miss_prob(0.0);
+        assert!(!empty.write_tag(SimTime::ZERO, "payload", &mut rng));
+        empty.add_tag("carrier");
+        assert!(empty.write_tag(SimTime::ZERO, "payload", &mut rng));
+    }
+}

@@ -1,0 +1,366 @@
+//! The sensor-mote simulator (Berkeley MICA2 / MTS310CA class).
+//!
+//! Motes play two roles in the paper: they *source events* (the
+//! `s.accel_x > 500` condition of the snapshot query fires when someone
+//! pushes the door the mote is attached to) and they *answer scans* over the
+//! virtual `sensor` table. Their radio is lossy ("the current generation
+//! sensors usually communicate via a wireless radio channel of a high packet
+//! loss rate", §4), and deeper motes in the multi-hop tree are costlier to
+//! reach.
+
+use aorta_data::Location;
+use aorta_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{DeviceId, PhysicalStatus};
+
+/// When and how a mote produces acceleration spikes (physical-world events).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpikeModel {
+    /// No events — background readings only.
+    Quiet,
+    /// A spike every `period`, starting at `offset`, lasting `width`.
+    ///
+    /// The §6.2 workload ("a photo of Mote i's location was required to be
+    /// taken by the i-th query every minute") uses periodic spikes with a
+    /// one-minute period.
+    Periodic {
+        /// Spike period.
+        period: SimDuration,
+        /// Phase offset of the first spike.
+        offset: SimDuration,
+        /// How long each spike lasts.
+        width: SimDuration,
+    },
+    /// Memoryless random events at the given expected rate.
+    Poisson {
+        /// Expected spikes per simulated minute.
+        per_minute: f64,
+        /// How long each spike lasts.
+        width: SimDuration,
+    },
+}
+
+/// One sampled reading of all sensory attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoteReading {
+    /// X-axis acceleration, raw ADC counts (spikes exceed 500).
+    pub accel_x: i64,
+    /// Y-axis acceleration, raw ADC counts.
+    pub accel_y: i64,
+    /// Temperature, °C.
+    pub temp: f64,
+    /// Light level, raw ADC counts.
+    pub light: i64,
+    /// Battery voltage, volts.
+    pub battery_volts: f64,
+}
+
+/// A simulated MICA2 mote with an MTS310CA sensor board.
+///
+/// # Example
+///
+/// ```
+/// use aorta_device::{Mote, SpikeModel};
+/// use aorta_data::Location;
+/// use aorta_sim::{SimDuration, SimRng, SimTime};
+///
+/// let mut rng = SimRng::seed(1);
+/// let mote = Mote::new(3, Location::new(1.0, 2.0, 1.0), 1)
+///     .with_spikes(SpikeModel::Periodic {
+///         period: SimDuration::from_mins(1),
+///         offset: SimDuration::ZERO,
+///         width: SimDuration::from_secs(2),
+///     });
+/// let at_event = mote.sample(SimTime::ZERO + SimDuration::from_secs(1), &mut rng);
+/// assert!(at_event.accel_x > 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mote {
+    id: DeviceId,
+    location: Location,
+    depth: u8,
+    spikes: SpikeModel,
+    /// Probability that a single radio packet is lost per hop.
+    per_hop_loss: f64,
+    /// One-hop radio round trip.
+    hop_rtt: SimDuration,
+    battery_volts: f64,
+    /// Battery drain per sample, volts.
+    drain_per_sample: f64,
+}
+
+impl Mote {
+    /// Creates a mote at `location`, `depth` hops from the base station.
+    pub fn new(index: u32, location: Location, depth: u8) -> Self {
+        Mote {
+            id: DeviceId::sensor(index),
+            location,
+            depth: depth.max(1),
+            spikes: SpikeModel::Quiet,
+            per_hop_loss: 0.05,
+            hop_rtt: SimDuration::from_millis(30),
+            battery_volts: 3.0,
+            drain_per_sample: 2e-6,
+        }
+    }
+
+    /// Sets the spike (event) model, builder style.
+    pub fn with_spikes(mut self, spikes: SpikeModel) -> Self {
+        self.spikes = spikes;
+        self
+    }
+
+    /// Sets the per-hop packet-loss probability, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_per_hop_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
+        self.per_hop_loss = p;
+        self
+    }
+
+    /// The device ID.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The mote's (fixed) location — a non-sensory attribute.
+    pub fn location(&self) -> Location {
+        self.location
+    }
+
+    /// Hops from the base station.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Current battery voltage.
+    pub fn battery_volts(&self) -> f64 {
+        self.battery_volts
+    }
+
+    /// Probability that one end-to-end message survives all hops.
+    pub fn delivery_prob(&self) -> f64 {
+        (1.0 - self.per_hop_loss).powi(self.depth as i32)
+    }
+
+    /// Expected end-to-end round-trip time when delivery succeeds.
+    pub fn round_trip(&self) -> SimDuration {
+        self.hop_rtt * self.depth as u64
+    }
+
+    /// True when `now` falls inside a spike window (deterministic models
+    /// only; Poisson spikes are sampled inside [`Mote::sample`]).
+    pub fn spike_active(&self, now: SimTime) -> bool {
+        match &self.spikes {
+            SpikeModel::Quiet | SpikeModel::Poisson { .. } => false,
+            SpikeModel::Periodic {
+                period,
+                offset,
+                width,
+            } => {
+                let t = now.as_micros();
+                let off = offset.as_micros();
+                if t < off || period.as_micros() == 0 {
+                    return false;
+                }
+                (t - off) % period.as_micros() < width.as_micros()
+            }
+        }
+    }
+
+    /// Samples all sensory attributes at `now`, draining a little battery.
+    pub fn sample(&self, now: SimTime, rng: &mut SimRng) -> MoteReading {
+        let spiking = match &self.spikes {
+            SpikeModel::Poisson { per_minute, width } => {
+                // Probability that `now` lands inside some spike window:
+                // rate × width (thinned Poisson), clamped.
+                let p = (per_minute / 60.0) * width.as_secs_f64();
+                rng.chance(p.clamp(0.0, 1.0))
+            }
+            _ => self.spike_active(now),
+        };
+        let accel_base = rng.range(-40..=40i64);
+        let accel_x = if spiking {
+            560 + rng.range(0..=300i64)
+        } else {
+            accel_base
+        };
+        MoteReading {
+            accel_x,
+            accel_y: rng.range(-40..=40),
+            temp: 22.0 + rng.unit() * 4.0,
+            light: 300 + rng.range(-50..=50i64),
+            battery_volts: self.battery_volts,
+        }
+    }
+
+    /// Records the battery cost of one serviced request.
+    pub fn drain(&mut self) {
+        self.battery_volts = (self.battery_volts - self.drain_per_sample).max(0.0);
+    }
+
+    /// Probes the mote over its multi-hop radio path: each of the two probe
+    /// messages (request + reply) must survive `depth` hops.
+    ///
+    /// Returns the physical status on success, `None` on packet loss —
+    /// which the prober turns into a timeout (§4).
+    pub fn probe(&self, _now: SimTime, rng: &mut SimRng) -> Option<PhysicalStatus> {
+        for _hop in 0..(2 * self.depth) {
+            if rng.chance(self.per_hop_loss) {
+                return None;
+            }
+        }
+        Some(PhysicalStatus::SensorLink {
+            depth: self.depth,
+            battery_volts: self.battery_volts,
+        })
+    }
+
+    /// The `beep`/`blink` atomic operations (used as an example action
+    /// target on sensors, §3.1): succeeds when the command survives the
+    /// radio path.
+    pub fn beep(&mut self, _now: SimTime, rng: &mut SimRng) -> bool {
+        for _hop in 0..self.depth {
+            if rng.chance(self.per_hop_loss) {
+                return false;
+            }
+        }
+        self.drain();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn periodic_spikes_fire_on_schedule() {
+        let mote = Mote::new(0, Location::ORIGIN, 1).with_spikes(SpikeModel::Periodic {
+            period: SimDuration::from_mins(1),
+            offset: SimDuration::from_secs(10),
+            width: SimDuration::from_secs(2),
+        });
+        assert!(!mote.spike_active(SimTime::ZERO));
+        assert!(mote.spike_active(SimTime::from_micros(10_500_000)));
+        assert!(!mote.spike_active(SimTime::from_micros(13_000_000)));
+        assert!(
+            mote.spike_active(SimTime::from_micros(70_500_000)),
+            "next minute"
+        );
+    }
+
+    #[test]
+    fn spike_reading_exceeds_threshold() {
+        let mote = Mote::new(0, Location::ORIGIN, 1).with_spikes(SpikeModel::Periodic {
+            period: SimDuration::from_mins(1),
+            offset: SimDuration::ZERO,
+            width: SimDuration::from_secs(1),
+        });
+        let mut rng = SimRng::seed(1);
+        let r = mote.sample(SimTime::ZERO, &mut rng);
+        assert!(r.accel_x > 500, "paper threshold is 500, got {}", r.accel_x);
+        let quiet = mote.sample(SimTime::from_micros(30_000_000), &mut rng);
+        assert!(quiet.accel_x.abs() <= 40);
+    }
+
+    #[test]
+    fn quiet_mote_never_spikes() {
+        let mote = Mote::new(0, Location::ORIGIN, 1);
+        let mut rng = SimRng::seed(2);
+        for i in 0..100 {
+            let r = mote.sample(SimTime::from_micros(i * 1_000_000), &mut rng);
+            assert!(r.accel_x <= 500);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let mote = Mote::new(0, Location::ORIGIN, 1).with_spikes(SpikeModel::Poisson {
+            per_minute: 6.0,
+            width: SimDuration::from_secs(2),
+        });
+        let mut rng = SimRng::seed(3);
+        // p(spike at a random instant) = (6/60)*2 = 0.2
+        let hits = (0..10_000)
+            .filter(|&i| mote.sample(SimTime::from_micros(i), &mut rng).accel_x > 500)
+            .count();
+        assert!((1_700..=2_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn deeper_motes_are_less_reachable_and_slower() {
+        let shallow = Mote::new(0, Location::ORIGIN, 1);
+        let deep = Mote::new(1, Location::ORIGIN, 4);
+        assert!(deep.delivery_prob() < shallow.delivery_prob());
+        assert!(deep.round_trip() > shallow.round_trip());
+        assert_eq!(shallow.round_trip(), SimDuration::from_millis(30));
+        assert_eq!(deep.round_trip(), SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn probe_loss_rate_scales_with_depth() {
+        let mut rng = SimRng::seed(4);
+        let deep = Mote::new(0, Location::ORIGIN, 5).with_per_hop_loss(0.1);
+        let ok = (0..10_000)
+            .filter(|_| deep.probe(SimTime::ZERO, &mut rng).is_some())
+            .count();
+        // (0.9)^10 ≈ 0.349
+        assert!((3_200..=3_800).contains(&ok), "got {ok}");
+    }
+
+    #[test]
+    fn probe_reports_status() {
+        let mote = Mote::new(0, Location::ORIGIN, 2).with_per_hop_loss(0.0);
+        let mut rng = SimRng::seed(5);
+        let st = mote.probe(SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(st.as_sensor_depth(), Some(2));
+    }
+
+    #[test]
+    fn beep_drains_battery() {
+        let mut mote = Mote::new(0, Location::ORIGIN, 1).with_per_hop_loss(0.0);
+        let mut rng = SimRng::seed(6);
+        let before = mote.battery_volts();
+        assert!(mote.beep(SimTime::ZERO, &mut rng));
+        assert!(mote.battery_volts() < before);
+    }
+
+    #[test]
+    fn depth_is_at_least_one() {
+        let mote = Mote::new(0, Location::ORIGIN, 0);
+        assert_eq!(mote.depth(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_delivery_prob_decreasing_in_depth(d1 in 1u8..10, d2 in 1u8..10) {
+            let m1 = Mote::new(0, Location::ORIGIN, d1);
+            let m2 = Mote::new(1, Location::ORIGIN, d2);
+            if d1 <= d2 {
+                prop_assert!(m1.delivery_prob() >= m2.delivery_prob());
+            }
+        }
+
+        #[test]
+        fn prop_periodic_spike_fraction(width_s in 1u64..30) {
+            let mote = Mote::new(0, Location::ORIGIN, 1).with_spikes(SpikeModel::Periodic {
+                period: SimDuration::from_mins(1),
+                offset: SimDuration::ZERO,
+                width: SimDuration::from_secs(width_s),
+            });
+            // Over one full period, exactly `width` of time is active.
+            let active = (0..60_000u64)
+                .filter(|&ms| mote.spike_active(SimTime::from_micros(ms * 1_000)))
+                .count() as u64;
+            prop_assert_eq!(active, width_s * 1_000);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Device physical status.
+
+use std::fmt;
+
+use crate::camera::PtzPosition;
+
+/// The current physical status of a device, as gathered by a probe (§4).
+///
+/// "An action execution may change the current physical status of the device
+/// and in turn the cost of subsequent action executions" — for cameras the
+/// relevant status is the head position; for sensors the depth in the
+/// multi-hop network; for phones whether the owner is in coverage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhysicalStatus {
+    /// A camera's head position (pan, tilt, zoom).
+    CameraHead(PtzPosition),
+    /// A sensor's depth (hop count from the base station) and battery volts.
+    SensorLink {
+        /// Hops from the base station.
+        depth: u8,
+        /// Battery voltage.
+        battery_volts: f64,
+    },
+    /// Whether a phone is currently inside provider coverage.
+    PhoneCoverage {
+        /// True when reachable.
+        in_coverage: bool,
+    },
+    /// An RFID reader's field occupancy.
+    RfidField {
+        /// Tags currently detected in the field.
+        tags_in_range: u32,
+    },
+}
+
+impl PhysicalStatus {
+    /// The camera head position, if this is camera status.
+    pub fn as_camera_head(&self) -> Option<PtzPosition> {
+        match self {
+            PhysicalStatus::CameraHead(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The sensor depth, if this is sensor status.
+    pub fn as_sensor_depth(&self) -> Option<u8> {
+        match self {
+            PhysicalStatus::SensorLink { depth, .. } => Some(*depth),
+            _ => None,
+        }
+    }
+
+    /// Phone coverage, if this is phone status.
+    pub fn as_phone_coverage(&self) -> Option<bool> {
+        match self {
+            PhysicalStatus::PhoneCoverage { in_coverage } => Some(*in_coverage),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PhysicalStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicalStatus::CameraHead(p) => write!(f, "head at {p}"),
+            PhysicalStatus::SensorLink {
+                depth,
+                battery_volts,
+            } => write!(f, "depth {depth}, {battery_volts:.2}V"),
+            PhysicalStatus::PhoneCoverage { in_coverage } => {
+                write!(
+                    f,
+                    "{}",
+                    if *in_coverage {
+                        "in coverage"
+                    } else {
+                        "out of coverage"
+                    }
+                )
+            }
+            PhysicalStatus::RfidField { tags_in_range } => {
+                write!(f, "{tags_in_range} tags in field")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_are_kind_specific() {
+        let cam = PhysicalStatus::CameraHead(PtzPosition::HOME);
+        assert!(cam.as_camera_head().is_some());
+        assert!(cam.as_sensor_depth().is_none());
+        assert!(cam.as_phone_coverage().is_none());
+
+        let sensor = PhysicalStatus::SensorLink {
+            depth: 3,
+            battery_volts: 2.9,
+        };
+        assert_eq!(sensor.as_sensor_depth(), Some(3));
+
+        let phone = PhysicalStatus::PhoneCoverage { in_coverage: false };
+        assert_eq!(phone.as_phone_coverage(), Some(false));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = PhysicalStatus::SensorLink {
+            depth: 2,
+            battery_volts: 3.0,
+        };
+        assert_eq!(s.to_string(), "depth 2, 3.00V");
+        assert_eq!(
+            PhysicalStatus::PhoneCoverage { in_coverage: true }.to_string(),
+            "in coverage"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! The probing mechanism (§4).
+//!
+//! "A probe on a candidate device includes the transmission of several
+//! messages between the optimizer and the device. The major role of the
+//! probing mechanism is to check the current availability of a candidate
+//! device … A system-provided TIMEOUT value is set for each type of devices
+//! to break the probe on unresponsive devices."
+
+use aorta_device::{DeviceId, PhysicalStatus};
+use aorta_sim::{SimDuration, SimRng, SimTime};
+
+use crate::channel::{Channel, Exchange};
+use crate::endpoint;
+use crate::{DeviceRegistry, Message};
+
+/// The outcome of probing one candidate device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutcome {
+    /// The device answered within the TIMEOUT.
+    Available {
+        /// Its current physical status (feeds the cost model).
+        status: PhysicalStatus,
+        /// Probe round-trip time.
+        rtt: SimDuration,
+    },
+    /// No answer within the per-kind TIMEOUT; the device is excluded from
+    /// device-selection optimization.
+    TimedOut,
+    /// The device is not registered at all.
+    Unknown,
+}
+
+impl ProbeOutcome {
+    /// True when the device can be considered for selection.
+    pub fn is_available(&self) -> bool {
+        matches!(self, ProbeOutcome::Available { .. })
+    }
+
+    /// The probed status, when available.
+    pub fn status(&self) -> Option<&PhysicalStatus> {
+        match self {
+            ProbeOutcome::Available { status, .. } => Some(status),
+            _ => None,
+        }
+    }
+}
+
+/// Probes candidate devices through the communication layer.
+#[derive(Debug, Clone, Default)]
+pub struct Prober {
+    probes_sent: u64,
+    timeouts: u64,
+}
+
+impl Prober {
+    /// Creates a prober.
+    pub fn new() -> Self {
+        Prober::default()
+    }
+
+    /// Total probes attempted.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
+    /// Probes that timed out.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Probes one device: connect, exchange `Probe`/`ProbeReply`, close.
+    ///
+    /// A probe fails (times out) when the device is offline, the wire loses
+    /// a message, the device's own reliability model rejects the contact, or
+    /// the sampled RTT exceeds the kind's TIMEOUT.
+    pub fn probe(
+        &mut self,
+        registry: &mut DeviceRegistry,
+        id: DeviceId,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ProbeOutcome {
+        self.probes_sent += 1;
+        let timeout = registry.probe_timeout(id.kind());
+        let channel = Channel::new(registry.link(id.kind()).clone());
+        let entry = match registry.get_mut(id) {
+            Some(e) => e,
+            None => return ProbeOutcome::Unknown,
+        };
+        if !entry.online {
+            self.timeouts += 1;
+            return ProbeOutcome::TimedOut;
+        }
+        // Device-level availability (radio hops, coverage, connect loss).
+        let status = match entry.sim.probe(now, rng) {
+            Some(s) => s,
+            None => {
+                self.timeouts += 1;
+                return ProbeOutcome::TimedOut;
+            }
+        };
+        // Wire-level exchange.
+        match channel.exchange(&Message::Probe, rng, || endpoint::probe_reply(&status)) {
+            Exchange::Reply { rtt, .. } if rtt <= timeout => {
+                ProbeOutcome::Available { status, rtt }
+            }
+            _ => {
+                self.timeouts += 1;
+                ProbeOutcome::TimedOut
+            }
+        }
+    }
+
+    /// Probes every candidate, returning the available ones with status.
+    pub fn probe_all(
+        &mut self,
+        registry: &mut DeviceRegistry,
+        candidates: &[DeviceId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<(DeviceId, PhysicalStatus)> {
+        candidates
+            .iter()
+            .filter_map(|&id| match self.probe(registry, id, now, rng) {
+                ProbeOutcome::Available { status, .. } => Some((id, status)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aorta_data::Location;
+    use aorta_device::{Camera, CameraFailureModel, DeviceKind, Mote, PervasiveLab};
+    use aorta_sim::LinkModel;
+
+    fn reliable_registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::from_lab(PervasiveLab::standard().with_reliable_cameras());
+        // Deterministic wire for the camera tests.
+        reg.set_link(DeviceKind::Camera, LinkModel::ideal());
+        reg
+    }
+
+    #[test]
+    fn probing_reliable_camera_yields_status() {
+        let mut reg = reliable_registry();
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(1);
+        let outcome = prober.probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng);
+        assert!(outcome.is_available());
+        assert!(outcome.status().unwrap().as_camera_head().is_some());
+        assert_eq!(prober.probes_sent(), 1);
+        assert_eq!(prober.timeouts(), 0);
+    }
+
+    #[test]
+    fn unknown_device() {
+        let mut reg = DeviceRegistry::new();
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(2);
+        assert_eq!(
+            prober.probe(&mut reg, DeviceId::camera(9), SimTime::ZERO, &mut rng),
+            ProbeOutcome::Unknown
+        );
+    }
+
+    #[test]
+    fn offline_device_times_out() {
+        let mut reg = reliable_registry();
+        reg.set_online(DeviceId::camera(0), false);
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(3);
+        assert_eq!(
+            prober.probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng),
+            ProbeOutcome::TimedOut
+        );
+        assert_eq!(prober.timeouts(), 1);
+    }
+
+    #[test]
+    fn unreachable_camera_times_out() {
+        let mut reg = reliable_registry();
+        let dead = Camera::ceiling_mounted(5, Location::ORIGIN).with_failure(CameraFailureModel {
+            connect_loss: 1.0,
+            ..CameraFailureModel::reliable()
+        });
+        reg.register(dead.into(), SimTime::ZERO);
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(4);
+        assert_eq!(
+            prober.probe(&mut reg, DeviceId::camera(5), SimTime::ZERO, &mut rng),
+            ProbeOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn deep_lossy_mote_often_times_out() {
+        let mut reg = DeviceRegistry::new();
+        let mote = Mote::new(0, Location::ORIGIN, 5).with_per_hop_loss(0.15);
+        reg.register(mote.into(), SimTime::ZERO);
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(5);
+        for _ in 0..200 {
+            let _ = prober.probe(&mut reg, DeviceId::sensor(0), SimTime::ZERO, &mut rng);
+        }
+        // (0.85)^10 ≈ 0.197 survive the radio path, so most probes fail.
+        let rate = prober.timeouts() as f64 / prober.probes_sent() as f64;
+        assert!(rate > 0.6, "timeout rate {rate}");
+    }
+
+    #[test]
+    fn slow_link_exceeds_timeout() {
+        let mut reg = reliable_registry();
+        reg.set_link(
+            DeviceKind::Camera,
+            LinkModel::new(SimDuration::from_secs(10), SimDuration::ZERO, 0.0),
+        );
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(6);
+        assert_eq!(
+            prober.probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng),
+            ProbeOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn probe_all_filters_unavailable() {
+        let mut reg = reliable_registry();
+        reg.set_online(DeviceId::camera(1), false);
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(7);
+        let candidates = [DeviceId::camera(0), DeviceId::camera(1)];
+        let available = prober.probe_all(&mut reg, &candidates, SimTime::ZERO, &mut rng);
+        assert_eq!(available.len(), 1);
+        assert_eq!(available[0].0, DeviceId::camera(0));
+    }
+}

@@ -1,0 +1,149 @@
+//! On-disk profile management.
+//!
+//! The paper's profiles are XML *files* "generated and registered to the
+//! system and … updated dynamically by the system administrator" (§3.1),
+//! laid out as `profiles/<kind>/device_catalog.xml` and
+//! `profiles/<kind>/atomic_operation_cost.xml`. This module exports the
+//! registry's live profiles to such a directory and loads them back —
+//! the administrator's round trip.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use aorta_device::{DeviceKind, OpCostTable};
+
+use crate::DeviceRegistry;
+
+/// Writes every kind's catalog and cost table under `dir`.
+///
+/// Layout: `dir/<kind>/device_catalog.xml` and
+/// `dir/<kind>/atomic_operation_cost.xml`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_profiles(registry: &DeviceRegistry, dir: &Path) -> io::Result<()> {
+    for kind in DeviceKind::ALL {
+        let kind_dir = dir.join(kind.table_name());
+        fs::create_dir_all(&kind_dir)?;
+        fs::write(
+            kind_dir.join("device_catalog.xml"),
+            aorta_device::catalog_for(kind),
+        )?;
+        fs::write(
+            kind_dir.join("atomic_operation_cost.xml"),
+            registry.cost_table(kind).to_xml(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Loads cost tables from a profile directory into the registry,
+/// replacing the in-memory ones — the "updated dynamically by the system
+/// administrator" path.
+///
+/// Kinds whose files are absent keep their current tables.
+///
+/// # Errors
+///
+/// Returns a message on filesystem errors or malformed XML.
+pub fn import_cost_tables(registry: &mut DeviceRegistry, dir: &Path) -> Result<usize, String> {
+    let mut loaded = 0;
+    for kind in DeviceKind::ALL {
+        let path = dir
+            .join(kind.table_name())
+            .join("atomic_operation_cost.xml");
+        if !path.exists() {
+            continue;
+        }
+        let xml = fs::read_to_string(&path)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        let table = OpCostTable::from_xml(&xml).map_err(|e| format!("{}: {e}", path.display()))?;
+        if table.kind() != kind {
+            return Err(format!(
+                "{} declares device kind '{}' but lives in the '{}' directory",
+                path.display(),
+                table.kind(),
+                kind
+            ));
+        }
+        registry.set_cost_table(kind, table);
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aorta_device::AtomicCost;
+    use aorta_sim::SimDuration;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("aorta-profiles-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_creates_all_profile_files() {
+        let registry = DeviceRegistry::new();
+        let dir = temp_dir("export");
+        export_profiles(&registry, &dir).unwrap();
+        for kind in DeviceKind::ALL {
+            assert!(dir
+                .join(kind.table_name())
+                .join("device_catalog.xml")
+                .exists());
+            assert!(dir
+                .join(kind.table_name())
+                .join("atomic_operation_cost.xml")
+                .exists());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn administrator_edit_round_trips() {
+        let mut registry = DeviceRegistry::new();
+        let dir = temp_dir("edit");
+        export_profiles(&registry, &dir).unwrap();
+        // The administrator re-measures the camera connect cost.
+        let path = dir.join("camera").join("atomic_operation_cost.xml");
+        let xml = fs::read_to_string(&path).unwrap();
+        fs::write(&path, xml.replace("cost_us=\"50000\"", "cost_us=\"75000\"")).unwrap();
+        let loaded = import_cost_tables(&mut registry, &dir).unwrap();
+        assert_eq!(loaded, DeviceKind::ALL.len());
+        assert_eq!(
+            registry.cost_table(DeviceKind::Camera).get("connect"),
+            Some(AtomicCost::Fixed(SimDuration::from_millis(75)))
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_files_are_skipped() {
+        let mut registry = DeviceRegistry::new();
+        let dir = temp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(import_cost_tables(&mut registry, &dir), Ok(0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let mut registry = DeviceRegistry::new();
+        let dir = temp_dir("mismatch");
+        let phone_dir = dir.join("phone");
+        fs::create_dir_all(&phone_dir).unwrap();
+        fs::write(
+            phone_dir.join("atomic_operation_cost.xml"),
+            OpCostTable::defaults_for(DeviceKind::Camera).to_xml(),
+        )
+        .unwrap();
+        let err = import_cost_tables(&mut registry, &dir).unwrap_err();
+        assert!(err.contains("declares device kind"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

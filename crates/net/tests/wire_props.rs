@@ -1,0 +1,86 @@
+//! Wire-format properties: encode∘decode is the identity on arbitrary
+//! messages, and decode never panics on arbitrary bytes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use aorta_data::{Location, Value};
+use aorta_device::{PhotoSize, PtzPosition};
+use aorta_net::Message;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks PartialEq-based round-trip checks.
+        (-1e12..1e12f64).prop_map(Value::Float),
+        ".{0,24}".prop_map(Value::Str),
+        (-1e6..1e6f64, -1e6..1e6f64, -1e3..1e3f64)
+            .prop_map(|(x, y, z)| Value::Location(Location::new(x, y, z))),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::Connect),
+        Just(Message::ConnectAck),
+        Just(Message::Probe),
+        proptest::collection::vec(-1e9..1e9f64, 0..6)
+            .prop_map(|fields| Message::ProbeReply { fields }),
+        proptest::collection::vec("[a-z_]{1,12}", 0..6)
+            .prop_map(|names| Message::ReadAttrs { names }),
+        proptest::collection::vec(arb_value(), 0..6)
+            .prop_map(|values| Message::AttrReply { values }),
+        (
+            -170.0..170.0f64,
+            -90.0..10.0f64,
+            0.0..1.0f64,
+            prop_oneof![
+                Just(PhotoSize::Small),
+                Just(PhotoSize::Medium),
+                Just(PhotoSize::Large)
+            ],
+        )
+            .prop_map(|(pan, tilt, zoom, size)| Message::Photo {
+                target: PtzPosition::new(pan, tilt, zoom),
+                size,
+            }),
+        any::<u64>().prop_map(|duration_us| Message::PhotoAck { duration_us }),
+        (any::<bool>(), ".{0,40}").prop_map(|(mms, body)| Message::SendMessage { mms, body }),
+        Just(Message::MessageAck),
+        Just(Message::Close),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_encode_decode_identity(msg in arb_message()) {
+        let bytes = msg.encode();
+        let back = Message::decode(bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(Bytes::from(bytes));
+    }
+
+    /// Truncating a valid encoding yields an error (never panics, never a
+    /// silent partial decode that equals the original).
+    #[test]
+    fn prop_truncation_detected(msg in arb_message(), cut_frac in 0.0..1.0f64) {
+        let bytes = msg.encode();
+        if bytes.len() > 1 {
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            let cut = cut.clamp(0, bytes.len() - 1);
+            let truncated = bytes.slice(0..cut);
+            match Message::decode(truncated) {
+                Err(_) => {} // expected
+                Ok(partial) => prop_assert_ne!(partial, msg, "truncated decode equal?!"),
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! LERFA — Least Eligible Request First Assignment (Algorithm 1.1).
+//!
+//! ```text
+//! 1. for each device dj in D: Wj = 0
+//! 2. i = 1
+//! 3. while there are unassigned requests:
+//! 4.   for each request r that has i candidate devices:
+//! 5.     for each candidate device dk of r:
+//! 6.       Crk = estimated cost for servicing r on dk
+//! 7.       Ek  = Wk + Crk
+//! 8.     assign r to the device dl with the least E value
+//! 9.     Wl += Crl
+//! 10.  i++
+//! ```
+//!
+//! Ties in the candidate count are broken in random order, as the paper
+//! specifies. Cost estimates use the device's *predicted* physical status
+//! after the requests already assigned to it (sequence-dependence, §5.1).
+
+use aorta_sim::{OpCounter, SimDuration, SimRng};
+
+use crate::{CostModel, Instance, COST_ESTIMATE_OPS};
+
+/// Runs the assignment, returning per-device request sets.
+///
+/// Execution order within each device is decided later by SRFE
+/// (Algorithm 1.2) in the executor.
+pub(crate) fn assign<M: CostModel>(
+    inst: &Instance,
+    model: &M,
+    ops: &mut OpCounter,
+    rng: &mut SimRng,
+) -> Vec<Vec<usize>> {
+    let m = inst.n_devices();
+    let mut workload = vec![SimDuration::ZERO; m];
+    let mut status: Vec<M::Status> = (0..m).map(|d| model.initial_status(d)).collect();
+    let mut per_device: Vec<Vec<usize>> = vec![Vec::new(); m];
+
+    // Least-eligible-first order, random among equals: shuffle, then stable
+    // sort by candidate count.
+    let mut order: Vec<usize> = (0..inst.n_requests()).collect();
+    rng.shuffle(&mut order);
+    order.sort_by_key(|&r| inst.eligible(r).len());
+    ops.add(inst.n_requests() as u64); // sorting pass
+
+    for r in order {
+        let mut best: Option<(SimDuration, SimDuration, usize)> = None;
+        for &d in inst.eligible(r) {
+            ops.add(COST_ESTIMATE_OPS);
+            let cost = model.cost(r, d, &status[d]);
+            let finish = workload[d] + cost;
+            let better = match best {
+                None => true,
+                Some((best_finish, _, _)) => finish < best_finish,
+            };
+            if better {
+                best = Some((finish, cost, d));
+            }
+        }
+        let (_, cost, d) = best.expect("Instance guarantees a non-empty candidate set");
+        workload[d] += cost;
+        status[d] = model.next_status(r, d, &status[d]);
+        per_device[d].push(r);
+    }
+    per_device
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{camera_instance, small_table};
+
+    #[test]
+    fn balances_the_small_table_optimally() {
+        let (inst, model) = small_table();
+        let mut ops = OpCounter::new();
+        let mut rng = SimRng::seed(1);
+        let plan = assign(&inst, &model, &mut ops, &mut rng);
+        // r2 is only eligible on d1, so it is assigned first; the balanced
+        // outcome puts r0 and r3 on d0 (workload 5) and r1, r2 on d1 (7).
+        assert!(plan[1].contains(&2));
+        let w0: SimDuration = plan[0].iter().map(|&r| model.cost(r, 0, &())).sum();
+        let w1: SimDuration = plan[1].iter().map(|&r| model.cost(r, 1, &())).sum();
+        assert_eq!(w0.max(w1), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn least_eligible_requests_assigned_first() {
+        // r0 eligible everywhere; r1 only on d0. If r1 were assigned last it
+        // could pile onto d0 behind r0; LERFA assigns r1 first.
+        let s = SimDuration::from_secs;
+        let model =
+            crate::TableModel::new(vec![vec![Some(s(5)), Some(s(5))], vec![Some(s(5)), None]]);
+        let inst = model.instance();
+        let mut ops = OpCounter::new();
+        let mut rng = SimRng::seed(2);
+        let plan = assign(&inst, &model, &mut ops, &mut rng);
+        assert_eq!(plan[0], vec![1], "constrained request lands on d0 first");
+        assert_eq!(plan[1], vec![0], "flexible request balances onto d1");
+    }
+
+    #[test]
+    fn counts_cost_estimates() {
+        let (inst, model) = camera_instance(10, 5, 3);
+        let mut ops = OpCounter::new();
+        let mut rng = SimRng::seed(3);
+        let _ = assign(&inst, &model, &mut ops, &mut rng);
+        // 10 requests × 5 candidates × COST_ESTIMATE_OPS, plus the sort pass.
+        assert_eq!(ops.total(), 10 * 5 * COST_ESTIMATE_OPS + 10);
+    }
+
+    #[test]
+    fn all_requests_assigned_exactly_once() {
+        let (inst, model) = camera_instance(30, 7, 4);
+        let mut ops = OpCounter::new();
+        let mut rng = SimRng::seed(4);
+        let plan = assign(&inst, &model, &mut ops, &mut rng);
+        let mut all: Vec<usize> = plan.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (inst, model) = camera_instance(15, 4, 5);
+        let run = |seed| {
+            let mut ops = OpCounter::new();
+            let mut rng = SimRng::seed(seed);
+            assign(&inst, &model, &mut ops, &mut rng)
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,24 @@
+//! LS — greedy List Scheduling.
+//!
+//! "Whenever a machine becomes idle, the LS algorithm schedules any eligible
+//! job that has not yet been scheduled on the machine" (§5.2). LS is a CAP
+//! algorithm whose assignment decisions happen *during* execution, so it
+//! produces the fully dynamic [`Plan::ListDynamic`]; the executor implements
+//! the idle-device-takes-next-eligible-job loop.
+
+use crate::Plan;
+
+/// LS has no offline assignment phase.
+pub(crate) fn plan() -> Plan {
+    Plan::ListDynamic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ls_is_fully_dynamic() {
+        assert_eq!(plan(), Plan::ListDynamic);
+    }
+}

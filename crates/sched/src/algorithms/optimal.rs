@@ -1,0 +1,174 @@
+//! Exact makespan minimization by branch-and-bound, for small instances.
+//!
+//! The paper notes the optimal MIP "required nearly one and a half hour …
+//! with an input size n = 4 and m = 8" on 2002 hardware (§5.2) — exact
+//! solutions are only for validating heuristics on small instances, which is
+//! what this module is for: property tests assert the heuristics stay within
+//! a constant factor of optimal.
+//!
+//! The search inserts requests in index order into any eligible device at
+//! any sequence position (which reaches every possible schedule, including
+//! all per-device orders), pruning branches whose partial makespan already
+//! meets the incumbent.
+
+use aorta_sim::SimDuration;
+
+use crate::{CostModel, Instance};
+
+/// Hard cap on the exhaustive search size.
+const MAX_REQUESTS: usize = 9;
+
+/// Finds an optimal schedule (per-device sequences) and its makespan.
+///
+/// # Panics
+///
+/// Panics when the instance has more than 9 requests — the search is
+/// exponential and larger inputs indicate misuse.
+pub fn exhaustive_optimal<M: CostModel>(
+    inst: &Instance,
+    model: &M,
+) -> (Vec<Vec<usize>>, SimDuration) {
+    assert!(
+        inst.n_requests() <= MAX_REQUESTS,
+        "exhaustive search is capped at {MAX_REQUESTS} requests, got {}",
+        inst.n_requests()
+    );
+    let mut state = Search {
+        inst,
+        model,
+        lanes: vec![Vec::new(); inst.n_devices()],
+        lane_cost: vec![SimDuration::ZERO; inst.n_devices()],
+        best: None,
+        best_makespan: SimDuration::MAX,
+    };
+    state.dfs(0);
+    let best = state
+        .best
+        .expect("every Instance request has ≥1 candidate, so a schedule exists");
+    (best, state.best_makespan)
+}
+
+struct Search<'a, M: CostModel> {
+    inst: &'a Instance,
+    model: &'a M,
+    lanes: Vec<Vec<usize>>,
+    lane_cost: Vec<SimDuration>,
+    best: Option<Vec<Vec<usize>>>,
+    best_makespan: SimDuration,
+}
+
+impl<M: CostModel> Search<'_, M> {
+    fn dfs(&mut self, r: usize) {
+        let partial = self
+            .lane_cost
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        if partial >= self.best_makespan {
+            return; // prune
+        }
+        if r == self.inst.n_requests() {
+            self.best_makespan = partial;
+            self.best = Some(self.lanes.clone());
+            return;
+        }
+        for &d in self.inst.eligible(r) {
+            for pos in 0..=self.lanes[d].len() {
+                self.lanes[d].insert(pos, r);
+                let old_cost = self.lane_cost[d];
+                self.lane_cost[d] = self.model.sequence_cost(d, &self.lanes[d]);
+                self.dfs(r + 1);
+                self.lane_cost[d] = old_cost;
+                self.lanes[d].remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{camera_instance, small_table};
+    use crate::Plan;
+    use aorta_sim::SimDuration;
+
+    #[test]
+    fn solves_the_small_table() {
+        let (inst, model) = small_table();
+        let (plan, makespan) = exhaustive_optimal(&inst, &model);
+        assert_eq!(makespan, SimDuration::from_secs(7));
+        assert_eq!(Plan::Sequences(plan).validate(&inst), Ok(()));
+    }
+
+    #[test]
+    fn single_device_sequences_optimally() {
+        // One camera, three targets where visiting in spatial order beats
+        // the worst order — the optimum must find the cheap tour.
+        let (inst, model) = camera_instance(3, 1, 31);
+        let (plan, makespan) = exhaustive_optimal(&inst, &model);
+        // Compare against every permutation by brute force.
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let brute = perms
+            .iter()
+            .map(|p| model.sequence_cost(0, p))
+            .min()
+            .unwrap();
+        assert_eq!(makespan, brute);
+        assert_eq!(plan[0].len(), 3);
+    }
+
+    #[test]
+    fn respects_eligibility() {
+        let s = SimDuration::from_secs;
+        let model =
+            crate::TableModel::new(vec![vec![Some(s(10)), None], vec![Some(s(1)), Some(s(1))]]);
+        let inst = model.instance();
+        let (plan, makespan) = exhaustive_optimal(&inst, &model);
+        // Both requests must go to d1 even though it serializes them.
+        assert!(plan[0].is_empty() || makespan <= SimDuration::from_secs(10));
+        assert_eq!(makespan, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn rejects_large_instances() {
+        let (inst, model) = camera_instance(10, 2, 32);
+        let _ = exhaustive_optimal(&inst, &model);
+    }
+
+    #[test]
+    fn optimal_never_exceeds_any_heuristic() {
+        use crate::algorithms::Algorithm;
+        use aorta_sim::{OpCounter, SimRng};
+        for seed in 0..4 {
+            let (inst, model) = camera_instance(6, 2, 100 + seed);
+            let (_, opt) = exhaustive_optimal(&inst, &model);
+            for alg in [Algorithm::LerfaSrfe, Algorithm::Srfae, Algorithm::Random] {
+                let mut ops = OpCounter::new();
+                let mut rng = SimRng::seed(seed);
+                let plan = alg.schedule(&inst, &model, &mut ops, &mut rng);
+                if let Some(lanes) = plan.per_device() {
+                    let heuristic = lanes
+                        .iter()
+                        .enumerate()
+                        .map(|(d, lane)| model.sequence_cost(d, lane))
+                        .max()
+                        .unwrap();
+                    assert!(
+                        heuristic + SimDuration::from_micros(1) > opt,
+                        "{}: heuristic {heuristic} below optimal {opt}?!",
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! RANDOM — the baseline of §6.3.
+//!
+//! "It randomly assigns action requests to available devices for execution."
+//! Each request independently picks a uniformly random candidate device;
+//! devices service their queues FIFO.
+
+use aorta_sim::{OpCounter, SimRng};
+
+use crate::Instance;
+
+/// Runs the random assignment.
+pub(crate) fn assign(inst: &Instance, ops: &mut OpCounter, rng: &mut SimRng) -> Vec<Vec<usize>> {
+    let mut per_device: Vec<Vec<usize>> = vec![Vec::new(); inst.n_devices()];
+    for r in 0..inst.n_requests() {
+        ops.tick();
+        let d = *rng
+            .pick(inst.eligible(r))
+            .expect("Instance guarantees a non-empty candidate set");
+        per_device[d].push(r);
+    }
+    per_device
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Plan;
+
+    #[test]
+    fn assigns_every_request_to_an_eligible_device() {
+        let inst = Instance::new(3, vec![vec![0], vec![1, 2], vec![0, 1, 2], vec![2]]);
+        let mut ops = OpCounter::new();
+        let mut rng = SimRng::seed(5);
+        let plan = Plan::Sequences(assign(&inst, &mut ops, &mut rng));
+        assert_eq!(plan.validate(&inst), Ok(()));
+        assert_eq!(ops.total(), 4);
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let inst = Instance::fully_eligible(1, 4);
+        let mut rng = SimRng::seed(6);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            let mut ops = OpCounter::new();
+            let plan = assign(&inst, &mut ops, &mut rng);
+            for (d, q) in plan.iter().enumerate() {
+                counts[d] += q.len() as u32;
+            }
+        }
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn can_produce_unbalanced_loads() {
+        // The reason RANDOM performs worst in Figure 4: with n=m, some
+        // device frequently gets 2+ requests while others idle.
+        let inst = Instance::fully_eligible(10, 10);
+        let mut rng = SimRng::seed(7);
+        let mut saw_imbalance = false;
+        for _ in 0..20 {
+            let mut ops = OpCounter::new();
+            let plan = assign(&inst, &mut ops, &mut rng);
+            if plan.iter().any(|q| q.len() >= 2) {
+                saw_imbalance = true;
+            }
+        }
+        assert!(saw_imbalance);
+    }
+}

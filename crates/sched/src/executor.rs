@@ -1,0 +1,285 @@
+//! Virtual-time execution of schedules and the end-to-end harness.
+//!
+//! Figure 4's makespans "included both the computational cost of the
+//! scheduling algorithm (the scheduling time), and the time spent on
+//! servicing the requests on the cameras (the service time)" — so
+//! [`RunResult::total`] is the sum of the two, and Figure 5's breakdown
+//! falls out of the parts.
+
+use aorta_sim::{CpuModel, OpCounter, SimDuration, SimRng};
+
+use crate::{Algorithm, CostModel, Instance, Plan, COST_ESTIMATE_OPS};
+
+/// The outcome of running one scheduling algorithm on one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Algorithm display name.
+    pub algorithm: &'static str,
+    /// Virtual compute time of the algorithm (op count / CPU model).
+    pub sched_time: SimDuration,
+    /// Time from service start until the last request finishes.
+    pub service_makespan: SimDuration,
+    /// Raw counted operations.
+    pub ops: u64,
+    /// Requests serviced (always *n* here — failure modelling lives in the
+    /// engine, not the scheduler study).
+    pub completed: usize,
+    /// Per-device total busy time.
+    pub per_device_busy: Vec<SimDuration>,
+}
+
+impl RunResult {
+    /// The paper's makespan: scheduling time plus service makespan.
+    pub fn total(&self) -> SimDuration {
+        self.sched_time + self.service_makespan
+    }
+}
+
+/// Services a plan in virtual time, returning per-device busy times.
+///
+/// Devices are independent once assignments are fixed ("there is no
+/// connection or communication among the devices", §7), so static plans
+/// simulate per device; the dynamic LS plan serializes assignment decisions
+/// through a global idle-device loop.
+pub fn execute_plan<M: CostModel>(
+    inst: &Instance,
+    model: &M,
+    plan: &Plan,
+    ops: &mut OpCounter,
+) -> Vec<SimDuration> {
+    match plan {
+        Plan::Sequences(lanes) => lanes
+            .iter()
+            .enumerate()
+            .map(|(d, lane)| model.sequence_cost(d, lane))
+            .collect(),
+        Plan::ShortestFirstPerDevice(lanes) => lanes
+            .iter()
+            .enumerate()
+            .map(|(d, lane)| srfe_device(model, d, lane, ops))
+            .collect(),
+        Plan::ListDynamic => list_schedule(inst, model, ops),
+    }
+}
+
+/// SRFE (Algorithm 1.2) on one device: repeatedly service the remaining
+/// request with the least estimated cost *from the device's current
+/// physical status*.
+fn srfe_device<M: CostModel>(
+    model: &M,
+    device: usize,
+    requests: &[usize],
+    ops: &mut OpCounter,
+) -> SimDuration {
+    let mut remaining: Vec<usize> = requests.to_vec();
+    let mut status = model.initial_status(device);
+    let mut elapsed = SimDuration::ZERO;
+    while !remaining.is_empty() {
+        let mut best_idx = 0;
+        let mut best_cost = SimDuration::MAX;
+        for (i, &r) in remaining.iter().enumerate() {
+            ops.add(COST_ESTIMATE_OPS);
+            let c = model.cost(r, device, &status);
+            if c < best_cost {
+                best_cost = c;
+                best_idx = i;
+            }
+        }
+        let r = remaining.swap_remove(best_idx);
+        elapsed += best_cost;
+        status = model.next_status(r, device, &status);
+    }
+    elapsed
+}
+
+/// Greedy list scheduling: the earliest-idle device takes the first (in
+/// request order) eligible unscheduled request.
+fn list_schedule<M: CostModel>(
+    inst: &Instance,
+    model: &M,
+    ops: &mut OpCounter,
+) -> Vec<SimDuration> {
+    let m = inst.n_devices();
+    let mut free_at = vec![SimDuration::ZERO; m];
+    let mut status: Vec<M::Status> = (0..m).map(|d| model.initial_status(d)).collect();
+    let mut scheduled = vec![false; inst.n_requests()];
+    let mut active: Vec<bool> = vec![true; m];
+    let mut left = inst.n_requests();
+
+    while left > 0 {
+        // The earliest-idle device still able to take work.
+        let d = match (0..m)
+            .filter(|&d| active[d])
+            .min_by_key(|&d| (free_at[d], d))
+        {
+            Some(d) => d,
+            None => unreachable!("Instance guarantees every request has a candidate"),
+        };
+        ops.tick();
+        let next = (0..inst.n_requests()).find(|&r| !scheduled[r] && inst.is_eligible(r, d));
+        match next {
+            Some(r) => {
+                ops.add(COST_ESTIMATE_OPS);
+                let c = model.cost(r, d, &status[d]);
+                free_at[d] += c;
+                status[d] = model.next_status(r, d, &status[d]);
+                scheduled[r] = true;
+                left -= 1;
+            }
+            None => active[d] = false,
+        }
+    }
+    free_at
+}
+
+/// Runs one algorithm end to end: schedule, validate, service, and convert
+/// counted operations into virtual scheduling time.
+pub fn run_algorithm<M: CostModel>(
+    algorithm: &Algorithm,
+    inst: &Instance,
+    model: &M,
+    cpu: &CpuModel,
+    rng: &mut SimRng,
+) -> RunResult {
+    let mut ops = OpCounter::new();
+    let plan = algorithm.schedule(inst, model, &mut ops, rng);
+    debug_assert_eq!(plan.validate(inst), Ok(()), "{}", algorithm.name());
+    let per_device_busy = execute_plan(inst, model, &plan, &mut ops);
+    let service_makespan = per_device_busy
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    RunResult {
+        algorithm: algorithm.name(),
+        sched_time: cpu.time_for(&ops),
+        service_makespan,
+        ops: ops.total(),
+        completed: inst.n_requests(),
+        per_device_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{camera_instance, small_table};
+    use crate::TableModel;
+
+    #[test]
+    fn sequences_plan_sums_lane_costs() {
+        let (inst, model) = small_table();
+        let plan = Plan::Sequences(vec![vec![0, 3], vec![1, 2]]);
+        let mut ops = OpCounter::new();
+        let busy = execute_plan(&inst, &model, &plan, &mut ops);
+        assert_eq!(busy[0], SimDuration::from_secs(5));
+        assert_eq!(busy[1], SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn srfe_orders_by_proximity() {
+        // One camera; requests whose optimal service order is not the
+        // assignment order. SRFE must not exceed the assignment-order cost.
+        let (_, model) = camera_instance(5, 1, 41);
+        let lane: Vec<usize> = (0..5).collect();
+        let mut ops = OpCounter::new();
+        let srfe = srfe_device(&model, 0, &lane, &mut ops);
+        let fifo = model.sequence_cost(0, &lane);
+        assert!(
+            srfe <= fifo + SimDuration::from_micros(5),
+            "srfe {srfe} should not exceed fifo {fifo}"
+        );
+    }
+
+    #[test]
+    fn srfe_counts_quadratic_estimates() {
+        let (_, model) = camera_instance(4, 1, 42);
+        let mut ops = OpCounter::new();
+        let _ = srfe_device(&model, 0, &[0, 1, 2, 3], &mut ops);
+        // 4 + 3 + 2 + 1 = 10 estimates.
+        assert_eq!(ops.total(), 10 * COST_ESTIMATE_OPS);
+    }
+
+    #[test]
+    fn list_scheduling_fills_idle_devices() {
+        // 4 equal 1s jobs on 2 machines -> makespan 2s, perfectly balanced.
+        let model = TableModel::identical_machines(vec![SimDuration::from_secs(1); 4], 2);
+        let inst = model.instance();
+        let mut ops = OpCounter::new();
+        let busy = list_schedule(&inst, &model, &mut ops);
+        assert_eq!(busy, vec![SimDuration::from_secs(2); 2]);
+    }
+
+    #[test]
+    fn list_scheduling_respects_eligibility() {
+        let s = SimDuration::from_secs;
+        // r0, r1 only on d1; d0 must go inactive without stealing them.
+        let model = TableModel::new(vec![vec![None, None], vec![Some(s(1)), Some(s(1))]]);
+        let inst = model.instance();
+        let mut ops = OpCounter::new();
+        let busy = list_schedule(&inst, &model, &mut ops);
+        assert_eq!(busy[0], SimDuration::ZERO);
+        assert_eq!(busy[1], SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn run_algorithm_reports_breakdown() {
+        let (inst, model) = camera_instance(12, 4, 43);
+        let mut rng = SimRng::seed(1);
+        let result = run_algorithm(
+            &Algorithm::LerfaSrfe,
+            &inst,
+            &model,
+            &CpuModel::paper_notebook(),
+            &mut rng,
+        );
+        assert_eq!(result.algorithm, "LERFA + SRFE");
+        assert_eq!(result.completed, 12);
+        assert!(result.ops > 0);
+        assert!(result.sched_time > SimDuration::ZERO);
+        assert!(result.service_makespan >= SimDuration::from_millis(360));
+        assert_eq!(result.total(), result.sched_time + result.service_makespan);
+        assert_eq!(result.per_device_busy.len(), 4);
+        assert_eq!(
+            result.per_device_busy.iter().copied().max().unwrap(),
+            result.service_makespan
+        );
+    }
+
+    #[test]
+    fn all_five_algorithms_run_end_to_end() {
+        let (inst, model) = camera_instance(20, 10, 44);
+        let mut rng = SimRng::seed(2);
+        for alg in Algorithm::paper_lineup() {
+            let alg = match alg {
+                Algorithm::Sa(_) => Algorithm::Sa(crate::SaConfig::quick()),
+                other => other,
+            };
+            let r = run_algorithm(&alg, &inst, &model, &CpuModel::paper_notebook(), &mut rng);
+            assert_eq!(r.completed, 20, "{}", alg.name());
+            assert!(
+                r.service_makespan >= SimDuration::from_millis(360),
+                "{}",
+                alg.name()
+            );
+            // All 20 requests serviced somewhere: busy time ≥ 20 × min cost.
+            let total_busy: SimDuration = r.per_device_busy.iter().copied().sum();
+            assert!(total_busy >= SimDuration::from_millis(360) * 20);
+        }
+    }
+
+    #[test]
+    fn instant_cpu_isolates_service_time() {
+        let (inst, model) = camera_instance(10, 5, 45);
+        let mut rng = SimRng::seed(3);
+        let r = run_algorithm(
+            &Algorithm::Random,
+            &inst,
+            &model,
+            &CpuModel::instant(),
+            &mut rng,
+        );
+        assert_eq!(r.sched_time, SimDuration::ZERO);
+        assert_eq!(r.total(), r.service_makespan);
+    }
+}

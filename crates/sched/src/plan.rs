@@ -1,0 +1,133 @@
+//! Execution plans produced by scheduling algorithms.
+
+use crate::Instance;
+
+/// What a scheduling algorithm hands to the executor.
+///
+/// The SAP/CAP distinction of §5.2 shows up here: SAP algorithms finish the
+/// whole assignment before execution starts (static plans), while the
+/// fully-dynamic CAP algorithm LS makes assignment decisions as devices
+/// become idle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// Per-device request sequences, serviced in the given order
+    /// (SA, SRFAE, RANDOM).
+    Sequences(Vec<Vec<usize>>),
+    /// Per-device request *sets*; each device dynamically services its
+    /// cheapest remaining request first, re-estimating after every status
+    /// change — the paper's SRFE (Algorithm 1.2).
+    ShortestFirstPerDevice(Vec<Vec<usize>>),
+    /// Fully dynamic list scheduling: whenever a device becomes idle, it
+    /// takes the first (in request order) eligible unscheduled request.
+    ListDynamic,
+}
+
+impl Plan {
+    /// The per-device request lists, if the plan is static.
+    pub fn per_device(&self) -> Option<&[Vec<usize>]> {
+        match self {
+            Plan::Sequences(v) | Plan::ShortestFirstPerDevice(v) => Some(v),
+            Plan::ListDynamic => None,
+        }
+    }
+
+    /// Checks a static plan against an instance: every request scheduled
+    /// exactly once, on an eligible device.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation. `ListDynamic` always
+    /// validates (the executor enforces eligibility as it assigns).
+    pub fn validate(&self, inst: &Instance) -> Result<(), String> {
+        let per_device = match self.per_device() {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        if per_device.len() != inst.n_devices() {
+            return Err(format!(
+                "plan has {} device lanes, instance has {}",
+                per_device.len(),
+                inst.n_devices()
+            ));
+        }
+        let mut seen = vec![false; inst.n_requests()];
+        for (d, seq) in per_device.iter().enumerate() {
+            for &r in seq {
+                if r >= inst.n_requests() {
+                    return Err(format!("plan schedules unknown request {r}"));
+                }
+                if seen[r] {
+                    return Err(format!("request {r} is scheduled more than once"));
+                }
+                seen[r] = true;
+                if !inst.is_eligible(r, d) {
+                    return Err(format!("request {r} is not eligible on device {d}"));
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("request {missing} is never scheduled"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::new(2, vec![vec![0, 1], vec![1], vec![0]])
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        let plan = Plan::Sequences(vec![vec![2, 0], vec![1]]);
+        assert_eq!(plan.validate(&inst()), Ok(()));
+        let dynamic = Plan::ShortestFirstPerDevice(vec![vec![0, 2], vec![1]]);
+        assert_eq!(dynamic.validate(&inst()), Ok(()));
+    }
+
+    #[test]
+    fn list_dynamic_always_validates() {
+        assert_eq!(Plan::ListDynamic.validate(&inst()), Ok(()));
+        assert!(Plan::ListDynamic.per_device().is_none());
+    }
+
+    #[test]
+    fn missing_request_detected() {
+        let plan = Plan::Sequences(vec![vec![0], vec![1]]);
+        assert!(plan
+            .validate(&inst())
+            .unwrap_err()
+            .contains("never scheduled"));
+    }
+
+    #[test]
+    fn duplicate_request_detected() {
+        let plan = Plan::Sequences(vec![vec![0, 2], vec![1, 0]]);
+        assert!(plan
+            .validate(&inst())
+            .unwrap_err()
+            .contains("more than once"));
+    }
+
+    #[test]
+    fn ineligible_assignment_detected() {
+        let plan = Plan::Sequences(vec![vec![0, 1], vec![2]]);
+        let err = plan.validate(&inst()).unwrap_err();
+        assert!(err.contains("not eligible"), "{err}");
+    }
+
+    #[test]
+    fn wrong_lane_count_detected() {
+        let plan = Plan::Sequences(vec![vec![0, 1, 2]]);
+        assert!(plan.validate(&inst()).unwrap_err().contains("lanes"));
+    }
+
+    #[test]
+    fn unknown_request_detected() {
+        let plan = Plan::Sequences(vec![vec![0, 7], vec![1, 2]]);
+        assert!(plan.validate(&inst()).unwrap_err().contains("unknown"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Network-link model: latency, jitter and loss.
+
+use crate::{SimDuration, SimRng};
+
+/// Outcome of attempting a transmission over a [`LinkModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrives after the given one-way latency.
+    Arrives(SimDuration),
+    /// The message is lost in transit.
+    Lost,
+}
+
+impl Delivery {
+    /// True when the message arrives.
+    pub fn is_delivered(self) -> bool {
+        matches!(self, Delivery::Arrives(_))
+    }
+
+    /// The one-way latency, or `None` when lost.
+    pub fn latency(self) -> Option<SimDuration> {
+        match self {
+            Delivery::Arrives(d) => Some(d),
+            Delivery::Lost => None,
+        }
+    }
+}
+
+/// A simple stochastic link: fixed base latency plus uniform jitter, with an
+/// independent per-message loss probability and a per-byte serialization
+/// cost.
+///
+/// This is the substrate under the paper's uniform data communication layer:
+/// the MICA2 radio (high loss, moderate latency), camera Ethernet (low loss,
+/// low latency) and phone cell link (moderate loss, high latency) are all
+/// instances with different parameters.
+///
+/// # Example
+///
+/// ```
+/// use aorta_sim::{LinkModel, SimDuration, SimRng};
+///
+/// let link = LinkModel::new(SimDuration::from_millis(2), SimDuration::from_millis(1), 0.0)
+///     .with_bytes_per_sec(1_000_000);
+/// let mut rng = SimRng::seed(1);
+/// let d = link.transmit(100, &mut rng);
+/// assert!(d.is_delivered());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    base_latency: SimDuration,
+    jitter: SimDuration,
+    loss_prob: f64,
+    bytes_per_sec: u64,
+}
+
+impl LinkModel {
+    /// Creates a link with the given base one-way latency, maximum additive
+    /// jitter and per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_prob` is not within `[0, 1]`.
+    pub fn new(base_latency: SimDuration, jitter: SimDuration, loss_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss probability must be in [0,1], got {loss_prob}"
+        );
+        LinkModel {
+            base_latency,
+            jitter,
+            loss_prob,
+            bytes_per_sec: 0,
+        }
+    }
+
+    /// A perfectly reliable zero-latency link (useful in unit tests).
+    pub fn ideal() -> Self {
+        LinkModel::new(SimDuration::ZERO, SimDuration::ZERO, 0.0)
+    }
+
+    /// Sets the serialization bandwidth; zero (the default) means payload
+    /// size does not affect latency.
+    pub fn with_bytes_per_sec(mut self, bytes_per_sec: u64) -> Self {
+        self.bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// The configured loss probability.
+    pub fn loss_prob(&self) -> f64 {
+        self.loss_prob
+    }
+
+    /// The configured base latency.
+    pub fn base_latency(&self) -> SimDuration {
+        self.base_latency
+    }
+
+    /// Samples the fate of a single `payload_bytes`-sized message.
+    pub fn transmit(&self, payload_bytes: usize, rng: &mut SimRng) -> Delivery {
+        if rng.chance(self.loss_prob) {
+            return Delivery::Lost;
+        }
+        let mut latency = self.base_latency;
+        if !self.jitter.is_zero() {
+            latency += SimDuration::from_micros(rng.range(0..=self.jitter.as_micros()));
+        }
+        if let Some(ser_us) = (payload_bytes as u64)
+            .saturating_mul(1_000_000)
+            .checked_div(self.bytes_per_sec)
+        {
+            latency += SimDuration::from_micros(ser_us);
+        }
+        Delivery::Arrives(latency)
+    }
+
+    /// Samples a full round trip of `out_bytes` then `back_bytes`.
+    ///
+    /// Returns `None` when either direction loses the message.
+    pub fn round_trip(
+        &self,
+        out_bytes: usize,
+        back_bytes: usize,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
+        let out = self.transmit(out_bytes, rng).latency()?;
+        let back = self.transmit(back_bytes, rng).latency()?;
+        Some(out + back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ideal_link_is_instant_and_lossless() {
+        let link = LinkModel::ideal();
+        let mut rng = SimRng::seed(1);
+        for _ in 0..100 {
+            assert_eq!(
+                link.transmit(1000, &mut rng),
+                Delivery::Arrives(SimDuration::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let link = LinkModel::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(5),
+            0.0,
+        );
+        let mut rng = SimRng::seed(2);
+        for _ in 0..1000 {
+            let d = link.transmit(0, &mut rng).latency().unwrap();
+            assert!(d >= SimDuration::from_millis(10));
+            assert!(d <= SimDuration::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn loss_rate_roughly_matches() {
+        let link = LinkModel::new(SimDuration::ZERO, SimDuration::ZERO, 0.3);
+        let mut rng = SimRng::seed(3);
+        let lost = (0..10_000)
+            .filter(|_| !link.transmit(0, &mut rng).is_delivered())
+            .count();
+        assert!((2_700..=3_300).contains(&lost), "got {lost}");
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let link = LinkModel::ideal().with_bytes_per_sec(1_000);
+        let mut rng = SimRng::seed(4);
+        let d = link.transmit(500, &mut rng).latency().unwrap();
+        assert_eq!(d, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn round_trip_sums_both_directions() {
+        let link = LinkModel::new(SimDuration::from_millis(3), SimDuration::ZERO, 0.0);
+        let mut rng = SimRng::seed(5);
+        assert_eq!(
+            link.round_trip(0, 0, &mut rng),
+            Some(SimDuration::from_millis(6))
+        );
+    }
+
+    #[test]
+    fn round_trip_fails_on_loss() {
+        let link = LinkModel::new(SimDuration::ZERO, SimDuration::ZERO, 1.0);
+        let mut rng = SimRng::seed(6);
+        assert_eq!(link.round_trip(0, 0, &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_invalid_loss() {
+        let _ = LinkModel::new(SimDuration::ZERO, SimDuration::ZERO, 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_latency_monotone_in_payload(bytes_a in 0usize..10_000, bytes_b in 0usize..10_000) {
+            let link = LinkModel::ideal().with_bytes_per_sec(10_000);
+            // Same rng state for both (clone) => only payload differs.
+            let base = SimRng::seed(7);
+            let da = link.transmit(bytes_a, &mut base.clone()).latency().unwrap();
+            let db = link.transmit(bytes_b, &mut base.clone()).latency().unwrap();
+            if bytes_a <= bytes_b {
+                prop_assert!(da <= db);
+            } else {
+                prop_assert!(da >= db);
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Lightweight metrics for experiment reporting: counters and duration
+//! histograms with summary statistics.
+
+use std::fmt;
+
+use crate::SimDuration;
+
+/// A monotonically increasing named counter.
+///
+/// # Example
+///
+/// ```
+/// use aorta_sim::metrics::Counter;
+///
+/// let mut failures = Counter::new("action_failures");
+/// failures.incr();
+/// failures.add(2);
+/// assert_eq!(failures.value(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// An exact-sample duration histogram with summary statistics.
+///
+/// Stores all samples (experiments here record at most a few hundred
+/// thousand) so quantiles are exact rather than approximate.
+///
+/// # Example
+///
+/// ```
+/// use aorta_sim::metrics::DurationStats;
+/// use aorta_sim::SimDuration;
+///
+/// let mut s = DurationStats::new();
+/// for secs in [1, 2, 3] {
+///     s.record(SimDuration::from_secs(secs));
+/// }
+/// assert_eq!(s.mean(), Some(SimDuration::from_secs(2)));
+/// assert_eq!(s.max(), Some(SimDuration::from_secs(3)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurationStats {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl DurationStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        DurationStats::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimDuration {
+        self.samples.iter().copied().sum()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.total() / self.samples.len() as u64)
+        }
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Exact quantile by the nearest-rank method; `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<SimDuration> {
+        self.quantile(0.5)
+    }
+
+    /// Sample standard deviation in seconds (n-1 denominator).
+    pub fn stddev_secs(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let mean = self.mean()?.as_secs_f64();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| {
+                let d = s.as_secs_f64() - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// Iterates over the recorded samples in insertion order (unless a
+    /// quantile call has sorted them).
+    pub fn iter(&self) -> std::slice::Iter<'_, SimDuration> {
+        self.samples.iter()
+    }
+}
+
+impl Extend<SimDuration> for DurationStats {
+    fn extend<I: IntoIterator<Item = SimDuration>>(&mut self, iter: I) {
+        for d in iter {
+            self.record(d);
+        }
+    }
+}
+
+impl FromIterator<SimDuration> for DurationStats {
+    fn from_iter<I: IntoIterator<Item = SimDuration>>(iter: I) -> Self {
+        let mut s = DurationStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for DurationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.count(), self.mean(), self.min(), self.max()) {
+            (0, ..) => write!(f, "n=0"),
+            (n, Some(mean), Some(min), Some(max)) => {
+                write!(f, "n={n} mean={mean} min={min} max={max}")
+            }
+            _ => unreachable!("non-empty stats always have mean/min/max"),
+        }
+    }
+}
+
+/// A ratio metric: successes over trials.
+///
+/// Used for the §6.2 action-failure-rate experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    trials: u64,
+}
+
+impl Ratio {
+    /// A fresh 0/0 ratio.
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one trial, which either hit or missed.
+    pub fn record(&mut self, hit: bool) {
+        self.trials += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Number of hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Hits over trials; `None` when no trials recorded.
+    pub fn fraction(&self) -> Option<f64> {
+        if self.trials == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.trials as f64)
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fraction() {
+            Some(p) => write!(f, "{}/{} ({:.1}%)", self.hits, self.trials, p * 100.0),
+            None => write!(f, "0/0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.name(), "x");
+        assert_eq!(c.to_string(), "x=5");
+    }
+
+    #[test]
+    fn stats_summary() {
+        let mut s: DurationStats = [4u64, 1, 3, 2]
+            .iter()
+            .map(|&x| SimDuration::from_secs(x))
+            .collect();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.total(), SimDuration::from_secs(10));
+        assert_eq!(s.mean(), Some(SimDuration::from_micros(2_500_000)));
+        assert_eq!(s.min(), Some(SimDuration::from_secs(1)));
+        assert_eq!(s.max(), Some(SimDuration::from_secs(4)));
+        assert_eq!(s.median(), Some(SimDuration::from_secs(2)));
+        assert_eq!(s.quantile(1.0), Some(SimDuration::from_secs(4)));
+        assert_eq!(s.quantile(0.0), Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let mut s = DurationStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.stddev_secs(), None);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        let s: DurationStats = [2u64, 4, 4, 4, 5, 5, 7, 9]
+            .iter()
+            .map(|&x| SimDuration::from_secs(x))
+            .collect();
+        // Sample stddev of this classic set is ~2.138.
+        let sd = s.stddev_secs().unwrap();
+        assert!((sd - 2.138).abs() < 0.01, "got {sd}");
+    }
+
+    #[test]
+    fn ratio_display_and_fraction() {
+        let mut r = Ratio::new();
+        assert_eq!(r.fraction(), None);
+        for i in 0..10 {
+            r.record(i < 3);
+        }
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.trials(), 10);
+        assert_eq!(r.fraction(), Some(0.3));
+        assert_eq!(r.to_string(), "3/10 (30.0%)");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        let mut s = DurationStats::new();
+        s.record(SimDuration::ZERO);
+        let _ = s.quantile(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_between_min_and_max(xs in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+            let s: DurationStats = xs.iter().map(|&x| SimDuration::from_micros(x)).collect();
+            let mean = s.mean().unwrap();
+            prop_assert!(s.min().unwrap() <= mean);
+            prop_assert!(mean <= s.max().unwrap());
+        }
+
+        #[test]
+        fn prop_quantiles_monotone(xs in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+            let mut s: DurationStats = xs.iter().map(|&x| SimDuration::from_micros(x)).collect();
+            let q25 = s.quantile(0.25).unwrap();
+            let q50 = s.quantile(0.5).unwrap();
+            let q75 = s.quantile(0.75).unwrap();
+            prop_assert!(q25 <= q50 && q50 <= q75);
+        }
+    }
+}

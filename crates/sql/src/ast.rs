@@ -1,0 +1,399 @@
+//! Abstract syntax of the Aorta SQL dialect.
+
+use std::fmt;
+
+use aorta_data::{Value, ValueType};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE ACTION name(Type p, …) AS "lib" [PROFILE "…"]`.
+    CreateAction(CreateAction),
+    /// `CREATE AQ name AS SELECT …`.
+    CreateAq(CreateAq),
+    /// `DROP AQ name`.
+    DropAq(String),
+    /// A one-shot `SELECT`.
+    Select(Select),
+    /// `EXPLAIN <statement>` — show the plan instead of registering it.
+    Explain(Box<Statement>),
+}
+
+/// A user-defined action registration (§2.2's `CREATE ACTION`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateAction {
+    /// Action name, e.g. `sendphoto`.
+    pub name: String,
+    /// Typed parameters, e.g. `(String phone_no, String photo_pathname)`.
+    pub params: Vec<(ValueType, String)>,
+    /// The code-library path (`"lib/users/sendphoto.dll"` in the paper; a
+    /// registered Rust handler name here).
+    pub library: String,
+    /// The action-profile path, used by cost-based optimization.
+    pub profile: Option<String>,
+}
+
+/// A named action-embedded continuous query (§2.2's `CREATE AQ`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateAq {
+    /// Query name, e.g. `snapshot`.
+    pub name: String,
+    /// The underlying SELECT.
+    pub select: Select,
+}
+
+/// A SELECT over virtual device tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Projected expressions (typically action calls).
+    pub projections: Vec<Expr>,
+    /// The FROM clause.
+    pub tables: Vec<TableRef>,
+    /// The WHERE clause.
+    pub predicate: Option<Expr>,
+}
+
+/// A table reference with optional alias (`sensor s`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table (device-kind) name.
+    pub table: String,
+    /// Alias, if given.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name expressions use to qualify columns of this table.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Binary operators, loosest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// `=`.
+    Eq,
+    /// `<>` / `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A possibly-qualified column reference (`s.accel_x`, `loc`).
+    Column {
+        /// Table binding, if qualified.
+        qualifier: Option<String>,
+        /// Attribute name.
+        name: String,
+    },
+    /// A function or action call (`photo(c.ip, s.loc, "dir")`).
+    Call {
+        /// Function/action name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Collects the names of all [`Expr::Call`]s in this expression tree.
+    pub fn call_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Call { name, .. } = e {
+                out.push(name.as_str());
+            }
+        });
+        out
+    }
+
+    /// Visits every node of the expression tree, parents first.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Expr)) {
+        visit(self);
+        match self {
+            Expr::Literal(_) | Expr::Column { .. } => {}
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            Expr::Unary { expr, .. } => expr.walk(visit),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(visit);
+                rhs.walk(visit);
+            }
+        }
+    }
+
+    /// Splits a predicate into its AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                let mut out = lhs.conjuncts();
+                out.extend(rhs.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+/// Escapes a string literal body for the SQL dialect's double-quoted form.
+fn escape_sql_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // String literals are printed in re-parseable (escaped) form,
+            // unlike the data model's raw Display.
+            Expr::Literal(Value::Str(s)) => write!(f, "\"{}\"", escape_sql_string(s)),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Unary { op, expr } => match op {
+                // NOT binds loosely in the grammar, so the whole node is
+                // parenthesized to survive embedding in tighter contexts
+                // (e.g. as a comparison operand).
+                UnOp::Not => write!(f, "(NOT {expr})"),
+                UnOp::Neg => write!(f, "-({expr})"),
+            },
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, p) in self.projections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.table)?;
+            if let Some(a) = &t.alias {
+                write!(f, " {a}")?;
+            }
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateAction(a) => {
+                write!(f, "CREATE ACTION {}(", a.name)?;
+                for (i, (ty, name)) in a.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{ty} {name}")?;
+                }
+                write!(f, ") AS \"{}\"", escape_sql_string(&a.library))?;
+                if let Some(p) = &a.profile {
+                    write!(f, " PROFILE \"{}\"", escape_sql_string(p))?;
+                }
+                Ok(())
+            }
+            Statement::CreateAq(aq) => write!(f, "CREATE AQ {} AS {}", aq.name, aq.select),
+            Statement::DropAq(name) => write!(f, "DROP AQ {name}"),
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(q: &str, n: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(q.into()),
+            name: n.into(),
+        }
+    }
+
+    #[test]
+    fn conjuncts_flatten_ands() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(col("s", "a")),
+                rhs: Box::new(col("s", "b")),
+            }),
+            rhs: Box::new(col("c", "d")),
+        };
+        assert_eq!(e.conjuncts().len(), 3);
+        // OR is not split.
+        let or = Expr::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(col("s", "a")),
+            rhs: Box::new(col("s", "b")),
+        };
+        assert_eq!(or.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn call_names_collects_nested() {
+        let e = Expr::Call {
+            name: "photo".into(),
+            args: vec![Expr::Call {
+                name: "coverage".into(),
+                args: vec![],
+            }],
+        };
+        assert_eq!(e.call_names(), ["photo", "coverage"]);
+    }
+
+    #[test]
+    fn display_round_trips_readably() {
+        let s = Select {
+            projections: vec![Expr::Call {
+                name: "photo".into(),
+                args: vec![col("c", "ip"), Expr::Literal(Value::from("dir"))],
+            }],
+            tables: vec![
+                TableRef {
+                    table: "sensor".into(),
+                    alias: Some("s".into()),
+                },
+                TableRef {
+                    table: "camera".into(),
+                    alias: Some("c".into()),
+                },
+            ],
+            predicate: Some(Expr::Binary {
+                op: BinOp::Gt,
+                lhs: Box::new(col("s", "accel_x")),
+                rhs: Box::new(Expr::Literal(Value::Int(500))),
+            }),
+        };
+        let text = s.to_string();
+        assert!(text.contains("SELECT photo(c.ip, \"dir\")"), "{text}");
+        assert!(text.contains("FROM sensor s, camera c"), "{text}");
+        assert!(text.contains("WHERE (s.accel_x > 500)"), "{text}");
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        let t = TableRef {
+            table: "sensor".into(),
+            alias: Some("s".into()),
+        };
+        assert_eq!(t.binding(), "s");
+        let u = TableRef {
+            table: "camera".into(),
+            alias: None,
+        };
+        assert_eq!(u.binding(), "camera");
+    }
+}

@@ -1,0 +1,75 @@
+//! Positioned SQL errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexing, parsing or validation error with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    line: u32,
+    column: u32,
+    message: String,
+}
+
+impl SqlError {
+    /// Creates an error at the given position.
+    pub fn new(line: u32, column: u32, message: impl Into<String>) -> Self {
+        SqlError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// An error with no meaningful position (validation of a detached AST).
+    pub fn unpositioned(message: impl Into<String>) -> Self {
+        SqlError::new(0, 0, message)
+    }
+
+    /// 1-based line (0 when unpositioned).
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column (0 when unpositioned).
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+
+    /// The message without position.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "{} at line {}, column {}",
+                self.message, self.line, self.column
+            )
+        }
+    }
+}
+
+impl Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_position() {
+        let e = SqlError::new(2, 5, "expected FROM");
+        assert_eq!(e.to_string(), "expected FROM at line 2, column 5");
+        let u = SqlError::unpositioned("unknown table 'foo'");
+        assert_eq!(u.to_string(), "unknown table 'foo'");
+        assert_eq!(e.line(), 2);
+        assert_eq!(e.column(), 5);
+        assert_eq!(u.line(), 0);
+    }
+}

@@ -1,0 +1,403 @@
+//! The tokenizer.
+
+use std::fmt;
+
+use crate::SqlError;
+
+/// A half-open byte range in the source, with 1-based line/column of its
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+/// Token kinds of the Aorta SQL dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword (uppercased; e.g. `SELECT`, `CREATE`, `AQ`).
+    Keyword(String),
+    /// An identifier (original casing preserved).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (quotes removed, escapes resolved).
+    Str(String),
+    /// A punctuation or operator symbol, e.g. `(`, `,`, `>=`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(i) => write!(f, "identifier '{i}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Symbol(s) => write!(f, "'{s}'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "CREATE", "DROP", "ACTION", "AQ", "AS",
+    "PROFILE", "TRUE", "FALSE", "NULL", "EXPLAIN",
+];
+
+/// The tokenizer.
+///
+/// # Example
+///
+/// ```
+/// use aorta_sql::{Lexer, TokenKind};
+///
+/// let tokens = Lexer::new("SELECT photo(c.ip)").tokenize()?;
+/// assert_eq!(tokens[0].kind, TokenKind::Keyword("SELECT".into()));
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// # Ok::<(), aorta_sql::SqlError>(())
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over the source text.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenizes the whole input, ending with an [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError`] on unterminated strings, malformed numbers, or
+    /// unexpected characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.word(),
+                b'0'..=b'9' => self.number()?,
+                b'"' | b'\'' => self.string()?,
+                _ => self.symbol()?,
+            };
+            out.push(Token { kind, span });
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::new(self.line, self.column, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                // SQL line comment: -- …
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let upper = s.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            TokenKind::Keyword(upper)
+        } else {
+            TokenKind::Ident(s)
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, SqlError> {
+        let mut s = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    s.push(c as char);
+                    self.bump();
+                }
+                b'.' if !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                    is_float = true;
+                    s.push('.');
+                    self.bump();
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    return Err(self.err(format!("malformed number '{s}{}'", c as char)));
+                }
+                _ => break,
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| self.err(format!("malformed float '{s}'")))
+        } else {
+            s.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| self.err(format!("integer '{s}' out of range")))
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind, SqlError> {
+        let quote = self.bump().expect("caller saw a quote");
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => return Ok(TokenKind::Str(s)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(c) if c == quote => s.push(c as char),
+                    Some(c) => {
+                        return Err(self.err(format!("unknown escape '\\{}'", c as char)));
+                    }
+                    None => return Err(self.err("unterminated string literal")),
+                },
+                Some(c) => s.push(c as char),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+
+    fn symbol(&mut self) -> Result<TokenKind, SqlError> {
+        let c = self.peek().expect("caller saw a character");
+        let two = |lexer: &mut Self, sym| {
+            lexer.bump();
+            lexer.bump();
+            Ok(TokenKind::Symbol(sym))
+        };
+        match (c, self.peek2()) {
+            (b'>', Some(b'=')) => two(self, ">="),
+            (b'<', Some(b'=')) => two(self, "<="),
+            (b'<', Some(b'>')) => two(self, "<>"),
+            (b'!', Some(b'=')) => two(self, "!="),
+            _ => {
+                let sym = match c {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'.' => ".",
+                    b'=' => "=",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'*' => "*",
+                    b'/' => "/",
+                    b';' => ";",
+                    other => {
+                        return Err(self.err(format!("unexpected character '{}'", other as char)))
+                    }
+                };
+                self.bump();
+                Ok(TokenKind::Symbol(sym))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select Select SELECT"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(
+            kinds("accel_x Camera1"),
+            vec![
+                TokenKind::Ident("accel_x".into()),
+                TokenKind::Ident("Camera1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_dots() {
+        assert_eq!(
+            kinds("500 2.5 s.loc"),
+            vec![
+                TokenKind::Int(500),
+                TokenKind::Float(2.5),
+                TokenKind::Ident("s".into()),
+                TokenKind::Symbol("."),
+                TokenKind::Ident("loc".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes_and_escapes() {
+        assert_eq!(
+            kinds(r#""photos/admin" 'it\'s' "a\nb""#),
+            vec![
+                TokenKind::Str("photos/admin".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("> >= < <= = <> !="),
+            vec![
+                TokenKind::Symbol(">"),
+                TokenKind::Symbol(">="),
+                TokenKind::Symbol("<"),
+                TokenKind::Symbol("<="),
+                TokenKind::Symbol("="),
+                TokenKind::Symbol("<>"),
+                TokenKind::Symbol("!="),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the projection\n1"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = Lexer::new("SELECT\n  photo").tokenize().unwrap();
+        assert_eq!(tokens[0].span, Span { line: 1, column: 1 });
+        assert_eq!(tokens[1].span, Span { line: 2, column: 3 });
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = Lexer::new("SELECT @").tokenize().unwrap_err();
+        assert_eq!(err.column(), 8);
+        assert!(err.message().contains('@'));
+        assert!(Lexer::new("\"unterminated").tokenize().is_err());
+        assert!(Lexer::new("12abc").tokenize().is_err());
+        assert!(Lexer::new(r#""bad \q escape""#).tokenize().is_err());
+    }
+
+    #[test]
+    fn paper_query_tokenizes() {
+        let tokens = kinds(
+            r#"CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, "photos/admin")
+               FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+        );
+        assert!(tokens.contains(&TokenKind::Keyword("AQ".into())));
+        assert!(tokens.contains(&TokenKind::Ident("coverage".into())));
+        assert!(tokens.contains(&TokenKind::Int(500)));
+    }
+}

@@ -1,0 +1,47 @@
+//! # aorta-sql — the declarative application interface
+//!
+//! §2.2 of the paper: applications specify device actions through SQL-style
+//! statements rather than per-device APIs. The dialect comprises:
+//!
+//! * `CREATE ACTION name(Type param, …) AS "lib/…" [PROFILE "…"]` —
+//!   registers a user-defined action with its profile,
+//! * `CREATE AQ name AS SELECT …` — registers a named **action-embedded
+//!   continuous query** (the paper's `CREATE AQ snapshot AS SELECT photo(…)
+//!   FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id,
+//!   s.loc)`),
+//! * `DROP AQ name` — unregisters a query,
+//! * plain `SELECT` — one-shot queries over the virtual device tables.
+//!
+//! The crate provides a lexer and recursive-descent parser with positioned
+//! errors ([`parse`]), the [`ast`] types, and schema-aware validation
+//! ([`validate`]).
+//!
+//! # Example
+//!
+//! ```
+//! use aorta_sql::{parse, ast::Statement};
+//!
+//! let stmts = parse(
+//!     r#"CREATE AQ snapshot AS
+//!        SELECT photo(c.ip, s.loc, "photos/admin")
+//!        FROM sensor s, camera c
+//!        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+//! )?;
+//! match &stmts[0] {
+//!     Statement::CreateAq(aq) => assert_eq!(aq.name, "snapshot"),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok::<(), aorta_sql::SqlError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+pub mod validate;
+
+pub use error::SqlError;
+pub use lexer::{Lexer, Span, Token, TokenKind};
+pub use parser::parse;

@@ -1,0 +1,561 @@
+//! Recursive-descent parser with precedence climbing for expressions.
+
+use aorta_data::{Value, ValueType};
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::SqlError;
+
+/// Parses a semicolon-separated sequence of statements.
+///
+/// # Errors
+///
+/// [`SqlError`] with the source position of the first problem.
+pub fn parse(src: &str) -> Result<Vec<Statement>, SqlError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.parse_statements()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn parse_statements(mut self) -> Result<Vec<Statement>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            while self.eat_symbol(";") {}
+            if self.at_eof() {
+                if out.is_empty() {
+                    return Err(self.err_here("empty input"));
+                }
+                return Ok(out);
+            }
+            out.push(self.statement()?);
+        }
+    }
+
+    // --- token helpers -----------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if !matches!(t.kind, TokenKind::Eof) {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> SqlError {
+        let span = self.peek().span;
+        SqlError::new(span.line, span.column, msg)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().kind, TokenKind::Keyword(k) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {kw}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(&self.peek().kind, TokenKind::Symbol(s) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), SqlError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected '{sym}', found {}", self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            other => Err(self.err_here(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<String, SqlError> {
+        match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected {what} string, found {other}"))),
+        }
+    }
+
+    // --- statements --------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_keyword("EXPLAIN") {
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
+        if self.eat_keyword("CREATE") {
+            if self.eat_keyword("ACTION") {
+                return self.create_action();
+            }
+            if self.eat_keyword("AQ") {
+                return self.create_aq();
+            }
+            return Err(self.err_here(format!(
+                "expected ACTION or AQ after CREATE, found {}",
+                self.peek().kind
+            )));
+        }
+        if self.eat_keyword("DROP") {
+            self.expect_keyword("AQ")?;
+            return Ok(Statement::DropAq(self.expect_ident("query name")?));
+        }
+        if matches!(&self.peek().kind, TokenKind::Keyword(k) if k == "SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        Err(self.err_here(format!(
+            "expected CREATE, DROP, SELECT or EXPLAIN, found {}",
+            self.peek().kind
+        )))
+    }
+
+    fn create_action(&mut self) -> Result<Statement, SqlError> {
+        let name = self.expect_ident("action name")?;
+        self.expect_symbol("(")?;
+        let mut params = Vec::new();
+        if !self.eat_symbol(")") {
+            loop {
+                let ty_name = self.expect_ident("parameter type")?;
+                let ty: ValueType = ty_name
+                    .parse()
+                    .map_err(|_| self.err_here(format!("unknown parameter type '{ty_name}'")))?;
+                let pname = self.expect_ident("parameter name")?;
+                params.push((ty, pname));
+                if self.eat_symbol(")") {
+                    break;
+                }
+                self.expect_symbol(",")?;
+            }
+        }
+        self.expect_keyword("AS")?;
+        let library = self.expect_string("library path")?;
+        let profile = if self.eat_keyword("PROFILE") {
+            Some(self.expect_string("profile path")?)
+        } else {
+            None
+        };
+        Ok(Statement::CreateAction(CreateAction {
+            name,
+            params,
+            library,
+            profile,
+        }))
+    }
+
+    fn create_aq(&mut self) -> Result<Statement, SqlError> {
+        let name = self.expect_ident("query name")?;
+        self.expect_keyword("AS")?;
+        let select = self.select()?;
+        Ok(Statement::CreateAq(CreateAq { name, select }))
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let mut projections = vec![self.expr()?];
+        while self.eat_symbol(",") {
+            projections.push(self.expr()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut tables = vec![self.table_ref()?];
+        while self.eat_symbol(",") {
+            tables.push(self.table_ref()?);
+        }
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            projections,
+            tables,
+            predicate,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.expect_ident("table name")?;
+        let alias = match &self.peek().kind {
+            TokenKind::Ident(a) => {
+                let a = a.clone();
+                self.pos += 1;
+                Some(a)
+            }
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // --- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(self.not_expr()?),
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        let lhs = self.additive()?;
+        let op = match &self.peek().kind {
+            TokenKind::Symbol("=") => BinOp::Eq,
+            TokenKind::Symbol("<>") | TokenKind::Symbol("!=") => BinOp::Ne,
+            TokenKind::Symbol("<") => BinOp::Lt,
+            TokenKind::Symbol("<=") => BinOp::Le,
+            TokenKind::Symbol(">") => BinOp::Gt,
+            TokenKind::Symbol(">=") => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Symbol("+") => BinOp::Add,
+                TokenKind::Symbol("-") => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Symbol("*") => BinOp::Mul,
+                TokenKind::Symbol("/") => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_symbol("-") {
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(self.unary()?),
+            });
+        }
+        // NOT is primarily handled at the logical level (not_expr), but it
+        // is also accepted here so that parenthesized forms like
+        // `a > NOT (b)` — which the AST can represent and the printer can
+        // emit — re-parse.
+        if self.eat_keyword("NOT") {
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(self.unary()?),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            TokenKind::Keyword(k) if k == "NULL" => {
+                self.bump();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Symbol("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // Call?
+                if self.eat_symbol("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_symbol(")") {
+                                break;
+                            }
+                            self.expect_symbol(",")?;
+                        }
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                // Qualified column?
+                if self.eat_symbol(".") {
+                    let attr = self.expect_ident("attribute name")?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: attr,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(self.err_here(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Statement {
+        let mut stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 1, "{src}");
+        stmts.remove(0)
+    }
+
+    #[test]
+    fn parses_the_paper_snapshot_query() {
+        let stmt = one(r#"CREATE AQ snapshot AS
+               SELECT photo(c.ip, s.loc, "photos/admin")
+               FROM sensor s, camera c
+               WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#);
+        let Statement::CreateAq(aq) = stmt else {
+            panic!("expected CreateAq");
+        };
+        assert_eq!(aq.name, "snapshot");
+        assert_eq!(aq.select.tables.len(), 2);
+        assert_eq!(aq.select.tables[0].binding(), "s");
+        let Expr::Call { name, args } = &aq.select.projections[0] else {
+            panic!("projection should be the photo() call");
+        };
+        assert_eq!(name, "photo");
+        assert_eq!(args.len(), 3);
+        let pred = aq.select.predicate.as_ref().unwrap();
+        assert_eq!(pred.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_the_paper_create_action() {
+        let stmt = one(
+            r#"CREATE ACTION sendphoto(String phone_no, String photo_pathname)
+               AS "lib/users/sendphoto.dll"
+               PROFILE "profiles/users/sendphoto.xml""#,
+        );
+        let Statement::CreateAction(a) = stmt else {
+            panic!("expected CreateAction");
+        };
+        assert_eq!(a.name, "sendphoto");
+        assert_eq!(a.params.len(), 2);
+        assert_eq!(a.params[0], (ValueType::Str, "phone_no".into()));
+        assert_eq!(a.library, "lib/users/sendphoto.dll");
+        assert_eq!(a.profile.as_deref(), Some("profiles/users/sendphoto.xml"));
+    }
+
+    #[test]
+    fn create_action_without_profile_or_params() {
+        let stmt = one(r#"CREATE ACTION ping() AS "lib/ping""#);
+        let Statement::CreateAction(a) = stmt else {
+            panic!();
+        };
+        assert!(a.params.is_empty());
+        assert_eq!(a.profile, None);
+    }
+
+    #[test]
+    fn drop_and_explain() {
+        assert_eq!(
+            one("DROP AQ snapshot"),
+            Statement::DropAq("snapshot".into())
+        );
+        let Statement::Explain(inner) = one("EXPLAIN SELECT temp FROM sensor") else {
+            panic!();
+        };
+        assert!(matches!(*inner, Statement::Select(_)));
+    }
+
+    #[test]
+    fn multiple_statements_with_semicolons() {
+        let stmts = parse("DROP AQ a; DROP AQ b;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let Statement::Select(s) = one("SELECT a FROM t WHERE x > 1 + 2 * 3 OR NOT y = 4") else {
+            panic!();
+        };
+        let pred = s.predicate.unwrap();
+        // OR at the top.
+        let Expr::Binary {
+            op: BinOp::Or,
+            lhs,
+            rhs,
+        } = pred
+        else {
+            panic!("expected OR at top, got something else");
+        };
+        // Left: x > (1 + (2*3)).
+        let Expr::Binary {
+            op: BinOp::Gt,
+            rhs: gt_rhs,
+            ..
+        } = *lhs
+        else {
+            panic!();
+        };
+        assert_eq!(gt_rhs.to_string(), "(1 + (2 * 3))");
+        // Right: NOT (y = 4).
+        assert!(matches!(*rhs, Expr::Unary { op: UnOp::Not, .. }));
+    }
+
+    #[test]
+    fn parenthesized_grouping_overrides() {
+        let Statement::Select(s) = one("SELECT a FROM t WHERE (x OR y) AND z") else {
+            panic!();
+        };
+        let pred = s.predicate.unwrap();
+        assert!(matches!(pred, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn literals() {
+        let Statement::Select(s) = one("SELECT 1, 2.5, \"str\", TRUE, FALSE, NULL, -3 FROM t")
+        else {
+            panic!();
+        };
+        assert_eq!(s.projections.len(), 7);
+        assert_eq!(s.projections[0], Expr::Literal(Value::Int(1)));
+        assert_eq!(s.projections[3], Expr::Literal(Value::Bool(true)));
+        assert!(matches!(
+            s.projections[6],
+            Expr::Unary { op: UnOp::Neg, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_positioned_and_descriptive() {
+        let err = parse("CREATE WIDGET foo").unwrap_err();
+        assert!(err.message().contains("ACTION or AQ"), "{err}");
+        let err = parse("SELECT a FROM").unwrap_err();
+        assert!(err.message().contains("table name"), "{err}");
+        let err = parse("SELECT photo( FROM t").unwrap_err();
+        assert!(err.message().contains("expression"), "{err}");
+        let err = parse("").unwrap_err();
+        assert!(err.message().contains("empty"), "{err}");
+        let err = parse("CREATE ACTION f(Widget x) AS \"lib\"").unwrap_err();
+        assert!(err.message().contains("unknown parameter type"), "{err}");
+    }
+
+    #[test]
+    fn unparse_reparses() {
+        let src = r#"CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, "photos/admin") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#;
+        let stmt = one(src);
+        let printed = stmt.to_string();
+        let reparsed = one(&printed);
+        assert_eq!(stmt, reparsed, "unparse must round-trip:\n{printed}");
+    }
+}

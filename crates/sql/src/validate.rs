@@ -1,0 +1,245 @@
+//! Schema-aware validation of parsed statements.
+//!
+//! Resolves column references against the catalog's virtual-table schemas
+//! and checks function/action call arity, so the engine only ever executes
+//! well-formed queries.
+
+use std::collections::BTreeMap;
+
+use aorta_data::Schema;
+
+use crate::ast::{Expr, Select, Statement};
+use crate::SqlError;
+
+/// What the validator needs to know about the engine's catalog.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationContext {
+    tables: BTreeMap<String, Schema>,
+    /// function/action name → parameter count.
+    functions: BTreeMap<String, usize>,
+}
+
+impl ValidationContext {
+    /// An empty context.
+    pub fn new() -> Self {
+        ValidationContext::default()
+    }
+
+    /// Registers a virtual table.
+    pub fn with_table(mut self, schema: Schema) -> Self {
+        self.tables.insert(schema.table().to_string(), schema);
+        self
+    }
+
+    /// Registers a function or action with its arity.
+    pub fn with_function(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.functions.insert(name.into(), arity);
+        self
+    }
+
+    /// True when the named table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Validates a statement.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError`] naming the first unknown table/binding/attribute/
+    /// function or arity mismatch. `CREATE ACTION` and `DROP AQ` need no
+    /// schema context and always validate.
+    pub fn validate(&self, stmt: &Statement) -> Result<(), SqlError> {
+        match stmt {
+            Statement::Select(s) => self.validate_select(s),
+            Statement::CreateAq(aq) => self.validate_select(&aq.select),
+            Statement::Explain(inner) => self.validate(inner),
+            Statement::CreateAction(_) | Statement::DropAq(_) => Ok(()),
+        }
+    }
+
+    fn validate_select(&self, select: &Select) -> Result<(), SqlError> {
+        // Resolve the FROM clause into binding → schema.
+        let mut bindings: BTreeMap<&str, &Schema> = BTreeMap::new();
+        for t in &select.tables {
+            let schema = self
+                .tables
+                .get(&t.table)
+                .ok_or_else(|| SqlError::unpositioned(format!("unknown table '{}'", t.table)))?;
+            let binding = t.binding();
+            if bindings.insert(binding, schema).is_some() {
+                return Err(SqlError::unpositioned(format!(
+                    "duplicate table binding '{binding}'"
+                )));
+            }
+        }
+        for p in &select.projections {
+            self.validate_expr(p, &bindings)?;
+        }
+        if let Some(pred) = &select.predicate {
+            self.validate_expr(pred, &bindings)?;
+        }
+        Ok(())
+    }
+
+    fn validate_expr(
+        &self,
+        expr: &Expr,
+        bindings: &BTreeMap<&str, &Schema>,
+    ) -> Result<(), SqlError> {
+        match expr {
+            Expr::Literal(_) => Ok(()),
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => {
+                    let schema = bindings.get(q.as_str()).ok_or_else(|| {
+                        SqlError::unpositioned(format!("unknown table binding '{q}'"))
+                    })?;
+                    schema
+                        .require(name)
+                        .map_err(|e| SqlError::unpositioned(e.to_string()))?;
+                    Ok(())
+                }
+                None => {
+                    let hits: Vec<&str> = bindings
+                        .iter()
+                        .filter(|(_, s)| s.index_of(name).is_some())
+                        .map(|(b, _)| *b)
+                        .collect();
+                    match hits.len() {
+                        0 => Err(SqlError::unpositioned(format!(
+                            "unknown attribute '{name}'"
+                        ))),
+                        1 => Ok(()),
+                        _ => Err(SqlError::unpositioned(format!(
+                            "ambiguous attribute '{name}' (in {})",
+                            hits.join(", ")
+                        ))),
+                    }
+                }
+            },
+            Expr::Call { name, args } => {
+                let arity = self.functions.get(name).ok_or_else(|| {
+                    SqlError::unpositioned(format!("unknown function or action '{name}'"))
+                })?;
+                if *arity != args.len() {
+                    return Err(SqlError::unpositioned(format!(
+                        "'{name}' takes {arity} arguments, got {}",
+                        args.len()
+                    )));
+                }
+                for a in args {
+                    self.validate_expr(a, bindings)?;
+                }
+                Ok(())
+            }
+            Expr::Unary { expr, .. } => self.validate_expr(expr, bindings),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.validate_expr(lhs, bindings)?;
+                self.validate_expr(rhs, bindings)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use aorta_data::{AttrKind, ValueType};
+
+    fn ctx() -> ValidationContext {
+        ValidationContext::new()
+            .with_table(
+                Schema::builder("sensor")
+                    .attr("id", ValueType::Int, AttrKind::NonSensory)
+                    .attr("loc", ValueType::Location, AttrKind::NonSensory)
+                    .attr("accel_x", ValueType::Int, AttrKind::Sensory)
+                    .build(),
+            )
+            .with_table(
+                Schema::builder("camera")
+                    .attr("id", ValueType::Int, AttrKind::NonSensory)
+                    .attr("ip", ValueType::Str, AttrKind::NonSensory)
+                    .build(),
+            )
+            .with_function("photo", 3)
+            .with_function("coverage", 2)
+    }
+
+    fn check(src: &str) -> Result<(), SqlError> {
+        let stmts = parse(src).unwrap();
+        ctx().validate(&stmts[0])
+    }
+
+    #[test]
+    fn paper_query_validates() {
+        assert_eq!(
+            check(
+                r#"CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, "d")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let err = check("SELECT x FROM toaster").unwrap_err();
+        assert!(err.message().contains("unknown table 'toaster'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_binding_rejected() {
+        let err = check("SELECT z.accel_x FROM sensor s").unwrap_err();
+        assert!(err.message().contains("binding 'z'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let err = check("SELECT s.zoom FROM sensor s").unwrap_err();
+        assert!(err.message().contains("no attribute 'zoom'"), "{err}");
+    }
+
+    #[test]
+    fn unqualified_resolution() {
+        assert_eq!(check("SELECT accel_x FROM sensor"), Ok(()));
+        // `id` exists in both tables → ambiguous.
+        let err = check("SELECT id FROM sensor s, camera c").unwrap_err();
+        assert!(err.message().contains("ambiguous"), "{err}");
+        let err = check("SELECT nothere FROM sensor").unwrap_err();
+        assert!(err.message().contains("unknown attribute"), "{err}");
+    }
+
+    #[test]
+    fn function_arity_checked() {
+        let err = check("SELECT photo(s.loc) FROM sensor s").unwrap_err();
+        assert!(err.message().contains("takes 3 arguments"), "{err}");
+        let err = check("SELECT teleport(s.loc) FROM sensor s").unwrap_err();
+        assert!(err.message().contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let err = check("SELECT accel_x FROM sensor s, camera s").unwrap_err();
+        assert!(err.message().contains("duplicate table binding"), "{err}");
+    }
+
+    #[test]
+    fn create_action_and_drop_always_validate() {
+        assert_eq!(check(r#"CREATE ACTION f(Int x) AS "lib""#), Ok(()));
+        assert_eq!(check("DROP AQ anything"), Ok(()));
+    }
+
+    #[test]
+    fn explain_validates_inner() {
+        assert!(check("EXPLAIN SELECT x FROM toaster").is_err());
+        assert_eq!(check("EXPLAIN SELECT accel_x FROM sensor"), Ok(()));
+    }
+
+    #[test]
+    fn has_table_lookup() {
+        assert!(ctx().has_table("sensor"));
+        assert!(!ctx().has_table("phone"));
+    }
+}

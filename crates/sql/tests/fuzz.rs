@@ -1,0 +1,39 @@
+//! Robustness: the SQL lexer/parser must never panic on arbitrary
+//! application input — queries come from applications at runtime, so
+//! malformed text is a normal condition.
+
+use proptest::prelude::*;
+
+use aorta_sql::{parse, Lexer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_lexer_never_panics(s in ".{0,300}") {
+        let _ = Lexer::new(&s).tokenize();
+    }
+
+    #[test]
+    fn prop_parser_never_panics(s in ".{0,300}") {
+        let _ = parse(&s);
+    }
+
+    /// SQL-shaped garbage: keywords and punctuation in random orders.
+    #[test]
+    fn prop_parser_survives_sql_shaped_garbage(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("CREATE"),
+                Just("AQ"), Just("ACTION"), Just("AS"), Just("AND"), Just("OR"),
+                Just("NOT"), Just("("), Just(")"), Just(","), Just("."),
+                Just(">"), Just("="), Just("photo"), Just("sensor"), Just("s"),
+                Just("500"), Just("\"str\""), Just(";"),
+            ],
+            0..30,
+        )
+    ) {
+        let text = words.join(" ");
+        let _ = parse(&text);
+    }
+}

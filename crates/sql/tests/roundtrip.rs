@@ -1,0 +1,154 @@
+//! Property: unparse ∘ parse = identity over generated statements.
+//!
+//! Random ASTs are rendered with `Display` and re-parsed; the result must be
+//! structurally identical. This pins the printer and parser to the same
+//! grammar (precedence, quoting, keyword casing).
+
+use proptest::prelude::*;
+
+use aorta_data::{Value, ValueType};
+use aorta_sql::ast::*;
+use aorta_sql::parse;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Avoid keywords by prefixing.
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("x{s}"))
+}
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        // Non-negative: `-5` prints as a Neg node, not a literal, so
+        // negative *literals* would not round-trip structurally.
+        (0i64..1_000_000).prop_map(|i| Expr::Literal(Value::Int(i))),
+        (0u32..4000).prop_map(|k| {
+            // Always fractional, so the printed form re-parses as a float.
+            Expr::Literal(Value::Float(f64::from(k) / 4.0 + 0.1))
+        }),
+        // Printable ASCII including quotes and backslashes: the printer
+        // must escape whatever it is handed.
+        "[ -~]{0,12}".prop_map(|s| Expr::Literal(Value::Str(s))),
+        Just(Expr::Literal(Value::Bool(true))),
+        Just(Expr::Literal(Value::Bool(false))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        arb_literal(),
+        (arb_name(), arb_name()).prop_map(|(q, n)| Expr::Column {
+            qualifier: Some(q),
+            name: n,
+        }),
+        arb_name().prop_map(|n| Expr::Column {
+            qualifier: None,
+            name: n,
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (
+            arb_name(),
+            proptest::collection::vec(arb_expr(depth - 1), 0..3)
+        )
+            .prop_map(|(name, args)| Expr::Call { name, args }),
+        (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }),
+        (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+            op: BinOp::Gt,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }),
+        (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }),
+        inner.prop_map(|e| Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(e),
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_select() -> impl Strategy<Value = Select> {
+    (
+        proptest::collection::vec(arb_expr(2), 1..3),
+        proptest::collection::vec((arb_name(), proptest::option::of(arb_name())), 1..3),
+        proptest::option::of(arb_expr(2)),
+    )
+        .prop_map(|(projections, tables, predicate)| Select {
+            projections,
+            tables: tables
+                .into_iter()
+                .map(|(table, alias)| TableRef { table, alias })
+                .collect(),
+            predicate,
+        })
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        arb_select().prop_map(Statement::Select),
+        (arb_name(), arb_select())
+            .prop_map(|(name, select)| Statement::CreateAq(CreateAq { name, select })),
+        arb_name().prop_map(Statement::DropAq),
+        (
+            arb_name(),
+            proptest::collection::vec(
+                (
+                    prop_oneof![
+                        Just(ValueType::Int),
+                        Just(ValueType::Float),
+                        Just(ValueType::Str),
+                        Just(ValueType::Bool),
+                        Just(ValueType::Location),
+                    ],
+                    arb_name()
+                ),
+                0..4
+            ),
+            "[a-z/._-]{1,16}",
+            proptest::option::of("[a-z/._-]{1,16}".prop_map(String::from)),
+        )
+            .prop_map(|(name, params, library, profile)| {
+                Statement::CreateAction(CreateAction {
+                    name,
+                    params,
+                    library,
+                    profile,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_unparse_reparses_identically(stmt in arb_statement()) {
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(reparsed.len(), 1, "{}", printed);
+        prop_assert_eq!(&reparsed[0], &stmt, "{}", printed);
+    }
+
+    #[test]
+    fn prop_explain_wraps_any_statement(stmt in arb_statement()) {
+        let printed = format!("EXPLAIN {stmt}");
+        let reparsed = parse(&printed).expect("EXPLAIN of valid statement parses");
+        match &reparsed[0] {
+            Statement::Explain(inner) => prop_assert_eq!(inner.as_ref(), &stmt),
+            other => prop_assert!(false, "expected Explain, got {:?}", other),
+        }
+    }
+}

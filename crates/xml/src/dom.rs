@@ -1,0 +1,297 @@
+//! Document object model: [`Document`], [`Element`] and [`Node`].
+
+use std::fmt;
+
+use crate::parser::Parser;
+use crate::writer;
+use crate::XmlError;
+
+/// A parsed XML document: an optional declaration plus a single root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    root: Element,
+}
+
+impl Document {
+    /// Wraps `root` into a document.
+    pub fn new(root: Element) -> Self {
+        Document { root }
+    }
+
+    /// Parses a document from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] (with line/column) on malformed input, including
+    /// mismatched tags, unterminated literals, bad entities, or trailing
+    /// non-whitespace content after the root element.
+    pub fn parse(input: &str) -> Result<Document, XmlError> {
+        Parser::new(input).parse_document()
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// Mutable access to the root element.
+    pub fn root_mut(&mut self) -> &mut Element {
+        &mut self.root
+    }
+
+    /// Consumes the document, returning the root element.
+    pub fn into_root(self) -> Element {
+        self.root
+    }
+
+    /// Serializes with an XML declaration and 2-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        writer::write_element(&mut out, &self.root, 0, true);
+        out
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty_string())
+    }
+}
+
+/// A child of an element: either a nested element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// A text run (entity references already resolved).
+    Text(String),
+}
+
+impl Node {
+    /// The nested element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// The text content, if this node is a text run.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            Node::Element(_) => None,
+        }
+    }
+}
+
+/// An XML element: name, attributes (in document order) and child nodes.
+///
+/// # Example
+///
+/// ```
+/// use aorta_xml::Element;
+///
+/// let e = Element::new("op")
+///     .with_attr("name", "pan")
+///     .with_attr("cost_us", "250000")
+///     .with_text("pan the camera head");
+/// assert_eq!(e.attr("cost_us"), Some("250000"));
+/// assert_eq!(e.text(), "pan the camera head");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The element name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds or replaces an attribute, returning `self` (builder style).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Appends a child element, returning `self` (builder style).
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Appends a text node, returning `self` (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Adds or replaces an attribute.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// Appends a child node.
+    pub fn push_child(&mut self, node: Node) {
+        self.children.push(node);
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up an attribute and parses it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when the attribute is missing or fails
+    /// to parse as `T`.
+    pub fn attr_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self
+            .attr(key)
+            .ok_or_else(|| format!("<{}> is missing attribute '{}'", self.name, key))?;
+        raw.parse().map_err(|_| {
+            format!(
+                "<{}> attribute '{}' has unparseable value '{}'",
+                self.name, key, raw
+            )
+        })
+    }
+
+    /// All attributes in document order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// All child nodes in document order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.children.iter()
+    }
+
+    /// All child *elements* in document order.
+    pub fn children(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// The first child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children().find(|e| e.name() == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children().filter(move |e| e.name() == name)
+    }
+
+    /// Concatenated direct text content, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// True when the element has no children at all.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Serializes just this element (2-space indentation, no declaration).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        writer::write_element(&mut out, self, 0, true);
+        out
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let e = Element::new("catalog")
+            .with_attr("device", "sensor")
+            .with_child(Element::new("attr").with_attr("name", "accel_x"))
+            .with_child(Element::new("attr").with_attr("name", "temp"));
+        assert_eq!(e.name(), "catalog");
+        assert_eq!(e.attr("device"), Some("sensor"));
+        assert_eq!(e.attr("missing"), None);
+        assert_eq!(e.children().count(), 2);
+        assert_eq!(e.children_named("attr").count(), 2);
+        assert_eq!(e.child("attr").unwrap().attr("name"), Some("accel_x"));
+        assert!(e.child("nope").is_none());
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("x");
+        e.set_attr("k", "1");
+        e.set_attr("k", "2");
+        assert_eq!(e.attr("k"), Some("2"));
+        assert_eq!(e.attrs().count(), 1);
+    }
+
+    #[test]
+    fn attr_parse_success_and_failures() {
+        let e = Element::new("op").with_attr("cost_us", "250");
+        assert_eq!(e.attr_parse::<u64>("cost_us"), Ok(250));
+        assert!(e.attr_parse::<u64>("nope").unwrap_err().contains("missing"));
+        let bad = Element::new("op").with_attr("cost_us", "abc");
+        assert!(bad
+            .attr_parse::<u64>("cost_us")
+            .unwrap_err()
+            .contains("unparseable"));
+    }
+
+    #[test]
+    fn text_concatenates_and_trims() {
+        let e = Element::new("d")
+            .with_text("  hello ")
+            .with_child(Element::new("b"))
+            .with_text("world  ");
+        assert_eq!(e.text(), "hello world");
+    }
+
+    #[test]
+    fn node_accessors() {
+        let el = Node::Element(Element::new("a"));
+        let tx = Node::Text("t".into());
+        assert!(el.as_element().is_some());
+        assert!(el.as_text().is_none());
+        assert_eq!(tx.as_text(), Some("t"));
+        assert!(tx.as_element().is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for XML parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing an XML document.
+///
+/// Carries the 1-based line and column of the offending input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    line: u32,
+    column: u32,
+    message: String,
+}
+
+impl XmlError {
+    pub(crate) fn new(line: u32, column: u32, message: impl Into<String>) -> Self {
+        XmlError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+
+    /// The error description, without position information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.message, self.line, self.column
+        )
+    }
+}
+
+impl Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(3, 14, "unexpected end of input");
+        assert_eq!(
+            e.to_string(),
+            "unexpected end of input at line 3, column 14"
+        );
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 14);
+        assert_eq!(e.message(), "unexpected end of input");
+    }
+}

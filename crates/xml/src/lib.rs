@@ -1,0 +1,43 @@
+//! # aorta-xml — minimal XML subset for Aorta profiles
+//!
+//! The paper stores all device metadata as XML text files: per-device-type
+//! catalogs, `atomic_operation_cost.xml` cost tables, and per-action
+//! *action profiles* used by the cost-based optimizer. This crate implements
+//! the substrate from scratch (no external dependencies): a lexer/parser,
+//! a small DOM ([`Document`] / [`Element`]), and a pretty-printing writer.
+//!
+//! ## Supported subset
+//!
+//! * elements with attributes (single- or double-quoted),
+//! * text content with the five predefined entities
+//!   (`&lt; &gt; &amp; &quot; &apos;`) and decimal/hex character references,
+//! * comments (`<!-- … -->`) and an optional XML declaration (`<?xml … ?>`),
+//! * self-closing tags.
+//!
+//! Not supported (not needed by any profile): DTDs, namespaces, CDATA,
+//! processing instructions other than the declaration.
+//!
+//! # Example
+//!
+//! ```
+//! use aorta_xml::{Document, Element};
+//!
+//! let doc = Document::parse(r#"<costs device="camera">
+//!     <op name="move_head" cost_us="1000"/>
+//! </costs>"#)?;
+//! assert_eq!(doc.root().attr("device"), Some("camera"));
+//! let op = doc.root().child("op").unwrap();
+//! assert_eq!(op.attr("name"), Some("move_head"));
+//! # Ok::<(), aorta_xml::XmlError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dom;
+mod error;
+mod parser;
+mod writer;
+
+pub use dom::{Document, Element, Node};
+pub use error::XmlError;
+pub use writer::{escape_attr, escape_text};

@@ -1,0 +1,412 @@
+//! Recursive-descent parser for the supported XML subset.
+
+use crate::dom::{Document, Element, Node};
+use crate::XmlError;
+
+pub(crate) struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    pub(crate) fn parse_document(mut self) -> Result<Document, XmlError> {
+        self.skip_prolog()?;
+        let root = self.parse_element()?;
+        self.skip_misc()?;
+        if self.pos < self.input.len() {
+            return Err(self.err("trailing content after root element"));
+        }
+        Ok(Document::new(root))
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError::new(self.line, self.column, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.input.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(b) if b == expected => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.err(format!(
+                "expected '{}', found '{}'",
+                expected as char, b as char
+            ))),
+            None => Err(self.err(format!(
+                "expected '{}', found end of input",
+                expected as char
+            ))),
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Skips the optional XML declaration, comments and whitespace before the
+    /// root element.
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            while !self.starts_with("?>") {
+                if self.bump().is_none() {
+                    return Err(self.err("unterminated XML declaration"));
+                }
+            }
+            self.bump();
+            self.bump();
+        }
+        self.skip_misc()
+    }
+
+    /// Skips whitespace and comments.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        debug_assert!(self.starts_with("<!--"));
+        for _ in 0..4 {
+            self.bump();
+        }
+        while !self.starts_with("-->") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated comment"));
+            }
+        }
+        for _ in 0..3 {
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let mut name = String::new();
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                name.push(b as char);
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while let Some(b) = self.peek() {
+            if is_name_char(b) {
+                name.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        self.eat(b'<')?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name.clone());
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    self.eat(b'>')?;
+                    return Ok(element);
+                }
+                Some(b) if is_name_start(b) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    self.eat(b'=')?;
+                    self.skip_ws();
+                    let value = self.parse_quoted()?;
+                    if element.attr(&key).is_some() {
+                        return Err(self.err(format!("duplicate attribute '{key}'")));
+                    }
+                    element.set_attr(key, value);
+                }
+                Some(b) => {
+                    return Err(self.err(format!("unexpected '{}' in tag", b as char)));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("</") {
+                self.bump();
+                self.bump();
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!(
+                        "mismatched closing tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                self.eat(b'>')?;
+                return Ok(element);
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.push_child(Node::Element(child));
+            } else if self.peek().is_some() {
+                let text = self.parse_text()?;
+                if !text.trim().is_empty() {
+                    element.push_child(Node::Text(text));
+                }
+            } else {
+                return Err(self.err(format!("unexpected end of input inside <{name}>")));
+            }
+        }
+    }
+
+    fn parse_quoted(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b) if b == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(b'<') => return Err(self.err("'<' is not allowed in attribute values")),
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through byte by byte.
+                    out.push_str(&self.take_utf8_char()?);
+                }
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'<') | None => return Ok(out),
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(_) => out.push_str(&self.take_utf8_char()?),
+            }
+        }
+    }
+
+    /// Consumes one complete UTF-8 scalar starting at the current position.
+    fn take_utf8_char(&mut self) -> Result<String, XmlError> {
+        let first = self.peek().expect("caller checked non-empty");
+        let len = match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            0xF0..=0xF7 => 4,
+            _ => return Err(self.err("invalid UTF-8 byte")),
+        };
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            match self.peek_at(i) {
+                Some(b) => bytes.push(b),
+                None => return Err(self.err("truncated UTF-8 sequence")),
+            }
+        }
+        let s = std::str::from_utf8(&bytes)
+            .map_err(|_| self.err("invalid UTF-8 sequence"))?
+            .to_string();
+        for _ in 0..len {
+            self.bump();
+        }
+        Ok(s)
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.bump();
+        let mut body = String::new();
+        loop {
+            match self.bump() {
+                Some(b';') => break,
+                Some(b) if body.len() < 10 => body.push(b as char),
+                Some(_) => return Err(self.err("entity reference too long")),
+                None => return Err(self.err("unterminated entity reference")),
+            }
+        }
+        match body.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                u32::from_str_radix(&body[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| self.err(format!("invalid character reference '&{body};'")))
+            }
+            _ if body.starts_with('#') => body[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| self.err(format!("invalid character reference '&{body};'"))),
+            _ => Err(self.err(format!("unknown entity '&{body};'"))),
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Document, XmlError};
+
+    fn parse(s: &str) -> Result<Document, XmlError> {
+        Document::parse(s)
+    }
+
+    #[test]
+    fn minimal_element() {
+        let d = parse("<a/>").unwrap();
+        assert_eq!(d.root().name(), "a");
+        assert!(d.root().is_empty());
+    }
+
+    #[test]
+    fn declaration_comments_and_whitespace() {
+        let d = parse(
+            "<?xml version=\"1.0\"?>\n<!-- device catalog -->\n<catalog>\n  <!-- inner -->\n</catalog>\n<!-- tail -->\n",
+        )
+        .unwrap();
+        assert_eq!(d.root().name(), "catalog");
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let d = parse(r#"<op name="pan" speed='100'/>"#).unwrap();
+        assert_eq!(d.root().attr("name"), Some("pan"));
+        assert_eq!(d.root().attr("speed"), Some("100"));
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let d = parse("<a><b>hello</b><b>world</b><c/></a>").unwrap();
+        let bs: Vec<String> = d.root().children_named("b").map(|e| e.text()).collect();
+        assert_eq!(bs, ["hello", "world"]);
+        assert!(d.root().child("c").is_some());
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let d = parse(r#"<m v="a&amp;b&lt;c">x &gt; y &#65; &#x42;</m>"#).unwrap();
+        assert_eq!(d.root().attr("v"), Some("a&b<c"));
+        assert_eq!(d.root().text(), "x > y A B");
+    }
+
+    #[test]
+    fn unicode_text() {
+        let d = parse("<m>温度 café</m>").unwrap();
+        assert_eq!(d.root().text(), "温度 café");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message().contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse(r#"<a k="1" k="2"/>"#).unwrap_err();
+        assert!(err.message().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse("<a/>junk").unwrap_err();
+        assert!(err.message().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_inputs_rejected() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a foo=\"bar").is_err());
+        assert!(parse("<!-- no end").is_err());
+        assert!(parse("<a>&nosuch;</a>").is_err());
+        assert!(parse("<a>&#xZZ;</a>").is_err());
+    }
+
+    #[test]
+    fn error_position_is_tracked() {
+        let err = parse("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.line(), 3, "{err}");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let d = parse("<a>\n   \n  <b/>\n</a>").unwrap();
+        assert_eq!(d.root().nodes().count(), 1);
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        assert!(parse(r#"<a v="<"/>"#).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Pretty-printing serializer.
+
+use crate::dom::{Element, Node};
+
+/// Escapes text content: `& < >`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(aorta_xml::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values: `& < > " '`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(aorta_xml::escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+/// ```
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+pub(crate) fn write_element(out: &mut String, e: &Element, depth: usize, pretty: bool) {
+    let indent = if pretty {
+        "  ".repeat(depth)
+    } else {
+        String::new()
+    };
+    out.push_str(&indent);
+    out.push('<');
+    out.push_str(e.name());
+    for (k, v) in e.attrs() {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+
+    let nodes: Vec<&Node> = e.nodes().collect();
+    if nodes.is_empty() {
+        out.push_str("/>");
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+
+    // Text-only elements render inline: <name>text</name>.
+    let text_only = nodes.iter().all(|n| matches!(n, Node::Text(_)));
+    out.push('>');
+    if text_only {
+        for n in nodes {
+            if let Node::Text(t) = n {
+                out.push_str(&escape_text(t));
+            }
+        }
+    } else {
+        if pretty {
+            out.push('\n');
+        }
+        for n in nodes {
+            match n {
+                Node::Element(child) => write_element(out, child, depth + 1, pretty),
+                Node::Text(t) => {
+                    if pretty {
+                        out.push_str(&"  ".repeat(depth + 1));
+                    }
+                    out.push_str(&escape_text(t));
+                    if pretty {
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out.push_str(&indent);
+    }
+    out.push_str("</");
+    out.push_str(e.name());
+    out.push('>');
+    if pretty {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Document, Element};
+    use proptest::prelude::*;
+
+    #[test]
+    fn self_closing_and_inline_text() {
+        let e = Element::new("costs")
+            .with_child(Element::new("op").with_attr("name", "pan"))
+            .with_child(Element::new("note").with_text("hi"));
+        let s = e.to_pretty_string();
+        assert!(s.contains("<op name=\"pan\"/>"), "{s}");
+        assert!(s.contains("<note>hi</note>"), "{s}");
+    }
+
+    #[test]
+    fn escaping_round_trip() {
+        let e = Element::new("m")
+            .with_attr("v", "a&b\"c'd<e>f")
+            .with_text("x < y & z");
+        let doc = Document::new(e.clone());
+        let reparsed = Document::parse(&doc.to_pretty_string()).unwrap();
+        assert_eq!(reparsed.root().attr("v"), Some("a&b\"c'd<e>f"));
+        assert_eq!(reparsed.root().text(), "x < y & z");
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let doc = Document::new(Element::new("root"));
+        assert!(doc.to_pretty_string().starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn nested_structure_round_trip() {
+        let e = Element::new("catalog")
+            .with_attr("device", "sensor")
+            .with_child(
+                Element::new("attrs")
+                    .with_child(Element::new("attr").with_attr("name", "accel_x"))
+                    .with_child(Element::new("attr").with_attr("name", "temp")),
+            );
+        let doc = Document::new(e.clone());
+        let reparsed = Document::parse(&doc.to_pretty_string()).unwrap();
+        assert_eq!(reparsed.root(), &e);
+    }
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+    }
+
+    fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+        let leaf = (
+            arb_name(),
+            proptest::collection::vec((arb_name(), ".*{0,20}"), 0..4),
+        )
+            .prop_map(|(name, attrs)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                e
+            });
+        if depth == 0 {
+            leaf.boxed()
+        } else {
+            (
+                leaf,
+                proptest::collection::vec(arb_element(depth - 1), 0..3),
+            )
+                .prop_map(|(mut e, kids)| {
+                    for k in kids {
+                        e = e.with_child(k);
+                    }
+                    e
+                })
+                .boxed()
+        }
+    }
+
+    proptest! {
+        /// Serialize → parse is the identity on arbitrary element trees.
+        #[test]
+        fn prop_round_trip(e in arb_element(3)) {
+            let doc = Document::new(e.clone());
+            let text = doc.to_pretty_string();
+            let reparsed = Document::parse(&text).unwrap();
+            prop_assert_eq!(reparsed.root(), &e);
+        }
+
+        #[test]
+        fn prop_escape_text_never_contains_specials(s in ".*{0,64}") {
+            let esc = crate::escape_text(&s);
+            prop_assert!(!esc.contains('<'));
+            // '&' may only appear as part of an entity.
+            for (i, c) in esc.char_indices() {
+                if c == '&' {
+                    prop_assert!(esc[i..].starts_with("&amp;")
+                        || esc[i..].starts_with("&lt;")
+                        || esc[i..].starts_with("&gt;"));
+                }
+            }
+        }
+    }
+}

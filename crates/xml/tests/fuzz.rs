@@ -1,0 +1,40 @@
+//! Robustness: the XML parser must never panic, whatever bytes arrive —
+//! profiles are administrator-edited text files, so garbage input is a
+//! normal condition that must yield an error, not a crash.
+
+use proptest::prelude::*;
+
+use aorta_xml::Document;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary unicode input: parse returns Ok or Err, never panics.
+    #[test]
+    fn prop_parse_never_panics(s in ".{0,300}") {
+        let _ = Document::parse(&s);
+    }
+
+    /// Near-XML input (angle brackets, quotes, ampersands in the mix).
+    #[test]
+    fn prop_parse_never_panics_on_near_xml(s in r#"[<>/="'&; a-z0-9!?-]{0,200}"#) {
+        let _ = Document::parse(&s);
+    }
+
+    /// Mutated valid documents: flip a slice out of a real catalog.
+    #[test]
+    fn prop_parse_survives_truncation(cut in 0usize..400) {
+        let valid = r#"<?xml version="1.0"?>
+<device_catalog device="sensor">
+  <attribute name="accel_x" type="INT" category="sensory"/>
+  <attribute name="loc" type="LOCATION" category="non_sensory"/>
+</device_catalog>"#;
+        let cut = cut.min(valid.len());
+        // Truncate at a char boundary.
+        let mut end = cut;
+        while !valid.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = Document::parse(&valid[..end]);
+    }
+}

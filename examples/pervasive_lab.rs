@@ -1,0 +1,61 @@
+//! The §6.2 monitoring application: ten snapshot queries (one per mote)
+//! over two cameras, run with and without device synchronization, showing
+//! the interference failures locking eliminates.
+//!
+//! ```text
+//! cargo run --example pervasive_lab
+//! ```
+
+use aorta::{Aorta, EngineConfig};
+use aorta_device::PervasiveLab;
+use aorta_sim::SimDuration;
+
+fn run(label: &str, sync: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let lab =
+        PervasiveLab::standard().with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let config = if sync {
+        EngineConfig::seeded(500)
+    } else {
+        EngineConfig::seeded(500).without_sync()
+    };
+    let mut aorta = Aorta::with_lab(config, lab);
+
+    // "a photo of Mote i's location was required to be taken by the i-th
+    // query every minute (1 ≤ i ≤ 10)" — §6.2.
+    for i in 0..10 {
+        aorta.execute_sql(&format!(
+            r#"CREATE AQ snapshot_{i} AS
+               SELECT photo(c.ip, s.loc, "photos/admin")
+               FROM sensor s, camera c
+               WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+        ))?;
+    }
+
+    aorta.run_for(SimDuration::from_mins(10));
+    aorta.run_for(SimDuration::from_secs(30)); // let in-flight photos settle
+
+    let stats = aorta.stats();
+    println!("--- {label} ---");
+    println!("  requests:          {}", stats.requests);
+    println!("  photos ok:         {}", stats.photos_ok);
+    println!("  blurred photos:    {}", stats.photos_blurred);
+    println!("  wrong positions:   {}", stats.photos_wrong);
+    println!("  connect timeouts:  {}", stats.connect_failures);
+    println!("  busy rejections:   {}", stats.busy_rejections);
+    println!(
+        "  failure rate:      {:.1}%",
+        stats.failure_rate().unwrap_or(0.0) * 100.0
+    );
+    println!("  lock acquisitions: {}", stats.lock_acquisitions);
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Reproducing §6.2: effects of device synchronization\n");
+    run("without locking (interference)", false)?;
+    run("with locking", true)?;
+    println!("The paper reports >50% failures without synchronization and");
+    println!("~10% with it (residual failures from the heavy two-camera load).");
+    Ok(())
+}

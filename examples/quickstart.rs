@@ -1,0 +1,69 @@
+//! Quickstart: register the paper's snapshot query and watch it take
+//! photos in response to sensor events.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use aorta::{Aorta, EngineConfig};
+use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
+use aorta_sim::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's pervasive lab: two ceiling-mounted PTZ cameras, ten
+    // MICA2-class motes at places of interest, one manager phone. Mote
+    // events (acceleration spikes) fire once a minute, staggered.
+    let lab = PervasiveLab::standard()
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::from_secs(5));
+    let mut aorta = Aorta::with_lab(EngineConfig::seeded(42), lab);
+
+    // The example action-embedded query of §2.2, verbatim.
+    let outputs = aorta.execute_sql(
+        r#"CREATE AQ snapshot AS
+           SELECT photo(c.ip, s.loc, "photos/admin")
+           FROM sensor s, camera c
+           WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+    )?;
+    println!("registered: {outputs:?}");
+
+    // Show the plan the optimizer built (actions are first-class operators).
+    let plan = aorta.execute_sql(
+        r#"EXPLAIN SELECT photo(c.ip, s.loc, "photos/admin")
+           FROM sensor s, camera c
+           WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+    )?;
+    if let aorta::engine::ExecOutput::Plan(text) = &plan[0] {
+        println!("\nquery plan:\n{text}");
+    }
+
+    // Run five simulated minutes.
+    aorta.run_for(SimDuration::from_mins(5));
+
+    let stats = aorta.stats();
+    println!("after 5 simulated minutes:");
+    println!("  events detected:   {}", stats.events_detected);
+    println!("  action requests:   {}", stats.requests);
+    println!("  photos ok:         {}", stats.photos_ok);
+    println!("  failures:          {}", stats.failures());
+    println!(
+        "  probes (timeouts): {} ({})",
+        stats.probes, stats.probe_timeouts
+    );
+    println!("  lock acquisitions: {}", stats.lock_acquisitions);
+
+    // Peek at what each camera shot.
+    for i in 0..2 {
+        let cam = aorta
+            .registry()
+            .get(DeviceId::new(DeviceKind::Camera, i))
+            .expect("standard lab has two cameras");
+        if let Some(cam) = cam.sim.as_camera() {
+            println!(
+                "  camera-{i}: {} photos, head now at {}",
+                cam.photos().len(),
+                cam.rest_position()
+            );
+        }
+    }
+    Ok(())
+}

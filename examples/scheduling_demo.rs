@@ -1,0 +1,53 @@
+//! The action-workload-scheduling study (§5/§6.3) in miniature: build a
+//! photo workload over a ring of cameras and compare all five algorithms,
+//! printing the Figure 4-style makespan breakdown.
+//!
+//! ```text
+//! cargo run --release --example scheduling_demo [n_requests] [n_cameras]
+//! ```
+
+use aorta::sched::{run_algorithm, workload, Algorithm};
+use aorta_sim::{CpuModel, SimRng};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let m: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    println!("Scheduling {n} photo() requests over {m} cameras (uniform workload)\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "algorithm", "makespan(s)", "sched(s)", "service(s)", "ops"
+    );
+
+    let cpu = CpuModel::paper_notebook();
+    for alg in Algorithm::paper_lineup() {
+        // Average over ten seeded runs, like the paper.
+        let mut total = 0.0;
+        let mut sched = 0.0;
+        let mut service = 0.0;
+        let mut ops = 0u64;
+        const RUNS: u64 = 10;
+        for seed in 0..RUNS {
+            let (inst, model) = workload::uniform_targets(n, m, &mut SimRng::seed(90 + seed));
+            let mut rng = SimRng::seed(seed);
+            let r = run_algorithm(&alg, &inst, &model, &cpu, &mut rng);
+            total += r.total().as_secs_f64();
+            sched += r.sched_time.as_secs_f64();
+            service += r.service_makespan.as_secs_f64();
+            ops += r.ops;
+        }
+        println!(
+            "{:<14} {:>12.2} {:>12.3} {:>12.2} {:>10}",
+            alg.name(),
+            total / RUNS as f64,
+            sched / RUNS as f64,
+            service / RUNS as f64,
+            ops / RUNS
+        );
+    }
+
+    println!("\nExpected shape (paper Figure 4/5): RANDOM worst; LERFA+SRFE and");
+    println!("SRFAE beat LS and SA by ~20-40%; SA's scheduling time dominates its");
+    println!("makespan while the greedy algorithms' scheduling cost is negligible.");
+}

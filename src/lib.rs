@@ -1,0 +1,28 @@
+//! # Aorta — pervasive query processing
+//!
+//! Facade crate for the Aorta reproduction (Xue, Luo, Ni — *Systems Support
+//! for Pervasive Query Processing*, ICDCS 2005). Re-exports the public
+//! surface of each subsystem crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel,
+//! * [`xml`] — XML subset parser/writer for profiles,
+//! * [`data`] — relational data model (values, schemas, tuples),
+//! * [`device`] — simulated heterogeneous devices,
+//! * [`net`] — uniform data communication layer,
+//! * [`sql`] — declarative interface (`CREATE ACTION` / `CREATE AQ`),
+//! * [`sched`] — action workload scheduling algorithms,
+//! * [`engine`] — the action-oriented query processing engine.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use aorta_core as engine;
+pub use aorta_data as data;
+pub use aorta_device as device;
+pub use aorta_net as net;
+pub use aorta_sched as sched;
+pub use aorta_sim as sim;
+pub use aorta_sql as sql;
+pub use aorta_xml as xml;
+
+pub use aorta_core::{Aorta, EngineConfig};

@@ -1,0 +1,194 @@
+//! Failure-injection integration: the probing mechanism (§4) must exclude
+//! unreliable devices, and the engine must degrade gracefully rather than
+//! misbehave when hardware disappears.
+
+use aorta::{Aorta, EngineConfig};
+use aorta_device::{
+    Camera, CameraFailureModel, CoverageModel, DeviceId, DeviceKind, Mote, PervasiveLab, Phone,
+    SpikeModel,
+};
+use aorta_net::{DeviceRegistry, ProbeOutcome, Prober};
+use aorta_sim::{LinkModel, SimDuration, SimRng, SimTime};
+
+#[test]
+fn all_cameras_offline_yields_no_candidate_failures() {
+    let lab =
+        PervasiveLab::standard().with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut aorta = Aorta::with_lab(EngineConfig::seeded(1), lab);
+    aorta
+        .execute_sql(
+            r#"CREATE AQ q AS
+               SELECT photo(c.ip, s.loc, "p")
+               FROM sensor s, camera c
+               WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+        )
+        .unwrap();
+    aorta.registry_mut().set_online(DeviceId::camera(0), false);
+    aorta.registry_mut().set_online(DeviceId::camera(1), false);
+    aorta.run_for(SimDuration::from_mins(3));
+    let stats = aorta.stats();
+    assert!(stats.requests > 0);
+    assert_eq!(stats.executed, 0, "{stats:?}");
+    assert_eq!(stats.no_candidate, stats.requests, "{stats:?}");
+    assert_eq!(stats.photos_ok, 0);
+}
+
+#[test]
+fn flaky_camera_is_probed_out_but_good_one_serves() {
+    // Camera 0 never answers; camera 1 is perfect and covers everything.
+    let mut registry = DeviceRegistry::new();
+    registry.register(
+        Camera::ceiling_mounted(0, aorta_data::Location::new(2.0, 3.0, 3.0))
+            .with_failure(CameraFailureModel {
+                connect_loss: 1.0,
+                ..CameraFailureModel::reliable()
+            })
+            .into(),
+        SimTime::ZERO,
+    );
+    registry.register(
+        Camera::new(
+            1,
+            aorta_device::CameraSpec::axis_2130(),
+            aorta_data::Location::new(4.0, 3.0, 3.0),
+            90.0,
+            CameraFailureModel::reliable(),
+        )
+        .into(),
+        SimTime::ZERO,
+    );
+    registry.register(
+        Mote::new(0, aorta_data::Location::new(5.0, 4.0, 1.0), 1)
+            .with_per_hop_loss(0.0)
+            .with_spikes(SpikeModel::Periodic {
+                period: SimDuration::from_mins(1),
+                offset: SimDuration::ZERO,
+                width: SimDuration::from_secs(2),
+            })
+            .into(),
+        SimTime::ZERO,
+    );
+    let mut aorta = Aorta::with_registry(EngineConfig::seeded(2), registry);
+    aorta
+        .execute_sql(
+            r#"CREATE AQ q AS
+               SELECT photo(c.ip, s.loc, "p")
+               FROM sensor s, camera c
+               WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+        )
+        .unwrap();
+    aorta.run_for(SimDuration::from_mins(4));
+    aorta.run_for(SimDuration::from_secs(30));
+    let stats = aorta.stats();
+    assert!(stats.executed >= 3, "{stats:?}");
+    assert!(stats.probe_timeouts > 0, "dead camera must time out probes");
+    let cam0 = aorta.registry().get(DeviceId::camera(0)).unwrap();
+    assert!(cam0.sim.as_camera().unwrap().photos().is_empty());
+    let cam1 = aorta.registry().get(DeviceId::camera(1)).unwrap();
+    assert!(!cam1.sim.as_camera().unwrap().photos().is_empty());
+}
+
+#[test]
+fn deep_lossy_motes_degrade_scan_but_not_correctness() {
+    let mut registry = DeviceRegistry::new();
+    for i in 0..5 {
+        registry.register(
+            Mote::new(i, aorta_data::Location::new(i as f64, 1.0, 1.0), 5)
+                .with_per_hop_loss(0.35)
+                .into(),
+            SimTime::ZERO,
+        );
+    }
+    let scan = aorta_net::ScanOperator::new(DeviceKind::Sensor);
+    let mut rng = SimRng::seed(3);
+    let tuples = scan.run(&mut registry, SimTime::ZERO, &mut rng);
+    assert_eq!(tuples.len(), 5, "tuples exist even when sensory reads fail");
+    let schema = registry.schema(DeviceKind::Sensor).clone();
+    let accel_idx = schema.index_of("accel_x").unwrap();
+    let nulls = tuples
+        .iter()
+        .filter(|t| t.get(accel_idx) == Some(&aorta_data::Value::Null))
+        .count();
+    assert!(nulls > 0, "a 5-hop 35%-loss path must lose some reads");
+    for t in &tuples {
+        assert_eq!(schema.check(t), Ok(()), "NULLed tuples still type-check");
+    }
+}
+
+#[test]
+fn out_of_coverage_phone_fails_probe_and_delivery() {
+    let mut registry = DeviceRegistry::new();
+    registry.register(
+        Phone::new(0, "852-5555-0000")
+            .with_coverage(CoverageModel {
+                p_drop: 1.0,
+                p_regain: 0.0,
+                epoch: SimDuration::from_secs(1),
+            })
+            .into(),
+        SimTime::ZERO,
+    );
+    let mut prober = Prober::new();
+    let mut rng = SimRng::seed(4);
+    // After a few epochs the phone has dropped out for good.
+    let t = SimTime::ZERO + SimDuration::from_secs(10);
+    assert_eq!(
+        prober.probe(&mut registry, DeviceId::phone(0), t, &mut rng),
+        ProbeOutcome::TimedOut
+    );
+}
+
+#[test]
+fn probe_timeout_configuration_is_respected() {
+    let mut registry = DeviceRegistry::from_lab(PervasiveLab::standard().with_reliable_cameras());
+    // Make the camera link slower than the configured timeout.
+    registry.set_link(
+        DeviceKind::Camera,
+        LinkModel::new(SimDuration::from_secs(2), SimDuration::ZERO, 0.0),
+    );
+    registry.set_probe_timeout(DeviceKind::Camera, SimDuration::from_secs(1));
+    let mut prober = Prober::new();
+    let mut rng = SimRng::seed(5);
+    assert_eq!(
+        prober.probe(&mut registry, DeviceId::camera(0), SimTime::ZERO, &mut rng),
+        ProbeOutcome::TimedOut
+    );
+    // Relaxing the timeout lets the probe succeed.
+    registry.set_probe_timeout(DeviceKind::Camera, SimDuration::from_secs(10));
+    assert!(prober
+        .probe(&mut registry, DeviceId::camera(0), SimTime::ZERO, &mut rng)
+        .is_available());
+}
+
+#[test]
+fn engine_survives_every_device_leaving_mid_run() {
+    let lab =
+        PervasiveLab::standard().with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut aorta = Aorta::with_lab(EngineConfig::seeded(6), lab);
+    aorta
+        .execute_sql(
+            r#"CREATE AQ q AS
+               SELECT photo(c.ip, s.loc, "p")
+               FROM sensor s, camera c
+               WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+        )
+        .unwrap();
+    aorta.run_for(SimDuration::from_secs(90));
+    let ids: Vec<DeviceId> = aorta
+        .registry()
+        .of_kind(DeviceKind::Sensor)
+        .map(|e| e.sim.id())
+        .chain(
+            aorta
+                .registry()
+                .of_kind(DeviceKind::Camera)
+                .map(|e| e.sim.id()),
+        )
+        .collect();
+    for id in ids {
+        aorta.registry_mut().unregister(id);
+    }
+    // The engine keeps ticking with an empty network.
+    aorta.run_for(SimDuration::from_mins(2));
+    assert_eq!(aorta.registry().ids_of_kind(DeviceKind::Sensor).len(), 0);
+}

@@ -1,0 +1,86 @@
+//! Profile round trips across crates: device catalogs, atomic-operation
+//! cost tables and action profiles all survive their XML representation and
+//! drive consistent behaviour on both ends.
+
+use aorta::engine::{estimate_action_cost, ActionProfile, CostContext};
+use aorta::xml::Document;
+use aorta_device::{
+    catalog_for, parse_catalog, CameraSpec, DeviceKind, OpCostTable, PhotoSize, PtzPosition,
+};
+use aorta_net::DeviceRegistry;
+use aorta_sim::SimDuration;
+
+#[test]
+fn registry_schemas_come_from_parsed_catalogs() {
+    let registry = DeviceRegistry::new();
+    for kind in DeviceKind::ALL {
+        let direct = parse_catalog(&catalog_for(kind)).expect("catalog parses");
+        assert_eq!(registry.schema(kind), &direct, "{kind}");
+    }
+}
+
+#[test]
+fn cost_tables_round_trip_and_match_simulator() {
+    for kind in DeviceKind::ALL {
+        let table = OpCostTable::defaults_for(kind);
+        let reparsed = OpCostTable::from_xml(&table.to_xml()).expect("valid XML");
+        assert_eq!(reparsed, table, "{kind}");
+    }
+    // The camera table's rated entries reproduce the kinematic photo cost.
+    let table = OpCostTable::defaults_for(DeviceKind::Camera);
+    let spec = CameraSpec::axis_2130();
+    let from = PtzPosition::new(-100.0, -50.0, 0.1);
+    let to = PtzPosition::new(60.0, 0.0, 0.9);
+    let est = estimate_action_cost(
+        &ActionProfile::photo(),
+        &table,
+        &CostContext::camera(from, to),
+    )
+    .expect("profile estimates");
+    let truth = spec.photo_time(&from, &to, PhotoSize::Medium);
+    let diff = est.max(truth) - est.min(truth);
+    assert!(diff <= SimDuration::from_micros(3), "{est} vs {truth}");
+}
+
+#[test]
+fn action_profiles_round_trip_through_xml() {
+    for profile in [
+        ActionProfile::photo(),
+        ActionProfile::sendphoto(),
+        ActionProfile::beep(),
+    ] {
+        let xml = profile.to_xml();
+        // The XML parses as a plain document too (well-formedness).
+        Document::parse(&xml).expect("well-formed profile XML");
+        let back = ActionProfile::from_xml(&xml).expect("profile parses");
+        assert_eq!(back, profile);
+    }
+}
+
+#[test]
+fn parsed_profile_estimates_like_the_original() {
+    let profile = ActionProfile::photo();
+    let reparsed = ActionProfile::from_xml(&profile.to_xml()).unwrap();
+    let table = OpCostTable::defaults_for(DeviceKind::Camera);
+    let ctx = CostContext::camera(
+        PtzPosition::new(-30.0, 5.0, 0.0),
+        PtzPosition::new(140.0, -60.0, 1.0),
+    );
+    assert_eq!(
+        estimate_action_cost(&profile, &table, &ctx).unwrap(),
+        estimate_action_cost(&reparsed, &table, &ctx).unwrap()
+    );
+}
+
+#[test]
+fn catalog_xml_is_administrator_editable() {
+    // An administrator adds an attribute to the sensor catalog; the parsed
+    // schema picks it up.
+    let xml = catalog_for(DeviceKind::Sensor).replace(
+        "</device_catalog>",
+        r#"<attribute name="humidity" type="FLOAT" category="sensory" acquire="builtin::sensor::read_humidity"/></device_catalog>"#,
+    );
+    let schema = parse_catalog(&xml).expect("extended catalog parses");
+    assert!(schema.index_of("humidity").is_some());
+    assert_eq!(schema.len(), 9);
+}

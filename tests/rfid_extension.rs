@@ -1,0 +1,132 @@
+//! The §8 future-work extension, end to end: a *fourth* device type (RFID
+//! portal readers) registered through the same communication layer —
+//! catalog, cost table, probe, scan, and SQL — with zero engine changes.
+
+use aorta::{Aorta, EngineConfig};
+use aorta_data::Location;
+use aorta_device::{
+    catalog_for, parse_catalog, Camera, CameraFailureModel, CameraSpec, DeviceId, DeviceKind,
+    OpCostTable, RfidReader, TagSchedule,
+};
+use aorta_net::{DeviceRegistry, ProbeOutcome, Prober, ScanOperator};
+use aorta_sim::{SimDuration, SimRng, SimTime};
+
+fn portal_registry() -> DeviceRegistry {
+    let mut registry = DeviceRegistry::new();
+    registry.register(
+        Camera::new(
+            0,
+            CameraSpec::axis_2130(),
+            Location::new(4.0, 3.0, 3.0),
+            90.0,
+            CameraFailureModel::reliable(),
+        )
+        .into(),
+        SimTime::ZERO,
+    );
+    registry.register(
+        RfidReader::new(0, Location::new(5.0, 4.0, 1.2))
+            .with_miss_prob(0.0)
+            .with_schedule(TagSchedule::Periodic {
+                period: SimDuration::from_mins(1),
+                offset: SimDuration::from_secs(5),
+                dwell: SimDuration::from_secs(3),
+            })
+            .into(),
+        SimTime::ZERO,
+    );
+    registry
+}
+
+#[test]
+fn rfid_profiles_flow_through_the_same_formats() {
+    // Catalog XML round-trips like the original three kinds.
+    let xml = catalog_for(DeviceKind::Rfid);
+    let schema = parse_catalog(&xml).expect("rfid catalog parses");
+    assert_eq!(schema.table(), "rfid");
+    assert!(schema.index_of("tag_count").is_some());
+    // Cost table too.
+    let table = OpCostTable::defaults_for(DeviceKind::Rfid);
+    let back = OpCostTable::from_xml(&table.to_xml()).expect("rfid cost table parses");
+    assert_eq!(back, table);
+    assert!(table.get("write_tag").is_some());
+}
+
+#[test]
+fn rfid_scan_and_probe_work_like_any_device() {
+    let mut registry = portal_registry();
+    let mut rng = SimRng::seed(1);
+    // Probe during a tag window.
+    let t = SimTime::ZERO + SimDuration::from_secs(6);
+    let mut prober = Prober::new();
+    let outcome = prober.probe(
+        &mut registry,
+        DeviceId::new(DeviceKind::Rfid, 0),
+        t,
+        &mut rng,
+    );
+    match outcome {
+        ProbeOutcome::Available { status, .. } => {
+            assert_eq!(status.to_string(), "1 tags in field");
+        }
+        other => panic!("probe failed: {other:?}"),
+    }
+    // Scan the virtual rfid table.
+    let scan = ScanOperator::new(DeviceKind::Rfid);
+    let tuples = scan.run(&mut registry, t, &mut rng);
+    assert_eq!(tuples.len(), 1);
+    let schema = registry.schema(DeviceKind::Rfid).clone();
+    assert_eq!(schema.check(&tuples[0]), Ok(()));
+    let count_idx = schema.index_of("tag_count").unwrap();
+    assert_eq!(tuples[0].get(count_idx).and_then(|v| v.as_i64()), Some(1));
+    let tag_idx = schema.index_of("last_tag").unwrap();
+    assert_eq!(
+        tuples[0].get(tag_idx).and_then(|v| v.as_str()),
+        Some("tag-0-0")
+    );
+}
+
+#[test]
+fn rfid_events_trigger_camera_actions_via_sql() {
+    let mut aorta = Aorta::with_registry(EngineConfig::seeded(2), portal_registry());
+    // Photograph whoever carries a tag through the portal: the rfid table
+    // is an event source exactly like the sensor table.
+    aorta
+        .execute_sql(
+            r#"CREATE AQ portal_watch AS
+               SELECT photo(c.ip, r.loc, "photos/portal")
+               FROM rfid r, camera c
+               WHERE r.tag_count > 0 AND coverage(c.id, r.loc)"#,
+        )
+        .expect("rfid queries validate against the generated catalog");
+    aorta.run_for(SimDuration::from_mins(3));
+    aorta.run_for(SimDuration::from_secs(10));
+    let stats = aorta.stats();
+    assert!(stats.events_detected >= 3, "{stats:?}");
+    assert!(stats.photos_ok >= 2, "{stats:?}");
+    // The photos aim at the portal.
+    let cam = aorta
+        .registry()
+        .get(DeviceId::camera(0))
+        .unwrap()
+        .sim
+        .as_camera()
+        .unwrap();
+    let expected = cam.spec().clamp(cam.aim_at(&Location::new(5.0, 4.0, 1.2)));
+    for p in cam.photos() {
+        assert!((p.target.pan - expected.pan).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn mixed_fleet_select_spans_old_and_new_kinds() {
+    let mut aorta = Aorta::with_registry(EngineConfig::seeded(3), portal_registry());
+    let out = aorta
+        .execute_sql("SELECT r.id, r.loc, r.tag_count FROM rfid r")
+        .unwrap();
+    let aorta_core::ExecOutput::Rows(rows) = &out[0] else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].len(), 3);
+}

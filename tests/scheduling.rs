@@ -1,0 +1,148 @@
+//! Cross-crate scheduling integration: the §5 algorithms against the
+//! kinematic camera cost model, checked against the exact solver and
+//! first-principles bounds.
+
+use aorta::sched::{
+    algorithms::exhaustive_optimal, run_algorithm, workload, Algorithm, CostModel, SaConfig,
+};
+use aorta_data::Location;
+use aorta_device::{Camera, CameraFailureModel, PhotoSize};
+use aorta_sched::{CameraPhotoModel, Instance};
+use aorta_sim::{CpuModel, SimDuration, SimRng};
+
+fn small_instance(n: usize, m: usize, seed: u64) -> (Instance, CameraPhotoModel) {
+    let mut rng = SimRng::seed(seed);
+    let cameras: Vec<Camera> = (0..m)
+        .map(|i| {
+            Camera::ceiling_mounted(i as u32, Location::new(2.0 * i as f64, 3.0, 3.0))
+                .with_failure(CameraFailureModel::reliable())
+        })
+        .collect();
+    let targets: Vec<Location> = (0..n)
+        .map(|_| Location::new(rng.unit() * 8.0, rng.unit() * 6.0, 1.0))
+        .collect();
+    (
+        Instance::fully_eligible(n, m),
+        CameraPhotoModel::new(cameras, &targets, PhotoSize::Medium),
+    )
+}
+
+/// Every heuristic stays within a constant factor of the exact optimum on
+/// small instances.
+#[test]
+fn heuristics_near_optimal_on_small_instances() {
+    for seed in 0..5 {
+        let (inst, model) = small_instance(6, 2, 100 + seed);
+        let (_, optimal) = exhaustive_optimal(&inst, &model);
+        let cpu = CpuModel::instant();
+        for alg in [
+            Algorithm::LerfaSrfe,
+            Algorithm::Srfae,
+            Algorithm::Ls,
+            Algorithm::Sa(SaConfig::quick()),
+        ] {
+            let mut rng = SimRng::seed(seed);
+            let r = run_algorithm(&alg, &inst, &model, &cpu, &mut rng);
+            let ratio = r.service_makespan.as_secs_f64() / optimal.as_secs_f64();
+            assert!(
+                ratio < 2.0,
+                "{} is {ratio:.2}x optimal on seed {seed}",
+                alg.name()
+            );
+            assert!(
+                r.service_makespan + SimDuration::from_micros(2) >= optimal,
+                "{} beat the optimum?! {} < {optimal}",
+                alg.name(),
+                r.service_makespan
+            );
+        }
+    }
+}
+
+/// The makespan can never be smaller than total work divided by machine
+/// count, nor smaller than the cheapest single request.
+#[test]
+fn makespan_lower_bounds_hold() {
+    let cpu = CpuModel::instant();
+    for seed in 0..5 {
+        let (inst, model) = workload::uniform_targets(20, 10, &mut SimRng::seed(seed));
+        let min_cost = SimDuration::from_millis(360); // capture-only floor
+        for alg in Algorithm::paper_lineup() {
+            let alg = match alg {
+                Algorithm::Sa(_) => Algorithm::Sa(SaConfig::quick()),
+                a => a,
+            };
+            let mut rng = SimRng::seed(seed ^ 0xBEEF);
+            let r = run_algorithm(&alg, &inst, &model, &cpu, &mut rng);
+            assert!(r.service_makespan >= min_cost, "{}", alg.name());
+            let total_busy: SimDuration = r.per_device_busy.iter().copied().sum();
+            assert!(
+                r.service_makespan >= total_busy / 10,
+                "{}: makespan below mean device busy time",
+                alg.name()
+            );
+        }
+    }
+}
+
+/// Deterministic replay: the same seed gives bit-identical results across
+/// the whole pipeline.
+#[test]
+fn scheduling_is_deterministic() {
+    let cpu = CpuModel::paper_notebook();
+    for alg in Algorithm::paper_lineup() {
+        let run = |alg: &Algorithm| {
+            let (inst, model) = workload::uniform_targets(15, 5, &mut SimRng::seed(77));
+            let mut rng = SimRng::seed(78);
+            run_algorithm(alg, &inst, &model, &cpu, &mut rng)
+        };
+        let a = run(&alg);
+        let b = run(&alg);
+        assert_eq!(a, b, "{} must be deterministic", alg.name());
+    }
+}
+
+/// The §5.1 sequence-dependence premise: servicing spatially clustered
+/// targets consecutively is cheaper than alternating across the room.
+#[test]
+fn sequence_dependence_rewards_clustering() {
+    let cameras = vec![Camera::ceiling_mounted(0, Location::new(4.0, 3.0, 3.0))
+        .with_failure(CameraFailureModel::reliable())];
+    // Two clusters at opposite ends of the room.
+    let targets = vec![
+        Location::new(0.5, 0.5, 1.0),
+        Location::new(0.6, 0.7, 1.0),
+        Location::new(7.5, 5.5, 1.0),
+        Location::new(7.4, 5.3, 1.0),
+    ];
+    let model = CameraPhotoModel::new(cameras, &targets, PhotoSize::Medium);
+    let clustered = model.sequence_cost(0, &[0, 1, 2, 3]);
+    let alternating = model.sequence_cost(0, &[0, 2, 1, 3]);
+    assert!(
+        clustered < alternating,
+        "clustered {clustered} should beat alternating {alternating}"
+    );
+}
+
+/// Larger-scale smoke: 100 requests over 25 cameras, every algorithm
+/// completes everything and the proposed ones stay ahead.
+#[test]
+fn scales_to_larger_instances() {
+    let cpu = CpuModel::instant();
+    let (inst, model) = workload::uniform_targets(100, 25, &mut SimRng::seed(500));
+    let mut results = std::collections::BTreeMap::new();
+    for alg in [
+        Algorithm::LerfaSrfe,
+        Algorithm::Srfae,
+        Algorithm::Ls,
+        Algorithm::Random,
+    ] {
+        let mut rng = SimRng::seed(501);
+        let r = run_algorithm(&alg, &inst, &model, &cpu, &mut rng);
+        assert_eq!(r.completed, 100, "{}", alg.name());
+        results.insert(alg.name(), r.service_makespan);
+    }
+    assert!(results["LERFA + SRFE"] < results["RANDOM"]);
+    assert!(results["SRFAE"] < results["RANDOM"]);
+    assert!(results["LERFA + SRFE"] < results["LS"]);
+}

@@ -1,0 +1,79 @@
+//! Soak test: two simulated hours of a busy deployment — counters stay
+//! consistent, locks drain, photo outcomes account for every accepted
+//! command, and the virtual clock holds up over long horizons.
+
+use aorta::{Aorta, EngineConfig};
+use aorta_device::{DeviceKind, PervasiveLab};
+use aorta_sim::SimDuration;
+
+#[test]
+fn two_simulated_hours_stay_consistent() {
+    let lab = PervasiveLab::with_sizes(4, 20, 1)
+        .with_periodic_events(SimDuration::from_secs(90), SimDuration::from_secs(4));
+    let mut aorta = Aorta::with_lab(EngineConfig::seeded(2026), lab);
+    aorta.disable_trace();
+    aorta
+        .execute_sql(
+            r#"CREATE AQ watch AS
+               SELECT photo(c.ip, s.loc, "photos/soak")
+               FROM sensor s, camera c
+               WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+        )
+        .unwrap();
+    aorta
+        .execute_sql(
+            r#"CREATE AQ alert AS
+               SELECT sendphoto(p.number, "photos/soak/latest.jpg")
+               FROM sensor s, phone p
+               WHERE s.accel_x > 500 AND p.in_coverage = TRUE"#,
+        )
+        .unwrap();
+
+    aorta.run_for(SimDuration::from_mins(120));
+    // Drain: queued executions can start up to request_timeout (30 s) after
+    // their event and then run for seconds more.
+    aorta.run_for(SimDuration::from_mins(2));
+    let stats = aorta.stats();
+
+    // 20 motes × ~80 spikes over two hours, detected once per query
+    // (events_detected counts per-query rising edges), one request each.
+    assert!(stats.events_detected >= 1_000, "{stats:?}");
+    assert_eq!(stats.requests, stats.events_detected, "{stats:?}");
+
+    // Every request is accounted for exactly once — modulo the handful
+    // whose events fired in the final seconds and are still queued.
+    let accounted = stats.executed
+        + stats.connect_failures
+        + stats.busy_rejections
+        + stats.no_candidate
+        + stats.timed_out
+        + stats.out_of_range
+        + stats.action_errors;
+    let pending_tail = (stats.requests + stats.retries).saturating_sub(accounted);
+    assert!(pending_tail <= 10, "tail {pending_tail}: {stats:?}");
+
+    // Every accepted photo command produced a photo record with an outcome.
+    let photos = stats.photos_ok + stats.photos_blurred + stats.photos_wrong;
+    assert_eq!(
+        photos + stats.messages_delivered,
+        stats.executed,
+        "{stats:?}"
+    );
+
+    // With synchronization on, no interference outcomes even after hours.
+    assert_eq!(stats.photos_blurred + stats.photos_wrong, 0, "{stats:?}");
+
+    // All locks have drained by a minute after the last event.
+    let now = aorta.now();
+    for entry in aorta.registry().of_kind(DeviceKind::Camera) {
+        assert!(
+            !aorta.locks().is_locked(entry.sim.id(), now),
+            "{} still locked at {now}",
+            entry.sim.id()
+        );
+    }
+
+    // The engine stayed responsive: mean latency bounded.
+    let latency = stats.mean_action_latency.expect("work happened");
+    assert!(latency < SimDuration::from_secs(20), "{latency}");
+}
