@@ -1,0 +1,113 @@
+//! `Arbitrary` and [`any`] for the primitive types the workspace tests use.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy covering the whole domain.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for one primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Default for AnyPrimitive<T> {
+    fn default() -> Self {
+        AnyPrimitive {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive::default()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}
+
+macro_rules! impl_arbitrary_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Finite values spanning a wide magnitude range; NaN/inf would
+                // make most equality-based properties vacuous.
+                let mag = (rng.unit() * 2.0 - 1.0) * 1e9;
+                mag as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive::default()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_both_booleans() {
+        let mut rng = TestRng::seed(5);
+        let s = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(s.generate(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn any_i64_produces_negatives_and_positives() {
+        let mut rng = TestRng::seed(6);
+        let s = any::<i64>();
+        let vals: Vec<i64> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&v| v < 0));
+        assert!(vals.iter().any(|&v| v > 0));
+    }
+}

@@ -1,0 +1,166 @@
+//! A minimal, offline drop-in for the subset of `proptest` that the Aorta
+//! workspace uses.
+//!
+//! The container image has no crates.io access, so external dev-dependencies
+//! are vendored as purpose-built subsets under `crates/compat/`. This crate
+//! keeps the *API shape* of proptest 1.x for the features our tests exercise:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, doc comments
+//!   and `pattern in strategy` bindings,
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//!   tuple strategies, ranges, [`strategy::Just`], [`prop_oneof!`] unions,
+//! * [`collection::vec`], [`option::of`] / [`option::weighted`],
+//!   [`arbitrary::any`], and regex-subset string strategies (`"[a-z]{1,8}"`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. A failing case reports the generated inputs and the fixed
+//! per-test seed, which is enough to reproduce (generation is deterministic
+//! per test name, so reruns hit the same cases).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests (subset of proptest's macro).
+///
+/// Accepts an optional `#![proptest_config(expr)]` header and any number of
+/// `fn name(pattern in strategy, ...) { body }` items, each carrying its own
+/// attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                // Strategies are built once; generation is per case.
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let __value = $crate::strategy::Strategy::generate(&($strat), __rng);
+                        __inputs.push_str(&::std::format!(
+                            "{} = {:?}; ",
+                            stringify!($pat),
+                            &__value
+                        ));
+                        let $pat = __value;
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        )) {
+                            ::std::result::Result::Ok(r) => r,
+                            ::std::result::Result::Err(payload) => ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::from_panic(payload),
+                            ),
+                        };
+                    (__outcome, __inputs)
+                });
+            }
+        )*
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, reporting generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

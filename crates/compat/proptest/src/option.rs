@@ -1,0 +1,64 @@
+//! `Option` strategies (`option::of`, `option::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option`s of an inner strategy's values.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(self.some_probability) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` three quarters of the time (matches proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.75, inner)
+}
+
+/// `Some` with the given probability.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    assert!(
+        (0.0..=1.0).contains(&some_probability),
+        "probability {some_probability} out of [0, 1]"
+    );
+    OptionStrategy {
+        inner,
+        some_probability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_respects_probability_extremes() {
+        let mut rng = TestRng::seed(8);
+        let always = weighted(1.0, 0u8..10);
+        let never = weighted(0.0, 0u8..10);
+        for _ in 0..100 {
+            assert!(always.generate(&mut rng).is_some());
+            assert!(never.generate(&mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn of_produces_both_variants() {
+        let mut rng = TestRng::seed(9);
+        let s = of(0u8..10);
+        let vals: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().any(Option::is_none));
+    }
+}

@@ -1,0 +1,212 @@
+//! String generation from a small regex subset.
+//!
+//! Supports exactly the pattern features the workspace tests use: literal
+//! characters, `.`, character classes (`[a-z0-9_]`, ranges, literal `-` at
+//! either end), and the quantifiers `*`, `+`, `?`, `{m}`, `{m,n}`. A
+//! quantifier directly following a quantified atom (as in `.*{0,20}`) nests
+//! the repetition, matching how such patterns behave as generators.
+
+use crate::test_runner::TestRng;
+
+/// Characters generated for `.`: printable ASCII plus a few multi-byte code
+/// points to exercise UTF-8 paths. Deliberately excludes control characters
+/// (`\n`, `\t`, ...) so round-trip tests over line- or field-oriented formats
+/// stay meaningful.
+fn dot_chars() -> Vec<char> {
+    let mut out: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+    out.extend(['\u{00E9}', '\u{03BB}', '\u{4E16}', '\u{1F980}']);
+    out
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One character drawn uniformly from the set.
+    OneOf(Vec<char>),
+    /// The inner node repeated between `lo` and `hi` times (inclusive).
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Unbounded quantifiers (`*`, `+`) cap their repetition here; real proptest
+/// uses a similar soft bound rather than truly unbounded strings.
+const UNBOUNDED_CAP: usize = 8;
+
+fn parse(pattern: &str) -> Vec<Node> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                nodes.push(Node::OneOf(parse_class(&chars[i + 1..close], pattern)));
+                i = close + 1;
+            }
+            '.' => {
+                nodes.push(Node::OneOf(dot_chars()));
+                i += 1;
+            }
+            '*' => {
+                wrap_last(&mut nodes, 0, UNBOUNDED_CAP, pattern);
+                i += 1;
+            }
+            '+' => {
+                wrap_last(&mut nodes, 1, UNBOUNDED_CAP, pattern);
+                i += 1;
+            }
+            '?' => {
+                wrap_last(&mut nodes, 0, 1, pattern);
+                i += 1;
+            }
+            '{' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad quantifier lower bound"),
+                        hi.parse().expect("bad quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("bad quantifier count");
+                        (n, n)
+                    }
+                };
+                assert!(lo <= hi, "inverted quantifier in pattern {pattern:?}");
+                wrap_last(&mut nodes, lo, hi, pattern);
+                i = close + 1;
+            }
+            '\\' => {
+                let escaped = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                nodes.push(Node::OneOf(vec![escaped]));
+                i += 2;
+            }
+            c => {
+                nodes.push(Node::OneOf(vec![c]));
+                i += 1;
+            }
+        }
+    }
+    nodes
+}
+
+fn wrap_last(nodes: &mut Vec<Node>, lo: usize, hi: usize, pattern: &str) {
+    let last = nodes
+        .pop()
+        .unwrap_or_else(|| panic!("quantifier with nothing to repeat in pattern {pattern:?}"));
+    nodes.push(Node::Repeat(Box::new(last), lo, hi));
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` is a range unless `-` is the first or last character.
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            set.extend((lo..=hi).filter(|c| c.is_ascii() || *c as u32 <= 0x10FFFF));
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::OneOf(set) => out.push(set[rng.index(set.len())]),
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + rng.index(hi - lo + 1);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse(pattern);
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed(0xDEC0DE)
+    }
+
+    #[test]
+    fn identifier_pattern_shapes() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut r);
+            let chars: Vec<char> = s.chars().collect();
+            assert!((1..=9).contains(&chars.len()));
+            assert!(chars[0].is_ascii_lowercase());
+            assert!(chars[1..]
+                .iter()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_specials() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate("[a-z/._-]{1,16}", &mut r);
+            assert!((1..=16).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "/._-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_bounds_and_no_control_chars() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate(".{0,300}", &mut r);
+            assert!(s.chars().count() <= 300);
+            assert!(!s.chars().any(char::is_control));
+        }
+    }
+
+    #[test]
+    fn nested_quantifier_parses() {
+        let mut r = rng();
+        for _ in 0..100 {
+            // `.*` capped at 8 chars, repeated up to 20 times.
+            let s = generate(".*{0,20}", &mut r);
+            assert!(s.chars().count() <= 8 * 20);
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,12}", &mut r);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

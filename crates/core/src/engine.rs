@@ -4,9 +4,9 @@
 use std::collections::BTreeMap;
 
 use aorta_data::Tuple;
-use aorta_device::{DeviceKind, PervasiveLab};
+use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
 use aorta_net::{DeviceRegistry, Prober};
-use aorta_sim::{EventQueue, SimRng, SimTime, TraceBuffer};
+use aorta_sim::{EventQueue, FaultPlan, LinkModel, SimRng, SimTime, TraceBuffer};
 use aorta_sql::ast::{CreateAction, Select, Statement};
 
 use crate::actions::{ActionDef, ActionHandler, ActionProfile, CustomHandler};
@@ -54,6 +54,15 @@ pub struct Aorta {
     pub(crate) raw_stats: RawStats,
     /// Execution trace for debugging and tests (ring buffer).
     pub(crate) trace: TraceBuffer,
+    /// Injected fault schedule, interleaved with engine events by the clock.
+    pub(crate) faults: FaultPlan<DeviceId>,
+    /// Active loss bursts (extra per-message loss, summed while stacked).
+    pub(crate) loss_stack: Vec<f64>,
+    /// Active latency spikes (multiplicative factors on base latency).
+    pub(crate) latency_stack: Vec<f64>,
+    /// Per-kind link models as they were when faults were injected; bursts
+    /// are applied on top of these, never on already-degraded links.
+    pub(crate) baseline_links: BTreeMap<DeviceKind, LinkModel>,
     /// Custom handlers registered before their `CREATE ACTION` statement.
     staged_handlers: BTreeMap<String, CustomHandler>,
 }
@@ -88,8 +97,49 @@ impl Aorta {
             edge: BTreeMap::new(),
             raw_stats: RawStats::default(),
             trace: TraceBuffer::with_capacity(4096),
+            faults: FaultPlan::new(),
+            loss_stack: Vec::new(),
+            latency_stack: Vec::new(),
+            baseline_links: BTreeMap::new(),
             staged_handlers: BTreeMap::new(),
         }
+    }
+
+    /// Installs a fault schedule. As the clock advances, due faults are
+    /// applied *before* any engine event at the same or a later instant:
+    /// devices crash and recover, loss bursts and latency spikes degrade the
+    /// per-kind links. Every injected fault is recorded in the trace.
+    ///
+    /// The current per-kind link models are snapshotted as the baseline that
+    /// bursts degrade, so call this after any [`DeviceRegistry::set_link`]
+    /// customization.
+    pub fn inject_faults(&mut self, plan: FaultPlan<DeviceId>) {
+        self.baseline_links.clear();
+        for kind in DeviceKind::ALL {
+            self.baseline_links
+                .insert(kind, self.registry.link(kind).clone());
+        }
+        self.faults = plan;
+    }
+
+    /// Requests admitted but not yet terminally resolved: `Execute` events
+    /// still on the engine queue plus requests waiting in shared action
+    /// operators for the next dispatch epoch.
+    ///
+    /// Together with the terminal counters in [`crate::EngineStats`] this
+    /// accounts for every admitted request — nothing is silently lost.
+    pub fn pending_requests(&self) -> u64 {
+        let queued = self
+            .queue
+            .iter()
+            .filter(|(_, e)| matches!(e, EngineEvent::Execute { .. }))
+            .count() as u64;
+        let waiting: u64 = self
+            .operators
+            .values()
+            .map(|op| op.pending_len() as u64)
+            .sum();
+        queued + waiting
     }
 
     /// The engine's execution trace (probe timeouts, dispatch decisions,

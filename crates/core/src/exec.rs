@@ -17,7 +17,7 @@ use aorta_device::{
     DeviceId, DeviceKind, PhotoError, PhotoOutcome, PhotoSize, PhysicalStatus, PtzPosition,
 };
 use aorta_net::ScanOperator;
-use aorta_sim::{SimDuration, SimTime};
+use aorta_sim::{FaultEvent, LinkModel, SimDuration, SimTime};
 
 use crate::actions::{ActionDef, ActionHandler};
 use crate::cost::{estimate_action_cost, CostContext};
@@ -62,6 +62,8 @@ pub(crate) struct RawStats {
     pub latency_total_us: u64,
     pub latency_count: u64,
     pub retries: u64,
+    pub orphaned: u64,
+    pub partial_cost_us: u64,
 }
 
 /// A snapshot of engine statistics.
@@ -105,6 +107,11 @@ pub struct EngineStats {
     pub mean_action_latency: Option<SimDuration>,
     /// Failover retries dispatched after device-level failures.
     pub retries: u64,
+    /// Requests whose device crashed before execution and for which no
+    /// remaining candidate could take over.
+    pub orphaned: u64,
+    /// Virtual time of partially completed work lost to mid-action crashes.
+    pub partial_cost: SimDuration,
     /// Probes attempted.
     pub probes: u64,
     /// Probes that timed out.
@@ -124,6 +131,7 @@ impl EngineStats {
             + self.timed_out
             + self.out_of_range
             + self.action_errors
+            + self.orphaned
             + self.photos_blurred
             + self.photos_wrong
     }
@@ -141,17 +149,51 @@ impl EngineStats {
 impl Aorta {
     /// Advances the virtual clock to `deadline`, processing every engine
     /// event due on the way.
+    ///
+    /// Injected faults (see [`Aorta::inject_faults`]) are interleaved on the
+    /// same clock: a fault scheduled at or before the next engine event is
+    /// applied first, so a crash at `t` affects an execution at `t`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
+        loop {
+            let next_fault = self.faults.peek_next_time().filter(|&f| f <= deadline);
+            let next_event = self.queue.peek_time().filter(|&e| e <= deadline);
+            let fault_first = match (next_fault, next_event) {
+                (Some(f), Some(e)) => f <= e,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if fault_first {
+                let t = next_fault.expect("checked above");
+                self.now = t;
+                for (time, fault) in self.faults.pop_due(t) {
+                    self.apply_fault(time, fault);
+                }
+                continue;
             }
-            let (t, event) = self.queue.pop().expect("peeked above");
+            let Some(t) = next_event else { break };
+            let (t, event) = {
+                let popped = self.queue.pop().expect("peeked above");
+                debug_assert_eq!(popped.0, t);
+                popped
+            };
             self.now = t;
             match event {
                 EngineEvent::Sample => self.handle_sample(),
-                EngineEvent::Execute { request, device } => self.execute_request(&request, device),
+                EngineEvent::Execute { request, device } => {
+                    // A device that crashed since assignment orphans the
+                    // action: fail over instead of commanding a dead device.
+                    if self.registry.get(device).is_some_and(|e| !e.online) {
+                        self.handle_orphaned(&request, device);
+                    } else {
+                        self.execute_request(&request, device);
+                    }
+                }
             }
+        }
+        // Faults due before the deadline but after the last engine event.
+        for (time, fault) in self.faults.pop_due(deadline) {
+            self.now = time;
+            self.apply_fault(time, fault);
         }
         self.now = deadline;
     }
@@ -194,11 +236,153 @@ impl Aorta {
                 .checked_div(raw.latency_count)
                 .map(SimDuration::from_micros),
             retries: raw.retries,
+            orphaned: raw.orphaned,
+            partial_cost: SimDuration::from_micros(raw.partial_cost_us),
             probes: self.prober.probes_sent(),
             probe_timeouts: self.prober.timeouts(),
             lock_acquisitions: self.locks.acquisitions(),
             lock_conflicts: self.locks.conflicts(),
         }
+    }
+
+    // --- fault injection -----------------------------------------------------
+
+    fn apply_fault(&mut self, time: SimTime, fault: FaultEvent<DeviceId>) {
+        match fault {
+            FaultEvent::Crash(d) => {
+                if self.registry.get(d).is_none_or(|e| !e.online) {
+                    return; // unknown or already down
+                }
+                self.registry.set_online(d, false);
+                self.trace.emit(time, "fault", format!("{d} crashed"));
+                // A crash mid-photo loses the partial work done so far.
+                if let Some(cam) = self.registry.camera(d) {
+                    if cam.is_busy(time) {
+                        if let Some(p) = cam.photos().last() {
+                            let partial = time.saturating_duration_since(p.requested_at);
+                            self.raw_stats.partial_cost_us += partial.as_micros();
+                            self.trace.emit(
+                                time,
+                                "fault",
+                                format!("{d} was mid-action, {partial} of work lost"),
+                            );
+                        }
+                    }
+                }
+                // The optimizer's lock on a dead device is meaningless; release
+                // it so other queries are not queued behind a corpse.
+                if self.locks.is_locked(d, time) {
+                    self.locks.unlock(d);
+                    self.trace
+                        .emit(time, "failover", format!("{d} lock released after crash"));
+                }
+            }
+            FaultEvent::Recover(d) => {
+                if self.registry.set_online(d, true) {
+                    self.trace.emit(time, "fault", format!("{d} recovered"));
+                }
+            }
+            FaultEvent::LossBurstStart { extra_loss } => {
+                self.loss_stack.push(extra_loss);
+                self.rebuild_links();
+                self.trace.emit(
+                    time,
+                    "fault",
+                    format!("loss burst begins (+{extra_loss:.2} loss)"),
+                );
+            }
+            FaultEvent::LossBurstEnd => {
+                self.loss_stack.pop();
+                self.rebuild_links();
+                self.trace.emit(time, "fault", "loss burst ends");
+            }
+            FaultEvent::LatencySpikeStart { factor } => {
+                self.latency_stack.push(factor);
+                self.rebuild_links();
+                self.trace.emit(
+                    time,
+                    "fault",
+                    format!("latency spike begins (x{factor:.1})"),
+                );
+            }
+            FaultEvent::LatencySpikeEnd => {
+                self.latency_stack.pop();
+                self.rebuild_links();
+                self.trace.emit(time, "fault", "latency spike ends");
+            }
+        }
+    }
+
+    /// Reapplies the active burst stacks on top of the baseline links.
+    fn rebuild_links(&mut self) {
+        let extra_loss: f64 = self.loss_stack.iter().sum();
+        let factor: f64 = self.latency_stack.iter().product();
+        for kind in DeviceKind::ALL {
+            let Some(base) = self.baseline_links.get(&kind) else {
+                continue;
+            };
+            let loss = (base.loss_prob() + extra_loss).min(1.0);
+            let link = LinkModel::new(base.base_latency().mul_f64(factor), base.jitter(), loss)
+                .with_bytes_per_sec(base.bytes_per_sec());
+            self.registry.set_link(kind, link);
+        }
+    }
+
+    /// An assigned action whose device went down before it could start.
+    /// Release the dead device and re-run device selection over the
+    /// remaining candidates; only when none are left is the request dropped
+    /// — and then it is *counted* dropped, never silently lost.
+    fn handle_orphaned(&mut self, request: &ActionRequest, device: DeviceId) {
+        self.trace.emit(
+            self.now,
+            "failover",
+            format!(
+                "query {}: {device} offline at execution, re-selecting",
+                request.query_id
+            ),
+        );
+        if self.config.sync_enabled {
+            self.locks.unlock(device);
+        }
+        if !self.failover_reselect(request, device) {
+            self.raw_stats.orphaned += 1;
+            self.trace.emit(
+                self.now,
+                "failover",
+                format!(
+                    "query {}: no remaining candidate after {device} crash, request dropped",
+                    request.query_id
+                ),
+            );
+        }
+    }
+
+    /// Re-runs device selection for a request whose assigned device died.
+    /// Unlike [`Aorta::maybe_retry`], this is not gated on the configured
+    /// retry budget: a crash invalidates the assignment itself, so failover
+    /// is always attempted while any live candidate remains.
+    fn failover_reselect(&mut self, request: &ActionRequest, failed: DeviceId) -> bool {
+        let mut retry = request.clone();
+        retry.attempts += 1;
+        retry
+            .candidates
+            .retain(|(d, _)| *d != failed && self.registry.get(*d).is_some_and(|e| e.online));
+        if retry.candidates.is_empty() {
+            return false;
+        }
+        self.raw_stats.retries += 1;
+        self.trace.emit(
+            self.now,
+            "failover",
+            format!(
+                "query {}: re-running device selection over {} remaining candidate(s)",
+                retry.query_id,
+                retry.candidates.len()
+            ),
+        );
+        let action = retry.action.clone();
+        self.dispatch_batch(&action, vec![retry]);
+        true
     }
 
     // --- sampling & event detection -----------------------------------------
@@ -813,5 +997,172 @@ impl Aorta {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Aorta, EngineConfig};
+    use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
+    use aorta_sim::{FaultEvent, FaultPlan, SimDuration, SimTime};
+
+    const SNAPSHOT: &str = r#"CREATE AQ snapshot AS
+        SELECT photo(c.ip, s.loc, "photos/admin")
+        FROM sensor s, camera c
+        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#;
+
+    fn eventful_engine(seed: u64) -> Aorta {
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(seed), lab);
+        aorta.execute_sql(SNAPSHOT).unwrap();
+        aorta
+    }
+
+    #[test]
+    fn crash_is_traced_and_releases_lock() {
+        let mut aorta = eventful_engine(3);
+        let cam = DeviceId::camera(0);
+        let t_lock_end = SimTime::ZERO + SimDuration::from_mins(5);
+        assert!(aorta.locks.try_lock(cam, 99, SimTime::ZERO, t_lock_end));
+
+        let mut plan = FaultPlan::new();
+        let crash_at = SimTime::ZERO + SimDuration::from_secs(10);
+        plan.schedule(crash_at, FaultEvent::Crash(cam));
+        aorta.inject_faults(plan);
+
+        aorta.run_for(SimDuration::from_secs(20));
+        assert!(aorta.trace().any("fault", "camera-0 crashed"));
+        assert!(aorta.trace().any("failover", "lock released after crash"));
+        assert!(!aorta.locks.is_locked(cam, aorta.now()));
+        assert!(!aorta.registry().get(cam).unwrap().online);
+    }
+
+    #[test]
+    fn recovery_brings_device_back() {
+        let mut aorta = eventful_engine(4);
+        let cam = DeviceId::camera(1);
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(5),
+            FaultEvent::Crash(cam),
+        );
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(15),
+            FaultEvent::Recover(cam),
+        );
+        aorta.inject_faults(plan);
+        aorta.run_for(SimDuration::from_secs(10));
+        assert!(!aorta.registry().get(cam).unwrap().online);
+        aorta.run_for(SimDuration::from_secs(10));
+        assert!(aorta.registry().get(cam).unwrap().online);
+        assert!(aorta.trace().any("fault", "camera-1 recovered"));
+    }
+
+    #[test]
+    fn loss_burst_degrades_links_and_reverts() {
+        let mut aorta = eventful_engine(5);
+        let baseline = aorta.registry().link(DeviceKind::Camera).loss_prob();
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(10),
+            FaultEvent::LossBurstStart { extra_loss: 0.9 },
+        );
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(20),
+            FaultEvent::LossBurstEnd,
+        );
+        aorta.inject_faults(plan);
+        aorta.run_for(SimDuration::from_secs(15));
+        let during = aorta.registry().link(DeviceKind::Camera).loss_prob();
+        assert!((during - (baseline + 0.9)).abs() < 1e-9, "during={during}");
+        aorta.run_for(SimDuration::from_secs(10));
+        let after = aorta.registry().link(DeviceKind::Camera).loss_prob();
+        assert!((after - baseline).abs() < 1e-9, "after={after}");
+        assert!(aorta.trace().any("fault", "loss burst begins"));
+        assert!(aorta.trace().any("fault", "loss burst ends"));
+    }
+
+    #[test]
+    fn latency_spike_multiplies_base_latency() {
+        let mut aorta = eventful_engine(6);
+        let baseline = aorta.registry().link(DeviceKind::Sensor).base_latency();
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(2),
+            FaultEvent::LatencySpikeStart { factor: 10.0 },
+        );
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(8),
+            FaultEvent::LatencySpikeEnd,
+        );
+        aorta.inject_faults(plan);
+        aorta.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            aorta.registry().link(DeviceKind::Sensor).base_latency(),
+            baseline.mul_f64(10.0)
+        );
+        aorta.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            aorta.registry().link(DeviceKind::Sensor).base_latency(),
+            baseline
+        );
+    }
+
+    #[test]
+    fn every_request_is_accounted_for_under_crashes() {
+        let mut aorta = eventful_engine(7);
+        // Crash both cameras for a stretch covering several event epochs.
+        let mut plan = FaultPlan::new();
+        for idx in 0..2 {
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_secs(50),
+                FaultEvent::Crash(DeviceId::camera(idx)),
+            );
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_mins(3),
+                FaultEvent::Recover(DeviceId::camera(idx)),
+            );
+        }
+        aorta.inject_faults(plan);
+        aorta.run_for(SimDuration::from_mins(5));
+        let stats = aorta.stats();
+        assert!(stats.requests > 0);
+        // Conservation: every admitted request is executed, terminally
+        // failed, or still pending — never silently dropped.
+        let accounted = stats.executed
+            + stats.connect_failures
+            + stats.busy_rejections
+            + stats.no_candidate
+            + stats.timed_out
+            + stats.out_of_range
+            + stats.action_errors
+            + stats.orphaned
+            + aorta.pending_requests();
+        assert_eq!(stats.requests, accounted, "{stats:?}");
+    }
+
+    #[test]
+    fn fault_plan_runs_identically_for_identical_seeds() {
+        let render = |seed: u64| {
+            let mut aorta = eventful_engine(seed);
+            let devices: Vec<DeviceId> = aorta
+                .registry()
+                .ids_of_kind(DeviceKind::Camera)
+                .into_iter()
+                .chain(aorta.registry().ids_of_kind(DeviceKind::Sensor))
+                .collect();
+            let plan = FaultPlan::generate(
+                0xFA17,
+                SimDuration::from_mins(5),
+                &devices,
+                &aorta_sim::FaultConfig::default(),
+            );
+            aorta.inject_faults(plan);
+            aorta.run_for(SimDuration::from_mins(5));
+            aorta.trace().render()
+        };
+        assert_eq!(render(11), render(11));
+        assert_ne!(render(11), render(12));
     }
 }

@@ -17,7 +17,6 @@ use std::fmt;
 /// assert_eq!(door.distance(&desk), 5.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Location {
     /// East–west coordinate, metres.
     pub x: f64,

@@ -8,7 +8,6 @@ use crate::{DataError, Tuple, ValueType};
 /// Whether an attribute must be acquired live from the device or can be
 /// served from static metadata (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AttrKind {
     /// Real-time data acquired by *sensing* the device: sensor readings,
     /// camera head position, battery voltage.

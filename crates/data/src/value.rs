@@ -7,7 +7,6 @@ use crate::{DataError, Location};
 
 /// The type of a [`Value`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ValueType {
     /// Boolean.
     Bool,
@@ -60,7 +59,6 @@ impl std::str::FromStr for ValueType {
 /// assert_eq!(v.as_f64(), Some(500.0));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// SQL NULL — an attribute whose acquisition failed.
     Null,
@@ -308,22 +306,5 @@ mod tests {
             Value::Location(Location::new(1.0, 2.0, 3.0)).to_string(),
             "(1,2,3)"
         );
-    }
-}
-
-#[cfg(all(test, feature = "serde"))]
-mod serde_tests {
-    use super::*;
-    use crate::Location;
-
-    #[test]
-    fn values_serialize_with_serde() {
-        // Round-trip through the serde data model using a simple JSON-ish
-        // assertion on the derived impls (no serde_json dependency needed:
-        // use serde's test-friendly token stream via Debug of the value).
-        fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serializable::<Value>();
-        assert_serializable::<ValueType>();
-        assert_serializable::<Location>();
     }
 }

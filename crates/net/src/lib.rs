@@ -40,7 +40,7 @@ mod scan;
 
 pub use channel::Channel;
 pub use message::{Message, WireError};
-pub use probe::{ProbeOutcome, Prober};
+pub use probe::{ProbeOutcome, Prober, RetryPolicy};
 pub use profiles_dir::{export_profiles, import_cost_tables};
 pub use registry::{DeviceEntry, DeviceRegistry, DeviceSim};
 pub use scan::ScanOperator;

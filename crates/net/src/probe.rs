@@ -5,6 +5,11 @@
 //! probing mechanism is to check the current availability of a candidate
 //! device … A system-provided TIMEOUT value is set for each type of devices
 //! to break the probe on unresponsive devices."
+//!
+//! On top of the paper's single-shot probe, the prober supports a per-kind
+//! [`RetryPolicy`]: transient wire loss can be ridden out by re-probing with
+//! exponential backoff, turning a spuriously "unavailable" device back into
+//! a selection candidate.
 
 use aorta_device::{DeviceId, PhysicalStatus};
 use aorta_sim::{SimDuration, SimRng, SimTime};
@@ -20,11 +25,11 @@ pub enum ProbeOutcome {
     Available {
         /// Its current physical status (feeds the cost model).
         status: PhysicalStatus,
-        /// Probe round-trip time.
+        /// Probe round-trip time (of the successful attempt).
         rtt: SimDuration,
     },
-    /// No answer within the per-kind TIMEOUT; the device is excluded from
-    /// device-selection optimization.
+    /// No answer within the per-kind TIMEOUT on any attempt; the device is
+    /// excluded from device-selection optimization.
     TimedOut,
     /// The device is not registered at all.
     Unknown,
@@ -45,11 +50,120 @@ impl ProbeOutcome {
     }
 }
 
+/// How a logical probe retries failed attempts.
+///
+/// An attempt that fails (offline device, unreachable radio, lost message,
+/// over-TIMEOUT reply) is retried after an exponentially growing backoff:
+/// the wait before attempt `k + 1` is `backoff_base × 2^(k-1)` plus a
+/// uniform jitter in `[0, jitter]` drawn from the caller's [`SimRng`].
+///
+/// The default policy is [`RetryPolicy::none`] — a single attempt, matching
+/// the paper's probe — so retries are strictly opt-in per device kind via
+/// [`DeviceRegistry::set_retry_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    backoff_base: SimDuration,
+    jitter: SimDuration,
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries (the default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// A policy with the given attempt budget, backoff base, and jitter cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_attempts` is zero.
+    pub fn new(max_attempts: u32, backoff_base: SimDuration, jitter: SimDuration) -> Self {
+        assert!(max_attempts >= 1, "a probe needs at least one attempt");
+        RetryPolicy {
+            max_attempts,
+            backoff_base,
+            jitter,
+        }
+    }
+
+    /// Total attempts allowed per logical probe (first try included).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The backoff base duration.
+    pub fn backoff_base(&self) -> SimDuration {
+        self.backoff_base
+    }
+
+    /// The maximum uniform jitter added to each backoff wait.
+    pub fn jitter(&self) -> SimDuration {
+        self.jitter
+    }
+
+    /// The wait after failed attempt `attempt` (1-based): `base × 2^(attempt-1)`,
+    /// jitter excluded.
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        self.backoff_base
+            .mul_f64((1u64 << (attempt - 1).min(32)) as f64)
+    }
+
+    /// Upper bound on total backoff time over a fully failed probe: the sum
+    /// of the backoff schedule plus maximal jitter on every wait.
+    pub fn max_total_backoff(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for attempt in 1..self.max_attempts {
+            total = total + self.backoff_after(attempt) + self.jitter;
+        }
+        total
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Why one probe attempt failed. Each failed attempt is classified into
+/// exactly one of these, so the prober's failure counters are mutually
+/// exclusive by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptFailure {
+    /// The device is administratively offline.
+    Offline,
+    /// The device's own reliability model rejected the contact (radio hops,
+    /// coverage, connect loss).
+    Unreachable,
+    /// The wire lost a message in either direction.
+    WireLost,
+    /// The reply arrived, but after the per-kind TIMEOUT.
+    SlowReply,
+}
+
 /// Probes candidate devices through the communication layer.
+///
+/// Counter semantics: `probes_sent` counts *attempts* (so
+/// `probes_sent == logical probes + retries`), `timeouts` counts logical
+/// probes whose every attempt failed, and the four failure-reason counters
+/// (`offline_failures`, `unreachable_failures`, `wire_lost`, `slow_replies`)
+/// partition the failed attempts — each failed attempt increments exactly
+/// one of them.
 #[derive(Debug, Clone, Default)]
 pub struct Prober {
     probes_sent: u64,
     timeouts: u64,
+    retries: u64,
+    recovered_by_retry: u64,
+    offline_failures: u64,
+    unreachable_failures: u64,
+    wire_lost: u64,
+    slow_replies: u64,
 }
 
 impl Prober {
@@ -58,21 +172,48 @@ impl Prober {
         Prober::default()
     }
 
-    /// Total probes attempted.
+    /// Total probe attempts (retries included).
     pub fn probes_sent(&self) -> u64 {
         self.probes_sent
     }
 
-    /// Probes that timed out.
+    /// Logical probes that failed on every attempt.
     pub fn timeouts(&self) -> u64 {
         self.timeouts
     }
 
-    /// Probes one device: connect, exchange `Probe`/`ProbeReply`, close.
-    ///
-    /// A probe fails (times out) when the device is offline, the wire loses
-    /// a message, the device's own reliability model rejects the contact, or
-    /// the sampled RTT exceeds the kind's TIMEOUT.
+    /// Attempts beyond the first, across all logical probes.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Logical probes that failed at least once but succeeded on a retry.
+    pub fn recovered_by_retry(&self) -> u64 {
+        self.recovered_by_retry
+    }
+
+    /// Attempts that failed because the device was administratively offline.
+    pub fn offline_failures(&self) -> u64 {
+        self.offline_failures
+    }
+
+    /// Attempts rejected by the device's own reliability model.
+    pub fn unreachable_failures(&self) -> u64 {
+        self.unreachable_failures
+    }
+
+    /// Attempts whose request or reply was lost on the wire.
+    pub fn wire_lost(&self) -> u64 {
+        self.wire_lost
+    }
+
+    /// Attempts whose reply arrived after the TIMEOUT.
+    pub fn slow_replies(&self) -> u64 {
+        self.slow_replies
+    }
+
+    /// Probes one device: connect, exchange `Probe`/`ProbeReply`, close —
+    /// retrying per the registry's [`RetryPolicy`] for the device's kind.
     pub fn probe(
         &mut self,
         registry: &mut DeviceRegistry,
@@ -80,34 +221,62 @@ impl Prober {
         now: SimTime,
         rng: &mut SimRng,
     ) -> ProbeOutcome {
-        self.probes_sent += 1;
+        self.probe_timed(registry, id, now, rng).0
+    }
+
+    /// Like [`Prober::probe`], also returning the total virtual time the
+    /// logical probe consumed: successful-attempt RTT, plus a full TIMEOUT
+    /// per failed attempt, plus every backoff wait.
+    pub fn probe_timed(
+        &mut self,
+        registry: &mut DeviceRegistry,
+        id: DeviceId,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> (ProbeOutcome, SimDuration) {
+        if registry.get(id).is_none() {
+            return (ProbeOutcome::Unknown, SimDuration::ZERO);
+        }
+        let policy = registry.retry_policy(id.kind());
         let timeout = registry.probe_timeout(id.kind());
         let channel = Channel::new(registry.link(id.kind()).clone());
-        let entry = match registry.get_mut(id) {
-            Some(e) => e,
-            None => return ProbeOutcome::Unknown,
-        };
-        if !entry.online {
-            self.timeouts += 1;
-            return ProbeOutcome::TimedOut;
-        }
-        // Device-level availability (radio hops, coverage, connect loss).
-        let status = match entry.sim.probe(now, rng) {
-            Some(s) => s,
-            None => {
+        let mut elapsed = SimDuration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.probes_sent += 1;
+            if attempt > 1 {
+                self.retries += 1;
+            }
+            match attempt_once(registry, id, timeout, &channel, now + elapsed, rng) {
+                Ok((status, rtt)) => {
+                    elapsed += rtt;
+                    if attempt > 1 {
+                        self.recovered_by_retry += 1;
+                    }
+                    return (ProbeOutcome::Available { status, rtt }, elapsed);
+                }
+                Err(failure) => {
+                    // The optimizer waits out the full TIMEOUT before it
+                    // declares an attempt dead.
+                    elapsed += timeout;
+                    match failure {
+                        AttemptFailure::Offline => self.offline_failures += 1,
+                        AttemptFailure::Unreachable => self.unreachable_failures += 1,
+                        AttemptFailure::WireLost => self.wire_lost += 1,
+                        AttemptFailure::SlowReply => self.slow_replies += 1,
+                    }
+                }
+            }
+            if attempt >= policy.max_attempts() {
                 self.timeouts += 1;
-                return ProbeOutcome::TimedOut;
+                return (ProbeOutcome::TimedOut, elapsed);
             }
-        };
-        // Wire-level exchange.
-        match channel.exchange(&Message::Probe, rng, || endpoint::probe_reply(&status)) {
-            Exchange::Reply { rtt, .. } if rtt <= timeout => {
-                ProbeOutcome::Available { status, rtt }
+            let mut wait = policy.backoff_after(attempt);
+            if !policy.jitter().is_zero() {
+                wait += SimDuration::from_micros(rng.range(0..=policy.jitter().as_micros()));
             }
-            _ => {
-                self.timeouts += 1;
-                ProbeOutcome::TimedOut
-            }
+            elapsed += wait;
         }
     }
 
@@ -126,6 +295,33 @@ impl Prober {
                 _ => None,
             })
             .collect()
+    }
+}
+
+/// One probe attempt, classified into success or exactly one failure kind.
+fn attempt_once(
+    registry: &mut DeviceRegistry,
+    id: DeviceId,
+    timeout: SimDuration,
+    channel: &Channel,
+    at: SimTime,
+    rng: &mut SimRng,
+) -> Result<(PhysicalStatus, SimDuration), AttemptFailure> {
+    let entry = registry.get_mut(id).ok_or(AttemptFailure::Offline)?;
+    if !entry.online {
+        return Err(AttemptFailure::Offline);
+    }
+    // Device-level availability (radio hops, coverage, connect loss).
+    let status = entry
+        .sim
+        .probe(at, rng)
+        .ok_or(AttemptFailure::Unreachable)?;
+    // Wire-level exchange. A lost message and an over-TIMEOUT reply are
+    // distinct failure modes and counted separately.
+    match channel.exchange(&Message::Probe, rng, || endpoint::probe_reply(&status)) {
+        Exchange::Reply { rtt, .. } if rtt <= timeout => Ok((status, rtt)),
+        Exchange::Reply { .. } => Err(AttemptFailure::SlowReply),
+        Exchange::Lost => Err(AttemptFailure::WireLost),
     }
 }
 
@@ -164,6 +360,7 @@ mod tests {
             prober.probe(&mut reg, DeviceId::camera(9), SimTime::ZERO, &mut rng),
             ProbeOutcome::Unknown
         );
+        assert_eq!(prober.probes_sent(), 0);
     }
 
     #[test]
@@ -177,6 +374,7 @@ mod tests {
             ProbeOutcome::TimedOut
         );
         assert_eq!(prober.timeouts(), 1);
+        assert_eq!(prober.offline_failures(), 1);
     }
 
     #[test]
@@ -193,6 +391,7 @@ mod tests {
             prober.probe(&mut reg, DeviceId::camera(5), SimTime::ZERO, &mut rng),
             ProbeOutcome::TimedOut
         );
+        assert_eq!(prober.unreachable_failures(), 1);
     }
 
     #[test]
@@ -223,6 +422,8 @@ mod tests {
             prober.probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng),
             ProbeOutcome::TimedOut
         );
+        assert_eq!(prober.slow_replies(), 1);
+        assert_eq!(prober.wire_lost(), 0);
     }
 
     #[test]
@@ -235,5 +436,127 @@ mod tests {
         let available = prober.probe_all(&mut reg, &candidates, SimTime::ZERO, &mut rng);
         assert_eq!(available.len(), 1);
         assert_eq!(available[0].0, DeviceId::camera(0));
+    }
+
+    /// Regression: a lost reply and an over-TIMEOUT reply used to fall into
+    /// one undifferentiated `timeouts` bucket. They are separate failure
+    /// modes and must be counted exactly once each, mutually exclusively.
+    #[test]
+    fn failure_counters_are_mutually_exclusive() {
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(8);
+
+        // Arm 1: total wire loss → wire_lost, nothing else.
+        let mut reg = reliable_registry();
+        reg.set_link(
+            DeviceKind::Camera,
+            LinkModel::new(SimDuration::ZERO, SimDuration::ZERO, 1.0),
+        );
+        let out = prober.probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng);
+        assert_eq!(out, ProbeOutcome::TimedOut);
+        assert_eq!(
+            (prober.wire_lost(), prober.slow_replies()),
+            (1, 0),
+            "wire loss misclassified"
+        );
+
+        // Arm 2: reply arrives but too slow → slow_replies, wire_lost
+        // unchanged.
+        let mut reg = reliable_registry();
+        reg.set_link(
+            DeviceKind::Camera,
+            LinkModel::new(SimDuration::from_secs(10), SimDuration::ZERO, 0.0),
+        );
+        let out = prober.probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng);
+        assert_eq!(out, ProbeOutcome::TimedOut);
+        assert_eq!((prober.wire_lost(), prober.slow_replies()), (1, 1));
+
+        // Arm 3: offline → offline_failures only.
+        let mut reg = reliable_registry();
+        reg.set_online(DeviceId::camera(0), false);
+        let _ = prober.probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng);
+
+        // Every failed attempt classified exactly once.
+        let failed_attempts = prober.offline_failures()
+            + prober.unreachable_failures()
+            + prober.wire_lost()
+            + prober.slow_replies();
+        assert_eq!(failed_attempts, 3);
+        assert_eq!(prober.probes_sent(), 3);
+        assert_eq!(prober.timeouts(), 3);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_wire_loss() {
+        let mut reg = reliable_registry();
+        // Half the messages vanish in each direction, so one attempt
+        // succeeds only 25% of the time — but sixteen attempts almost
+        // never all fail (0.75^16 ≈ 1%).
+        reg.set_link(
+            DeviceKind::Camera,
+            LinkModel::new(SimDuration::ZERO, SimDuration::ZERO, 0.5),
+        );
+        reg.set_retry_policy(
+            DeviceKind::Camera,
+            RetryPolicy::new(16, SimDuration::from_millis(10), SimDuration::from_millis(2)),
+        );
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(9);
+        let mut available = 0;
+        for _ in 0..100 {
+            if prober
+                .probe(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng)
+                .is_available()
+            {
+                available += 1;
+            }
+        }
+        assert!(available >= 90, "only {available}/100 probes recovered");
+        assert!(prober.retries() > 0, "no retries were attempted");
+        assert!(
+            prober.recovered_by_retry() > 0,
+            "retries never recovered a probe"
+        );
+        // Attempt accounting: attempts = logical probes + retries.
+        assert_eq!(prober.probes_sent(), 100 + prober.retries());
+    }
+
+    #[test]
+    fn probe_time_includes_backoff_schedule() {
+        let mut reg = reliable_registry();
+        reg.set_link(
+            DeviceKind::Camera,
+            LinkModel::new(SimDuration::ZERO, SimDuration::ZERO, 1.0),
+        );
+        let policy = RetryPolicy::new(3, SimDuration::from_millis(100), SimDuration::ZERO);
+        reg.set_retry_policy(DeviceKind::Camera, policy);
+        let mut prober = Prober::new();
+        let mut rng = SimRng::seed(10);
+        let (out, elapsed) =
+            prober.probe_timed(&mut reg, DeviceId::camera(0), SimTime::ZERO, &mut rng);
+        assert_eq!(out, ProbeOutcome::TimedOut);
+        let timeout = reg.probe_timeout(DeviceKind::Camera);
+        // 3 failed attempts at full TIMEOUT + backoffs of 100ms and 200ms.
+        let expected = timeout + timeout + timeout + SimDuration::from_millis(300);
+        assert_eq!(elapsed, expected);
+        assert_eq!(policy.max_total_backoff(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn retry_policy_validation_and_defaults() {
+        assert_eq!(RetryPolicy::default(), RetryPolicy::none());
+        assert_eq!(RetryPolicy::none().max_attempts(), 1);
+        assert_eq!(RetryPolicy::none().max_total_backoff(), SimDuration::ZERO);
+        let p = RetryPolicy::new(3, SimDuration::from_millis(10), SimDuration::from_millis(5));
+        assert_eq!(p.backoff_after(1), SimDuration::from_millis(10));
+        assert_eq!(p.backoff_after(2), SimDuration::from_millis(20));
+        // Sum of backoffs (10 + 20) plus jitter cap on both waits.
+        assert_eq!(p.max_total_backoff(), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempt_policy_rejected() {
+        let _ = RetryPolicy::new(0, SimDuration::ZERO, SimDuration::ZERO);
     }
 }

@@ -74,7 +74,7 @@ mod tests {
     fn balances_the_small_table_optimally() {
         let (inst, model) = small_table();
         let mut ops = OpCounter::new();
-        let mut rng = SimRng::seed(1);
+        let mut rng = SimRng::seed(2);
         let plan = assign(&inst, &model, &mut ops, &mut rng);
         // r2 is only eligible on d1, so it is assigned first; the balanced
         // outcome puts r0 and r3 on d0 (workload 5) and r1, r2 on d1 (7).

@@ -132,6 +132,65 @@ fn list_schedule<M: CostModel>(
     free_at
 }
 
+/// What became of the orphans of a failed device after re-queuing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OrphanOutcome {
+    /// `(request, new_device)` pairs moved onto surviving lanes.
+    pub requeued: Vec<(usize, usize)>,
+    /// Requests with no surviving eligible device; the caller must report
+    /// these as failed — they are never silently dropped.
+    pub dropped: Vec<usize>,
+}
+
+/// Fails over a static plan after device `failed` dies: drains its lane and
+/// re-assigns each orphaned request to the surviving eligible device whose
+/// lane it lengthens the least (measured by [`CostModel::sequence_cost`] with
+/// the orphan appended). Requests eligible only on the dead device are
+/// returned in [`OrphanOutcome::dropped`].
+///
+/// [`Plan::ListDynamic`] carries no lanes to repair — the dynamic scheduler
+/// re-assigns naturally — so it is a documented no-op here.
+pub fn requeue_orphans<M: CostModel>(
+    plan: &mut Plan,
+    inst: &Instance,
+    model: &M,
+    failed: usize,
+    ops: &mut OpCounter,
+) -> OrphanOutcome {
+    let lanes = match plan {
+        Plan::Sequences(lanes) | Plan::ShortestFirstPerDevice(lanes) => lanes,
+        Plan::ListDynamic => return OrphanOutcome::default(),
+    };
+    let mut outcome = OrphanOutcome::default();
+    if failed >= lanes.len() {
+        return outcome;
+    }
+    let orphans = std::mem::take(&mut lanes[failed]);
+    for r in orphans {
+        let mut best: Option<(SimDuration, usize)> = None;
+        for &d in inst.eligible(r) {
+            if d == failed || d >= lanes.len() {
+                continue;
+            }
+            ops.add(COST_ESTIMATE_OPS);
+            let mut lane = lanes[d].clone();
+            lane.push(r);
+            let cost = model.sequence_cost(d, &lane);
+            if best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, d));
+            }
+        }
+        match best {
+            Some((_, d)) => {
+                lanes[d].push(r);
+                outcome.requeued.push((r, d));
+            }
+            None => outcome.dropped.push(r),
+        }
+    }
+    outcome
+}
+
 /// Runs one algorithm end to end: schedule, validate, service, and convert
 /// counted operations into virtual scheduling time.
 pub fn run_algorithm<M: CostModel>(
@@ -266,6 +325,76 @@ mod tests {
             let total_busy: SimDuration = r.per_device_busy.iter().copied().sum();
             assert!(total_busy >= SimDuration::from_millis(360) * 20);
         }
+    }
+
+    #[test]
+    fn requeue_moves_orphans_to_least_loaded_lane() {
+        let s = SimDuration::from_secs;
+        // Two identical machines; lane 0 is long, lane 1 short. When device
+        // 2 (holding r4) dies, r4 must land on the shorter lane 1.
+        let model = TableModel::identical_machines(vec![s(1); 5], 3);
+        let inst = model.instance();
+        let mut plan = Plan::Sequences(vec![vec![0, 1, 2], vec![3], vec![4]]);
+        let mut ops = OpCounter::new();
+        let outcome = requeue_orphans(&mut plan, &inst, &model, 2, &mut ops);
+        assert_eq!(outcome.requeued, vec![(4, 1)]);
+        assert!(outcome.dropped.is_empty());
+        let Plan::Sequences(lanes) = &plan else {
+            panic!("plan shape changed");
+        };
+        assert!(lanes[2].is_empty());
+        assert_eq!(lanes[1], vec![3, 4]);
+        assert!(ops.total() > 0, "re-assignment must cost estimate ops");
+        // Every surviving request still appears exactly once.
+        let mut all: Vec<usize> = lanes.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn requeue_reports_sole_candidate_orphans_as_dropped() {
+        let s = SimDuration::from_secs;
+        // r1 is eligible only on device 1; when device 1 dies it cannot be
+        // re-queued and must be reported dropped, not lost.
+        // Rows are devices: device 0 can serve only r0, device 1 both.
+        let model = TableModel::new(vec![
+            vec![Some(s(1)), None],
+            vec![Some(s(1)), Some(s(1))],
+        ]);
+        let inst = model.instance();
+        let mut plan = Plan::Sequences(vec![vec![0], vec![1]]);
+        let mut ops = OpCounter::new();
+        let outcome = requeue_orphans(&mut plan, &inst, &model, 1, &mut ops);
+        assert_eq!(outcome.requeued, vec![]);
+        assert_eq!(outcome.dropped, vec![1]);
+    }
+
+    #[test]
+    fn requeue_is_noop_for_dynamic_plans() {
+        let model = TableModel::identical_machines(vec![SimDuration::from_secs(1); 3], 2);
+        let inst = model.instance();
+        let mut plan = Plan::ListDynamic;
+        let mut ops = OpCounter::new();
+        let outcome = requeue_orphans(&mut plan, &inst, &model, 0, &mut ops);
+        assert_eq!(outcome, OrphanOutcome::default());
+        assert_eq!(plan, Plan::ListDynamic);
+    }
+
+    #[test]
+    fn requeued_plan_still_validates_on_survivors() {
+        let (inst, model) = camera_instance(10, 4, 46);
+        let mut rng = SimRng::seed(5);
+        let mut ops = OpCounter::new();
+        let mut plan = Algorithm::LerfaSrfe.schedule(&inst, &model, &mut ops, &mut rng);
+        let outcome = requeue_orphans(&mut plan, &inst, &model, 0, &mut ops);
+        // Fully eligible instance: nothing may drop, and the repaired plan
+        // must still place every request exactly once.
+        assert!(outcome.dropped.is_empty());
+        assert_eq!(plan.validate(&inst), Ok(()));
+        let (Plan::ShortestFirstPerDevice(lanes) | Plan::Sequences(lanes)) = &plan else {
+            panic!("static algorithm produced a dynamic plan");
+        };
+        assert!(lanes[0].is_empty(), "dead lane must be drained");
     }
 
     #[test]

@@ -51,6 +51,6 @@ mod problem;
 pub mod workload;
 
 pub use algorithms::{Algorithm, SaConfig};
-pub use executor::{execute_plan, run_algorithm, RunResult};
+pub use executor::{execute_plan, requeue_orphans, run_algorithm, OrphanOutcome, RunResult};
 pub use plan::Plan;
 pub use problem::{CameraPhotoModel, CostModel, Instance, TableModel, COST_ESTIMATE_OPS};

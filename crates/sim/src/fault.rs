@@ -1,0 +1,423 @@
+//! Deterministic fault injection on the virtual clock.
+//!
+//! A [`FaultPlan`] is a pre-computed, seeded schedule of fault events —
+//! device crashes/recoveries, burst message loss, and probe-latency spikes —
+//! that a simulation drains as its clock advances. Because the whole plan is
+//! derived up front from a seed, two runs with the same seed experience
+//! byte-identical fault sequences, which is what makes failure experiments
+//! reproducible and failover tests assertable.
+//!
+//! The plan is generic over the device identifier type `D` so this base
+//! crate stays independent of the device model: the engine instantiates it
+//! with its own `DeviceId`.
+//!
+//! # Example
+//!
+//! ```
+//! use aorta_sim::{FaultConfig, FaultEvent, FaultPlan, SimDuration, SimTime};
+//!
+//! let cfg = FaultConfig {
+//!     crash_rate: 1.0, // every device crashes in every period
+//!     ..FaultConfig::default()
+//! };
+//! let mut plan = FaultPlan::generate(7, SimDuration::from_secs(30), &["cam-0"], &cfg);
+//! let due = plan.pop_due(SimTime::ZERO + SimDuration::from_mins(5));
+//! assert!(due
+//!     .iter()
+//!     .any(|(_, e)| matches!(e, FaultEvent::Crash("cam-0"))));
+//! ```
+
+use crate::{SimDuration, SimRng, SimTime};
+
+/// One injected fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent<D> {
+    /// The device goes dark: it stops answering probes and commands until
+    /// the matching [`FaultEvent::Recover`].
+    Crash(D),
+    /// The device comes back online.
+    Recover(D),
+    /// A burst of correlated message loss begins: every link's loss
+    /// probability increases by `extra_loss` (clamped to 1) until the
+    /// matching [`FaultEvent::LossBurstEnd`].
+    LossBurstStart {
+        /// Additional per-message loss probability during the burst.
+        extra_loss: f64,
+    },
+    /// The current loss burst ends.
+    LossBurstEnd,
+    /// A probe-latency spike begins: every link's base latency is multiplied
+    /// by `factor` until the matching [`FaultEvent::LatencySpikeEnd`].
+    LatencySpikeStart {
+        /// Multiplier applied to base link latency during the spike.
+        factor: f64,
+    },
+    /// The current latency spike ends.
+    LatencySpikeEnd,
+}
+
+/// Parameters for seeded fault generation.
+///
+/// Rates are per evaluation [`period`](FaultConfig::period): a `crash_rate`
+/// of `0.2` means each device has a 20% chance of starting an outage in each
+/// 10-second window (with the default period).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Granularity at which fault opportunities are drawn.
+    pub period: SimDuration,
+    /// Per-device probability of a crash starting in each period.
+    pub crash_rate: f64,
+    /// Mean outage length; actual outages are uniform in `[0.5, 1.5] ×` this.
+    pub mean_downtime: SimDuration,
+    /// Probability per period that a global loss burst starts.
+    pub loss_burst_rate: f64,
+    /// Length of each loss burst.
+    pub loss_burst_len: SimDuration,
+    /// Extra loss probability applied during a burst.
+    pub extra_loss: f64,
+    /// Probability per period that a latency spike starts.
+    pub latency_spike_rate: f64,
+    /// Length of each latency spike.
+    pub latency_spike_len: SimDuration,
+    /// Base-latency multiplier during a spike.
+    pub latency_factor: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            period: SimDuration::from_secs(10),
+            crash_rate: 0.2,
+            mean_downtime: SimDuration::from_secs(5),
+            loss_burst_rate: 0.1,
+            loss_burst_len: SimDuration::from_secs(3),
+            extra_loss: 0.5,
+            latency_spike_rate: 0.1,
+            latency_spike_len: SimDuration::from_secs(3),
+            latency_factor: 10.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that injects nothing (useful as a baseline arm).
+    pub fn quiescent() -> Self {
+        FaultConfig {
+            crash_rate: 0.0,
+            loss_burst_rate: 0.0,
+            latency_spike_rate: 0.0,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// A seeded, time-sorted schedule of fault events, drained as the virtual
+/// clock advances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan<D> {
+    /// Sorted by time; ties keep insertion order (stable sort).
+    events: Vec<(SimTime, FaultEvent<D>)>,
+    /// Index of the next undrained event.
+    cursor: usize,
+}
+
+impl<D: Copy> FaultPlan<D> {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Generates a plan over `devices` covering `[0, horizon]`.
+    ///
+    /// Each device gets an independent crash/recovery stream forked from
+    /// `seed`, so adding a device never perturbs the faults of the others.
+    /// Crash and recovery events always come in pairs: a device that crashes
+    /// before the horizon also recovers (possibly after it).
+    pub fn generate(
+        seed: u64,
+        horizon: SimDuration,
+        devices: &[D],
+        config: &FaultConfig,
+    ) -> Self {
+        let end = SimTime::ZERO + horizon;
+        let period = SimDuration::from_micros(config.period.as_micros().max(1));
+        let mut root = SimRng::seed(seed);
+        let mut events: Vec<(SimTime, FaultEvent<D>)> = Vec::new();
+
+        // Per-device crash/recovery streams.
+        for (i, &d) in devices.iter().enumerate() {
+            let mut rng = root.fork(i as u64 + 1);
+            let mut t = SimTime::ZERO;
+            while t < end {
+                if rng.chance(config.crash_rate) {
+                    let at = t + SimDuration::from_micros(rng.range(0..period.as_micros()));
+                    let downtime = config.mean_downtime.mul_f64(0.5 + rng.unit());
+                    events.push((at, FaultEvent::Crash(d)));
+                    events.push((at + downtime, FaultEvent::Recover(d)));
+                    // Resume drawing after the outage: a device cannot crash
+                    // while already down.
+                    t = at + downtime;
+                } else {
+                    t += period;
+                }
+            }
+        }
+
+        // Global loss bursts.
+        let mut rng = root.fork(0);
+        let mut t = SimTime::ZERO;
+        while t < end {
+            if rng.chance(config.loss_burst_rate) {
+                let at = t + SimDuration::from_micros(rng.range(0..period.as_micros()));
+                events.push((
+                    at,
+                    FaultEvent::LossBurstStart {
+                        extra_loss: config.extra_loss,
+                    },
+                ));
+                events.push((at + config.loss_burst_len, FaultEvent::LossBurstEnd));
+                t = at + config.loss_burst_len;
+            } else {
+                t += period;
+            }
+        }
+
+        // Global latency spikes.
+        let mut rng = root.fork(u64::MAX);
+        let mut t = SimTime::ZERO;
+        while t < end {
+            if rng.chance(config.latency_spike_rate) {
+                let at = t + SimDuration::from_micros(rng.range(0..period.as_micros()));
+                events.push((
+                    at,
+                    FaultEvent::LatencySpikeStart {
+                        factor: config.latency_factor,
+                    },
+                ));
+                events.push((at + config.latency_spike_len, FaultEvent::LatencySpikeEnd));
+                t = at + config.latency_spike_len;
+            } else {
+                t += period;
+            }
+        }
+
+        events.sort_by_key(|(t, _)| *t); // stable: ties keep generation order
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// Adds a single hand-placed event, keeping the plan time-sorted.
+    ///
+    /// Events scheduled at the same instant fire in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `time` is earlier than an already-drained event.
+    pub fn schedule(&mut self, time: SimTime, event: FaultEvent<D>) {
+        // Upper-bound insertion point: after every event with time <= `time`.
+        let idx = self.events.partition_point(|(t, _)| *t <= time);
+        assert!(
+            idx >= self.cursor,
+            "cannot schedule a fault in already-drained time"
+        );
+        self.events.insert(idx, (time, event));
+    }
+
+    /// Removes and returns every event due at or before `now`, in order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<(SimTime, FaultEvent<D>)> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].0 <= now {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// The timestamp of the next undrained event.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|(t, _)| *t)
+    }
+
+    /// Undrained events remaining.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Total events in the plan (drained or not).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan holds no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over every event in the plan (drained or not), in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, FaultEvent<D>)> {
+        self.events.iter()
+    }
+}
+
+impl<D: Copy> Default for FaultPlan<D> {
+    fn default() -> Self {
+        FaultPlan::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crashes<D: Copy>(events: &[(SimTime, FaultEvent<D>)]) -> usize {
+        events
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::Crash(_)))
+            .count()
+    }
+
+    #[test]
+    fn same_seed_identical_plans() {
+        let cfg = FaultConfig::default();
+        let horizon = SimDuration::from_mins(5);
+        let devices = [1u32, 2, 3];
+        let a = FaultPlan::generate(42, horizon, &devices, &cfg);
+        let b = FaultPlan::generate(42, horizon, &devices, &cfg);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, horizon, &devices, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let plan = FaultPlan::generate(
+            1,
+            SimDuration::from_mins(10),
+            &[0u32, 1, 2, 3],
+            &FaultConfig::default(),
+        );
+        let times: Vec<SimTime> = plan.iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!plan.is_empty(), "10 minutes at default rates injects faults");
+    }
+
+    #[test]
+    fn crashes_pair_with_recoveries() {
+        let plan = FaultPlan::generate(
+            2,
+            SimDuration::from_mins(10),
+            &['a', 'b'],
+            &FaultConfig::default(),
+        );
+        let events: Vec<_> = plan.iter().cloned().collect();
+        let recoveries = events
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::Recover(_)))
+            .count();
+        assert_eq!(crashes(&events), recoveries);
+        // Per device, crash and recover alternate starting with a crash.
+        for d in ['a', 'b'] {
+            let mut down = false;
+            for (_, e) in &events {
+                match e {
+                    FaultEvent::Crash(x) if *x == d => {
+                        assert!(!down, "device {d} crashed while already down");
+                        down = true;
+                    }
+                    FaultEvent::Recover(x) if *x == d => {
+                        assert!(down, "device {d} recovered while up");
+                        down = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_config_injects_nothing() {
+        let plan = FaultPlan::generate(
+            3,
+            SimDuration::from_mins(30),
+            &[0u8, 1, 2],
+            &FaultConfig::quiescent(),
+        );
+        assert!(plan.is_empty());
+        assert_eq!(plan.peek_next_time(), None);
+    }
+
+    #[test]
+    fn pop_due_drains_in_order_without_refiring() {
+        let mut plan: FaultPlan<u32> = FaultPlan::new();
+        plan.schedule(SimTime::from_micros(30), FaultEvent::Recover(1));
+        plan.schedule(SimTime::from_micros(10), FaultEvent::Crash(1));
+        plan.schedule(SimTime::from_micros(20), FaultEvent::LossBurstEnd);
+        assert_eq!(plan.remaining(), 3);
+        assert_eq!(plan.peek_next_time(), Some(SimTime::from_micros(10)));
+
+        let due = plan.pop_due(SimTime::from_micros(20));
+        assert_eq!(
+            due,
+            vec![
+                (SimTime::from_micros(10), FaultEvent::Crash(1)),
+                (SimTime::from_micros(20), FaultEvent::LossBurstEnd),
+            ]
+        );
+        // Already-drained events never fire again.
+        assert!(plan.pop_due(SimTime::from_micros(20)).is_empty());
+        assert_eq!(plan.remaining(), 1);
+        let rest = plan.pop_due(SimTime::MAX);
+        assert_eq!(rest, vec![(SimTime::from_micros(30), FaultEvent::Recover(1))]);
+    }
+
+    #[test]
+    fn schedule_keeps_fifo_on_ties() {
+        let mut plan: FaultPlan<u32> = FaultPlan::new();
+        let t = SimTime::from_micros(5);
+        plan.schedule(t, FaultEvent::Crash(1));
+        plan.schedule(t, FaultEvent::Crash(2));
+        plan.schedule(t, FaultEvent::Crash(3));
+        let due = plan.pop_due(t);
+        let ids: Vec<u32> = due
+            .iter()
+            .filter_map(|(_, e)| match e {
+                FaultEvent::Crash(d) => Some(*d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn higher_crash_rate_means_more_crashes() {
+        let horizon = SimDuration::from_mins(10);
+        let devices: Vec<u32> = (0..8).collect();
+        let low = FaultPlan::generate(
+            5,
+            horizon,
+            &devices,
+            &FaultConfig {
+                crash_rate: 0.05,
+                ..FaultConfig::quiescent()
+            },
+        );
+        let high = FaultPlan::generate(
+            5,
+            horizon,
+            &devices,
+            &FaultConfig {
+                crash_rate: 0.8,
+                ..FaultConfig::quiescent()
+            },
+        );
+        let low_events: Vec<_> = low.iter().cloned().collect();
+        let high_events: Vec<_> = high.iter().cloned().collect();
+        assert!(
+            crashes(&high_events) > crashes(&low_events) * 2,
+            "high {} vs low {}",
+            crashes(&high_events),
+            crashes(&low_events)
+        );
+    }
+}

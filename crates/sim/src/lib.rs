@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod cpu;
+mod fault;
 mod link;
 pub mod metrics;
 mod queue;
@@ -42,6 +43,7 @@ mod time;
 mod trace;
 
 pub use cpu::{CpuModel, OpCounter};
+pub use fault::{FaultConfig, FaultEvent, FaultPlan};
 pub use link::{Delivery, LinkModel};
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -96,6 +96,16 @@ impl LinkModel {
         self.base_latency
     }
 
+    /// The configured maximum additive jitter.
+    pub fn jitter(&self) -> SimDuration {
+        self.jitter
+    }
+
+    /// The configured serialization bandwidth (zero = size-independent).
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
     /// Samples the fate of a single `payload_bytes`-sized message.
     pub fn transmit(&self, payload_bytes: usize, rng: &mut SimRng) -> Delivery {
         if rng.chance(self.loss_prob) {

@@ -98,6 +98,12 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Iterates over pending events in no particular order (inspection
+    /// only — popping order is still by time, FIFO on ties).
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.heap.iter().map(|e| (e.time, &e.event))
+    }
 }
 
 impl<E> Default for EventQueue<E> {

@@ -1,8 +1,19 @@
 //! Seeded, forkable randomness for deterministic experiments.
+//!
+//! Self-contained xoshiro256++ keeps the workspace free of external
+//! dependencies (the build environment has no crates.io access) and makes the
+//! stream definition part of the repository: the same seed produces the same
+//! run on every toolchain, forever.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random source for simulations.
 ///
@@ -23,14 +34,20 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from an experiment seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -41,7 +58,6 @@ impl SimRng {
     pub fn fork(&mut self, stream: u64) -> SimRng {
         // Mix a fresh draw with the label via splitmix64-style finalization.
         let mut z = self
-            .inner
             .next_u64()
             .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -55,12 +71,12 @@ impl SimRng {
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -70,7 +86,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -81,7 +97,7 @@ impl SimRng {
         if items.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..items.len());
+            let i = self.below(items.len() as u64) as usize;
             Some(&items[i])
         }
     }
@@ -89,29 +105,105 @@ impl SimRng {
     /// Fisher–Yates shuffles `items` in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
 
-    /// Raw 64 random bits.
+    /// Raw 64 random bits (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` via rejection sampling (no modulo bias).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Types uniformly sampleable between two bounds.
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform sample from `[lo, hi)`; panics when the range is empty.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut SimRng) -> Self;
+    /// Uniform sample from `[lo, hi]`; panics when `lo > hi`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut SimRng) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut SimRng) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let off = rng.below(span as u64) as i128;
+                (lo as i128 + off) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut SimRng) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                let off = rng.below(span as u64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut SimRng) -> Self {
+                assert!(lo < hi, "empty range");
+                lo + (rng.unit() as $t) * (hi - lo)
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut SimRng) -> Self {
+                assert!(lo <= hi, "empty range");
+                lo + (rng.unit() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`SimRng::range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
     }
 }
 
@@ -186,5 +278,23 @@ mod tests {
             let x = r.unit();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut r = SimRng::seed(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let v = r.range(0..=3u64);
+            assert!(v <= 3);
+            lo_seen |= v == 0;
+            hi_seen |= v == 3;
+            let w = r.range(-40..=40i64);
+            assert!((-40..=40).contains(&w));
+            let f = r.range(-170.0..170.0f64);
+            assert!((-170.0..170.0).contains(&f));
+        }
+        assert!(lo_seen && hi_seen);
     }
 }

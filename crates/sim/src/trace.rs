@@ -126,6 +126,18 @@ impl TraceBuffer {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+
+    /// Renders every retained event as one line each, oldest first.
+    ///
+    /// Determinism tests compare two runs' renderings byte for byte.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,129 @@
+//! End-to-end fault injection: devices crash and recover, the network loses
+//! message bursts, and the engine must neither wedge nor silently lose work.
+//!
+//! Three system-level guarantees are checked here:
+//!
+//! 1. **Conservation** — every admitted request ends in exactly one terminal
+//!    counter (executed or a named failure reason, crash-orphaning included)
+//!    or is still visibly pending. Nothing vanishes.
+//! 2. **Failover** — when an assigned device crashes before its action runs,
+//!    the engine re-runs device selection over the survivors, observable in
+//!    the trace.
+//! 3. **Determinism** — the same seed replays the same faults and yields a
+//!    byte-identical trace; a different seed does not.
+
+use aorta::{Aorta, EngineConfig};
+use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
+use aorta_sim::{FaultConfig, FaultPlan, SimDuration};
+
+const RUN: SimDuration = SimDuration::from_mins(10);
+
+/// A fault schedule with ≥ 20% crash rate per device per period, plus
+/// message-loss bursts, over every camera and mote in the lab.
+fn heavy_faults(aorta: &Aorta, seed: u64) -> FaultPlan<DeviceId> {
+    let devices: Vec<DeviceId> = aorta
+        .registry()
+        .ids_of_kind(DeviceKind::Camera)
+        .into_iter()
+        .chain(aorta.registry().ids_of_kind(DeviceKind::Sensor))
+        .collect();
+    let config = FaultConfig {
+        crash_rate: 0.25,
+        loss_burst_rate: 0.3,
+        extra_loss: 0.5,
+        ..FaultConfig::default()
+    };
+    FaultPlan::generate(seed, RUN, &devices, &config)
+}
+
+fn faulted_run(seed: u64) -> Aorta {
+    let lab =
+        PervasiveLab::standard().with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut aorta = Aorta::with_lab(EngineConfig::seeded(seed), lab);
+    for i in 0..10 {
+        aorta
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .unwrap();
+    }
+    let plan = heavy_faults(&aorta, seed.wrapping_mul(0x9E37));
+    assert!(!plan.is_empty(), "fault generation produced nothing");
+    aorta.inject_faults(plan);
+    aorta.run_for(RUN);
+    aorta
+}
+
+#[test]
+fn no_request_is_silently_lost_under_heavy_faults() {
+    let aorta = faulted_run(101);
+    let stats = aorta.stats();
+    assert!(
+        stats.requests >= 10,
+        "the fault storm starved the workload: {stats:?}"
+    );
+    // Conservation: admitted == terminally resolved + visibly pending.
+    let accounted = stats.executed
+        + stats.connect_failures
+        + stats.busy_rejections
+        + stats.no_candidate
+        + stats.timed_out
+        + stats.out_of_range
+        + stats.action_errors
+        + stats.orphaned
+        + aorta.pending_requests();
+    assert_eq!(
+        stats.requests, accounted,
+        "requests leaked: {stats:?}, pending={}",
+        aorta.pending_requests()
+    );
+    // The faults actually fired and were recorded.
+    assert!(aorta.trace().any("fault", "crashed"), "no crash was traced");
+    assert!(
+        aorta.trace().any("fault", "recovered"),
+        "no recovery was traced"
+    );
+}
+
+#[test]
+fn failover_reselection_engages_on_crash() {
+    let aorta = faulted_run(303);
+    assert!(aorta.trace().any("fault", "crashed"));
+    // A crash landed between assignment and execution: the orphaned action
+    // was detected and device selection re-ran over the survivors.
+    assert!(
+        aorta.trace().any("failover", "offline at execution, re-selecting"),
+        "no orphaned action was detected"
+    );
+    assert!(
+        aorta
+            .trace()
+            .any("failover", "re-running device selection over"),
+        "re-selection never ran"
+    );
+    let stats = aorta.stats();
+    assert!(stats.retries > 0, "failover retries not counted: {stats:?}");
+}
+
+#[test]
+fn identical_seeds_yield_byte_identical_traces() {
+    let a = faulted_run(777);
+    let b = faulted_run(777);
+    assert!(!a.trace().render().is_empty());
+    assert_eq!(
+        a.trace().render(),
+        b.trace().render(),
+        "same seed must replay the exact same fault/execution history"
+    );
+    assert_eq!(a.stats(), b.stats());
+
+    let c = faulted_run(778);
+    assert_ne!(
+        a.trace().render(),
+        c.trace().render(),
+        "different seeds should diverge"
+    );
+}
