@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|ablation]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|ablation]..."
                 );
                 return;
             }
@@ -49,10 +49,12 @@ fn main() {
     }
     CSV_DIR.with(|slot| *slot.borrow_mut() = csv_dir);
     if which.is_empty() {
-        which = ["e1", "fig4", "fig5", "fig6", "e5", "e6", "e7", "ablation"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        which = [
+            "e1", "fig4", "fig5", "fig6", "e5", "e6", "e7", "e8", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     for name in which {
         match name.as_str() {
@@ -63,10 +65,12 @@ fn main() {
             "e5" => e5(runs),
             "e6" => e6(),
             "e7" => e7(runs),
+            "e8" => e8(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
         }
     }
+    write_bench_sched_json();
 }
 
 fn e7(runs: u64) {
@@ -87,6 +91,167 @@ fn e7(runs: u64) {
         ]);
     }
     println!("{}", t.render());
+    E7_ROWS.with(|slot| *slot.borrow_mut() = Some(rows));
+}
+
+fn e8() {
+    let report = experiments::e8_cluster(0xE8);
+    println!(
+        "== E8 (extension): sharded cluster, {} requests / {} cameras ==",
+        experiments::E8_REQUESTS,
+        experiments::E8_CAMERAS
+    );
+    let mut t = Table::new(vec![
+        "arm".into(),
+        "shards".into(),
+        "makespan(s)".into(),
+        "rerouted".into(),
+        "balanced".into(),
+        "dropped".into(),
+    ]);
+    for r in &report.batch {
+        let arm = if r.crashed_cameras == 0 {
+            "uniform"
+        } else {
+            "crash storm"
+        };
+        t.row(vec![
+            arm.into(),
+            r.shards.to_string(),
+            format!("{:.3}", r.makespan_secs),
+            r.rerouted.to_string(),
+            r.balanced.to_string(),
+            r.dropped.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "uniform 1->8 shard speedup: {:.3}x (claim: >= 1.5x)",
+        report.speedup_1_to_8
+    );
+    let live = &report.live;
+    println!(
+        "live {}-shard engine: {} requests, {} executed, {} rerouted, {} migrations, \
+         mean latency {}, conservation {}",
+        live.shards,
+        live.requests,
+        live.executed,
+        live.rerouted,
+        live.migrations,
+        live.mean_latency_secs
+            .map(|s| format!("{s:.2}s"))
+            .unwrap_or_else(|| "n/a".into()),
+        if live.conservation_ok {
+            "OK"
+        } else {
+            "VIOLATED"
+        },
+    );
+    println!(
+        "determinism: {} (trace digest {:#018x})\n",
+        if report.deterministic {
+            "byte-identical across reruns"
+        } else {
+            "DIVERGED"
+        },
+        report.trace_digest,
+    );
+    write_bench_cluster_json(&report);
+}
+
+/// Hand-formats `BENCH_cluster.json` (the repo has no JSON dependency).
+fn write_bench_cluster_json(report: &experiments::E8Report) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"experiment\": \"e8\",\n");
+    body.push_str(&format!(
+        "  \"requests\": {},\n  \"cameras\": {},\n",
+        experiments::E8_REQUESTS,
+        experiments::E8_CAMERAS
+    ));
+    body.push_str(&format!(
+        "  \"speedup_1_to_8\": {:.4},\n  \"deterministic\": {},\n  \"trace_fnv1a\": \"{:#018x}\",\n",
+        report.speedup_1_to_8, report.deterministic, report.trace_digest
+    ));
+    body.push_str("  \"batch\": [\n");
+    for (i, r) in report.batch.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"shards\": {}, \"crashed_cameras\": {}, \"makespan_s\": {:.4}, \
+             \"rerouted\": {}, \"balanced\": {}, \"dropped\": {}}}{}\n",
+            r.shards,
+            r.crashed_cameras,
+            r.makespan_secs,
+            r.rerouted,
+            r.balanced,
+            r.dropped,
+            if i + 1 < report.batch.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n");
+    let live = &report.live;
+    body.push_str(&format!(
+        "  \"live\": {{\"shards\": {}, \"requests\": {}, \"executed\": {}, \"rerouted\": {}, \
+         \"migrations\": {}, \"mean_latency_s\": {}, \"conservation_ok\": {}}}\n",
+        live.shards,
+        live.requests,
+        live.executed,
+        live.rerouted,
+        live.migrations,
+        live.mean_latency_secs
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_else(|| "null".into()),
+        live.conservation_ok,
+    ));
+    body.push_str("}\n");
+    match std::fs::write("BENCH_cluster.json", body) {
+        Ok(()) => println!("(wrote BENCH_cluster.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_cluster.json: {e}"),
+    }
+}
+
+/// Hand-formats `BENCH_sched.json` from the Figure-4 (E2) and E7 rows, when
+/// both experiments ran in this invocation.
+fn write_bench_sched_json() {
+    let fig4 = FIG4_POINTS.with(|slot| slot.borrow_mut().take());
+    let e7 = E7_ROWS.with(|slot| slot.borrow_mut().take());
+    let (Some(fig4), Some(e7)) = (fig4, e7) else {
+        return;
+    };
+    let mut body = String::from("{\n  \"fig4\": [\n");
+    for (i, p) in fig4.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"requests\": {}, \"makespan_s\": {:.4}, \
+             \"sched_s\": {:.4}, \"service_s\": {:.4}}}{}\n",
+            p.algorithm,
+            p.x,
+            p.makespan_secs,
+            p.sched_secs,
+            p.service_secs,
+            if i + 1 < fig4.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n  \"e7\": [\n");
+    for (i, r) in e7.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"n\": {}, \"m\": {}, \"makespan_s\": {:.4}}}{}\n",
+            r.algorithm,
+            r.n,
+            r.m,
+            r.service_secs,
+            if i + 1 < e7.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_sched.json", body) {
+        Ok(()) => println!("(wrote BENCH_sched.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_sched.json: {e}"),
+    }
+}
+
+thread_local! {
+    static FIG4_POINTS: std::cell::RefCell<Option<Vec<MakespanPoint>>> =
+        const { std::cell::RefCell::new(None) };
+    static E7_ROWS: std::cell::RefCell<Option<Vec<experiments::RatioPoint>>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 fn ablation(runs: u64) {
@@ -181,6 +346,7 @@ fn fig4(runs: u64) {
         "#requests",
         &points,
     );
+    FIG4_POINTS.with(|slot| *slot.borrow_mut() = Some(points.clone()));
     let violations = experiments::check_fig4_shape(&points);
     if violations.is_empty() {
         println!("shape check: OK (RANDOM worst; proposed beat LS/SA; sub-linear scaling)\n");

@@ -580,6 +580,187 @@ pub fn e7_scale(runs: u64, base_seed: u64) -> Vec<RatioPoint> {
     out
 }
 
+/// One batch row of the **E8** cluster sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E8Row {
+    /// Shard count *k*.
+    pub shards: usize,
+    /// Cameras down for the whole round (0 = the uniform arm; a non-zero
+    /// block is a shard-local crash storm under stripe partitioning).
+    pub crashed_cameras: usize,
+    /// Cluster makespan (slowest shard), seconds.
+    pub makespan_secs: f64,
+    /// Requests re-routed to a sibling after candidate-set exhaustion.
+    pub rerouted: usize,
+    /// Requests moved at admission by queue-depth saturation routing.
+    pub balanced: usize,
+    /// Requests no shard could serve.
+    pub dropped: usize,
+}
+
+/// The live-engine arm of E8: a [`aorta_cluster::ShardManager`] run with
+/// periodic events, reporting event→completion latency and the cluster
+/// conservation verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E8LiveRow {
+    /// Shard count.
+    pub shards: usize,
+    /// Requests admitted cluster-wide.
+    pub requests: u64,
+    /// Requests executed cluster-wide.
+    pub executed: u64,
+    /// Gateway reroutes.
+    pub rerouted: u64,
+    /// Device ownership migrations.
+    pub migrations: u64,
+    /// Mean event→completion latency, seconds.
+    pub mean_latency_secs: Option<f64>,
+    /// Whether [`aorta_cluster::ClusterStats::check_conservation`] held.
+    pub conservation_ok: bool,
+}
+
+/// The full **E8** report: batch sweep, live arm, and determinism check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E8Report {
+    /// Batch rows: shards ∈ {1, 2, 4, 8} × {uniform, crash storm}.
+    pub batch: Vec<E8Row>,
+    /// The live-engine arm.
+    pub live: E8LiveRow,
+    /// Uniform-arm makespan ratio, 1 shard over 8 shards.
+    pub speedup_1_to_8: f64,
+    /// Whether two identically-seeded 8-shard runs rendered byte-identical
+    /// outcomes (batch) and traces (live).
+    pub deterministic: bool,
+    /// FNV-1a digest of the uniform 8-shard batch rendering.
+    pub trace_digest: u64,
+}
+
+/// E8 workload scale: the request count,
+pub const E8_REQUESTS: usize = 800;
+/// … the camera fleet size,
+pub const E8_CAMERAS: usize = 200;
+/// … and the storm arm's crashed block (exactly stripe 0 at 8 shards).
+pub const E8_STORM_CRASHED: usize = 25;
+
+fn e8_batch(seed: u64, shards: usize, crashed: usize) -> aorta_cluster::BatchOutcome {
+    aorta_cluster::run_photo_batch(&aorta_cluster::BatchConfig {
+        requests: E8_REQUESTS,
+        cameras: E8_CAMERAS,
+        shards,
+        seed,
+        crashed_cameras: crashed,
+    })
+}
+
+/// Uniform-arm makespan ratio of 1 shard over 8 shards — the headline
+/// cluster claim (≥ 1.5× at the E8 scale).
+pub fn e8_speedup(seed: u64) -> f64 {
+    let one = e8_batch(seed, 1, 0);
+    let eight = e8_batch(seed, 8, 0);
+    one.makespan.as_secs_f64() / eight.makespan.as_secs_f64()
+}
+
+/// 64-bit FNV-1a over a string, for compact trace fingerprints.
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// **E8 (extension)** — sharded multi-engine execution: cluster makespan vs
+/// shard count at 800 requests / 200 cameras, with and without a
+/// shard-local crash storm, plus a live two-shard engine run and a
+/// byte-identical determinism check. See `DESIGN.md` §7.
+pub fn e8_cluster(seed: u64) -> E8Report {
+    use aorta_cluster::{ClusterConfig, ShardManager};
+    use aorta_device::PervasiveLab;
+    use aorta_sim::SimDuration;
+
+    let mut batch = Vec::new();
+    for &crashed in &[0usize, E8_STORM_CRASHED] {
+        for &k in &[1usize, 2, 4, 8] {
+            let out = e8_batch(seed, k, crashed);
+            batch.push(E8Row {
+                shards: k,
+                crashed_cameras: crashed,
+                makespan_secs: out.makespan.as_secs_f64(),
+                rerouted: out.rerouted,
+                balanced: out.balanced,
+                dropped: out.dropped,
+            });
+        }
+    }
+    let speedup_1_to_8 = {
+        let one = batch
+            .iter()
+            .find(|r| r.shards == 1 && r.crashed_cameras == 0);
+        let eight = batch
+            .iter()
+            .find(|r| r.shards == 8 && r.crashed_cameras == 0);
+        one.unwrap().makespan_secs / eight.unwrap().makespan_secs
+    };
+
+    let live_run = |seed: u64| {
+        let lab = PervasiveLab::with_sizes(12, 16, 0)
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let mut cluster = ShardManager::new(ClusterConfig::seeded(seed, 2), lab);
+        for i in 0..10 {
+            cluster
+                .execute_sql(&format!(
+                    r#"CREATE AQ q{i} AS
+                       SELECT photo(c.ip, s.loc, "p")
+                       FROM sensor s, camera c
+                       WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+                ))
+                .expect("valid query");
+        }
+        cluster.run_for(SimDuration::from_mins(10));
+        cluster.run_for(SimDuration::from_secs(30));
+        cluster
+    };
+    let live_a = live_run(seed);
+    let live_b = live_run(seed);
+    let stats = live_a.stats();
+    let live = E8LiveRow {
+        shards: live_a.shard_count(),
+        requests: stats.requests(),
+        executed: stats.executed(),
+        rerouted: stats.rerouted,
+        migrations: stats.migrations,
+        mean_latency_secs: stats.mean_latency_secs(),
+        conservation_ok: stats.check_conservation().is_ok(),
+    };
+
+    let render_a = e8_batch(seed, 8, 0).render();
+    let render_b = e8_batch(seed, 8, 0).render();
+    let deterministic = render_a == render_b && live_a.render_trace() == live_b.render_trace();
+
+    E8Report {
+        batch,
+        live,
+        speedup_1_to_8,
+        deterministic,
+        trace_digest: fnv1a64(&render_a),
+    }
+}
+
+#[cfg(test)]
+mod cluster_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn e8_uniform_speedup_meets_the_cluster_claim() {
+        let speedup = e8_speedup(0xE8);
+        assert!(
+            speedup >= 1.5,
+            "1→8 shard speedup {speedup:.3}x fell below the 1.5x claim"
+        );
+    }
+}
+
 #[cfg(test)]
 mod ablation_tests {
     use super::*;

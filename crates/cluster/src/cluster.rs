@@ -1,0 +1,584 @@
+//! The shard manager and routing gateway.
+//!
+//! A [`ShardManager`] owns *k* independent [`Aorta`] engines, each over a
+//! disjoint slice of the device fleet, and drives them on **one** virtual
+//! clock: at every step it advances the shard whose next pending work has
+//! the smallest `(SimTime, shard_id)`, which serializes the per-shard event
+//! queues into a single deterministic global order — identical seeds yield
+//! byte-identical cluster traces, exactly as for a standalone engine.
+//!
+//! The gateway role is folded into the manager: DDL (`CREATE AQ`,
+//! `CREATE ACTION`) is broadcast to every shard, so any shard can detect
+//! events over its own devices and serve adopted requests; when a shard's
+//! candidate set is exhausted (crash storms, or simply no covering device
+//! in its region) the shard escalates the request and the gateway re-routes
+//! it to the sibling offering the cheapest eligible device. Above a
+//! configurable backlog imbalance the gateway also migrates device
+//! ownership between shards — only at a safe point (no queued execution,
+//! no lock held, no action physically in progress).
+
+use aorta_core::{ActionRequest, Aorta, CustomHandler, EngineConfig, EngineError, ExecOutput};
+use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
+use aorta_net::DeviceRegistry;
+use aorta_sim::{FaultPlan, SimDuration, SimRng, SimTime, TraceBuffer};
+
+use crate::partition::{owner_of, PartitionPolicy};
+use crate::stats::ClusterStats;
+
+/// Cluster-level tunables. Per-shard engine parameters come from the
+/// `engine` template; each shard gets its own seed forked from `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Master seed: shard engine seeds and partition hashing fork from it.
+    pub seed: u64,
+    /// Number of shards *k* (≥ 1).
+    pub shards: usize,
+    /// How devices are assigned to shards.
+    pub partition: PartitionPolicy,
+    /// Backlog gap (max shard pending minus min shard pending, in
+    /// requests) above which the gateway migrates device ownership.
+    /// `u64::MAX` disables rebalancing.
+    pub imbalance_threshold: u64,
+    /// Most devices migrated per rebalance decision.
+    pub migration_batch: usize,
+    /// Template engine configuration; `seed` and `escalate_exhausted` are
+    /// overridden per shard.
+    pub engine: EngineConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 42,
+            shards: 2,
+            partition: PartitionPolicy::RegionStripes,
+            imbalance_threshold: 16,
+            migration_batch: 1,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The default configuration with a given seed and shard count.
+    pub fn seeded(seed: u64, shards: usize) -> Self {
+        ClusterConfig {
+            seed,
+            shards,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Sets the partition policy, builder style.
+    pub fn with_partition(mut self, partition: PartitionPolicy) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the rebalance threshold, builder style.
+    pub fn with_imbalance_threshold(mut self, threshold: u64) -> Self {
+        self.imbalance_threshold = threshold;
+        self
+    }
+}
+
+/// *k* engines over a partitioned fleet, stepped on one virtual clock,
+/// with gateway routing, cross-shard failover, and rebalancing.
+pub struct ShardManager {
+    config: ClusterConfig,
+    shards: Vec<Aorta>,
+    now: SimTime,
+    /// Gateway-level decisions (reroutes, drops, migrations).
+    trace: TraceBuffer,
+    rerouted: u64,
+    gateway_dropped: u64,
+    migrations: u64,
+}
+
+impl ShardManager {
+    /// Partitions `lab` across `config.shards` engines.
+    ///
+    /// Per-shard engine seeds are forked from the cluster seed, so the
+    /// cluster as a whole is as deterministic as one engine; escalation is
+    /// enabled on every shard when `k > 1` (with a single shard there is
+    /// no sibling, and behaviour is identical to a standalone engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards` is zero.
+    pub fn new(config: ClusterConfig, lab: PervasiveLab) -> Self {
+        assert!(config.shards > 0, "a cluster needs at least one shard");
+        let k = config.shards;
+        let width = PervasiveLab::ROOM.0;
+        let mut registries: Vec<DeviceRegistry> = (0..k).map(|_| DeviceRegistry::new()).collect();
+        let mut place = |sim: aorta_net::DeviceSim, x: Option<f64>, fallback: usize| {
+            let s = owner_of(
+                config.partition,
+                config.seed,
+                sim.id(),
+                x,
+                width,
+                fallback,
+                k,
+            );
+            registries[s].register(sim, SimTime::ZERO);
+        };
+        for (i, cam) in lab.cameras.iter().enumerate() {
+            place(cam.clone().into(), Some(cam.mount().x), i);
+        }
+        for (i, mote) in lab.motes.iter().enumerate() {
+            place(mote.clone().into(), Some(mote.location().x), i);
+        }
+        for (i, phone) in lab.phones.iter().enumerate() {
+            place(phone.clone().into(), None, i);
+        }
+
+        let mut seeder = SimRng::seed(config.seed);
+        let shards = registries
+            .into_iter()
+            .enumerate()
+            .map(|(s, registry)| {
+                let mut engine_config = config.engine.clone();
+                engine_config.seed = seeder.fork(s as u64).next_u64();
+                engine_config.escalate_exhausted = k > 1;
+                Aorta::with_registry(engine_config, registry)
+            })
+            .collect();
+
+        ShardManager {
+            config,
+            shards,
+            now: SimTime::ZERO,
+            trace: TraceBuffer::with_capacity(4096),
+            rerouted: 0,
+            gateway_dropped: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Executes a statement on every shard (the gateway's admission path:
+    /// queries and actions must exist cluster-wide so any shard can detect
+    /// events on its devices or adopt an escalated request). Returns the
+    /// first shard's output; all shards execute the same statement.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<Vec<ExecOutput>, EngineError> {
+        let mut first = None;
+        for shard in &mut self.shards {
+            let out = shard.execute_sql(sql)?;
+            if first.is_none() {
+                first = Some(out);
+            }
+        }
+        Ok(first.unwrap_or_default())
+    }
+
+    /// Stages a custom action handler on every shard (see
+    /// [`Aorta::register_handler`]).
+    pub fn register_handler(&mut self, name: &str, handler: CustomHandler) {
+        for shard in &mut self.shards {
+            shard.register_handler(name, handler.clone());
+        }
+    }
+
+    /// Splits a cluster-wide fault plan by device ownership and installs
+    /// the slices. Crash/recover events go to the shard owning the device
+    /// *now*; if the rebalancer later migrates that device, the stale
+    /// events no-op harmlessly on the old shard (fault application checks
+    /// registry membership). Global link events replicate to every shard.
+    pub fn inject_faults(&mut self, plan: FaultPlan<DeviceId>) {
+        let owners: Vec<FaultPlan<DeviceId>> =
+            plan.split_by(self.shards.len(), |d| self.shard_owning(*d).unwrap_or(0));
+        for (shard, sub) in self.shards.iter_mut().zip(owners) {
+            shard.inject_faults(sub);
+        }
+    }
+
+    /// The shard currently owning `device`, if any.
+    pub fn shard_owning(&self, device: DeviceId) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.registry().get(device).is_some())
+    }
+
+    /// Advances the shared virtual clock to `deadline`.
+    ///
+    /// Shards are interleaved in `(next_event_time, shard_id)` order: the
+    /// shard with the earliest pending work runs first, ties break on the
+    /// lower shard ID. After each step the gateway services that shard's
+    /// escalations and checks the rebalance condition, so cross-shard
+    /// failover happens at the same virtual instant the exhaustion did.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let mut next: Option<(SimTime, usize)> = None;
+            for (s, shard) in self.shards.iter().enumerate() {
+                if let Some(t) = shard.next_event_time() {
+                    if t <= deadline && next.is_none_or(|n| (t, s) < n) {
+                        next = Some((t, s));
+                    }
+                }
+            }
+            let Some((t, s)) = next else { break };
+            self.now = t;
+            self.shards[s].run_until(t);
+            self.route_escalated(s);
+            self.maybe_rebalance();
+        }
+        for s in 0..self.shards.len() {
+            self.shards[s].run_until(deadline);
+            self.route_escalated(s);
+        }
+        self.now = deadline;
+    }
+
+    /// Advances the shared virtual clock by `duration`.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.run_until(self.now + duration);
+    }
+
+    /// Drains shard `s`'s escalation buffer and re-routes each request to
+    /// the sibling offering the cheapest eligible device (ties break on the
+    /// lower shard ID). A request that has already visited every shard, or
+    /// for which no sibling has an eligible device, is terminally dropped —
+    /// and counted, never lost.
+    fn route_escalated(&mut self, s: usize) {
+        let escalated = self.shards[s].drain_escalated();
+        for mut request in escalated {
+            if request.hops as usize + 1 >= self.shards.len() {
+                self.drop_request(&request, "visited every shard");
+                continue;
+            }
+            let mut best: Option<(SimDuration, usize, DeviceId)> = None;
+            for (t, shard) in self.shards.iter_mut().enumerate() {
+                if t == s {
+                    continue;
+                }
+                if let Some((device, cost)) = shard.cheapest_local_candidate(&request) {
+                    if best.is_none_or(|(bc, bt, _)| (cost, t) < (bc, bt)) {
+                        best = Some((cost, t, device));
+                    }
+                }
+            }
+            match best {
+                Some((cost, t, device)) => {
+                    request.hops += 1;
+                    self.rerouted += 1;
+                    self.trace.emit(
+                        self.now,
+                        "gateway",
+                        format!(
+                            "query {}: rerouted s{s} -> s{t} (cheapest {device}, estimate {cost})",
+                            request.query_id
+                        ),
+                    );
+                    self.shards[t].inject_request(request);
+                }
+                None => self.drop_request(&request, "no eligible device on any sibling"),
+            }
+        }
+    }
+
+    fn drop_request(&mut self, request: &ActionRequest, why: &str) {
+        self.gateway_dropped += 1;
+        self.trace.emit(
+            self.now,
+            "gateway",
+            format!("query {}: {why}, request dropped", request.query_id),
+        );
+    }
+
+    /// Migrates camera ownership from the most backlogged shard to the
+    /// least when the pending-request gap exceeds the configured
+    /// threshold. Only devices at a safe point move: online, no queued
+    /// execution, no lock held, no action mid-flight — so no in-flight
+    /// state is torn. The source always keeps at least one camera.
+    fn maybe_rebalance(&mut self) {
+        if self.shards.len() < 2 || self.config.imbalance_threshold == u64::MAX {
+            return;
+        }
+        let depths: Vec<u64> = self.shards.iter().map(|s| s.pending_requests()).collect();
+        let (max_s, &max_d) = depths
+            .iter()
+            .enumerate()
+            .max_by_key(|&(s, &d)| (d, std::cmp::Reverse(s)))
+            .expect("at least two shards");
+        let (min_s, &min_d) = depths
+            .iter()
+            .enumerate()
+            .min_by_key(|&(s, &d)| (d, s))
+            .expect("at least two shards");
+        if max_s == min_s || max_d - min_d < self.config.imbalance_threshold {
+            return;
+        }
+        let movable: Vec<DeviceId> = {
+            let source = &self.shards[max_s];
+            let cameras = source.registry().ids_of_kind(DeviceKind::Camera);
+            let spare = cameras.len().saturating_sub(1);
+            cameras
+                .into_iter()
+                .filter(|&d| {
+                    source.registry().get(d).is_some_and(|e| e.online) && source.device_idle(d)
+                })
+                .take(spare.min(self.config.migration_batch))
+                .collect()
+        };
+        for d in movable {
+            let Some(entry) = self.shards[max_s].registry_mut().extract(d) else {
+                continue;
+            };
+            self.shards[min_s].registry_mut().adopt(entry);
+            self.migrations += 1;
+            self.trace.emit(
+                self.now,
+                "gateway",
+                format!("migrated {d}: s{max_s} (backlog {max_d}) -> s{min_s} (backlog {min_d})"),
+            );
+        }
+    }
+
+    /// Aggregated cluster statistics. After [`ShardManager::run_until`]
+    /// returns, [`ClusterStats::check_conservation`] holds: every admitted
+    /// request is terminally resolved on some shard, visibly pending, or
+    /// counted dropped by the gateway.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            per_shard: self.shards.iter().map(Aorta::stats).collect(),
+            pending: self.pending_requests(),
+            rerouted: self.rerouted,
+            gateway_dropped: self.gateway_dropped,
+            migrations: self.migrations,
+        }
+    }
+
+    /// Pending requests summed over shards.
+    pub fn pending_requests(&self) -> u64 {
+        self.shards.iter().map(Aorta::pending_requests).sum()
+    }
+
+    /// The shared virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A shard's engine (introspection).
+    pub fn shard(&self, s: usize) -> &Aorta {
+        &self.shards[s]
+    }
+
+    /// Mutable access to a shard's engine (e.g. dynamic membership via
+    /// [`Aorta::registry_mut`]).
+    pub fn shard_mut(&mut self, s: usize) -> &mut Aorta {
+        &mut self.shards[s]
+    }
+
+    /// The gateway's own trace (reroutes, drops, migrations).
+    pub fn gateway_trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Requests the gateway re-routed to a sibling shard.
+    pub fn rerouted(&self) -> u64 {
+        self.rerouted
+    }
+
+    /// Device ownership transfers performed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The full cluster trace: every shard's engine trace prefixed with
+    /// its shard ID, then the gateway trace — the byte-identical artifact
+    /// cluster determinism is asserted on.
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for line in shard.trace().render().lines() {
+                out.push_str(&format!("[s{s}] {line}\n"));
+            }
+        }
+        for line in self.trace.render().lines() {
+            out.push_str(&format!("[gw] {line}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aorta_sim::FaultEvent;
+
+    const RUN: SimDuration = SimDuration::from_mins(10);
+
+    fn lab() -> PervasiveLab {
+        PervasiveLab::with_sizes(12, 16, 0)
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO)
+    }
+
+    fn admit_queries(cluster: &mut ShardManager, coverage: bool) {
+        for i in 0..10 {
+            let pred = if coverage {
+                " AND coverage(c.id, s.loc)"
+            } else {
+                ""
+            };
+            cluster
+                .execute_sql(&format!(
+                    r#"CREATE AQ q{i} AS
+                       SELECT photo(c.ip, s.loc, "p")
+                       FROM sensor s, camera c
+                       WHERE s.accel_x > 500 AND s.id = {i}{pred}"#
+                ))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn ddl_broadcasts_to_every_shard() {
+        let mut cluster = ShardManager::new(ClusterConfig::seeded(3, 4), lab());
+        admit_queries(&mut cluster, true);
+        for s in 0..cluster.shard_count() {
+            assert_eq!(
+                cluster.shard(s).catalog().query_count(),
+                10,
+                "shard {s} missed the broadcast"
+            );
+        }
+    }
+
+    #[test]
+    fn every_device_lands_on_exactly_one_shard() {
+        for policy in [PartitionPolicy::RegionStripes, PartitionPolicy::Rendezvous] {
+            let cluster =
+                ShardManager::new(ClusterConfig::seeded(9, 4).with_partition(policy), lab());
+            let mut total = 0;
+            for s in 0..cluster.shard_count() {
+                let r = cluster.shard(s).registry();
+                total += r.ids_of_kind(DeviceKind::Camera).len()
+                    + r.ids_of_kind(DeviceKind::Sensor).len();
+            }
+            assert_eq!(total, 12 + 16, "{policy:?} lost or duplicated devices");
+            for c in 0..12u32 {
+                assert!(cluster.shard_owning(DeviceId::camera(c)).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn dead_stripe_fails_over_to_sibling_shard() {
+        // Two stripe shards; kill shard 0's entire camera block before any
+        // event fires. Shard 0 still detects events on its motes, exhausts
+        // its (all-dead) candidates, and the gateway must re-route to s1.
+        let mut cluster = ShardManager::new(
+            ClusterConfig::seeded(11, 2).with_imbalance_threshold(u64::MAX),
+            lab(),
+        );
+        admit_queries(&mut cluster, false);
+        let mut plan = FaultPlan::new();
+        for c in 0..12u32 {
+            let id = DeviceId::camera(c);
+            if cluster.shard_owning(id) == Some(0) {
+                plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+            }
+        }
+        assert!(!plan.is_empty(), "stripe 0 owned no cameras");
+        cluster.inject_faults(plan);
+        cluster.run_for(RUN);
+
+        let stats = cluster.stats();
+        stats.check_conservation().unwrap();
+        assert!(
+            cluster.rerouted() > 0,
+            "no cross-shard failover happened: {stats:?}"
+        );
+        assert!(cluster.gateway_trace().any("gateway", "rerouted s0 -> s1"));
+        assert!(
+            stats.per_shard[1].escalated_in > 0,
+            "sibling adopted nothing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn conservation_holds_under_cluster_wide_crash_storm() {
+        let mut cluster = ShardManager::new(ClusterConfig::seeded(21, 4), lab());
+        admit_queries(&mut cluster, true);
+        let devices: Vec<DeviceId> = (0..12)
+            .map(DeviceId::camera)
+            .chain((0..16).map(DeviceId::sensor))
+            .collect();
+        let config = aorta_sim::FaultConfig {
+            crash_rate: 0.25,
+            loss_burst_rate: 0.3,
+            extra_loss: 0.5,
+            ..aorta_sim::FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(0xBEEF, RUN, &devices, &config);
+        assert!(!plan.is_empty());
+        cluster.inject_faults(plan);
+        cluster.run_for(RUN);
+
+        let stats = cluster.stats();
+        assert!(stats.requests() >= 10, "storm starved workload: {stats:?}");
+        stats.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn rebalancer_migrates_ownership_at_a_safe_point() {
+        let mut config = ClusterConfig::seeded(5, 2);
+        config.imbalance_threshold = 1;
+        config.migration_batch = 1;
+        let mut cluster = ShardManager::new(config, lab());
+        admit_queries(&mut cluster, true);
+        let before: Vec<usize> = (0..2)
+            .map(|s| {
+                cluster
+                    .shard(s)
+                    .registry()
+                    .ids_of_kind(DeviceKind::Camera)
+                    .len()
+            })
+            .collect();
+        cluster.run_for(RUN);
+
+        let stats = cluster.stats();
+        stats.check_conservation().unwrap();
+        assert!(stats.migrations > 0, "no migration fired: {stats:?}");
+        assert!(cluster.gateway_trace().any("gateway", "migrated"));
+        let after: Vec<usize> = (0..2)
+            .map(|s| {
+                cluster
+                    .shard(s)
+                    .registry()
+                    .ids_of_kind(DeviceKind::Camera)
+                    .len()
+            })
+            .collect();
+        assert_eq!(
+            before.iter().sum::<usize>(),
+            after.iter().sum::<usize>(),
+            "migration must not lose devices"
+        );
+        assert_ne!(before, after, "ownership should actually have moved");
+        assert!(
+            after.iter().all(|&c| c >= 1),
+            "source gave away its last camera"
+        );
+    }
+
+    #[test]
+    fn cluster_trace_is_byte_identical_per_seed() {
+        let run = |seed| {
+            let mut cluster = ShardManager::new(ClusterConfig::seeded(seed, 2), lab());
+            admit_queries(&mut cluster, true);
+            cluster.run_for(SimDuration::from_mins(3));
+            cluster.render_trace()
+        };
+        let a = run(31);
+        assert!(!a.is_empty());
+        assert_eq!(a, run(31));
+        assert_ne!(a, run(32), "different seeds should diverge");
+    }
+}

@@ -1,0 +1,130 @@
+//! Cluster-wide statistics: per-shard engine counters aggregated under the
+//! same conservation discipline the single engine guarantees.
+//!
+//! The engine invariant (per shard) is
+//! `requests + escalated_in == terminal + pending + escalated_out`: a
+//! request a shard admits (or adopts) either reaches a terminal counter,
+//! is visibly pending, or has been handed to the gateway. The gateway in
+//! turn re-injects every escalated request into exactly one sibling or
+//! counts it dropped, so cluster-wide the sums telescope to
+//! `Σ requests == Σ terminal + Σ pending + gateway_dropped` — a re-routed
+//! request is counted exactly once, on the shard that admitted it.
+
+use aorta_core::EngineStats;
+
+/// Aggregated statistics for a [`crate::ShardManager`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Per-shard engine snapshots, indexed by shard ID.
+    pub per_shard: Vec<EngineStats>,
+    /// Requests admitted but not yet terminally resolved, summed over
+    /// shards (queued executions plus operator backlogs).
+    pub pending: u64,
+    /// Requests the gateway re-routed to a sibling shard.
+    pub rerouted: u64,
+    /// Escalated requests no sibling could serve (or that had already
+    /// visited every shard); these are the cluster's terminal drops.
+    pub gateway_dropped: u64,
+    /// Device ownership transfers performed by the rebalancer.
+    pub migrations: u64,
+}
+
+impl ClusterStats {
+    /// Requests admitted cluster-wide (each counted once, on the shard
+    /// whose event detection created it).
+    pub fn requests(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.requests).sum()
+    }
+
+    /// Requests whose action a device accepted, cluster-wide.
+    pub fn executed(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.executed).sum()
+    }
+
+    /// Requests escalated by shards to the gateway.
+    pub fn escalated_out(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.escalated_out).sum()
+    }
+
+    /// Escalated requests adopted by sibling shards.
+    pub fn escalated_in(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.escalated_in).sum()
+    }
+
+    /// Sum of every terminal outcome counter over all shards.
+    pub fn terminal(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| {
+                s.executed
+                    + s.connect_failures
+                    + s.busy_rejections
+                    + s.no_candidate
+                    + s.timed_out
+                    + s.out_of_range
+                    + s.action_errors
+                    + s.orphaned
+            })
+            .sum()
+    }
+
+    /// Mean event-to-completion latency over executed requests,
+    /// cluster-wide (weighted by each shard's executed count), in seconds.
+    pub fn mean_latency_secs(&self) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0u64;
+        for s in &self.per_shard {
+            if let Some(lat) = s.mean_action_latency {
+                let n = s.latency_weight();
+                total += lat.as_secs_f64() * n as f64;
+                count += n;
+            }
+        }
+        (count > 0).then(|| total / count as f64)
+    }
+
+    /// Verifies the cluster-wide conservation invariant, returning a
+    /// description of the imbalance when it fails.
+    ///
+    /// Checks both the telescoped cluster identity
+    /// (`requests == terminal + pending + gateway_dropped`) and the
+    /// gateway's own ledger
+    /// (`escalated_out == escalated_in + gateway_dropped`): together they
+    /// imply every re-routed request is counted exactly once.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let requests = self.requests();
+        let accounted = self.terminal() + self.pending + self.gateway_dropped;
+        if requests != accounted {
+            return Err(format!(
+                "requests {requests} != terminal {} + pending {} + gateway_dropped {}",
+                self.terminal(),
+                self.pending,
+                self.gateway_dropped
+            ));
+        }
+        let out = self.escalated_out();
+        let handled = self.escalated_in() + self.gateway_dropped;
+        if out != handled {
+            return Err(format!(
+                "escalated_out {out} != escalated_in {} + gateway_dropped {}",
+                self.escalated_in(),
+                self.gateway_dropped
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Extension used by the latency aggregation: `EngineStats` exposes only
+/// the mean, so weight it by executions (the mean's denominator is the
+/// count of completed actions, which `executed` tracks closely enough for
+/// an aggregate mean across homogeneous shards).
+trait LatencyWeight {
+    fn latency_weight(&self) -> u64;
+}
+
+impl LatencyWeight for EngineStats {
+    fn latency_weight(&self) -> u64 {
+        self.executed
+    }
+}

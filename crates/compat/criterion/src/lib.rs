@@ -84,7 +84,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Times `f` with a borrowed input under the given id.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -145,7 +150,10 @@ fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mu
     };
     f(&mut bencher);
     let mean = bencher.elapsed.as_secs_f64() / sample_size.max(1) as f64;
-    println!("{group}/{id}: {:.3} ms/iter ({sample_size} iters)", mean * 1e3);
+    println!(
+        "{group}/{id}: {:.3} ms/iter ({sample_size} iters)",
+        mean * 1e3
+    );
 }
 
 /// Declares a function that runs each listed benchmark with a fresh

@@ -123,7 +123,10 @@ pub struct Union<T> {
 impl<T: Debug> Union<T> {
     /// A union over the given variants (must be non-empty).
     pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
         Union { variants }
     }
 }
@@ -217,11 +220,11 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 // --- string patterns --------------------------------------------------------
 
@@ -256,10 +259,7 @@ mod tests {
     #[test]
     fn map_flat_map_union_compose() {
         let mut r = rng();
-        let s = crate::prop_oneof![
-            (0u32..10).prop_map(|x| x * 2),
-            Just(99u32),
-        ];
+        let s = crate::prop_oneof![(0u32..10).prop_map(|x| x * 2), Just(99u32),];
         for _ in 0..100 {
             let v = s.generate(&mut r);
             assert!(v == 99 || (v % 2 == 0 && v < 20));

@@ -226,10 +226,7 @@ mod tests {
     #[should_panic(expected = "inputs: x = 3")]
     fn failure_reports_inputs() {
         run_cases(&ProptestConfig::with_cases(5), "boom", |_| {
-            (
-                Err(TestCaseError::fail("nope")),
-                "x = 3; ".to_string(),
-            )
+            (Err(TestCaseError::fail("nope")), "x = 3; ".to_string())
         });
     }
 }

@@ -39,6 +39,13 @@ pub struct EngineConfig {
     /// failure (connect timeout, busy rejection). Zero (the default, and the
     /// paper's behaviour) fails the request on first error.
     pub retry_failed: u32,
+    /// When the local candidate set is exhausted (no probeable candidate at
+    /// dispatch, or no surviving candidate after a crash), park the request
+    /// in an escalation buffer for an external gateway instead of failing it
+    /// terminally. Off by default — a standalone engine has no sibling to
+    /// escalate to, so exhaustion stays a terminal `no_candidate`/`orphaned`
+    /// outcome exactly as before.
+    pub escalate_exhausted: bool,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +58,7 @@ impl Default for EngineConfig {
             request_timeout: SimDuration::from_secs(30),
             dispatch: DispatchPolicy::Scheduled,
             retry_failed: 0,
+            escalate_exhausted: false,
         }
     }
 }
@@ -85,6 +93,14 @@ impl EngineConfig {
     /// Enables failover retries, builder style.
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retry_failed = retries;
+        self
+    }
+
+    /// Enables gateway escalation of exhausted requests, builder style.
+    /// Used by `aorta-cluster`, whose gateway re-routes escalated requests
+    /// to sibling shards.
+    pub fn with_escalation(mut self) -> Self {
+        self.escalate_exhausted = true;
         self
     }
 }

@@ -65,6 +65,9 @@ pub struct Aorta {
     pub(crate) baseline_links: BTreeMap<DeviceKind, LinkModel>,
     /// Custom handlers registered before their `CREATE ACTION` statement.
     staged_handlers: BTreeMap<String, CustomHandler>,
+    /// Requests whose local candidate set is exhausted, parked for the
+    /// cluster gateway (only fills when `escalate_exhausted` is set).
+    pub(crate) escalated: Vec<crate::ActionRequest>,
 }
 
 impl Aorta {
@@ -102,6 +105,7 @@ impl Aorta {
             latency_stack: Vec::new(),
             baseline_links: BTreeMap::new(),
             staged_handlers: BTreeMap::new(),
+            escalated: Vec::new(),
         }
     }
 

@@ -64,6 +64,8 @@ pub(crate) struct RawStats {
     pub retries: u64,
     pub orphaned: u64,
     pub partial_cost_us: u64,
+    pub escalated_out: u64,
+    pub escalated_in: u64,
 }
 
 /// A snapshot of engine statistics.
@@ -112,6 +114,12 @@ pub struct EngineStats {
     pub orphaned: u64,
     /// Virtual time of partially completed work lost to mid-action crashes.
     pub partial_cost: SimDuration,
+    /// Requests handed to the cluster gateway after local candidate
+    /// exhaustion (zero unless `escalate_exhausted` is set).
+    pub escalated_out: u64,
+    /// Requests adopted from the cluster gateway after another shard
+    /// escalated them.
+    pub escalated_in: u64,
     /// Probes attempted.
     pub probes: u64,
     /// Probes that timed out.
@@ -238,6 +246,8 @@ impl Aorta {
             retries: raw.retries,
             orphaned: raw.orphaned,
             partial_cost: SimDuration::from_micros(raw.partial_cost_us),
+            escalated_out: raw.escalated_out,
+            escalated_in: raw.escalated_in,
             probes: self.prober.probes_sent(),
             probe_timeouts: self.prober.timeouts(),
             lock_acquisitions: self.locks.acquisitions(),
@@ -328,6 +338,139 @@ impl Aorta {
         }
     }
 
+    // --- cluster hooks -------------------------------------------------------
+
+    /// Parks an exhausted request in the escalation buffer for the gateway.
+    fn escalate(&mut self, request: ActionRequest) {
+        self.raw_stats.escalated_out += 1;
+        self.trace.emit(
+            self.now,
+            "gateway",
+            format!(
+                "query {}: local candidates exhausted, escalating to gateway",
+                request.query_id
+            ),
+        );
+        self.escalated.push(request);
+    }
+
+    /// Takes every request escalated since the last drain. The caller (the
+    /// cluster gateway) owns them from here: each must be re-injected into
+    /// some shard via [`Aorta::inject_request`] or counted dropped, so the
+    /// cluster-wide conservation invariant keeps holding.
+    pub fn drain_escalated(&mut self) -> Vec<ActionRequest> {
+        std::mem::take(&mut self.escalated)
+    }
+
+    /// Adopts a request escalated from another shard: recomputes its
+    /// candidate set against *this* engine's registry (the old shard's
+    /// candidates are meaningless here) and enqueues it on the shared action
+    /// operator for the next dispatch epoch.
+    ///
+    /// The request stays counted in the originating shard's `requests`; this
+    /// shard counts it only as `escalated_in`, so cluster-wide each request
+    /// is counted exactly once.
+    pub fn inject_request(&mut self, mut request: ActionRequest) {
+        self.raw_stats.escalated_in += 1;
+        request.candidates = self.recompute_candidates(&request);
+        self.trace.emit(
+            self.now,
+            "gateway",
+            format!(
+                "query {}: adopted escalated request ({} candidate(s) here)",
+                request.query_id,
+                request.candidates.len()
+            ),
+        );
+        self.operators
+            .entry(request.action.clone())
+            .or_default()
+            .push(request);
+    }
+
+    /// The cheapest device on this shard able to serve `request`, with its
+    /// estimated cost — the gateway's routing metric. Uses the last-known
+    /// (unprobed) status: routing must not spend probe time on shards that
+    /// end up not being chosen. Returns `None` when no local candidate
+    /// passes the query's device predicates or all candidates are offline.
+    pub fn cheapest_local_candidate(
+        &mut self,
+        request: &ActionRequest,
+    ) -> Option<(DeviceId, SimDuration)> {
+        let def = self.catalog.action(&request.action).cloned()?;
+        let candidates = self.recompute_candidates(request);
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut probe_req = request.clone();
+        probe_req.candidates = candidates;
+        let mut best: Option<(SimDuration, DeviceId)> = None;
+        for (d, _) in &probe_req.candidates {
+            let Some(st) = self.unprobed_status(*d) else {
+                continue;
+            };
+            let Some(cost) = self.estimate_request_cost(&def, &probe_req, *d, &st) else {
+                continue;
+            };
+            if best.is_none_or(|b| (cost, *d) < b) {
+                best = Some((cost, *d));
+            }
+        }
+        best.map(|(cost, d)| (d, cost))
+    }
+
+    /// Re-evaluates the query's device predicates against a fresh scan of
+    /// this engine's registry — candidate sets are never cached across
+    /// shards (or across epochs; see `handle_sample`).
+    fn recompute_candidates(&mut self, request: &ActionRequest) -> Vec<(DeviceId, Tuple)> {
+        let Some(plan) = self
+            .catalog
+            .queries()
+            .find(|p| p.query_id == request.query_id)
+            .cloned()
+        else {
+            return Vec::new();
+        };
+        let Some(device_part) = &plan.device else {
+            return Vec::new();
+        };
+        let kind = device_part.kind;
+        let mut cache: BTreeMap<DeviceKind, Vec<Tuple>> = BTreeMap::new();
+        let scan = ScanOperator::new(kind).run(&mut self.registry, self.now, &mut self.rng);
+        cache.insert(kind, scan);
+        self.candidates_for(&plan, &request.event_tuple, &cache)
+    }
+
+    /// The instant of this engine's next pending work — the earlier of the
+    /// next queued engine event and the next undrained fault. The cluster
+    /// steps its shards by repeatedly advancing the one with the smallest
+    /// `(next_event_time, shard_id)`, which serializes the shards' event
+    /// queues into one deterministic global order.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        match (self.queue.peek_time(), self.faults.peek_next_time()) {
+            (Some(q), Some(f)) => Some(q.min(f)),
+            (q, f) => q.or(f),
+        }
+    }
+
+    /// Whether `device` is at a migration safe point: no `Execute` event
+    /// queued for it, no optimizer lock held on it, and (for cameras) no
+    /// action physically in progress. Moving a device between shards outside
+    /// these conditions would strand queued work or tear a lock.
+    pub fn device_idle(&self, device: DeviceId) -> bool {
+        let queued = self
+            .queue
+            .iter()
+            .any(|(_, e)| matches!(e, EngineEvent::Execute { device: d, .. } if *d == device));
+        if queued || self.locks.is_locked(device, self.now) {
+            return false;
+        }
+        match self.registry.camera(device) {
+            Some(cam) => !cam.is_busy(self.now),
+            None => true,
+        }
+    }
+
     /// An assigned action whose device went down before it could start.
     /// Release the dead device and re-run device selection over the
     /// remaining candidates; only when none are left is the request dropped
@@ -345,15 +488,19 @@ impl Aorta {
             self.locks.unlock(device);
         }
         if !self.failover_reselect(request, device) {
-            self.raw_stats.orphaned += 1;
-            self.trace.emit(
-                self.now,
-                "failover",
-                format!(
-                    "query {}: no remaining candidate after {device} crash, request dropped",
-                    request.query_id
-                ),
-            );
+            if self.config.escalate_exhausted {
+                self.escalate(request.clone());
+            } else {
+                self.raw_stats.orphaned += 1;
+                self.trace.emit(
+                    self.now,
+                    "failover",
+                    format!(
+                        "query {}: no remaining candidate after {device} crash, request dropped",
+                        request.query_id
+                    ),
+                );
+            }
         }
     }
 
@@ -464,6 +611,7 @@ impl Aorta {
                     candidates: candidates.clone(),
                     created_at: self.now,
                     attempts: 0,
+                    hops: 0,
                 };
                 self.operators
                     .entry(call.action.clone())
@@ -598,12 +746,16 @@ impl Aorta {
                 }
             }
             let Some((finish, cost, d)) = best else {
-                self.raw_stats.no_candidate += 1;
-                self.trace.emit(
-                    self.now,
-                    "dispatch",
-                    format!("query {}: no available candidate", request.query_id),
-                );
+                if self.config.escalate_exhausted {
+                    self.escalate(request);
+                } else {
+                    self.raw_stats.no_candidate += 1;
+                    self.trace.emit(
+                        self.now,
+                        "dispatch",
+                        format!("query {}: no available candidate", request.query_id),
+                    );
+                }
                 continue;
             };
             let start = free_at[&d];

@@ -48,6 +48,10 @@ pub struct ActionRequest {
     pub created_at: SimTime,
     /// How many times this request has already failed and been re-dispatched.
     pub attempts: u32,
+    /// How many times a cluster gateway has re-routed this request to a
+    /// sibling shard. Caps reroute loops: the gateway drops a request once
+    /// it has visited every shard. Always zero on a standalone engine.
+    pub hops: u32,
 }
 
 /// The per-action-name shared operator: a request accumulator with
@@ -118,6 +122,7 @@ mod tests {
             ],
             created_at: SimTime::ZERO,
             attempts: 0,
+            hops: 0,
         }
     }
 

@@ -13,19 +13,39 @@ use proptest::prelude::*;
 /// One scripted operation against the manager.
 #[derive(Debug, Clone)]
 enum Op {
-    TryLock { dev: u32, query: u32, now: u64, dur: u64 },
-    Unlock { dev: u32 },
-    Extend { dev: u32, now: u64, until: u64 },
-    Sweep { now: u64 },
+    TryLock {
+        dev: u32,
+        query: u32,
+        now: u64,
+        dur: u64,
+    },
+    Unlock {
+        dev: u32,
+    },
+    Extend {
+        dev: u32,
+        now: u64,
+        until: u64,
+    },
+    Sweep {
+        now: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..4, 0u32..8, 0u64..1_000, 1u64..200)
-            .prop_map(|(dev, query, now, dur)| Op::TryLock { dev, query, now, dur }),
+        (0u32..4, 0u32..8, 0u64..1_000, 1u64..200).prop_map(|(dev, query, now, dur)| Op::TryLock {
+            dev,
+            query,
+            now,
+            dur
+        }),
         (0u32..4).prop_map(|dev| Op::Unlock { dev }),
-        (0u32..4, 0u64..1_000, 0u64..1_200)
-            .prop_map(|(dev, now, until)| Op::Extend { dev, now, until }),
+        (0u32..4, 0u64..1_000, 0u64..1_200).prop_map(|(dev, now, until)| Op::Extend {
+            dev,
+            now,
+            until
+        }),
         (0u64..1_200).prop_map(|now| Op::Sweep { now }),
     ]
 }

@@ -498,7 +498,11 @@ mod tests {
         );
         reg.set_retry_policy(
             DeviceKind::Camera,
-            RetryPolicy::new(16, SimDuration::from_millis(10), SimDuration::from_millis(2)),
+            RetryPolicy::new(
+                16,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(2),
+            ),
         );
         let mut prober = Prober::new();
         let mut rng = SimRng::seed(9);

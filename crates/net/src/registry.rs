@@ -245,6 +245,23 @@ impl DeviceRegistry {
         self.devices.remove(&id).map(|e| e.sim)
     }
 
+    /// Removes a device *with* its registration state (join time, online
+    /// flag) intact — the first half of an ownership transfer between
+    /// registries. Pair with [`DeviceRegistry::adopt`] on the receiving
+    /// side; plain [`DeviceRegistry::unregister`] would forget the state.
+    pub fn extract(&mut self, id: DeviceId) -> Option<DeviceEntry> {
+        self.devices.remove(&id)
+    }
+
+    /// Installs an entry extracted from another registry, preserving its
+    /// join time and online state — the second half of an ownership
+    /// transfer. Replaces any existing entry with the same ID.
+    pub fn adopt(&mut self, entry: DeviceEntry) -> DeviceId {
+        let id = entry.sim.id();
+        self.devices.insert(id, entry);
+        id
+    }
+
     /// Marks a device online/offline without removing its registration.
     ///
     /// Returns `false` when the device is unknown.
@@ -472,5 +489,20 @@ mod tests {
         assert_eq!(sim.location(), Some(Location::new(1.0, 2.0, 1.0)));
         let phone: DeviceSim = Phone::new(0, "x").into();
         assert_eq!(phone.location(), None);
+    }
+
+    #[test]
+    fn extract_adopt_preserves_registration_state() {
+        let mut a = DeviceRegistry::from_lab(PervasiveLab::standard());
+        let mut b = DeviceRegistry::new();
+        let id = DeviceId::camera(1);
+        a.set_online(id, false);
+        let entry = a.extract(id).expect("camera-1 registered");
+        assert!(a.get(id).is_none(), "extract must remove the device");
+        let joined_at = entry.joined_at;
+        assert_eq!(b.adopt(entry), id);
+        let adopted = b.get(id).expect("adopt must install the device");
+        assert_eq!(adopted.joined_at, joined_at);
+        assert!(!adopted.online, "online state must survive the transfer");
     }
 }

@@ -357,10 +357,7 @@ mod tests {
         // r1 is eligible only on device 1; when device 1 dies it cannot be
         // re-queued and must be reported dropped, not lost.
         // Rows are devices: device 0 can serve only r0, device 1 both.
-        let model = TableModel::new(vec![
-            vec![Some(s(1)), None],
-            vec![Some(s(1)), Some(s(1))],
-        ]);
+        let model = TableModel::new(vec![vec![Some(s(1)), None], vec![Some(s(1)), Some(s(1))]]);
         let inst = model.instance();
         let mut plan = Plan::Sequences(vec![vec![0], vec![1]]);
         let mut ops = OpCounter::new();

@@ -136,12 +136,7 @@ impl<D: Copy> FaultPlan<D> {
     /// `seed`, so adding a device never perturbs the faults of the others.
     /// Crash and recovery events always come in pairs: a device that crashes
     /// before the horizon also recovers (possibly after it).
-    pub fn generate(
-        seed: u64,
-        horizon: SimDuration,
-        devices: &[D],
-        config: &FaultConfig,
-    ) -> Self {
+    pub fn generate(seed: u64, horizon: SimDuration, devices: &[D], config: &FaultConfig) -> Self {
         let end = SimTime::ZERO + horizon;
         let period = SimDuration::from_micros(config.period.as_micros().max(1));
         let mut root = SimRng::seed(seed);
@@ -254,6 +249,39 @@ impl<D: Copy> FaultPlan<D> {
         self.events.is_empty()
     }
 
+    /// Splits one plan into `shards` per-shard plans by device ownership.
+    ///
+    /// Device-scoped events (crash/recover) go to the shard `owner` maps
+    /// their device to; global link events (loss bursts, latency spikes) are
+    /// replicated into every shard, since each shard models its own links.
+    /// Relative event order is preserved within every output plan, so a
+    /// cluster that drains the split plans on one shared clock sees the same
+    /// fault history the unsplit plan describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `owner` returns an out-of-range
+    /// shard index.
+    pub fn split_by(&self, shards: usize, mut owner: impl FnMut(&D) -> usize) -> Vec<FaultPlan<D>> {
+        assert!(shards > 0, "cannot split a fault plan over zero shards");
+        let mut out: Vec<FaultPlan<D>> = (0..shards).map(|_| FaultPlan::new()).collect();
+        for &(t, event) in &self.events {
+            match event {
+                FaultEvent::Crash(d) | FaultEvent::Recover(d) => {
+                    let s = owner(&d);
+                    assert!(s < shards, "owner mapped a device to shard {s} of {shards}");
+                    out[s].events.push((t, event));
+                }
+                _ => {
+                    for plan in &mut out {
+                        plan.events.push((t, event));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Iterates over every event in the plan (drained or not), in order.
     pub fn iter(&self) -> impl Iterator<Item = &(SimTime, FaultEvent<D>)> {
         self.events.iter()
@@ -299,7 +327,10 @@ mod tests {
         );
         let times: Vec<SimTime> = plan.iter().map(|(t, _)| *t).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
-        assert!(!plan.is_empty(), "10 minutes at default rates injects faults");
+        assert!(
+            !plan.is_empty(),
+            "10 minutes at default rates injects faults"
+        );
     }
 
     #[test]
@@ -368,7 +399,10 @@ mod tests {
         assert!(plan.pop_due(SimTime::from_micros(20)).is_empty());
         assert_eq!(plan.remaining(), 1);
         let rest = plan.pop_due(SimTime::MAX);
-        assert_eq!(rest, vec![(SimTime::from_micros(30), FaultEvent::Recover(1))]);
+        assert_eq!(
+            rest,
+            vec![(SimTime::from_micros(30), FaultEvent::Recover(1))]
+        );
     }
 
     #[test]
@@ -419,5 +453,45 @@ mod tests {
             crashes(&high_events),
             crashes(&low_events)
         );
+    }
+
+    #[test]
+    fn split_by_partitions_device_events_and_replicates_global_ones() {
+        let devices: Vec<u32> = (0..6).collect();
+        let plan = FaultPlan::generate(
+            9,
+            SimDuration::from_mins(5),
+            &devices,
+            &FaultConfig::default(),
+        );
+        let shards = plan.split_by(2, |d| (*d % 2) as usize);
+        assert_eq!(shards.len(), 2);
+        let device_events = |p: &FaultPlan<u32>| {
+            p.iter()
+                .filter_map(|(_, e)| match e {
+                    FaultEvent::Crash(d) | FaultEvent::Recover(d) => Some(*d),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        for (s, shard) in shards.iter().enumerate() {
+            assert!(
+                device_events(shard).iter().all(|d| (*d % 2) as usize == s),
+                "shard {s} received a foreign device event"
+            );
+        }
+        // Device events are partitioned exactly once…
+        let total: usize = shards.iter().map(|p| device_events(p).len()).sum();
+        assert_eq!(total, device_events(&plan).len());
+        // …while global link events appear in every shard.
+        let globals = |p: &FaultPlan<u32>| {
+            p.iter()
+                .filter(|(_, e)| !matches!(e, FaultEvent::Crash(_) | FaultEvent::Recover(_)))
+                .count()
+        };
+        assert!(globals(&plan) > 0, "fault generation produced no bursts");
+        for shard in &shards {
+            assert_eq!(globals(shard), globals(&plan));
+        }
     }
 }

@@ -11,11 +11,13 @@
 //! * [`net`] — uniform data communication layer,
 //! * [`sql`] — declarative interface (`CREATE ACTION` / `CREATE AQ`),
 //! * [`sched`] — action workload scheduling algorithms,
-//! * [`engine`] — the action-oriented query processing engine.
+//! * [`engine`] — the action-oriented query processing engine,
+//! * [`cluster`] — sharded multi-engine execution with a routing gateway.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
 
+pub use aorta_cluster as cluster;
 pub use aorta_core as engine;
 pub use aorta_data as data;
 pub use aorta_device as device;

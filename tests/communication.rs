@@ -94,6 +94,92 @@ fn network_data_independence_across_protocols() {
 }
 
 #[test]
+fn devices_joining_mid_run_become_eligible_for_selection() {
+    use aorta::{Aorta, EngineConfig};
+    use aorta_data::Location;
+    use aorta_device::{Camera, CameraFailureModel, CameraSpec, Mote, SpikeModel};
+
+    // Start with a single, distant camera and a mote spiking once a minute.
+    let mut registry = DeviceRegistry::new();
+    registry.register(
+        Camera::new(
+            0,
+            CameraSpec::axis_2130(),
+            Location::new(1.0, 1.0, 3.0),
+            90.0,
+            CameraFailureModel::reliable(),
+        )
+        .into(),
+        SimTime::ZERO,
+    );
+    registry.register(
+        Mote::new(0, Location::new(8.0, 5.0, 1.0), 1)
+            .with_per_hop_loss(0.0)
+            .with_spikes(SpikeModel::Periodic {
+                period: SimDuration::from_mins(1),
+                offset: SimDuration::from_secs(5),
+                width: SimDuration::from_secs(8),
+            })
+            .into(),
+        SimTime::ZERO,
+    );
+    let mut aorta = Aorta::with_registry(EngineConfig::seeded(41), registry);
+    aorta
+        .execute_sql(
+            r#"CREATE AQ q AS
+               SELECT photo(c.ip, s.loc, "p")
+               FROM sensor s, camera c
+               WHERE s.accel_x > 500"#,
+        )
+        .unwrap();
+    aorta.run_for(SimDuration::from_mins(3));
+    assert!(
+        aorta.trace().any("dispatch", "assigned to camera-0"),
+        "the founding camera should be serving requests before the join"
+    );
+    assert!(
+        !aorta.trace().any("dispatch", "camera-1"),
+        "camera-1 does not exist yet"
+    );
+
+    // A new camera joins mid-run while the founding one goes dark: device
+    // selection must pick the newcomer up on the very next sampling scans
+    // rather than serving from a membership snapshot taken at engine start.
+    let now = aorta.now();
+    aorta.registry_mut().register(
+        Camera::new(
+            1,
+            CameraSpec::axis_2130(),
+            Location::new(8.0, 4.5, 3.0),
+            90.0,
+            CameraFailureModel::reliable(),
+        )
+        .into(),
+        now,
+    );
+    aorta
+        .registry_mut()
+        .set_online(aorta_device::DeviceId::camera(0), false);
+    let before = aorta.stats();
+    aorta.run_for(SimDuration::from_mins(3));
+    let after = aorta.stats();
+    assert!(
+        aorta.trace().any("dispatch", "assigned to camera-1"),
+        "the newcomer is the only live camera and must win assignments \
+         once registered:\n{}",
+        aorta.trace().render()
+    );
+    assert!(
+        after.executed > before.executed,
+        "requests after the join must actually execute: {after:?}"
+    );
+    assert_eq!(
+        after.no_candidate, before.no_candidate,
+        "no event should go unserved while the newcomer is online"
+    );
+}
+
+#[test]
 fn probe_messages_round_trip_device_status() {
     use aorta::net::endpoint;
     use aorta_device::{PhysicalStatus, PtzPosition};

@@ -50,6 +50,69 @@ fn different_seeds_produce_different_stochastic_outcomes() {
     );
 }
 
+/// A sharded cluster run with a crash storm over every device: the whole
+/// multi-engine trace (per-shard engine lines plus the gateway ledger) is
+/// the determinism witness.
+fn run_cluster(seed: u64, shards: usize, storm: bool) -> String {
+    use aorta::cluster::{ClusterConfig, ShardManager};
+    use aorta_device::DeviceId;
+    use aorta_sim::{FaultConfig, FaultPlan};
+
+    let lab = PervasiveLab::with_sizes(12, 16, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut cluster = ShardManager::new(ClusterConfig::seeded(seed, shards), lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .unwrap();
+    }
+    if storm {
+        let devices: Vec<DeviceId> = (0..12)
+            .map(DeviceId::camera)
+            .chain((0..16).map(DeviceId::sensor))
+            .collect();
+        let config = FaultConfig {
+            crash_rate: 0.25,
+            loss_burst_rate: 0.3,
+            extra_loss: 0.5,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(seed ^ 0xFA17, SimDuration::from_mins(3), &devices, &config);
+        assert!(!plan.is_empty(), "fault generation produced nothing");
+        cluster.inject_faults(plan);
+    }
+    cluster.run_for(SimDuration::from_mins(3));
+    cluster.run_for(SimDuration::from_secs(30));
+    cluster.render_trace()
+}
+
+#[test]
+fn cluster_traces_are_byte_identical_per_seed() {
+    for shards in [2usize, 8] {
+        for storm in [false, true] {
+            let a = run_cluster(99, shards, storm);
+            let b = run_cluster(99, shards, storm);
+            assert!(!a.is_empty(), "shards={shards} storm={storm}: empty trace");
+            assert_eq!(
+                a, b,
+                "shards={shards} storm={storm}: same seed must replay byte-identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_traces_diverge_across_seeds() {
+    let a = run_cluster(99, 2, true);
+    let b = run_cluster(100, 2, true);
+    assert_ne!(a, b, "distinct seeds should explore distinct interleavings");
+}
+
 #[test]
 fn experiment_tables_are_regenerable() {
     use aorta_bench_shim::*;

@@ -76,7 +76,8 @@ fn no_request_is_silently_lost_under_heavy_faults() {
         + stats.orphaned
         + aorta.pending_requests();
     assert_eq!(
-        stats.requests, accounted,
+        stats.requests,
+        accounted,
         "requests leaked: {stats:?}, pending={}",
         aorta.pending_requests()
     );
@@ -95,7 +96,9 @@ fn failover_reselection_engages_on_crash() {
     // A crash landed between assignment and execution: the orphaned action
     // was detected and device selection re-ran over the survivors.
     assert!(
-        aorta.trace().any("failover", "offline at execution, re-selecting"),
+        aorta
+            .trace()
+            .any("failover", "offline at execution, re-selecting"),
         "no orphaned action was detected"
     );
     assert!(
@@ -126,4 +129,68 @@ fn identical_seeds_yield_byte_identical_traces() {
         c.trace().render(),
         "different seeds should diverge"
     );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// Cluster-wide conservation is a property, not a fixture: under any
+    /// seed, shard count and random fault mix, every admitted request is
+    /// accounted for exactly once (terminal, pending, or dropped at the
+    /// gateway) and the gateway's escalation ledger balances.
+    #[test]
+    fn cluster_conservation_survives_random_fault_plans(
+        seed in 0u64..1_000_000,
+        shards in 1usize..=4,
+        crash_rate in 0.0f64..0.5,
+        loss_burst_rate in 0.0f64..0.5,
+        extra_loss in 0.0f64..0.8,
+    ) {
+        use aorta::cluster::{ClusterConfig, ShardManager};
+        use aorta_sim::FaultConfig;
+
+        let lab = PervasiveLab::with_sizes(12, 16, 0)
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let mut cluster = ShardManager::new(ClusterConfig::seeded(seed, shards), lab);
+        for i in 0..10 {
+            cluster
+                .execute_sql(&format!(
+                    r#"CREATE AQ q{i} AS
+                       SELECT photo(c.ip, s.loc, "p")
+                       FROM sensor s, camera c
+                       WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+                ))
+                .unwrap();
+        }
+        let devices: Vec<DeviceId> = (0..12)
+            .map(DeviceId::camera)
+            .chain((0..16).map(DeviceId::sensor))
+            .collect();
+        let config = FaultConfig {
+            crash_rate,
+            loss_burst_rate,
+            extra_loss,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(
+            seed ^ 0xC0_FFEE,
+            SimDuration::from_mins(3),
+            &devices,
+            &config,
+        );
+        cluster.inject_faults(plan);
+        cluster.run_for(SimDuration::from_mins(3));
+        cluster.run_for(SimDuration::from_secs(30));
+
+        let stats = cluster.stats();
+        proptest::prop_assert!(
+            stats.requests() > 0,
+            "workload starved entirely: {stats:?}"
+        );
+        if let Err(e) = stats.check_conservation() {
+            return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "seed={seed} shards={shards}: {e}"
+            )));
+        }
+    }
 }
