@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|ablation]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|ablation]..."
                 );
                 return;
             }
@@ -50,7 +50,7 @@ fn main() {
     CSV_DIR.with(|slot| *slot.borrow_mut() = csv_dir);
     if which.is_empty() {
         which = [
-            "e1", "fig4", "fig5", "fig6", "e5", "e6", "e7", "e8", "ablation",
+            "e1", "fig4", "fig5", "fig6", "e5", "e6", "e7", "e8", "e9", "ablation",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -66,6 +66,7 @@ fn main() {
             "e6" => e6(),
             "e7" => e7(runs),
             "e8" => e8(),
+            "e9" => e9(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
         }
@@ -157,6 +158,109 @@ fn e8() {
         report.trace_digest,
     );
     write_bench_cluster_json(&report);
+}
+
+fn e9() {
+    let report = experiments::e9_overload(0x0E9);
+    println!(
+        "== E9 (extension): overload sweep, arrival rate x fault rate, 4-shard cluster ==\n\
+         deadline budget {:.0}s, admission SLO 2s, brownout at 0.5x / shed at 2x backlog",
+        report.deadline_secs
+    );
+    let mut t = Table::new(vec![
+        "period(s)".into(),
+        "crash rate".into(),
+        "requests".into(),
+        "executed".into(),
+        "degraded".into(),
+        "shed".into(),
+        "expired".into(),
+        "trips".into(),
+        "p99(s)".into(),
+        "late".into(),
+        "conserved".into(),
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.period_secs.to_string(),
+            format!("{:.1}", r.crash_rate),
+            r.requests.to_string(),
+            r.executed.to_string(),
+            r.degraded.to_string(),
+            r.shed.to_string(),
+            r.expired.to_string(),
+            r.breaker_trips.to_string(),
+            format!("{:.3}", r.p99_latency_secs),
+            r.late_successes.to_string(),
+            if r.conservation_ok { "OK" } else { "VIOLATED" }.into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "max p99 {:.3}s <= deadline {:.0}s: {}; late successes: {}",
+        report.max_p99_secs,
+        report.deadline_secs,
+        if report.max_p99_secs <= report.deadline_secs {
+            "OK"
+        } else {
+            "VIOLATED"
+        },
+        if report.zero_late_successes {
+            "none (OK)"
+        } else {
+            "PRESENT (VIOLATED)"
+        },
+    );
+    println!(
+        "determinism: {} (trace digest {:#018x})\n",
+        if report.deterministic {
+            "byte-identical across reruns"
+        } else {
+            "DIVERGED"
+        },
+        report.trace_digest,
+    );
+    write_bench_overload_json(&report);
+}
+
+/// Hand-formats `BENCH_overload.json` (the repo has no JSON dependency).
+fn write_bench_overload_json(report: &experiments::E9Report) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"experiment\": \"e9\",\n");
+    body.push_str(&format!(
+        "  \"deadline_s\": {:.1},\n  \"max_p99_s\": {:.4},\n  \"zero_late_successes\": {},\n  \
+         \"deterministic\": {},\n  \"trace_fnv1a\": \"{:#018x}\",\n",
+        report.deadline_secs,
+        report.max_p99_secs,
+        report.zero_late_successes,
+        report.deterministic,
+        report.trace_digest
+    ));
+    body.push_str("  \"sweep\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"period_s\": {}, \"crash_rate\": {:.2}, \"requests\": {}, \"executed\": {}, \
+             \"degraded\": {}, \"shed\": {}, \"expired\": {}, \"breaker_trips\": {}, \
+             \"p99_latency_s\": {:.4}, \"late_successes\": {}, \"conservation_ok\": {}}}{}\n",
+            r.period_secs,
+            r.crash_rate,
+            r.requests,
+            r.executed,
+            r.degraded,
+            r.shed,
+            r.expired,
+            r.breaker_trips,
+            r.p99_latency_secs,
+            r.late_successes,
+            r.conservation_ok,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_overload.json", body) {
+        Ok(()) => println!("(wrote BENCH_overload.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_overload.json: {e}"),
+    }
 }
 
 /// Hand-formats `BENCH_cluster.json` (the repo has no JSON dependency).

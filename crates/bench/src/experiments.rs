@@ -747,6 +747,191 @@ pub fn e8_cluster(seed: u64) -> E8Report {
     }
 }
 
+/// One cell of the **E9** overload sweep: one arrival-rate × fault-rate
+/// combination run on a 4-shard cluster with the full overload stack on
+/// (deadlines, admission control, brownout, breakers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct E9Row {
+    /// Event period, seconds (smaller = higher arrival rate).
+    pub period_secs: u64,
+    /// Crash rate per device per fault period.
+    pub crash_rate: f64,
+    /// Requests admitted cluster-wide.
+    pub requests: u64,
+    /// Full-quality completions.
+    pub executed: u64,
+    /// Brownout (lo-res) completions.
+    pub degraded: u64,
+    /// Requests shed by admission or deadline rejection.
+    pub shed: u64,
+    /// Requests cancelled at execution past their deadline, plus
+    /// escalations expired at the gateway.
+    pub expired: u64,
+    /// Circuit-breaker trips across shards.
+    pub breaker_trips: u64,
+    /// p99 event→completion latency over all completions, seconds.
+    pub p99_latency_secs: f64,
+    /// Successes that completed after their deadline (must be 0).
+    pub late_successes: u64,
+    /// Whether cluster conservation (with overload terms) held.
+    pub conservation_ok: bool,
+}
+
+/// The full **E9** report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E9Report {
+    /// Sweep cells: period ∈ {30, 15, 5}s × crash rate ∈ {0, 0.3}.
+    pub rows: Vec<E9Row>,
+    /// Deadline budget every request carries, seconds.
+    pub deadline_secs: f64,
+    /// Largest p99 across the sweep — bounded by the deadline.
+    pub max_p99_secs: f64,
+    /// Whether every cell had zero post-deadline successes.
+    pub zero_late_successes: bool,
+    /// Whether two identically-seeded saturated runs rendered
+    /// byte-identical traces.
+    pub deterministic: bool,
+    /// FNV-1a digest of the saturated cell's trace.
+    pub trace_digest: u64,
+}
+
+/// The E9 deadline budget (also the p99 bound successes cannot exceed).
+pub const E9_DEADLINE: aorta_sim::SimDuration = aorta_sim::SimDuration::from_secs(3);
+
+fn e9_cluster_run(seed: u64, period_secs: u64, crash_rate: f64) -> aorta_cluster::ShardManager {
+    use aorta_cluster::{ClusterConfig, ShardManager};
+    use aorta_core::AdmissionConfig;
+    use aorta_device::{DeviceId, PervasiveLab};
+    use aorta_net::BreakerConfig;
+    use aorta_sim::{FaultConfig, FaultPlan, SimDuration};
+
+    let lab = PervasiveLab::with_sizes(12, 16, 0).with_periodic_events(
+        SimDuration::from_secs(period_secs),
+        SimDuration::from_secs(1),
+    );
+    let mut config = ClusterConfig::seeded(seed, 4);
+    config.engine = config
+        .engine
+        .with_deadline(E9_DEADLINE)
+        .with_admission(AdmissionConfig {
+            rate_per_sec: 2.0,
+            burst: 8.0,
+            slo: SimDuration::from_secs(2),
+            brownout_multiple: 0.5,
+            shed_multiple: 2.0,
+            protected_queries: 2,
+        })
+        .with_breakers(BreakerConfig::default());
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .expect("valid query");
+    }
+    if crash_rate > 0.0 {
+        let devices: Vec<DeviceId> = (0..12)
+            .map(DeviceId::camera)
+            .chain((0..16).map(DeviceId::sensor))
+            .collect();
+        let fc = FaultConfig {
+            crash_rate,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(seed ^ 0x0E9, SimDuration::from_mins(3), &devices, &fc);
+        cluster.inject_faults(plan);
+    }
+    cluster.run_for(SimDuration::from_mins(3));
+    cluster.run_for(SimDuration::from_secs(30));
+    cluster
+}
+
+/// **E9 (extension)** — overload sweep: arrival rate × fault rate on a
+/// 4-shard cluster with deadlines, admission control, brownout and
+/// breakers all enabled. The two headline claims: p99 completion latency
+/// stays bounded by the deadline at every point of the sweep, and no
+/// success ever lands past its deadline. See `DESIGN.md` §8.
+pub fn e9_overload(seed: u64) -> E9Report {
+    use aorta_sim::metrics::DurationStats;
+
+    let mut rows = Vec::new();
+    for &period_secs in &[30u64, 15, 5] {
+        for &crash_rate in &[0.0f64, 0.3] {
+            let cluster = e9_cluster_run(seed, period_secs, crash_rate);
+            let stats = cluster.stats();
+            let mut latencies = DurationStats::new();
+            for s in 0..cluster.shard_count() {
+                latencies.extend(cluster.shard(s).latency_stats().iter().copied());
+            }
+            let p99 = latencies
+                .quantile(0.99)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0);
+            rows.push(E9Row {
+                period_secs,
+                crash_rate,
+                requests: stats.requests(),
+                executed: stats.executed(),
+                degraded: stats.degraded(),
+                shed: stats.shed(),
+                expired: stats.expired() + stats.gateway_expired,
+                breaker_trips: stats.per_shard.iter().map(|s| s.breaker_trips).sum(),
+                p99_latency_secs: p99,
+                late_successes: stats.late_successes(),
+                conservation_ok: stats.check_conservation().is_ok(),
+            });
+        }
+    }
+    let max_p99_secs = rows.iter().map(|r| r.p99_latency_secs).fold(0.0, f64::max);
+    let zero_late_successes = rows.iter().all(|r| r.late_successes == 0);
+
+    // Determinism witness: the most saturated cell, run twice.
+    let trace_a = e9_cluster_run(seed, 5, 0.3).render_trace();
+    let trace_b = e9_cluster_run(seed, 5, 0.3).render_trace();
+
+    E9Report {
+        rows,
+        deadline_secs: E9_DEADLINE.as_secs_f64(),
+        max_p99_secs,
+        zero_late_successes,
+        deterministic: trace_a == trace_b,
+        trace_digest: fnv1a64(&trace_a),
+    }
+}
+
+#[cfg(test)]
+mod overload_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn e9_p99_is_bounded_and_nothing_succeeds_late() {
+        let report = e9_overload(0x0E9);
+        assert!(report.rows.iter().all(|r| r.conservation_ok), "{report:?}");
+        assert!(report.zero_late_successes, "{report:?}");
+        assert!(
+            report.max_p99_secs <= report.deadline_secs,
+            "p99 {:.3}s exceeds the {:.0}s deadline bound",
+            report.max_p99_secs,
+            report.deadline_secs
+        );
+        // The saturated cells really shed/degrade rather than queueing.
+        let saturated = report
+            .rows
+            .iter()
+            .find(|r| r.period_secs == 5 && r.crash_rate > 0.0)
+            .expect("sweep covers the saturated cell");
+        assert!(
+            saturated.shed + saturated.expired + saturated.degraded > 0,
+            "{saturated:?}"
+        );
+        assert!(report.deterministic, "{report:?}");
+    }
+}
+
 #[cfg(test)]
 mod cluster_experiment_tests {
     use super::*;

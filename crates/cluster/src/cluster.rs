@@ -92,6 +92,7 @@ pub struct ShardManager {
     trace: TraceBuffer,
     rerouted: u64,
     gateway_dropped: u64,
+    gateway_expired: u64,
     migrations: u64,
 }
 
@@ -152,6 +153,7 @@ impl ShardManager {
             trace: TraceBuffer::with_capacity(4096),
             rerouted: 0,
             gateway_dropped: 0,
+            gateway_expired: 0,
             migrations: 0,
         }
     }
@@ -242,6 +244,22 @@ impl ShardManager {
     fn route_escalated(&mut self, s: usize) {
         let escalated = self.shards[s].drain_escalated();
         for mut request in escalated {
+            // The deadline rides with the request: an escalation carries its
+            // *remaining* budget, never a fresh one — so a request cannot
+            // ping-pong between shards past the instant its result became
+            // worthless. Expired escalations are counted, not retried.
+            if request.deadline != SimTime::MAX && self.now >= request.deadline {
+                self.gateway_expired += 1;
+                self.trace.emit(
+                    self.now,
+                    "gateway",
+                    format!(
+                        "query {}: deadline passed in flight, escalation dropped",
+                        request.query_id
+                    ),
+                );
+                continue;
+            }
             if request.hops as usize + 1 >= self.shards.len() {
                 self.drop_request(&request, "visited every shard");
                 continue;
@@ -252,6 +270,11 @@ impl ShardManager {
                     continue;
                 }
                 if let Some((device, cost)) = shard.cheapest_local_candidate(&request) {
+                    // A sibling whose cheapest estimate already overruns the
+                    // remaining budget is no better than no sibling at all.
+                    if self.now + cost > request.deadline {
+                        continue;
+                    }
                     if best.is_none_or(|(bc, bt, _)| (cost, t) < (bc, bt)) {
                         best = Some((cost, t, device));
                     }
@@ -344,6 +367,7 @@ impl ShardManager {
             pending: self.pending_requests(),
             rerouted: self.rerouted,
             gateway_dropped: self.gateway_dropped,
+            gateway_expired: self.gateway_expired,
             migrations: self.migrations,
         }
     }

@@ -6,9 +6,12 @@
 //! request a shard admits (or adopts) either reaches a terminal counter,
 //! is visibly pending, or has been handed to the gateway. The gateway in
 //! turn re-injects every escalated request into exactly one sibling or
-//! counts it dropped, so cluster-wide the sums telescope to
-//! `Σ requests == Σ terminal + Σ pending + gateway_dropped` — a re-routed
-//! request is counted exactly once, on the shard that admitted it.
+//! counts it dropped (or expired, when its deadline lapsed in flight), so
+//! cluster-wide the sums telescope to
+//! `Σ requests == Σ terminal + Σ pending + gateway_dropped + gateway_expired`
+//! — a re-routed request is counted exactly once, on the shard that
+//! admitted it. The per-shard terminal set includes the overload outcomes
+//! (`shed`, `expired`, `degraded`) alongside the failure counters.
 
 use aorta_core::EngineStats;
 
@@ -25,6 +28,9 @@ pub struct ClusterStats {
     /// Escalated requests no sibling could serve (or that had already
     /// visited every shard); these are the cluster's terminal drops.
     pub gateway_dropped: u64,
+    /// Escalated requests whose deadline lapsed in flight at the gateway —
+    /// dropped as counted sheds instead of being retried forever.
+    pub gateway_expired: u64,
     /// Device ownership transfers performed by the rebalancer.
     pub migrations: u64,
 }
@@ -51,12 +57,33 @@ impl ClusterStats {
         self.per_shard.iter().map(|s| s.escalated_in).sum()
     }
 
+    /// Requests completed at degraded (brownout) quality, cluster-wide.
+    pub fn degraded(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.degraded).sum()
+    }
+
+    /// Requests shed by admission or deadline rejection, cluster-wide.
+    pub fn shed(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.shed).sum()
+    }
+
+    /// Requests cancelled at execution after their deadline, cluster-wide.
+    pub fn expired(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.expired).sum()
+    }
+
+    /// Successes that completed after their deadline, cluster-wide.
+    pub fn late_successes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.late_successes).sum()
+    }
+
     /// Sum of every terminal outcome counter over all shards.
     pub fn terminal(&self) -> u64 {
         self.per_shard
             .iter()
             .map(|s| {
                 s.executed
+                    + s.degraded
                     + s.connect_failures
                     + s.busy_rejections
                     + s.no_candidate
@@ -64,6 +91,8 @@ impl ClusterStats {
                     + s.out_of_range
                     + s.action_errors
                     + s.orphaned
+                    + s.shed
+                    + s.expired
             })
             .sum()
     }
@@ -87,28 +116,32 @@ impl ClusterStats {
     /// description of the imbalance when it fails.
     ///
     /// Checks both the telescoped cluster identity
-    /// (`requests == terminal + pending + gateway_dropped`) and the
-    /// gateway's own ledger
-    /// (`escalated_out == escalated_in + gateway_dropped`): together they
-    /// imply every re-routed request is counted exactly once.
+    /// (`requests == terminal + pending + gateway_dropped + gateway_expired`)
+    /// and the gateway's own ledger
+    /// (`escalated_out == escalated_in + gateway_dropped + gateway_expired`):
+    /// together they imply every re-routed request is counted exactly once.
     pub fn check_conservation(&self) -> Result<(), String> {
         let requests = self.requests();
-        let accounted = self.terminal() + self.pending + self.gateway_dropped;
+        let accounted =
+            self.terminal() + self.pending + self.gateway_dropped + self.gateway_expired;
         if requests != accounted {
             return Err(format!(
-                "requests {requests} != terminal {} + pending {} + gateway_dropped {}",
+                "requests {requests} != terminal {} + pending {} + gateway_dropped {} \
+                 + gateway_expired {}",
                 self.terminal(),
                 self.pending,
-                self.gateway_dropped
+                self.gateway_dropped,
+                self.gateway_expired
             ));
         }
         let out = self.escalated_out();
-        let handled = self.escalated_in() + self.gateway_dropped;
+        let handled = self.escalated_in() + self.gateway_dropped + self.gateway_expired;
         if out != handled {
             return Err(format!(
-                "escalated_out {out} != escalated_in {} + gateway_dropped {}",
+                "escalated_out {out} != escalated_in {} + gateway_dropped {} + gateway_expired {}",
                 self.escalated_in(),
-                self.gateway_dropped
+                self.gateway_dropped,
+                self.gateway_expired
             ));
         }
         Ok(())
@@ -125,6 +158,7 @@ trait LatencyWeight {
 
 impl LatencyWeight for EngineStats {
     fn latency_weight(&self) -> u64 {
-        self.executed
+        // Degraded completions record latencies too.
+        self.executed + self.degraded
     }
 }

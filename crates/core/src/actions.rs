@@ -110,6 +110,36 @@ impl ActionProfile {
         }
     }
 
+    /// The brownout variant of [`ActionProfile::photo`]: identical head
+    /// movement, but a small capture at the catalog's reduced
+    /// atomic-operation cost. Admission control substitutes this profile
+    /// when costing a degraded request.
+    pub fn photo_lo_res() -> Self {
+        ActionProfile {
+            kind: DeviceKind::Camera,
+            root: ProfileNode::Seq(vec![
+                ProfileNode::Par(vec![
+                    ProfileNode::Op {
+                        name: "move_head_pan".into(),
+                        units: UnitsSpec::PanDelta,
+                    },
+                    ProfileNode::Op {
+                        name: "move_head_tilt".into(),
+                        units: UnitsSpec::TiltDelta,
+                    },
+                    ProfileNode::Op {
+                        name: "zoom".into(),
+                        units: UnitsSpec::ZoomDelta,
+                    },
+                ]),
+                ProfileNode::Op {
+                    name: "capture_small".into(),
+                    units: UnitsSpec::One,
+                },
+            ]),
+        }
+    }
+
     /// The built-in `sendphoto()` profile: connect to the phone, deliver an
     /// MMS.
     pub fn sendphoto() -> Self {
@@ -348,6 +378,20 @@ mod tests {
         assert!(matches!(
             &steps[1],
             ProfileNode::Op { name, .. } if name == "capture_medium"
+        ));
+    }
+
+    #[test]
+    fn lo_res_profile_swaps_only_the_capture_op() {
+        let hi = ActionProfile::photo();
+        let lo = ActionProfile::photo_lo_res();
+        let (ProfileNode::Seq(hi_steps), ProfileNode::Seq(lo_steps)) = (&hi.root, &lo.root) else {
+            panic!("photo profiles should be Seqs");
+        };
+        assert_eq!(hi_steps[0], lo_steps[0], "movement phase must be identical");
+        assert!(matches!(
+            &lo_steps[1],
+            ProfileNode::Op { name, .. } if name == "capture_small"
         ));
     }
 

@@ -1,6 +1,48 @@
 //! Engine configuration.
 
+use aorta_net::BreakerConfig;
 use aorta_sim::SimDuration;
+
+/// Admission-control and brownout tunables (the overload-safe lifecycle).
+///
+/// A token bucket paces new request admissions, and a predicted backlog
+/// makespan (pending work times the engine's observed mean action latency)
+/// is compared against multiples of the target SLO: past
+/// `brownout_multiple` the engine degrades action quality (lo-res photos at
+/// reduced atomic-operation cost) before past `shed_multiple` it starts
+/// shedding — lowest-priority queries first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Token-bucket refill rate: admissions per second of virtual time.
+    pub rate_per_sec: f64,
+    /// Token-bucket capacity: the largest admissible burst.
+    pub burst: f64,
+    /// Target end-to-end completion budget per request (the SLO).
+    pub slo: SimDuration,
+    /// Predicted backlog makespan above `brownout_multiple × slo` degrades
+    /// new photo requests to lo-res instead of full quality.
+    pub brownout_multiple: f64,
+    /// Predicted backlog makespan above `shed_multiple × slo` sheds new
+    /// requests outright — except protected queries, which are degraded.
+    pub shed_multiple: f64,
+    /// Queries with ID below this are *protected*: in the shed band they
+    /// are degraded rather than shed (priority is admission order — the
+    /// oldest registered queries are the highest priority).
+    pub protected_queries: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 10.0,
+            burst: 20.0,
+            slo: SimDuration::from_secs(10),
+            brownout_multiple: 1.0,
+            shed_multiple: 3.0,
+            protected_queries: 0,
+        }
+    }
+}
 
 /// How a batch of concurrent action requests is distributed over devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +88,20 @@ pub struct EngineConfig {
     /// escalate to, so exhaustion stays a terminal `no_candidate`/`orphaned`
     /// outcome exactly as before.
     pub escalate_exhausted: bool,
+    /// End-to-end deadline budget granted to every action request at
+    /// admission: the request must *complete* by `created_at + deadline`.
+    /// The scheduler sheds assignments predicted to finish past it, the
+    /// executor cancels work at expiry (releasing the holder's lock), and
+    /// gateways drop expired escalations — each a counted outcome, never a
+    /// silent loss. `None` (the default) disables deadline enforcement
+    /// entirely; the request lifecycle then matches the seed engine.
+    pub deadline: Option<SimDuration>,
+    /// Token-bucket admission control with brownout degradation. `None`
+    /// (the default) admits everything, exactly as the seed engine did.
+    pub admission: Option<AdmissionConfig>,
+    /// Per-device circuit breakers over probe/action failures. `None` (the
+    /// default) never quarantines a device.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +115,9 @@ impl Default for EngineConfig {
             dispatch: DispatchPolicy::Scheduled,
             retry_failed: 0,
             escalate_exhausted: false,
+            deadline: None,
+            admission: None,
+            breaker: None,
         }
     }
 }
@@ -103,6 +162,34 @@ impl EngineConfig {
         self.escalate_exhausted = true;
         self
     }
+
+    /// Grants every request an explicit end-to-end deadline budget,
+    /// builder style.
+    pub fn with_deadline(mut self, budget: SimDuration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Derives the deadline budget from the AQ trigger period: `periods`
+    /// trigger-scan epochs (`sample_period`) per request. An action that
+    /// has not completed within a few trigger periods is responding to an
+    /// event that is no longer observable.
+    pub fn with_trigger_deadline(mut self, periods: u32) -> Self {
+        self.deadline = Some(self.sample_period * periods as u64);
+        self
+    }
+
+    /// Enables token-bucket admission control and brownout, builder style.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Enables per-device circuit breakers, builder style.
+    pub fn with_breakers(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +213,25 @@ mod tests {
         assert!(!c.probe_enabled);
         let c = EngineConfig::default().with_dispatch(DispatchPolicy::MinCost);
         assert_eq!(c.dispatch, DispatchPolicy::MinCost);
+    }
+
+    #[test]
+    fn overload_knobs_default_off() {
+        let c = EngineConfig::default();
+        assert_eq!(c.deadline, None);
+        assert_eq!(c.admission, None);
+        assert_eq!(c.breaker, None);
+    }
+
+    #[test]
+    fn trigger_deadline_derives_from_sample_period() {
+        let c = EngineConfig::default().with_trigger_deadline(12);
+        assert_eq!(c.deadline, Some(SimDuration::from_secs(12)));
+        let c = EngineConfig::default().with_deadline(SimDuration::from_secs(7));
+        assert_eq!(c.deadline, Some(SimDuration::from_secs(7)));
+        let c = EngineConfig::default()
+            .with_admission(AdmissionConfig::default())
+            .with_breakers(aorta_net::BreakerConfig::default());
+        assert!(c.admission.is_some() && c.breaker.is_some());
     }
 }

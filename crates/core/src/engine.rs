@@ -5,11 +5,13 @@ use std::collections::BTreeMap;
 
 use aorta_data::Tuple;
 use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
-use aorta_net::{DeviceRegistry, Prober};
+use aorta_net::{BreakerBank, BreakerState, DeviceRegistry, Prober};
+use aorta_sim::metrics::DurationStats;
 use aorta_sim::{EventQueue, FaultPlan, LinkModel, SimRng, SimTime, TraceBuffer};
 use aorta_sql::ast::{CreateAction, Select, Statement};
 
 use crate::actions::{ActionDef, ActionHandler, ActionProfile, CustomHandler};
+use crate::admission::TokenBucket;
 use crate::catalog::Catalog;
 use crate::exec::{EngineEvent, RawStats};
 use crate::expr::{eval_expr, eval_predicate, Env, EvalContext};
@@ -68,6 +70,13 @@ pub struct Aorta {
     /// Requests whose local candidate set is exhausted, parked for the
     /// cluster gateway (only fills when `escalate_exhausted` is set).
     pub(crate) escalated: Vec<crate::ActionRequest>,
+    /// Per-device circuit breakers (`None` when the config leaves them off).
+    pub(crate) breakers: Option<BreakerBank>,
+    /// Token bucket pacing admissions (`None` without an admission config).
+    pub(crate) admission_bucket: Option<TokenBucket>,
+    /// Individual action-completion latencies, for tail quantiles; the
+    /// running mean in `RawStats` is kept for cheap admission predictions.
+    pub(crate) latency_samples: DurationStats,
 }
 
 impl Aorta {
@@ -87,6 +96,8 @@ impl Aorta {
         let engine_rng = rng.fork(0xE16);
         let mut queue = EventQueue::new();
         queue.push(SimTime::ZERO, EngineEvent::Sample);
+        let breakers = config.breaker.clone().map(BreakerBank::new);
+        let admission_bucket = config.admission.as_ref().map(TokenBucket::new);
         Aorta {
             config,
             registry,
@@ -106,6 +117,9 @@ impl Aorta {
             baseline_links: BTreeMap::new(),
             staged_handlers: BTreeMap::new(),
             escalated: Vec::new(),
+            breakers,
+            admission_bucket,
+            latency_samples: DurationStats::new(),
         }
     }
 
@@ -160,6 +174,23 @@ impl Aorta {
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Individual action-completion latencies recorded so far (for tail
+    /// quantiles — the mean alone hides overload).
+    pub fn latency_stats(&self) -> DurationStats {
+        self.latency_samples.clone()
+    }
+
+    /// The circuit-breaker state for `device`, when breakers are enabled.
+    pub fn breaker_state(&self, device: DeviceId) -> Option<BreakerState> {
+        self.breakers.as_ref().map(|b| b.state(device))
+    }
+
+    /// The breaker health score (EWMA of recent outcomes, 1.0 = perfect)
+    /// for `device`, when breakers are enabled.
+    pub fn breaker_health(&self, device: DeviceId) -> Option<f64> {
+        self.breakers.as_ref().map(|b| b.health(device))
     }
 
     /// The engine configuration.

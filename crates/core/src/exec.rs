@@ -16,7 +16,7 @@ use aorta_data::{Tuple, Value};
 use aorta_device::{
     DeviceId, DeviceKind, PhotoError, PhotoOutcome, PhotoSize, PhysicalStatus, PtzPosition,
 };
-use aorta_net::ScanOperator;
+use aorta_net::{BreakerDecision, BreakerState, ScanOperator};
 use aorta_sim::{FaultEvent, LinkModel, SimDuration, SimTime};
 
 use crate::actions::{ActionDef, ActionHandler};
@@ -44,6 +44,17 @@ pub(crate) enum EngineEvent {
     },
 }
 
+/// The admission gate's decision for one would-be request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdmissionVerdict {
+    /// Admit at full quality.
+    Admit,
+    /// Admit, but degraded to reduced quality (brownout).
+    Degrade,
+    /// Refuse: counted in `shed`, never enqueued.
+    Shed,
+}
+
 /// Raw engine counters (photo outcomes are derived at read time, since
 /// interference can downgrade a photo after the fact).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,6 +77,10 @@ pub(crate) struct RawStats {
     pub partial_cost_us: u64,
     pub escalated_out: u64,
     pub escalated_in: u64,
+    pub shed: u64,
+    pub expired: u64,
+    pub degraded: u64,
+    pub late_successes: u64,
 }
 
 /// A snapshot of engine statistics.
@@ -128,10 +143,28 @@ pub struct EngineStats {
     pub lock_acquisitions: u64,
     /// Lock conflicts observed by the optimizer.
     pub lock_conflicts: u64,
+    /// Requests shed by admission control or by the scheduler's deadline
+    /// rejection (predicted completion past the request deadline).
+    pub shed: u64,
+    /// Requests cancelled at execution because their deadline had passed.
+    pub expired: u64,
+    /// Requests completed at degraded quality under brownout (lo-res
+    /// photos). A degraded completion is a success, counted here instead
+    /// of in `executed`.
+    pub degraded: u64,
+    /// Successes whose completion landed *after* the request deadline —
+    /// zero whenever deadline enforcement is on; nonzero only for action
+    /// kinds whose duration cannot be predicted exactly before starting.
+    pub late_successes: u64,
+    /// Circuit-breaker trips (Closed/Half-open → Open transitions).
+    pub breaker_trips: u64,
+    /// Circuit-breaker probation closes (Half-open → Closed transitions).
+    pub breaker_closes: u64,
 }
 
 impl EngineStats {
-    /// Failed requests: errors plus ruined photos.
+    /// Failed requests: errors, overload sheds and expiries, plus ruined
+    /// photos. A degraded (brownout) completion is a success, not a failure.
     pub fn failures(&self) -> u64 {
         self.connect_failures
             + self.busy_rejections
@@ -140,6 +173,8 @@ impl EngineStats {
             + self.out_of_range
             + self.action_errors
             + self.orphaned
+            + self.shed
+            + self.expired
             + self.photos_blurred
             + self.photos_wrong
     }
@@ -188,9 +223,14 @@ impl Aorta {
             match event {
                 EngineEvent::Sample => self.handle_sample(),
                 EngineEvent::Execute { request, device } => {
-                    // A device that crashed since assignment orphans the
-                    // action: fail over instead of commanding a dead device.
-                    if self.registry.get(device).is_some_and(|e| !e.online) {
+                    // Work whose deadline already passed is worthless: cancel
+                    // it (releasing any lock it holds) instead of commanding
+                    // the device for a result nobody can use.
+                    if self.now >= request.deadline {
+                        self.expire_request(&request, device);
+                    } else if self.registry.get(device).is_some_and(|e| !e.online) {
+                        // A device that crashed since assignment orphans the
+                        // action: fail over instead of commanding a dead device.
                         self.handle_orphaned(&request, device);
                     } else {
                         self.execute_request(&request, device);
@@ -252,6 +292,12 @@ impl Aorta {
             probe_timeouts: self.prober.timeouts(),
             lock_acquisitions: self.locks.acquisitions(),
             lock_conflicts: self.locks.conflicts(),
+            shed: raw.shed,
+            expired: raw.expired,
+            degraded: raw.degraded,
+            late_successes: raw.late_successes,
+            breaker_trips: self.breakers.as_ref().map_or(0, |b| b.trips()),
+            breaker_closes: self.breakers.as_ref().map_or(0, |b| b.closes()),
         }
     }
 
@@ -285,6 +331,14 @@ impl Aorta {
                     self.locks.unlock(d);
                     self.trace
                         .emit(time, "failover", format!("{d} lock released after crash"));
+                }
+                // A crash is definitive evidence: open the breaker now rather
+                // than paying the failure-threshold probes to discover it.
+                if let Some(bank) = self.breakers.as_mut() {
+                    if bank.force_open(d, time, &mut self.rng) {
+                        self.trace
+                            .emit(time, "breaker", format!("{d} opened on crash"));
+                    }
                 }
             }
             FaultEvent::Recover(d) => {
@@ -406,6 +460,15 @@ impl Aorta {
         probe_req.candidates = candidates;
         let mut best: Option<(SimDuration, DeviceId)> = None;
         for (d, _) in &probe_req.candidates {
+            // Breaker-open devices are not routable: quoting a cost for a
+            // device the dispatcher will refuse to probe just wastes a hop.
+            if self
+                .breakers
+                .as_ref()
+                .is_some_and(|b| b.state(*d) == BreakerState::Open)
+            {
+                continue;
+            }
             let Some(st) = self.unprobed_status(*d) else {
                 continue;
             };
@@ -598,8 +661,34 @@ impl Aorta {
 
             // Candidate filtering per event.
             let candidates = self.candidates_for(plan, tuple, cache);
+            // The deadline derives from the AQ's trigger cadence: a periodic
+            // detection is stale once the next period's event supersedes it.
+            let deadline = match self.config.deadline {
+                Some(budget) => self.now + budget,
+                None => SimTime::MAX,
+            };
             for call in &plan.actions {
                 self.raw_stats.requests += 1;
+                let degraded = match self.admission_verdict(plan.query_id) {
+                    AdmissionVerdict::Shed => {
+                        self.raw_stats.shed += 1;
+                        self.trace.emit(
+                            self.now,
+                            "admission",
+                            format!("query {}: request shed at admission", plan.query_id),
+                        );
+                        continue;
+                    }
+                    AdmissionVerdict::Degrade => {
+                        self.trace.emit(
+                            self.now,
+                            "admission",
+                            format!("query {}: admitted degraded (brownout)", plan.query_id),
+                        );
+                        true
+                    }
+                    AdmissionVerdict::Admit => false,
+                };
                 let request = ActionRequest {
                     query_id: plan.query_id,
                     action: call.action.clone(),
@@ -610,6 +699,8 @@ impl Aorta {
                     args: call.args.clone(),
                     candidates: candidates.clone(),
                     created_at: self.now,
+                    deadline,
+                    degraded,
                     attempts: 0,
                     hops: 0,
                 };
@@ -686,6 +777,28 @@ impl Aorta {
         devices.dedup();
         let mut status: BTreeMap<DeviceId, PhysicalStatus> = BTreeMap::new();
         for &d in &devices {
+            // An open breaker excludes the device before any probe is spent
+            // on it; a half-open one admits exactly one probation attempt.
+            if let Some(bank) = self.breakers.as_mut() {
+                match bank.decide(d, self.now) {
+                    BreakerDecision::Reject => {
+                        self.trace.emit(
+                            self.now,
+                            "breaker",
+                            format!("{d} open, excluded without probing"),
+                        );
+                        continue;
+                    }
+                    BreakerDecision::Probation => {
+                        self.trace.emit(
+                            self.now,
+                            "breaker",
+                            format!("{d} half-open, probation probe"),
+                        );
+                    }
+                    BreakerDecision::Admit => {}
+                }
+            }
             let probed = if self.config.probe_enabled {
                 match self
                     .prober
@@ -697,6 +810,9 @@ impl Aorta {
             } else {
                 self.unprobed_status(d)
             };
+            if self.config.probe_enabled {
+                self.breaker_note(d, probed.is_some());
+            }
             match probed {
                 Some(s) => {
                     status.insert(d, s);
@@ -766,6 +882,21 @@ impl Aorta {
                     "dispatch",
                     format!(
                         "query {}: earliest start on {d} misses the request deadline",
+                        request.query_id
+                    ),
+                );
+                continue;
+            }
+            // Deadline-aware rejection: assigning work whose *predicted*
+            // completion already overruns its deadline only burns device time
+            // on a result that will be cancelled — shed it up front.
+            if finish > request.deadline {
+                self.raw_stats.shed += 1;
+                self.trace.emit(
+                    self.now,
+                    "deadline",
+                    format!(
+                        "query {}: predicted finish on {d} past the deadline, shed",
                         request.query_id
                     ),
                 );
@@ -924,7 +1055,16 @@ impl Aorta {
             }
         }
         let table = self.registry.cost_table(def.kind());
-        estimate_action_cost(&def.profile, table, &ctx).ok()
+        // Brownout: a degraded photo request is costed (and later executed)
+        // at lo-res, whose capture op is cheaper than the full-quality one.
+        let lo_res;
+        let profile = if request.degraded && def.kind() == DeviceKind::Camera {
+            lo_res = crate::actions::ActionProfile::photo_lo_res();
+            &lo_res
+        } else {
+            &def.profile
+        };
+        estimate_action_cost(profile, table, &ctx).ok()
     }
 
     fn predict_next_status(
@@ -1014,11 +1154,125 @@ impl Aorta {
         true
     }
 
-    fn record_latency(&mut self, created_at: SimTime, completed_at: SimTime) {
-        self.raw_stats.latency_total_us += completed_at
-            .saturating_duration_since(created_at)
-            .as_micros();
+    fn record_latency(&mut self, request: &ActionRequest, completed_at: SimTime) {
+        let latency = completed_at.saturating_duration_since(request.created_at);
+        self.raw_stats.latency_total_us += latency.as_micros();
         self.raw_stats.latency_count += 1;
+        self.latency_samples.record(latency);
+        // A success that lands after its deadline is still a success for
+        // conservation, but a witness that enforcement let one slip: photo
+        // durations are predicted exactly, so this stays zero for them.
+        if completed_at > request.deadline {
+            self.raw_stats.late_successes += 1;
+        }
+    }
+
+    /// Admission control for one would-be request, evaluated at event
+    /// detection (before any operator/scheduler state is touched).
+    ///
+    /// Two gates compose: the token bucket paces raw arrival rate, and the
+    /// predicted backlog makespan — pending work times the observed mean
+    /// action latency — drives brownout. Past `brownout_multiple`×SLO new
+    /// requests degrade to lo-res; past `shed_multiple`×SLO they are shed
+    /// outright unless their query is protected (then they degrade instead).
+    fn admission_verdict(&mut self, query_id: u32) -> AdmissionVerdict {
+        let Some(cfg) = &self.config.admission else {
+            return AdmissionVerdict::Admit;
+        };
+        let slo_us = cfg.slo.as_micros() as f64;
+        let brownout_at = slo_us * cfg.brownout_multiple;
+        let shed_at = slo_us * cfg.shed_multiple;
+        let protected = query_id < cfg.protected_queries;
+        let backlog = self.pending_requests();
+        let mean_us = self
+            .raw_stats
+            .latency_total_us
+            .checked_div(self.raw_stats.latency_count)
+            // Until a completion has been observed, assume a nominal second
+            // per action so cold-start backlog still registers as pressure.
+            .unwrap_or(1_000_000);
+        let makespan_us = backlog.saturating_mul(mean_us) as f64;
+        let band = if makespan_us > shed_at {
+            if protected {
+                AdmissionVerdict::Degrade
+            } else {
+                AdmissionVerdict::Shed
+            }
+        } else if makespan_us > brownout_at {
+            AdmissionVerdict::Degrade
+        } else {
+            AdmissionVerdict::Admit
+        };
+        if matches!(band, AdmissionVerdict::Shed) {
+            return band;
+        }
+        // Rate gate last, so a request shed on backlog never burns a token.
+        if let Some(bucket) = self.admission_bucket.as_mut() {
+            if !bucket.try_take(self.now) {
+                return AdmissionVerdict::Shed;
+            }
+        }
+        band
+    }
+
+    /// Cancels a request whose deadline has passed: counts it expired and —
+    /// the overload analogue of the crash cleanup path — releases the
+    /// device's lock if this request holds it and no later work is queued
+    /// behind it, so an expiry never strands a healthy device locked.
+    fn expire_request(&mut self, request: &ActionRequest, device: DeviceId) {
+        self.raw_stats.expired += 1;
+        self.trace.emit(
+            self.now,
+            "deadline",
+            format!(
+                "query {}: deadline passed before execution on {device}, cancelled",
+                request.query_id
+            ),
+        );
+        if self.config.sync_enabled && self.locks.holder(device, self.now) == Some(request.query_id)
+        {
+            let others_queued = self
+                .queue
+                .iter()
+                .any(|(_, e)| matches!(e, EngineEvent::Execute { device: d, .. } if *d == device));
+            if !others_queued {
+                self.locks.unlock(device);
+                self.trace.emit(
+                    self.now,
+                    "deadline",
+                    format!("{device} lock released after expiry"),
+                );
+            }
+        }
+    }
+
+    /// Feeds one device-level outcome to the breaker bank (when enabled),
+    /// tracing the state transitions it causes.
+    fn breaker_note(&mut self, device: DeviceId, ok: bool) {
+        let Some(bank) = self.breakers.as_mut() else {
+            return;
+        };
+        if ok {
+            if bank.record_success(device) {
+                self.trace.emit(
+                    self.now,
+                    "breaker",
+                    format!(
+                        "{device} closed after probation success (health {:.2})",
+                        bank.health(device)
+                    ),
+                );
+            }
+        } else if bank.record_failure(device, self.now, &mut self.rng) {
+            self.trace.emit(
+                self.now,
+                "breaker",
+                format!(
+                    "{device} opened after repeated failures (health {:.2})",
+                    bank.health(device)
+                ),
+            );
+        }
     }
 
     fn execute_request(&mut self, request: &ActionRequest, device: DeviceId) {
@@ -1047,12 +1301,14 @@ impl Aorta {
                     Some(done) => {
                         self.raw_stats.executed += 1;
                         self.raw_stats.messages_delivered += 1;
-                        self.record_latency(request.created_at, done);
+                        self.record_latency(request, done);
+                        self.breaker_note(device, true);
                         if self.config.sync_enabled {
                             self.locks.extend(device, self.now, done);
                         }
                     }
                     None => {
+                        self.breaker_note(device, false);
                         if !self.maybe_retry(request, device) {
                             self.raw_stats.connect_failures += 1;
                         }
@@ -1070,9 +1326,13 @@ impl Aorta {
                 if ok {
                     self.raw_stats.executed += 1;
                     self.raw_stats.beeps_delivered += 1;
-                    self.record_latency(request.created_at, now);
-                } else if !self.maybe_retry(request, device) {
-                    self.raw_stats.connect_failures += 1;
+                    self.record_latency(request, now);
+                    self.breaker_note(device, true);
+                } else {
+                    self.breaker_note(device, false);
+                    if !self.maybe_retry(request, device) {
+                        self.raw_stats.connect_failures += 1;
+                    }
                 }
             }
             ActionHandler::Custom(handler) => {
@@ -1081,12 +1341,16 @@ impl Aorta {
                 match handler(&mut self.registry, device, &args, now, &mut self.rng) {
                     Ok(done) => {
                         self.raw_stats.executed += 1;
-                        self.record_latency(request.created_at, done);
+                        self.record_latency(request, done);
+                        self.breaker_note(device, true);
                         if self.config.sync_enabled {
                             self.locks.extend(device, self.now, done);
                         }
                     }
-                    Err(_) => self.raw_stats.action_errors += 1,
+                    Err(_) => {
+                        self.breaker_note(device, false);
+                        self.raw_stats.action_errors += 1;
+                    }
                 }
             }
         }
@@ -1121,14 +1385,43 @@ impl Aorta {
                 }
             }
         }
+        // Brownout: degraded requests capture at the cheaper lo-res size.
+        let size = if request.degraded {
+            PhotoSize::Small
+        } else {
+            PhotoSize::Medium
+        };
+        // Last-chance deadline check with the camera's *actual* position:
+        // photo duration is deterministic given start pose and target, so a
+        // completion past the deadline can be predicted exactly here and the
+        // shot cancelled before any device time is spent.
+        if request.deadline != SimTime::MAX {
+            if let Some(cam) = self.registry.camera(device) {
+                let cost = cam.estimate_photo_cost(cam.position_at(now), target, size);
+                if now + cost > request.deadline {
+                    self.expire_request(request, device);
+                    return;
+                }
+            }
+        }
         let Some(cam) = self.registry.camera_mut(device) else {
             self.raw_stats.action_errors += 1;
             return;
         };
-        match cam.begin_photo(now, target, PhotoSize::Medium, &mut self.rng) {
+        match cam.begin_photo(now, target, size, &mut self.rng) {
             Ok(record) => {
-                self.raw_stats.executed += 1;
-                self.record_latency(request.created_at, record.completes_at);
+                if request.degraded {
+                    self.raw_stats.degraded += 1;
+                    self.trace.emit(
+                        now,
+                        "brownout",
+                        format!("query {}: lo-res photo on {device}", request.query_id),
+                    );
+                } else {
+                    self.raw_stats.executed += 1;
+                }
+                self.record_latency(request, record.completes_at);
+                self.breaker_note(device, true);
                 if self.config.sync_enabled {
                     self.locks.extend(device, now, record.completes_at);
                 }
@@ -1136,6 +1429,11 @@ impl Aorta {
             Err(e) => {
                 self.trace
                     .emit(now, "action", format!("photo on {device} failed: {e}"));
+                // Out of range is the request's fault, not the device's;
+                // only the transient errors count against its breaker.
+                if !matches!(e, PhotoError::OutOfRange) {
+                    self.breaker_note(device, false);
+                }
                 // Out-of-range targets fail on every camera alike; the
                 // transient errors are worth failing over.
                 let retried =
@@ -1280,9 +1578,11 @@ mod tests {
         aorta.run_for(SimDuration::from_mins(5));
         let stats = aorta.stats();
         assert!(stats.requests > 0);
-        // Conservation: every admitted request is executed, terminally
-        // failed, or still pending — never silently dropped.
+        // Conservation: every admitted request is executed (possibly at
+        // degraded quality), terminally failed, shed, expired, or still
+        // pending — never silently dropped.
         let accounted = stats.executed
+            + stats.degraded
             + stats.connect_failures
             + stats.busy_rejections
             + stats.no_candidate
@@ -1290,8 +1590,65 @@ mod tests {
             + stats.out_of_range
             + stats.action_errors
             + stats.orphaned
+            + stats.shed
+            + stats.expired
             + aorta.pending_requests();
         assert_eq!(stats.requests, accounted, "{stats:?}");
+    }
+
+    #[test]
+    fn conservation_holds_with_full_overload_stack_enabled() {
+        // Tight deadline + aggressive admission + breakers, under the same
+        // crash storm: the extended conservation identity must still close.
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_secs(10), SimDuration::ZERO);
+        let config = EngineConfig::seeded(7)
+            .with_deadline(SimDuration::from_secs(3))
+            .with_admission(crate::AdmissionConfig {
+                rate_per_sec: 0.5,
+                burst: 2.0,
+                slo: SimDuration::from_secs(2),
+                brownout_multiple: 0.5,
+                shed_multiple: 2.0,
+                protected_queries: 0,
+            })
+            .with_breakers(aorta_net::BreakerConfig::default());
+        let mut aorta = Aorta::with_lab(config, lab);
+        aorta.execute_sql(SNAPSHOT).unwrap();
+        let mut plan = FaultPlan::new();
+        for idx in 0..2 {
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_secs(30),
+                FaultEvent::Crash(DeviceId::camera(idx)),
+            );
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_mins(2),
+                FaultEvent::Recover(DeviceId::camera(idx)),
+            );
+        }
+        aorta.inject_faults(plan);
+        aorta.run_for(SimDuration::from_mins(5));
+        let stats = aorta.stats();
+        assert!(stats.requests > 0);
+        assert!(
+            stats.shed > 0,
+            "the aggressive admission gate should shed under this load: {stats:?}"
+        );
+        let accounted = stats.executed
+            + stats.degraded
+            + stats.connect_failures
+            + stats.busy_rejections
+            + stats.no_candidate
+            + stats.timed_out
+            + stats.out_of_range
+            + stats.action_errors
+            + stats.orphaned
+            + stats.shed
+            + stats.expired
+            + aorta.pending_requests();
+        assert_eq!(stats.requests, accounted, "{stats:?}");
+        // Deadline enforcement on photos is exact: nothing may succeed late.
+        assert_eq!(stats.late_successes, 0, "{stats:?}");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod actions;
+mod admission;
 mod catalog;
 mod config;
 mod cost;
@@ -47,7 +48,7 @@ mod shared;
 
 pub use actions::{ActionDef, ActionHandler, ActionProfile, CustomHandler, ProfileNode, UnitsSpec};
 pub use catalog::Catalog;
-pub use config::{DispatchPolicy, EngineConfig};
+pub use config::{AdmissionConfig, DispatchPolicy, EngineConfig};
 pub use cost::{estimate_action_cost, CostContext};
 pub use engine::{Aorta, ExecOutput};
 pub use error::EngineError;

@@ -46,6 +46,16 @@ pub struct ActionRequest {
     pub candidates: Vec<(DeviceId, Tuple)>,
     /// When the triggering event was detected.
     pub created_at: SimTime,
+    /// Absolute virtual-time deadline: the action must *complete* by this
+    /// instant or the work is worthless (the event is gone). Rides with the
+    /// request across retries, failovers and gateway escalations — a reroute
+    /// carries the remaining budget, it never resets it.
+    /// [`SimTime::MAX`] means unbounded (deadline enforcement disabled).
+    pub deadline: SimTime,
+    /// Brownout flag: admission control degraded this request to reduced
+    /// quality (e.g. a lo-res photo at lower atomic-operation cost). A
+    /// degraded completion counts in `degraded`, not `executed`.
+    pub degraded: bool,
     /// How many times this request has already failed and been re-dispatched.
     pub attempts: u32,
     /// How many times a cluster gateway has re-routed this request to a
@@ -121,6 +131,8 @@ mod tests {
                 (DeviceId::camera(1), Tuple::new(vec![])),
             ],
             created_at: SimTime::ZERO,
+            deadline: SimTime::MAX,
+            degraded: false,
             attempts: 0,
             hops: 0,
         }

@@ -175,3 +175,84 @@ proptest! {
         prop_assert_eq!(locks.acquisitions() + locks.conflicts(), attempts);
     }
 }
+
+/// Regression (overload lifecycle): a request cancelled at execution because
+/// its deadline passed must release the device lock its lane was holding —
+/// the deadline analogue of the lock leak the crash-failover path fixed.
+/// Without the release, the single camera stays locked until the sweep and
+/// every later epoch queues behind a cancelled request.
+#[test]
+fn expired_request_releases_its_device_lock() {
+    use aorta_core::{Aorta, EngineConfig};
+    use aorta_device::{DeviceKind, PervasiveLab};
+    use aorta_sim::SimDuration;
+
+    // One camera, one mote, two photo actions per event: both requests land
+    // in one lane on the one camera, so the second starts 5ms (the schedule
+    // guard) after the first completes — a gap the dispatcher's predicted
+    // finish does not include.
+    const TWIN_SHOT: &str = r#"CREATE AQ twin AS
+        SELECT photo(c.ip, s.loc, "photos/a"), photo(c.ip, s.loc, "photos/b")
+        FROM sensor s, camera c
+        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#;
+
+    let run = |deadline: Option<SimDuration>| {
+        let lab = PervasiveLab::with_sizes(1, 1, 0)
+            .with_reliable_cameras()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let mut config = EngineConfig::seeded(11);
+        if let Some(budget) = deadline {
+            config = config.with_deadline(budget);
+        }
+        let mut aorta = Aorta::with_lab(config, lab);
+        aorta.execute_sql(TWIN_SHOT).unwrap();
+        // 30s past the last epoch, so the final epoch's (legitimate) lock
+        // has run out by the time the post-run lock check below looks.
+        aorta.run_for(SimDuration::from_secs(150));
+        aorta
+    };
+
+    // Calibration pass without deadlines: the slowest completion is the
+    // lane's second photo, whose latency includes the unpredicted guard.
+    let calibrated = run(None);
+    let lat = calibrated.latency_stats();
+    assert!(
+        lat.count() >= 2,
+        "both photos should complete unconstrained"
+    );
+    let slowest = lat.max().expect("non-empty");
+
+    // A budget below the real completion but above the predicted one: the
+    // dispatcher accepts the assignment, execution must cancel it.
+    let budget = slowest - SimDuration::from_millis(3);
+    let aorta = run(Some(budget));
+    let stats = aorta.stats();
+    assert!(stats.expired >= 1, "{stats:?}");
+    assert_eq!(stats.late_successes, 0, "{stats:?}");
+    assert!(
+        aorta.trace().any("deadline", "lock released after expiry"),
+        "expiry must release the lane's lock:\n{}",
+        aorta.trace().render()
+    );
+    // The camera is actually free again, not waiting on the lock sweep.
+    for cam in aorta.registry().ids_of_kind(DeviceKind::Camera) {
+        assert!(
+            !aorta.locks().is_locked(cam, aorta.now()),
+            "camera still locked after its holder expired"
+        );
+    }
+    // Conservation still closes with the expiry counted.
+    let accounted = stats.executed
+        + stats.degraded
+        + stats.connect_failures
+        + stats.busy_rejections
+        + stats.no_candidate
+        + stats.timed_out
+        + stats.out_of_range
+        + stats.action_errors
+        + stats.orphaned
+        + stats.shed
+        + stats.expired
+        + aorta.pending_requests();
+    assert_eq!(stats.requests, accounted, "{stats:?}");
+}

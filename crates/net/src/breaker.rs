@@ -1,0 +1,356 @@
+//! Per-device circuit breakers with health scoring.
+//!
+//! A device that keeps failing probes or actions wastes probe time and drags
+//! every dispatch epoch it participates in. Each device gets a three-state
+//! breaker in the classic pattern:
+//!
+//! * **Closed** — healthy; probes and actions flow normally. Consecutive
+//!   failures are counted, and at the configured threshold the breaker trips.
+//! * **Open** — quarantined; the device is excluded from candidate sets
+//!   without paying probe cost, until a seeded-jittered cooldown elapses.
+//! * **Half-open** — probation; exactly one probe is admitted. Success
+//!   closes the breaker, failure re-opens it with a fresh cooldown.
+//!
+//! Every transition is reported to the caller so it can be recorded in the
+//! deterministic trace, and the jitter draws from the caller's [`SimRng`],
+//! keeping identical seeds byte-identical. Alongside the state machine the
+//! bank keeps a per-device **health score** — an exponentially weighted
+//! success ratio in `[0, 1]` — for observability and tie-breaking.
+
+use std::collections::BTreeMap;
+
+use aorta_device::DeviceId;
+use aorta_sim::{SimDuration, SimRng, SimTime};
+
+/// EWMA weight of the most recent probe/action outcome in the health score.
+const HEALTH_ALPHA: f64 = 0.25;
+
+/// Breaker tunables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a Closed breaker to Open.
+    pub failure_threshold: u32,
+    /// Base quarantine before a tripped breaker grants a probation probe.
+    pub cooldown: SimDuration,
+    /// Upper bound of the uniformly drawn jitter added to each cooldown, so
+    /// a fleet of breakers tripped by one fault burst does not re-probe in
+    /// lockstep. Drawn from the engine's seeded RNG — deterministic per seed.
+    pub probation_jitter: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(10),
+            probation_jitter: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// The classic three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are counted.
+    Closed,
+    /// Quarantined: excluded from candidate sets, no probe cost paid.
+    Open,
+    /// Probation: one probe admitted; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// What the bank decided about admitting one device into a dispatch epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Breaker closed (or device unknown): admit normally.
+    Admit,
+    /// Cooldown elapsed: the breaker just moved Open → Half-open and admits
+    /// this one probation probe.
+    Probation,
+    /// Breaker open: exclude the device without probing it.
+    Reject,
+}
+
+#[derive(Debug, Clone)]
+struct DeviceBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: SimTime,
+    health: f64,
+}
+
+impl Default for DeviceBreaker {
+    fn default() -> Self {
+        DeviceBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: SimTime::ZERO,
+            health: 1.0,
+        }
+    }
+}
+
+/// All per-device breakers of one engine, plus transition counters.
+#[derive(Debug, Clone, Default)]
+pub struct BreakerBank {
+    config: BreakerConfig,
+    breakers: BTreeMap<DeviceId, DeviceBreaker>,
+    trips: u64,
+    closes: u64,
+}
+
+impl BreakerBank {
+    /// An empty bank with the given tunables.
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerBank {
+            config,
+            ..BreakerBank::default()
+        }
+    }
+
+    /// Admission decision for `device` at `now`. An Open breaker whose
+    /// cooldown has elapsed transitions to Half-open here and admits one
+    /// probation probe.
+    pub fn decide(&mut self, device: DeviceId, now: SimTime) -> BreakerDecision {
+        let b = self.breakers.entry(device).or_default();
+        match b.state {
+            BreakerState::Closed | BreakerState::HalfOpen => BreakerDecision::Admit,
+            BreakerState::Open if now >= b.open_until => {
+                b.state = BreakerState::HalfOpen;
+                BreakerDecision::Probation
+            }
+            BreakerState::Open => BreakerDecision::Reject,
+        }
+    }
+
+    /// Records a successful probe or action. Returns `true` when this
+    /// success closed a Half-open breaker (worth tracing).
+    pub fn record_success(&mut self, device: DeviceId) -> bool {
+        let b = self.breakers.entry(device).or_default();
+        b.consecutive_failures = 0;
+        b.health = b.health * (1.0 - HEALTH_ALPHA) + HEALTH_ALPHA;
+        if b.state == BreakerState::HalfOpen {
+            b.state = BreakerState::Closed;
+            self.closes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a failed probe or action. Returns `true` when the failure
+    /// tripped the breaker Open (from Closed at the threshold, or
+    /// immediately from Half-open probation).
+    pub fn record_failure(&mut self, device: DeviceId, now: SimTime, rng: &mut SimRng) -> bool {
+        let jitter = self.config.probation_jitter.as_micros();
+        let b = self.breakers.entry(device).or_default();
+        b.consecutive_failures += 1;
+        b.health *= 1.0 - HEALTH_ALPHA;
+        let trip = match b.state {
+            BreakerState::Closed => b.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => false,
+        };
+        if trip {
+            b.state = BreakerState::Open;
+            b.open_until =
+                now + self.config.cooldown + SimDuration::from_micros(rng.range(0..=jitter));
+            self.trips += 1;
+        }
+        trip
+    }
+
+    /// Trips `device` Open immediately — the crash-fault integration: a
+    /// crash observed by the fault layer is stronger evidence than any
+    /// failure count. No-op if already Open.
+    pub fn force_open(&mut self, device: DeviceId, now: SimTime, rng: &mut SimRng) -> bool {
+        let jitter = self.config.probation_jitter.as_micros();
+        let b = self.breakers.entry(device).or_default();
+        if b.state == BreakerState::Open {
+            return false;
+        }
+        b.state = BreakerState::Open;
+        b.consecutive_failures = self.config.failure_threshold.max(b.consecutive_failures);
+        b.health *= 1.0 - HEALTH_ALPHA;
+        b.open_until = now + self.config.cooldown + SimDuration::from_micros(rng.range(0..=jitter));
+        self.trips += 1;
+        true
+    }
+
+    /// Current state of `device`'s breaker (Closed when never touched).
+    pub fn state(&self, device: DeviceId) -> BreakerState {
+        self.breakers
+            .get(&device)
+            .map_or(BreakerState::Closed, |b| b.state)
+    }
+
+    /// The device's health score in `[0, 1]` (1.0 when never touched):
+    /// an exponentially weighted success ratio over recent probes/actions.
+    pub fn health(&self, device: DeviceId) -> f64 {
+        self.breakers.get(&device).map_or(1.0, |b| b.health)
+    }
+
+    /// Consecutive failures currently accumulated against `device`.
+    pub fn consecutive_failures(&self, device: DeviceId) -> u32 {
+        self.breakers
+            .get(&device)
+            .map_or(0, |b| b.consecutive_failures)
+    }
+
+    /// Transitions into Open over the bank's lifetime.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Half-open → Closed transitions over the bank's lifetime.
+    pub fn closes(&self) -> u64 {
+        self.closes
+    }
+
+    /// Devices currently quarantined (Open with cooldown still running is
+    /// indistinguishable here from Open past cooldown; `decide` resolves
+    /// that lazily).
+    pub fn open_count(&self) -> usize {
+        self.breakers
+            .values()
+            .filter(|b| b.state == BreakerState::Open)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut bank = BreakerBank::new(BreakerConfig::default());
+        let mut rng = SimRng::seed(1);
+        let d = DeviceId::camera(0);
+        assert!(!bank.record_failure(d, t(0), &mut rng));
+        assert!(!bank.record_failure(d, t(1), &mut rng));
+        assert_eq!(bank.state(d), BreakerState::Closed);
+        assert!(
+            bank.record_failure(d, t(2), &mut rng),
+            "third failure trips"
+        );
+        assert_eq!(bank.state(d), BreakerState::Open);
+        assert_eq!(bank.trips(), 1);
+        assert_eq!(bank.decide(d, t(3)), BreakerDecision::Reject);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut bank = BreakerBank::new(BreakerConfig::default());
+        let mut rng = SimRng::seed(2);
+        let d = DeviceId::camera(1);
+        bank.record_failure(d, t(0), &mut rng);
+        bank.record_failure(d, t(1), &mut rng);
+        bank.record_success(d);
+        assert_eq!(bank.consecutive_failures(d), 0);
+        // Two more failures are again below the threshold.
+        bank.record_failure(d, t(2), &mut rng);
+        assert!(!bank.record_failure(d, t(3), &mut rng));
+        assert_eq!(bank.state(d), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probation_after_cooldown_and_close_on_success() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(5),
+            probation_jitter: SimDuration::ZERO,
+        };
+        let mut bank = BreakerBank::new(config);
+        let mut rng = SimRng::seed(3);
+        let d = DeviceId::camera(2);
+        assert!(bank.record_failure(d, t(0), &mut rng));
+        assert_eq!(bank.decide(d, t(3)), BreakerDecision::Reject);
+        assert_eq!(bank.decide(d, t(5)), BreakerDecision::Probation);
+        assert_eq!(bank.state(d), BreakerState::HalfOpen);
+        assert!(bank.record_success(d), "probation success closes");
+        assert_eq!(bank.state(d), BreakerState::Closed);
+        assert_eq!(bank.closes(), 1);
+    }
+
+    #[test]
+    fn probation_failure_reopens_with_fresh_cooldown() {
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(5),
+            probation_jitter: SimDuration::ZERO,
+        };
+        let mut bank = BreakerBank::new(config);
+        let mut rng = SimRng::seed(4);
+        let d = DeviceId::camera(3);
+        bank.record_failure(d, t(0), &mut rng);
+        assert_eq!(bank.decide(d, t(5)), BreakerDecision::Probation);
+        assert!(
+            bank.record_failure(d, t(5), &mut rng),
+            "probation failure re-trips"
+        );
+        assert_eq!(bank.state(d), BreakerState::Open);
+        assert_eq!(bank.decide(d, t(6)), BreakerDecision::Reject);
+        assert_eq!(bank.decide(d, t(10)), BreakerDecision::Probation);
+    }
+
+    #[test]
+    fn force_open_quarantines_immediately() {
+        let mut bank = BreakerBank::new(BreakerConfig::default());
+        let mut rng = SimRng::seed(5);
+        let d = DeviceId::sensor(0);
+        assert!(bank.force_open(d, t(0), &mut rng));
+        assert_eq!(bank.state(d), BreakerState::Open);
+        assert!(!bank.force_open(d, t(1), &mut rng), "already open");
+        assert_eq!(bank.open_count(), 1);
+    }
+
+    #[test]
+    fn health_score_decays_on_failure_and_recovers_on_success() {
+        let mut bank = BreakerBank::new(BreakerConfig::default());
+        let mut rng = SimRng::seed(6);
+        let d = DeviceId::camera(4);
+        assert_eq!(bank.health(d), 1.0);
+        bank.record_failure(d, t(0), &mut rng);
+        let after_fail = bank.health(d);
+        assert!(after_fail < 1.0);
+        for _ in 0..20 {
+            bank.record_success(d);
+        }
+        assert!(bank.health(d) > 0.99, "health must recover under successes");
+    }
+
+    #[test]
+    fn jitter_draws_are_seed_deterministic() {
+        let run = |seed| {
+            let config = BreakerConfig {
+                failure_threshold: 1,
+                cooldown: SimDuration::from_secs(5),
+                probation_jitter: SimDuration::from_secs(2),
+            };
+            let mut bank = BreakerBank::new(config);
+            let mut rng = SimRng::seed(seed);
+            let d = DeviceId::camera(0);
+            bank.record_failure(d, t(0), &mut rng);
+            // Find the first second at which probation is granted.
+            (0..20)
+                .find(|&s| bank.decide(d, t(s)) == BreakerDecision::Probation)
+                .unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

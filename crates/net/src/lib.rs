@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+mod breaker;
 mod channel;
 pub mod endpoint;
 mod message;
@@ -38,6 +39,7 @@ mod profiles_dir;
 mod registry;
 mod scan;
 
+pub use breaker::{BreakerBank, BreakerConfig, BreakerDecision, BreakerState};
 pub use channel::Channel;
 pub use message::{Message, WireError};
 pub use probe::{ProbeOutcome, Prober, RetryPolicy};

@@ -140,6 +140,11 @@ pub struct OrphanOutcome {
     /// Requests with no surviving eligible device; the caller must report
     /// these as failed — they are never silently dropped.
     pub dropped: Vec<usize>,
+    /// Requests whose cheapest surviving lane already finishes past their
+    /// deadline: re-queuing them would spend device time on work that can
+    /// only be cancelled at completion, so they are dropped as counted
+    /// expiries instead of retried forever.
+    pub expired: Vec<usize>,
 }
 
 /// Fails over a static plan after device `failed` dies: drains its lane and
@@ -157,6 +162,24 @@ pub fn requeue_orphans<M: CostModel>(
     failed: usize,
     ops: &mut OpCounter,
 ) -> OrphanOutcome {
+    requeue_orphans_with_deadlines(plan, inst, model, failed, &[], ops)
+}
+
+/// Deadline-aware variant of [`requeue_orphans`]: `deadlines[r]` is request
+/// `r`'s remaining completion budget on the plan's own clock (the one
+/// [`CostModel::sequence_cost`] measures). An orphan whose cheapest
+/// surviving lane would still finish past its budget lands in
+/// [`OrphanOutcome::expired`] rather than being moved. A missing entry or
+/// [`SimDuration::MAX`] means unbounded, so an empty slice reproduces
+/// [`requeue_orphans`] exactly.
+pub fn requeue_orphans_with_deadlines<M: CostModel>(
+    plan: &mut Plan,
+    inst: &Instance,
+    model: &M,
+    failed: usize,
+    deadlines: &[SimDuration],
+    ops: &mut OpCounter,
+) -> OrphanOutcome {
     let lanes = match plan {
         Plan::Sequences(lanes) | Plan::ShortestFirstPerDevice(lanes) => lanes,
         Plan::ListDynamic => return OrphanOutcome::default(),
@@ -167,6 +190,7 @@ pub fn requeue_orphans<M: CostModel>(
     }
     let orphans = std::mem::take(&mut lanes[failed]);
     for r in orphans {
+        let budget = deadlines.get(r).copied().unwrap_or(SimDuration::MAX);
         let mut best: Option<(SimDuration, usize)> = None;
         for &d in inst.eligible(r) {
             if d == failed || d >= lanes.len() {
@@ -181,6 +205,7 @@ pub fn requeue_orphans<M: CostModel>(
             }
         }
         match best {
+            Some((cost, _)) if cost > budget => outcome.expired.push(r),
             Some((_, d)) => {
                 lanes[d].push(r);
                 outcome.requeued.push((r, d));
@@ -349,6 +374,35 @@ mod tests {
         let mut all: Vec<usize> = lanes.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn requeue_expires_orphans_whose_cheapest_lane_misses_their_deadline() {
+        let s = SimDuration::from_secs;
+        // Same topology as above, but r4 has only 1s of budget left while
+        // the shortest surviving lane would finish it at 2s — it must be
+        // expired, not moved. A generous budget on the same orphan requeues.
+        let model = TableModel::identical_machines(vec![s(1); 5], 3);
+        let inst = model.instance();
+        let tight = {
+            let mut plan = Plan::Sequences(vec![vec![0, 1, 2], vec![3], vec![4]]);
+            let mut deadlines = vec![SimDuration::MAX; 5];
+            deadlines[4] = s(1);
+            let mut ops = OpCounter::new();
+            requeue_orphans_with_deadlines(&mut plan, &inst, &model, 2, &deadlines, &mut ops)
+        };
+        assert!(tight.requeued.is_empty());
+        assert!(tight.dropped.is_empty());
+        assert_eq!(tight.expired, vec![4]);
+        let loose = {
+            let mut plan = Plan::Sequences(vec![vec![0, 1, 2], vec![3], vec![4]]);
+            let mut deadlines = vec![SimDuration::MAX; 5];
+            deadlines[4] = s(2);
+            let mut ops = OpCounter::new();
+            requeue_orphans_with_deadlines(&mut plan, &inst, &model, 2, &deadlines, &mut ops)
+        };
+        assert_eq!(loose.requeued, vec![(4, 1)]);
+        assert!(loose.expired.is_empty());
     }
 
     #[test]

@@ -51,6 +51,9 @@ mod problem;
 pub mod workload;
 
 pub use algorithms::{Algorithm, SaConfig};
-pub use executor::{execute_plan, requeue_orphans, run_algorithm, OrphanOutcome, RunResult};
+pub use executor::{
+    execute_plan, requeue_orphans, requeue_orphans_with_deadlines, run_algorithm, OrphanOutcome,
+    RunResult,
+};
 pub use plan::Plan;
 pub use problem::{CameraPhotoModel, CostModel, Instance, TableModel, COST_ESTIMATE_OPS};

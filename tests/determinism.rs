@@ -106,6 +106,84 @@ fn cluster_traces_are_byte_identical_per_seed() {
     }
 }
 
+/// A 4-shard cluster driven into overload — fast event cadence, tight
+/// deadlines, an aggressive admission gate, breakers, and a crash storm —
+/// so sheds, expiries, brownouts and breaker trips all occur. The trace
+/// plus the full stats snapshot is the determinism witness.
+fn run_overloaded_cluster(seed: u64) -> (String, String) {
+    use aorta::cluster::{ClusterConfig, ShardManager};
+    use aorta::engine::AdmissionConfig;
+    use aorta::net::BreakerConfig;
+    use aorta_device::DeviceId;
+    use aorta_sim::{FaultConfig, FaultPlan};
+
+    let lab = PervasiveLab::with_sizes(12, 16, 0)
+        .with_periodic_events(SimDuration::from_secs(15), SimDuration::from_secs(1));
+    let mut config = ClusterConfig::seeded(seed, 4);
+    config.engine = config
+        .engine
+        .with_deadline(SimDuration::from_secs(3))
+        .with_admission(AdmissionConfig {
+            rate_per_sec: 0.5,
+            burst: 3.0,
+            slo: SimDuration::from_secs(2),
+            brownout_multiple: 0.5,
+            shed_multiple: 2.0,
+            protected_queries: 2,
+        })
+        .with_breakers(BreakerConfig::default());
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .unwrap();
+    }
+    let devices: Vec<DeviceId> = (0..12)
+        .map(DeviceId::camera)
+        .chain((0..16).map(DeviceId::sensor))
+        .collect();
+    let storm = FaultConfig {
+        crash_rate: 0.3,
+        loss_burst_rate: 0.2,
+        extra_loss: 0.4,
+        ..FaultConfig::default()
+    };
+    let plan = FaultPlan::generate(seed ^ 0x0E9, SimDuration::from_mins(3), &devices, &storm);
+    assert!(!plan.is_empty(), "fault generation produced nothing");
+    cluster.inject_faults(plan);
+    cluster.run_for(SimDuration::from_mins(3));
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let stats = cluster.stats();
+    stats.check_conservation().expect("overload conservation");
+    // The overload machinery genuinely engaged — this is not a quiet run.
+    assert!(stats.shed() > 0, "no sheds under saturation: {stats:?}");
+    let trips: u64 = stats.per_shard.iter().map(|s| s.breaker_trips).sum();
+    assert!(
+        trips > 0,
+        "no breaker tripped under the crash storm: {stats:?}"
+    );
+    (cluster.render_trace(), format!("{stats:?}"))
+}
+
+#[test]
+fn overloaded_cluster_runs_are_byte_identical_per_seed() {
+    let a = run_overloaded_cluster(41);
+    let b = run_overloaded_cluster(41);
+    assert!(!a.0.is_empty());
+    assert_eq!(
+        a, b,
+        "same seed must replay the overload run byte-identically"
+    );
+    let c = run_overloaded_cluster(42);
+    assert_ne!(a.0, c.0, "distinct seeds should diverge");
+}
+
 #[test]
 fn cluster_traces_diverge_across_seeds() {
     let a = run_cluster(99, 2, true);

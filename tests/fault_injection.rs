@@ -65,8 +65,11 @@ fn no_request_is_silently_lost_under_heavy_faults() {
         stats.requests >= 10,
         "the fault storm starved the workload: {stats:?}"
     );
-    // Conservation: admitted == terminally resolved + visibly pending.
+    // Conservation: admitted == terminally resolved + visibly pending. The
+    // overload outcomes (degraded/shed/expired) are part of the identity
+    // even though they stay zero with the overload knobs off.
     let accounted = stats.executed
+        + stats.degraded
         + stats.connect_failures
         + stats.busy_rejections
         + stats.no_candidate
@@ -74,6 +77,8 @@ fn no_request_is_silently_lost_under_heavy_faults() {
         + stats.out_of_range
         + stats.action_errors
         + stats.orphaned
+        + stats.shed
+        + stats.expired
         + aorta.pending_requests();
     assert_eq!(
         stats.requests,
@@ -192,5 +197,66 @@ proptest::proptest! {
                 "seed={seed} shards={shards}: {e}"
             )));
         }
+    }
+
+    /// A healthy device is never permanently quarantined: a breaker opened
+    /// by a finite crash burst must return to Closed within bounded
+    /// probation probes once the faults stop — regardless of seed, which
+    /// camera crashed, or how long the burst lasted.
+    #[test]
+    fn breaker_reopens_healthy_devices_after_finite_fault_bursts(
+        seed in 0u64..1_000_000,
+        cam_idx in 0u32..2,
+        burst_secs in 5u64..120,
+    ) {
+        use aorta::net::{BreakerConfig, BreakerState};
+        use aorta_sim::{FaultEvent, SimTime};
+
+        // Reliable cameras so crashes are the *only* failure source: once
+        // the burst ends, nothing else can legitimately re-trip the breaker.
+        let lab = PervasiveLab::standard()
+            .with_reliable_cameras()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let config = EngineConfig::seeded(seed).with_breakers(BreakerConfig::default());
+        let mut aorta = Aorta::with_lab(config, lab);
+        for i in 0..10 {
+            aorta
+                .execute_sql(&format!(
+                    r#"CREATE AQ q{i} AS
+                       SELECT photo(c.ip, s.loc, "p")
+                       FROM sensor s, camera c
+                       WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+                ))
+                .unwrap();
+        }
+        let cam = DeviceId::camera(cam_idx);
+        let crash_at = SimTime::ZERO + SimDuration::from_secs(60);
+        let recover_at = crash_at + SimDuration::from_secs(burst_secs);
+        let mut plan = FaultPlan::new();
+        plan.schedule(crash_at, FaultEvent::Crash(cam));
+        plan.schedule(recover_at, FaultEvent::Recover(cam));
+        aorta.inject_faults(plan);
+        // Run well past recovery + cooldown so at least two dispatch epochs
+        // (one probation probe each, at most) see the healthy device.
+        aorta.run_until(recover_at + SimDuration::from_mins(3));
+
+        proptest::prop_assert!(
+            aorta.trace().any("breaker", "opened on crash"),
+            "the crash never tripped the breaker:\n{}",
+            aorta.trace().render()
+        );
+        proptest::prop_assert_eq!(
+            aorta.breaker_state(cam),
+            Some(BreakerState::Closed),
+            "device still quarantined {}s after the burst ended", 180
+        );
+        proptest::prop_assert!(
+            aorta.trace().any("breaker", "closed after probation success"),
+            "re-admission never traced:\n{}",
+            aorta.trace().render()
+        );
+        let stats = aorta.stats();
+        proptest::prop_assert!(stats.breaker_trips >= 1, "{:?}", stats);
+        proptest::prop_assert!(stats.breaker_closes >= 1, "{:?}", stats);
     }
 }
