@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|ablation]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|ablation|metrics]..."
                 );
                 return;
             }
@@ -67,11 +67,26 @@ fn main() {
             "e7" => e7(runs),
             "e8" => e8(),
             "e9" => e9(),
+            "metrics" => metrics(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
         }
     }
     write_bench_sched_json();
+}
+
+/// `repro metrics`: the deterministic observability demo. Prints the JSON
+/// snapshot and the Prometheus rendering of a fixed-seed two-shard cluster
+/// run (see `aorta_cluster::metrics_demo`); byte-identical across
+/// invocations on any platform, as asserted in `tests/determinism.rs`.
+/// Deliberately *not* part of the default experiment list: the seed
+/// experiments run with observability off.
+fn metrics() {
+    let (json, prom) = aorta_cluster::metrics_demo(42);
+    println!("== metrics: deterministic observability snapshot (seed 42) ==");
+    println!("{json}");
+    println!();
+    println!("{prom}");
 }
 
 fn e7(runs: u64) {

@@ -867,10 +867,21 @@ pub fn e9_overload(seed: u64) -> E9Report {
             for s in 0..cluster.shard_count() {
                 latencies.extend(cluster.shard(s).latency_stats().iter().copied());
             }
-            let p99 = latencies
-                .quantile(0.99)
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(0.0);
+            // An empty sample set must not silently report p99 = 0.0: that
+            // would vacuously pass the headline `p99 ≤ deadline` check even
+            // if completions had gone unmeasured. Zero is only legitimate
+            // when nothing completed at all.
+            let p99 = match latencies.quantile(0.99) {
+                Some(d) => d.as_secs_f64(),
+                None => {
+                    assert_eq!(
+                        stats.executed() + stats.degraded(),
+                        0,
+                        "completions exist but no latency sample was recorded"
+                    );
+                    0.0
+                }
+            };
             rows.push(E9Row {
                 period_secs,
                 crash_rate,

@@ -20,6 +20,7 @@
 use aorta_core::{ActionRequest, Aorta, CustomHandler, EngineConfig, EngineError, ExecOutput};
 use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
 use aorta_net::DeviceRegistry;
+use aorta_obs::{MetricsRegistry, SharedMetrics, SpanKind};
 use aorta_sim::{FaultPlan, SimDuration, SimRng, SimTime, TraceBuffer};
 
 use crate::partition::{owner_of, PartitionPolicy};
@@ -94,6 +95,9 @@ pub struct ShardManager {
     gateway_dropped: u64,
     gateway_expired: u64,
     migrations: u64,
+    /// Gateway-level metrics (`None` unless the engine template enables
+    /// observability; each shard then carries its own registry too).
+    obs: Option<SharedMetrics>,
 }
 
 impl ShardManager {
@@ -146,6 +150,7 @@ impl ShardManager {
             })
             .collect();
 
+        let obs = config.engine.observability.then(SharedMetrics::new);
         ShardManager {
             config,
             shards,
@@ -155,6 +160,7 @@ impl ShardManager {
             gateway_dropped: 0,
             gateway_expired: 0,
             migrations: 0,
+            obs,
         }
     }
 
@@ -243,6 +249,16 @@ impl ShardManager {
     /// and counted, never lost.
     fn route_escalated(&mut self, s: usize) {
         let escalated = self.shards[s].drain_escalated();
+        if !escalated.is_empty() {
+            if let Some(m) = &self.obs {
+                let shard = s.to_string();
+                m.incr(
+                    "aorta_gateway_escalations",
+                    &[("from", shard.as_str())],
+                    escalated.len() as u64,
+                );
+            }
+        }
         for mut request in escalated {
             // The deadline rides with the request: an escalation carries its
             // *remaining* budget, never a fresh one — so a request cannot
@@ -250,6 +266,9 @@ impl ShardManager {
             // worthless. Expired escalations are counted, not retried.
             if request.deadline != SimTime::MAX && self.now >= request.deadline {
                 self.gateway_expired += 1;
+                if let Some(m) = &self.obs {
+                    m.incr("aorta_gateway_expired", &[], 1);
+                }
                 self.trace.emit(
                     self.now,
                     "gateway",
@@ -284,6 +303,18 @@ impl ShardManager {
                 Some((cost, t, device)) => {
                     request.hops += 1;
                     self.rerouted += 1;
+                    if let Some(m) = &self.obs {
+                        m.incr("aorta_gateway_rerouted", &[], 1);
+                        m.span(
+                            SpanKind::GatewayRoute,
+                            self.now,
+                            SimDuration::ZERO,
+                            &format!(
+                                "query={} s{s}->s{t} device={device} estimate={cost}",
+                                request.query_id
+                            ),
+                        );
+                    }
                     self.trace.emit(
                         self.now,
                         "gateway",
@@ -301,6 +332,9 @@ impl ShardManager {
 
     fn drop_request(&mut self, request: &ActionRequest, why: &str) {
         self.gateway_dropped += 1;
+        if let Some(m) = &self.obs {
+            m.incr("aorta_gateway_dropped", &[], 1);
+        }
         self.trace.emit(
             self.now,
             "gateway",
@@ -349,6 +383,9 @@ impl ShardManager {
             };
             self.shards[min_s].registry_mut().adopt(entry);
             self.migrations += 1;
+            if let Some(m) = &self.obs {
+                m.incr("aorta_gateway_migrations", &[], 1);
+            }
             self.trace.emit(
                 self.now,
                 "gateway",
@@ -413,6 +450,31 @@ impl ShardManager {
         self.migrations
     }
 
+    /// A cluster-wide metrics snapshot: the gateway's own series plus every
+    /// shard's registry folded in under a `shard` label. `None` unless the
+    /// engine template enabled observability.
+    pub fn metrics_snapshot(&self) -> Option<MetricsRegistry> {
+        let obs = self.obs.as_ref()?;
+        let mut snap = obs.snapshot();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Some(shard_snap) = shard.metrics() {
+                let label = s.to_string();
+                snap.merge_labeled(&shard_snap, "shard", &label);
+            }
+        }
+        Some(snap)
+    }
+
+    /// The cluster metrics snapshot rendered as JSON.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.metrics_snapshot().map(|s| s.to_json())
+    }
+
+    /// The cluster metrics snapshot rendered as Prometheus text.
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        self.metrics_snapshot().map(|s| s.to_prometheus())
+    }
+
     /// The full cluster trace: every shard's engine trace prefixed with
     /// its shard ID, then the gateway trace — the byte-identical artifact
     /// cluster determinism is asserted on.
@@ -428,6 +490,52 @@ impl ShardManager {
         }
         out
     }
+}
+
+/// An end-to-end observability demo on a fixed scenario: a two-shard
+/// cluster with observability on, a mid-run camera crash to exercise probe
+/// timeouts, breaker-free failover and gateway routing, and one scheduler
+/// benchmark run folded in for the per-algorithm series. Returns the
+/// `(JSON, Prometheus)` exports.
+///
+/// Everything inside runs on the virtual clock with seeded randomness and
+/// integer-only exports, so the same `seed` yields byte-identical strings
+/// on any platform — the invariant `tests/determinism.rs` asserts.
+pub fn metrics_demo(seed: u64) -> (String, String) {
+    use aorta_sched::{run_algorithm, workload, Algorithm};
+    use aorta_sim::{CpuModel, FaultEvent, SimRng};
+
+    let mut config = ClusterConfig::seeded(seed, 2);
+    config.engine = config.engine.with_observability();
+    let lab = PervasiveLab::with_sizes(6, 8, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..4 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .expect("demo query registers");
+    }
+    let mut plan = FaultPlan::new();
+    plan.schedule(
+        SimTime::ZERO + SimDuration::from_secs(90),
+        FaultEvent::Crash(DeviceId::camera(0)),
+    );
+    cluster.inject_faults(plan);
+    cluster.run_for(SimDuration::from_mins(5));
+
+    let mut snap = cluster
+        .metrics_snapshot()
+        .expect("observability is enabled above");
+    let cpu = CpuModel::paper_notebook();
+    let (inst, model) = workload::uniform_targets(20, 10, &mut SimRng::seed(seed));
+    let mut rng = SimRng::seed(seed ^ 0xA0A0_A0A0);
+    run_algorithm(&Algorithm::LerfaSrfe, &inst, &model, &cpu, &mut rng).record_into(&mut snap);
+    (snap.to_json(), snap.to_prometheus())
 }
 
 #[cfg(test)]
@@ -590,6 +698,64 @@ mod tests {
             after.iter().all(|&c| c >= 1),
             "source gave away its last camera"
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_shards_and_gateway() {
+        let mut config = ClusterConfig::seeded(11, 2).with_imbalance_threshold(u64::MAX);
+        config.engine = config.engine.with_observability();
+        let mut cluster = ShardManager::new(config, lab());
+        admit_queries(&mut cluster, false);
+        // Kill shard 0's cameras so the gateway reroutes (as in
+        // `dead_stripe_fails_over_to_sibling_shard`).
+        let mut plan = FaultPlan::new();
+        for c in 0..12u32 {
+            let id = DeviceId::camera(c);
+            if cluster.shard_owning(id) == Some(0) {
+                plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+            }
+        }
+        cluster.inject_faults(plan);
+        cluster.run_for(RUN);
+        assert!(cluster.rerouted() > 0);
+
+        let snap = cluster.metrics_snapshot().expect("observability is on");
+        assert_eq!(
+            snap.counter_total("aorta_gateway_rerouted"),
+            cluster.rerouted(),
+            "gateway counter must agree with the stats ledger"
+        );
+        let stats = cluster.stats();
+        let per_shard_events: u64 = (0..2)
+            .map(|s| {
+                snap.counter(
+                    "aorta_engine_events_detected",
+                    &[("shard", s.to_string().as_str())],
+                )
+            })
+            .sum();
+        let total_events: u64 = stats.per_shard.iter().map(|s| s.events_detected).sum();
+        assert_eq!(
+            per_shard_events, total_events,
+            "shard label merge lost data"
+        );
+        // Observability never changes behavior: the same cluster without it
+        // produces identical engine statistics.
+        let mut plain = ShardManager::new(
+            ClusterConfig::seeded(11, 2).with_imbalance_threshold(u64::MAX),
+            lab(),
+        );
+        admit_queries(&mut plain, false);
+        let mut plan = FaultPlan::new();
+        for c in 0..12u32 {
+            let id = DeviceId::camera(c);
+            if plain.shard_owning(id) == Some(0) {
+                plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+            }
+        }
+        plain.inject_faults(plan);
+        plain.run_for(RUN);
+        assert_eq!(plain.stats(), stats, "recording must be write-only");
     }
 
     #[test]

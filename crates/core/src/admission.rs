@@ -46,6 +46,19 @@ impl TokenBucket {
         self.last_refill = now;
     }
 
+    /// Current token level in millionths as of `now` — exported as the
+    /// `aorta_admission_tokens_e6` gauge when observability is on.
+    ///
+    /// A *pure* read: it computes the refilled level without committing the
+    /// refill. Committing would move `last_refill`, and because refill gains
+    /// floor-divide, splitting one elapsed window into two can lose a
+    /// micro-token — a gauge read must never be able to change admission.
+    pub(crate) fn tokens_e6(&self, now: SimTime) -> u64 {
+        let elapsed_us = now.saturating_duration_since(self.last_refill).as_micros();
+        let gained = elapsed_us.saturating_mul(self.rate_e6_per_sec) / 1_000_000;
+        (self.tokens_e6 + gained).min(self.capacity_e6)
+    }
+
     /// Takes one admission token; `false` means the bucket is dry and the
     /// request must be shed.
     pub(crate) fn try_take(&mut self, now: SimTime) -> bool {
@@ -96,6 +109,16 @@ mod tests {
         assert!(bucket.try_take(t1));
         assert!(bucket.try_take(t1));
         assert!(!bucket.try_take(t1));
+    }
+
+    #[test]
+    fn token_gauge_reads_do_not_consume() {
+        let mut bucket = TokenBucket::new(&config(1.0, 2.0));
+        let t0 = SimTime::ZERO;
+        assert_eq!(bucket.tokens_e6(t0), 2_000_000);
+        assert_eq!(bucket.tokens_e6(t0), 2_000_000, "gauge read is idempotent");
+        assert!(bucket.try_take(t0));
+        assert_eq!(bucket.tokens_e6(t0), 1_000_000);
     }
 
     #[test]

@@ -102,6 +102,13 @@ pub struct EngineConfig {
     /// Per-device circuit breakers over probe/action failures. `None` (the
     /// default) never quarantines a device.
     pub breaker: Option<BreakerConfig>,
+    /// Enable the deterministic observability layer (`aorta-obs`): a
+    /// metrics registry of counters, gauges and latency histograms plus
+    /// structured span events, all stamped from the virtual clock.
+    /// Recording is strictly write-only, so enabling it never changes
+    /// engine behavior — but it is off by default so the seed experiments
+    /// stay bit-for-bit unchanged *and* pay no recording cost.
+    pub observability: bool,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +125,7 @@ impl Default for EngineConfig {
             deadline: None,
             admission: None,
             breaker: None,
+            observability: false,
         }
     }
 }
@@ -190,6 +198,12 @@ impl EngineConfig {
         self.breaker = Some(breaker);
         self
     }
+
+    /// Enables the deterministic observability layer, builder style.
+    pub fn with_observability(mut self) -> Self {
+        self.observability = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +235,8 @@ mod tests {
         assert_eq!(c.deadline, None);
         assert_eq!(c.admission, None);
         assert_eq!(c.breaker, None);
+        assert!(!c.observability, "observability must be opt-in");
+        assert!(EngineConfig::default().with_observability().observability);
     }
 
     #[test]

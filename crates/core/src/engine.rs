@@ -1,11 +1,12 @@
 //! The [`Aorta`] facade: SQL entry point, registration, and catalog/device
 //! access. The continuous-execution machinery lives in [`crate::exec`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use aorta_data::Tuple;
 use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
 use aorta_net::{BreakerBank, BreakerState, DeviceRegistry, Prober};
+use aorta_obs::{MetricsRegistry, SharedMetrics};
 use aorta_sim::metrics::DurationStats;
 use aorta_sim::{EventQueue, FaultPlan, LinkModel, SimRng, SimTime, TraceBuffer};
 use aorta_sql::ast::{CreateAction, Select, Statement};
@@ -53,6 +54,10 @@ pub struct Aorta {
     /// Rising-edge state per (query, event-device): true while the event
     /// predicate currently holds, so one physical event fires one request.
     pub(crate) edge: BTreeMap<(u32, i64), bool>,
+    /// (query, conjunct) pairs whose eval error has already been traced, so
+    /// a permanently broken predicate emits one trace event, not one per
+    /// tuple per epoch (the `eval_errors` counter still counts every one).
+    pub(crate) eval_error_reported: BTreeSet<(u32, usize)>,
     pub(crate) raw_stats: RawStats,
     /// Execution trace for debugging and tests (ring buffer).
     pub(crate) trace: TraceBuffer,
@@ -77,6 +82,10 @@ pub struct Aorta {
     /// Individual action-completion latencies, for tail quantiles; the
     /// running mean in `RawStats` is kept for cheap admission predictions.
     pub(crate) latency_samples: DurationStats,
+    /// The deterministic observability registry (`None` unless
+    /// `config.observability` — recording is write-only, so this never
+    /// influences engine behavior).
+    pub(crate) obs: Option<SharedMetrics>,
 }
 
 impl Aorta {
@@ -96,19 +105,28 @@ impl Aorta {
         let engine_rng = rng.fork(0xE16);
         let mut queue = EventQueue::new();
         queue.push(SimTime::ZERO, EngineEvent::Sample);
-        let breakers = config.breaker.clone().map(BreakerBank::new);
+        let obs = config.observability.then(SharedMetrics::new);
+        let mut prober = Prober::new();
+        let mut breakers = config.breaker.clone().map(BreakerBank::new);
+        if let Some(m) = &obs {
+            prober.set_metrics(m.clone());
+            if let Some(bank) = &mut breakers {
+                bank.set_metrics(m.clone());
+            }
+        }
         let admission_bucket = config.admission.as_ref().map(TokenBucket::new);
         Aorta {
             config,
             registry,
             catalog: Catalog::with_builtins(),
             locks: LockManager::new(),
-            prober: Prober::new(),
+            prober,
             rng: engine_rng,
             now: SimTime::ZERO,
             queue,
             operators: BTreeMap::new(),
             edge: BTreeMap::new(),
+            eval_error_reported: BTreeSet::new(),
             raw_stats: RawStats::default(),
             trace: TraceBuffer::with_capacity(4096),
             faults: FaultPlan::new(),
@@ -120,6 +138,7 @@ impl Aorta {
             breakers,
             admission_bucket,
             latency_samples: DurationStats::new(),
+            obs,
         }
     }
 
@@ -180,6 +199,39 @@ impl Aorta {
     /// quantiles — the mean alone hides overload).
     pub fn latency_stats(&self) -> DurationStats {
         self.latency_samples.clone()
+    }
+
+    /// Snapshot of the observability registry with the engine's terminal
+    /// counters synced in, or `None` when `config.observability` is off.
+    ///
+    /// Live events (probes, breaker transitions, admission decisions,
+    /// spans) are recorded as they happen; the aggregate [`crate::EngineStats`]
+    /// counters are folded in here at snapshot time so the two views never
+    /// double-count.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        let obs = self.obs.as_ref()?;
+        let mut snap = obs.snapshot();
+        self.stats().record_into(&mut snap);
+        Some(snap)
+    }
+
+    /// The metrics snapshot rendered as deterministic JSON (`None` when
+    /// observability is off).
+    pub fn metrics_json(&self) -> Option<String> {
+        self.metrics().map(|m| m.to_json())
+    }
+
+    /// The metrics snapshot in the Prometheus text exposition format
+    /// (`None` when observability is off).
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        self.metrics().map(|m| m.to_prometheus())
+    }
+
+    /// Number of rising-edge entries currently tracked (one per live
+    /// (query, event-source) pair). Exposed so soak tests can assert the
+    /// map stays bounded across query register/drop cycles.
+    pub fn rising_edge_entries(&self) -> usize {
+        self.edge.len()
     }
 
     /// The circuit-breaker state for `device`, when breakers are enabled.
@@ -300,8 +352,13 @@ impl Aorta {
                 Ok(ExecOutput::QueryRegistered(id))
             }
             Statement::DropAq(name) => {
-                self.catalog.drop_query(&name)?;
-                self.edge.retain(|_, _| true); // stale edges are harmless
+                let dropped = self.catalog.drop_query(&name)?;
+                // GC the dropped query's rising-edge entries. Query IDs are
+                // never reused, so these keys can never match again; without
+                // eviction the map grows by one generation of entries per
+                // register/drop cycle, forever. Entries for other queries
+                // (including ones on currently-offline devices) must survive.
+                self.edge.retain(|(q, _), _| *q != dropped.query_id);
                 Ok(ExecOutput::QueryDropped)
             }
             Statement::Select(select) => Ok(ExecOutput::Rows(self.run_select(&select)?)),

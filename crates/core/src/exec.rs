@@ -17,6 +17,7 @@ use aorta_device::{
     DeviceId, DeviceKind, PhotoError, PhotoOutcome, PhotoSize, PhysicalStatus, PtzPosition,
 };
 use aorta_net::{BreakerDecision, BreakerState, ScanOperator};
+use aorta_obs::{MetricsRegistry, SpanKind};
 use aorta_sim::{FaultEvent, LinkModel, SimDuration, SimTime};
 
 use crate::actions::{ActionDef, ActionHandler};
@@ -81,6 +82,8 @@ pub(crate) struct RawStats {
     pub expired: u64,
     pub degraded: u64,
     pub late_successes: u64,
+    pub eval_errors: u64,
+    pub idless_skipped: u64,
 }
 
 /// A snapshot of engine statistics.
@@ -160,6 +163,15 @@ pub struct EngineStats {
     pub breaker_trips: u64,
     /// Circuit-breaker probation closes (Half-open → Closed transitions).
     pub breaker_closes: u64,
+    /// Event-predicate evaluations that *errored* (e.g. a type-mismatched
+    /// comparison). An erroring conjunct is treated as not-matched, but the
+    /// error is never silently folded into `false`: each one is counted
+    /// here and the first occurrence per (query, conjunct) is traced.
+    pub eval_errors: u64,
+    /// Scanned event tuples skipped because they carried no usable `id`:
+    /// rising edges are tracked per source device, and folding all id-less
+    /// tuples onto one shared key would let the first mask the rest.
+    pub idless_skipped: u64,
 }
 
 impl EngineStats {
@@ -186,6 +198,64 @@ impl EngineStats {
         } else {
             Some(self.failures() as f64 / self.requests as f64)
         }
+    }
+
+    /// Syncs this aggregate snapshot into a metrics registry under the
+    /// `aorta_engine_` name prefix.
+    ///
+    /// Absolute `counter_set` (not increments) keeps repeated syncs of a
+    /// monotone snapshot from double-counting, and the prefix keeps the
+    /// aggregates apart from the live labeled series the engine records as
+    /// it runs (e.g. `aorta_probe_timeouts{device=…}` versus the aggregate
+    /// `aorta_engine_probe_timeouts`).
+    pub fn record_into(&self, registry: &mut MetricsRegistry) {
+        let counters: &[(&str, u64)] = &[
+            ("aorta_engine_events_detected", self.events_detected),
+            ("aorta_engine_requests", self.requests),
+            ("aorta_engine_executed", self.executed),
+            ("aorta_engine_connect_failures", self.connect_failures),
+            ("aorta_engine_busy_rejections", self.busy_rejections),
+            ("aorta_engine_no_candidate", self.no_candidate),
+            ("aorta_engine_timed_out", self.timed_out),
+            ("aorta_engine_out_of_range", self.out_of_range),
+            ("aorta_engine_action_errors", self.action_errors),
+            ("aorta_engine_photos_ok", self.photos_ok),
+            ("aorta_engine_photos_blurred", self.photos_blurred),
+            ("aorta_engine_photos_wrong", self.photos_wrong),
+            ("aorta_engine_messages_delivered", self.messages_delivered),
+            ("aorta_engine_beeps_delivered", self.beeps_delivered),
+            ("aorta_engine_retries", self.retries),
+            ("aorta_engine_orphaned", self.orphaned),
+            ("aorta_engine_escalated_out", self.escalated_out),
+            ("aorta_engine_escalated_in", self.escalated_in),
+            ("aorta_engine_probes", self.probes),
+            ("aorta_engine_probe_timeouts", self.probe_timeouts),
+            ("aorta_engine_lock_acquisitions", self.lock_acquisitions),
+            ("aorta_engine_lock_conflicts", self.lock_conflicts),
+            ("aorta_engine_shed", self.shed),
+            ("aorta_engine_expired", self.expired),
+            ("aorta_engine_degraded", self.degraded),
+            ("aorta_engine_late_successes", self.late_successes),
+            ("aorta_engine_breaker_trips", self.breaker_trips),
+            ("aorta_engine_breaker_closes", self.breaker_closes),
+            ("aorta_engine_eval_errors", self.eval_errors),
+            ("aorta_engine_idless_skipped", self.idless_skipped),
+        ];
+        for &(name, value) in counters {
+            registry.counter_set(name, &[], value);
+        }
+        if let Some(mean) = self.mean_action_latency {
+            registry.gauge_set(
+                "aorta_engine_mean_action_latency_us",
+                &[],
+                mean.as_micros() as i64,
+            );
+        }
+        registry.gauge_set(
+            "aorta_engine_partial_cost_us",
+            &[],
+            self.partial_cost.as_micros() as i64,
+        );
     }
 }
 
@@ -298,6 +368,8 @@ impl Aorta {
             late_successes: raw.late_successes,
             breaker_trips: self.breakers.as_ref().map_or(0, |b| b.trips()),
             breaker_closes: self.breakers.as_ref().map_or(0, |b| b.closes()),
+            eval_errors: raw.eval_errors,
+            idless_skipped: raw.idless_skipped,
         }
     }
 
@@ -631,25 +703,90 @@ impl Aorta {
     fn detect_events(&mut self, plan: &crate::AqPlan, cache: &BTreeMap<DeviceKind, Vec<Tuple>>) {
         let event_schema = self.registry.schema(plan.event_kind).clone();
         let id_idx = event_schema.index_of("id").expect("catalogs define id");
-        let event_tuples = cache.get(&plan.event_kind).expect("scanned above").clone();
+        // The cache lives in `handle_sample`'s frame, so the scan result is
+        // borrowed rather than cloned per query per epoch.
+        let event_tuples = cache.get(&plan.event_kind).expect("scanned above");
 
-        for tuple in &event_tuples {
+        for tuple in event_tuples {
+            // Rising edges are tracked per source device. A tuple without a
+            // usable id cannot participate: folding every id-less tuple onto
+            // one shared key would let the first one flip the edge and mask
+            // all the others' events. Skip them, counted, never silently.
+            let Some(source) = tuple.get(id_idx).and_then(Value::as_i64) else {
+                self.raw_stats.idless_skipped += 1;
+                if let Some(m) = &self.obs {
+                    let query = plan.query_id.to_string();
+                    m.incr("aorta_idless_skipped", &[("query", query.as_str())], 1);
+                }
+                self.trace.emit(
+                    self.now,
+                    "event",
+                    format!(
+                        "query {}: {} tuple without id skipped",
+                        plan.query_id, plan.event_kind
+                    ),
+                );
+                continue;
+            };
             let matched = {
                 let ctx = EvalContext {
                     registry: &self.registry,
                 };
                 let env = Env::new().bind(&plan.event_binding, &event_schema, tuple);
-                plan.event_conjuncts
-                    .iter()
-                    .all(|c| eval_predicate(c, &env, &ctx).unwrap_or(false))
+                let mut all = true;
+                for (idx, conjunct) in plan.event_conjuncts.iter().enumerate() {
+                    match eval_predicate(conjunct, &env, &ctx) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            all = false;
+                            break;
+                        }
+                        Err(e) => {
+                            // An eval error is not "false": it usually means
+                            // the predicate can *never* be decided (e.g. a
+                            // type-mismatched comparison), and folding it
+                            // into false hides the broken query forever.
+                            // Treat the conjunct as unmatched but count the
+                            // error, and trace the first occurrence per
+                            // (query, conjunct) so the trace is not flooded
+                            // once per tuple per epoch.
+                            self.raw_stats.eval_errors += 1;
+                            if let Some(m) = &self.obs {
+                                let query = plan.query_id.to_string();
+                                let conjunct = idx.to_string();
+                                m.incr(
+                                    "aorta_eval_errors",
+                                    &[("conjunct", conjunct.as_str()), ("query", query.as_str())],
+                                    1,
+                                );
+                            }
+                            if self.eval_error_reported.insert((plan.query_id, idx)) {
+                                self.trace.emit(
+                                    self.now,
+                                    "eval_error",
+                                    format!(
+                                        "query {} conjunct {idx} failed to evaluate: {e}",
+                                        plan.query_id
+                                    ),
+                                );
+                            }
+                            all = false;
+                            break;
+                        }
+                    }
+                }
+                all
             };
-            let source = tuple.get(id_idx).and_then(Value::as_i64).unwrap_or(-1);
             let key = (plan.query_id, source);
             let was = self.edge.insert(key, matched).unwrap_or(false);
             if !matched || was {
                 continue; // not a rising edge
             }
             self.raw_stats.events_detected += 1;
+            if let Some(m) = &self.obs {
+                let query = plan.query_id.to_string();
+                m.incr("aorta_events", &[("query", query.as_str())], 1);
+            }
             self.trace.emit(
                 self.now,
                 "event",
@@ -669,7 +806,25 @@ impl Aorta {
             };
             for call in &plan.actions {
                 self.raw_stats.requests += 1;
-                let degraded = match self.admission_verdict(plan.query_id) {
+                let verdict = self.admission_verdict(plan.query_id);
+                if let Some(m) = &self.obs {
+                    let decision = match verdict {
+                        AdmissionVerdict::Admit => "admit",
+                        AdmissionVerdict::Degrade => "degrade",
+                        AdmissionVerdict::Shed => "shed",
+                    };
+                    m.incr("aorta_admission_decisions", &[("decision", decision)], 1);
+                    if let Some(bucket) = &self.admission_bucket {
+                        // Pure read: the gauge never refills or drains the
+                        // bucket, so observing it cannot perturb admission.
+                        m.gauge_set(
+                            "aorta_admission_tokens_e6",
+                            &[],
+                            bucket.tokens_e6(self.now) as i64,
+                        );
+                    }
+                }
+                let degraded = match verdict {
                     AdmissionVerdict::Shed => {
                         self.raw_stats.shed += 1;
                         self.trace.emit(
@@ -848,6 +1003,7 @@ impl Aorta {
         }
 
         // Phase 1: assignment (LERFA's min workload-plus-cost rule).
+        let batch_size = batch.len();
         let mut lanes: BTreeMap<DeviceId, Vec<(ActionRequest, SimDuration)>> = BTreeMap::new();
         for request in batch {
             let mut best: Option<(SimTime, SimDuration, DeviceId)> = None;
@@ -922,6 +1078,15 @@ impl Aorta {
             lanes.entry(d).or_default().push((request, cost));
         }
 
+        if let Some(m) = &self.obs {
+            m.span(
+                SpanKind::Schedule,
+                self.now,
+                SimDuration::ZERO,
+                &format!("action={action} batch={batch_size} lanes={}", lanes.len()),
+            );
+        }
+
         // Phase 2: per-device SRFE ordering + scheduling of Execute events.
         for (d, mut lane) in lanes {
             let base = if self.config.sync_enabled {
@@ -929,6 +1094,21 @@ impl Aorta {
             } else {
                 self.now
             };
+            // The gap between "now" and the device's lock horizon is time
+            // this lane spends queued behind the lock holder.
+            let lock_wait = base.saturating_duration_since(self.now);
+            if !lock_wait.is_zero() {
+                if let Some(m) = &self.obs {
+                    let device = d.to_string();
+                    m.observe("aorta_lock_wait", &[("device", device.as_str())], lock_wait);
+                    m.span(
+                        SpanKind::LockWait,
+                        self.now,
+                        lock_wait,
+                        &format!("device={d} wait={lock_wait}"),
+                    );
+                }
+            }
             // SRFE: greedy nearest-first chain from the device's probed
             // status (re-estimating after each predicted status change).
             // The MinCost policy ablates this: each device services its
@@ -1159,6 +1339,19 @@ impl Aorta {
         self.raw_stats.latency_total_us += latency.as_micros();
         self.raw_stats.latency_count += 1;
         self.latency_samples.record(latency);
+        if let Some(m) = &self.obs {
+            m.observe(
+                "aorta_action_latency",
+                &[("action", request.action.as_str())],
+                latency,
+            );
+            m.span(
+                SpanKind::Execute,
+                completed_at,
+                latency,
+                &format!("query={} action={}", request.query_id, request.action),
+            );
+        }
         // A success that lands after its deadline is still a success for
         // conservation, but a witness that enforcement let one slip: photo
         // durations are predicted exactly, so this stays zero for them.
@@ -1673,5 +1866,99 @@ mod tests {
         };
         assert_eq!(render(11), render(11));
         assert_ne!(render(11), render(12));
+    }
+
+    /// `s.loc > 500` validates (names and arity are fine) but every
+    /// evaluation errors: `loc` is a Location, not a number. The old code
+    /// folded that error into `false` via `unwrap_or(false)`, so the broken
+    /// query sat silent forever.
+    #[test]
+    fn eval_errors_are_surfaced_not_swallowed() {
+        const TYPE_MISMATCH: &str = r#"CREATE AQ mismatch AS
+            SELECT photo(c.ip, s.loc, "photos/admin")
+            FROM sensor s, camera c
+            WHERE s.loc > 500 AND coverage(c.id, s.loc)"#;
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(21).with_observability(), lab);
+        aorta.execute_sql(TYPE_MISMATCH).unwrap();
+        aorta.run_for(SimDuration::from_secs(5));
+        let stats = aorta.stats();
+        assert!(
+            stats.eval_errors > 0,
+            "type-mismatched predicate must be counted, got {stats:?}"
+        );
+        assert_eq!(
+            stats.events_detected, 0,
+            "an erroring conjunct never matches"
+        );
+        assert!(aorta
+            .trace()
+            .any("eval_error", "conjunct 0 failed to evaluate"));
+        // One structured trace event per (query, conjunct), not per epoch.
+        let traced = aorta
+            .trace()
+            .iter()
+            .filter(|e| e.subsystem == "eval_error")
+            .count();
+        assert_eq!(traced, 1, "eval-error trace must be deduplicated");
+        // The live labeled counter agrees with the aggregate stat.
+        let snap = aorta.metrics().expect("observability is on");
+        assert_eq!(snap.counter_total("aorta_eval_errors"), stats.eval_errors);
+    }
+
+    /// Two simultaneous matches from id-less tuples used to share the one
+    /// `(query, -1)` rising-edge key: the first flipped the edge and the
+    /// second was masked entirely. Now both are skipped — counted, never
+    /// silently merged.
+    #[test]
+    fn idless_tuples_are_skipped_not_folded_onto_one_edge_key() {
+        use aorta_data::{Tuple, Value};
+        use std::collections::BTreeMap;
+
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(22), PervasiveLab::standard());
+        aorta.execute_sql(SNAPSHOT).unwrap();
+        let plan = aorta.catalog.queries().next().unwrap().clone();
+        let schema = aorta.registry.schema(DeviceKind::Sensor).clone();
+        let id_idx = schema.index_of("id").unwrap();
+        let accel_idx = schema.index_of("accel_x").unwrap();
+        let mut values = vec![Value::Null; schema.len()];
+        values[accel_idx] = Value::Int(600); // matches `s.accel_x > 500`
+        assert!(values[id_idx].is_null());
+        let mut cache = BTreeMap::new();
+        cache.insert(
+            DeviceKind::Sensor,
+            vec![Tuple::new(values.clone()), Tuple::new(values)],
+        );
+        aorta.detect_events(&plan, &cache);
+        let stats = aorta.stats();
+        assert_eq!(
+            stats.events_detected, 0,
+            "old behavior fired one event and masked the other behind the shared -1 key"
+        );
+        assert_eq!(stats.idless_skipped, 2, "both skips are accounted for");
+        assert_eq!(
+            aorta.rising_edge_entries(),
+            0,
+            "no shared -1 key is created"
+        );
+    }
+
+    /// Rising-edge state must not outlive its query: before the GC, every
+    /// register/deregister cycle leaked one entry per event source forever.
+    #[test]
+    fn dropping_a_query_garbage_collects_its_rising_edges() {
+        let mut aorta = eventful_engine(23);
+        aorta.run_for(SimDuration::from_secs(5));
+        assert!(
+            aorta.rising_edge_entries() > 0,
+            "sampling tracks an edge per sensor"
+        );
+        aorta.execute_sql("DROP AQ snapshot").unwrap();
+        assert_eq!(
+            aorta.rising_edge_entries(),
+            0,
+            "the dropped query's edges must be collected"
+        );
     }
 }

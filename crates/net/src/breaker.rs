@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 
 use aorta_device::DeviceId;
+use aorta_obs::SharedMetrics;
 use aorta_sim::{SimDuration, SimRng, SimTime};
 
 /// EWMA weight of the most recent probe/action outcome in the health score.
@@ -107,6 +108,7 @@ pub struct BreakerBank {
     breakers: BTreeMap<DeviceId, DeviceBreaker>,
     trips: u64,
     closes: u64,
+    metrics: Option<SharedMetrics>,
 }
 
 impl BreakerBank {
@@ -118,19 +120,46 @@ impl BreakerBank {
         }
     }
 
+    /// Attaches a metrics handle; every subsequent state transition
+    /// (trip, close, probation grant, reject) is recorded as a counter
+    /// labeled by device. Write-only: decisions are unaffected.
+    pub fn set_metrics(&mut self, metrics: SharedMetrics) {
+        self.metrics = Some(metrics);
+    }
+
     /// Admission decision for `device` at `now`. An Open breaker whose
     /// cooldown has elapsed transitions to Half-open here and admits one
     /// probation probe.
     pub fn decide(&mut self, device: DeviceId, now: SimTime) -> BreakerDecision {
         let b = self.breakers.entry(device).or_default();
-        match b.state {
+        let decision = match b.state {
             BreakerState::Closed | BreakerState::HalfOpen => BreakerDecision::Admit,
             BreakerState::Open if now >= b.open_until => {
                 b.state = BreakerState::HalfOpen;
                 BreakerDecision::Probation
             }
             BreakerState::Open => BreakerDecision::Reject,
+        };
+        if let Some(m) = &self.metrics {
+            match decision {
+                BreakerDecision::Probation => {
+                    m.incr(
+                        "aorta_breaker_probations",
+                        &[("device", &device.to_string())],
+                        1,
+                    );
+                }
+                BreakerDecision::Reject => {
+                    m.incr(
+                        "aorta_breaker_rejects",
+                        &[("device", &device.to_string())],
+                        1,
+                    );
+                }
+                BreakerDecision::Admit => {}
+            }
         }
+        decision
     }
 
     /// Records a successful probe or action. Returns `true` when this
@@ -142,6 +171,13 @@ impl BreakerBank {
         if b.state == BreakerState::HalfOpen {
             b.state = BreakerState::Closed;
             self.closes += 1;
+            if let Some(m) = &self.metrics {
+                m.incr(
+                    "aorta_breaker_closes",
+                    &[("device", &device.to_string())],
+                    1,
+                );
+            }
             true
         } else {
             false
@@ -166,6 +202,9 @@ impl BreakerBank {
             b.open_until =
                 now + self.config.cooldown + SimDuration::from_micros(rng.range(0..=jitter));
             self.trips += 1;
+            if let Some(m) = &self.metrics {
+                m.incr("aorta_breaker_trips", &[("device", &device.to_string())], 1);
+            }
         }
         trip
     }
@@ -184,6 +223,9 @@ impl BreakerBank {
         b.health *= 1.0 - HEALTH_ALPHA;
         b.open_until = now + self.config.cooldown + SimDuration::from_micros(rng.range(0..=jitter));
         self.trips += 1;
+        if let Some(m) = &self.metrics {
+            m.incr("aorta_breaker_trips", &[("device", &device.to_string())], 1);
+        }
         true
     }
 

@@ -12,6 +12,7 @@
 //! a selection candidate.
 
 use aorta_device::{DeviceId, PhysicalStatus};
+use aorta_obs::{SharedMetrics, SpanKind};
 use aorta_sim::{SimDuration, SimRng, SimTime};
 
 use crate::channel::{Channel, Exchange};
@@ -164,12 +165,20 @@ pub struct Prober {
     unreachable_failures: u64,
     wire_lost: u64,
     slow_replies: u64,
+    metrics: Option<SharedMetrics>,
 }
 
 impl Prober {
     /// Creates a prober.
     pub fn new() -> Self {
         Prober::default()
+    }
+
+    /// Attaches a metrics handle; every subsequent probe records attempt /
+    /// timeout counters, an RTT histogram, and one `probe` span per logical
+    /// probe. Recording is write-only and never changes probe behavior.
+    pub fn set_metrics(&mut self, metrics: SharedMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Total probe attempts (retries included).
@@ -237,6 +246,7 @@ impl Prober {
         if registry.get(id).is_none() {
             return (ProbeOutcome::Unknown, SimDuration::ZERO);
         }
+        let device_label = id.to_string();
         let policy = registry.retry_policy(id.kind());
         let timeout = registry.probe_timeout(id.kind());
         let channel = Channel::new(registry.link(id.kind()).clone());
@@ -248,11 +258,23 @@ impl Prober {
             if attempt > 1 {
                 self.retries += 1;
             }
+            if let Some(m) = &self.metrics {
+                m.incr("aorta_probe_attempts", &[("device", &device_label)], 1);
+            }
             match attempt_once(registry, id, timeout, &channel, now + elapsed, rng) {
                 Ok((status, rtt)) => {
                     elapsed += rtt;
                     if attempt > 1 {
                         self.recovered_by_retry += 1;
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.observe("aorta_probe_rtt", &[("device", &device_label)], rtt);
+                        m.span(
+                            SpanKind::Probe,
+                            now + elapsed,
+                            elapsed,
+                            &format!("device={device_label} attempts={attempt} outcome=available"),
+                        );
                     }
                     return (ProbeOutcome::Available { status, rtt }, elapsed);
                 }
@@ -270,6 +292,15 @@ impl Prober {
             }
             if attempt >= policy.max_attempts() {
                 self.timeouts += 1;
+                if let Some(m) = &self.metrics {
+                    m.incr("aorta_probe_timeouts", &[("device", &device_label)], 1);
+                    m.span(
+                        SpanKind::Probe,
+                        now + elapsed,
+                        elapsed,
+                        &format!("device={device_label} attempts={attempt} outcome=timeout"),
+                    );
+                }
                 return (ProbeOutcome::TimedOut, elapsed);
             }
             let mut wait = policy.backoff_after(attempt);

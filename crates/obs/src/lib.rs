@@ -1,0 +1,715 @@
+//! # aorta-obs — deterministic observability on the virtual clock
+//!
+//! Metrics and tracing for the Aorta reproduction. Unlike conventional
+//! observability stacks, every timestamp here is a [`SimTime`] read from the
+//! deterministic simulation clock and every latency is a [`SimDuration`]
+//! measured in virtual microseconds, so two runs with the same seed produce
+//! **byte-identical** snapshots — the exporters below are part of the
+//! determinism test surface, not best-effort telemetry.
+//!
+//! The crate provides:
+//!
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket latency
+//!   histograms keyed by `(name, sorted labels)`, stored in `BTreeMap`s so
+//!   iteration (and therefore export) order is stable,
+//! * [`SpanEvent`] / [`SpanKind`] — structured span events for the engine's
+//!   load-bearing stages (`probe`, `lock_wait`, `schedule`, `execute`,
+//!   `gateway_route`), kept in a bounded ring with an explicit drop counter,
+//! * [`SharedMetrics`] — a cheaply clonable handle shared across the engine
+//!   layers (core, net, sched, cluster) that all record into one registry,
+//! * [`MetricsRegistry::to_json`] and [`MetricsRegistry::to_prometheus`] —
+//!   hand-rolled, dependency-free exporters with deterministic formatting.
+//!
+//! Recording is strictly *write-only*: nothing in the engine ever reads a
+//! metric back to make a decision, so enabling observability cannot perturb
+//! control flow, RNG draws, or virtual-time event ordering.
+//!
+//! # Example
+//!
+//! ```
+//! use aorta_obs::{SharedMetrics, SpanKind};
+//! use aorta_sim::{SimDuration, SimTime};
+//!
+//! let metrics = SharedMetrics::new();
+//! metrics.incr("aorta_probe_attempts", &[("device", "camera-3")], 1);
+//! metrics.observe(
+//!     "aorta_probe_rtt",
+//!     &[("device", "camera-3")],
+//!     SimDuration::from_millis(12),
+//! );
+//! metrics.span(
+//!     SpanKind::Probe,
+//!     SimTime::ZERO,
+//!     SimDuration::from_millis(12),
+//!     "device=camera-3",
+//! );
+//! let snap = metrics.snapshot();
+//! assert!(snap.to_prometheus().contains("aorta_probe_attempts"));
+//! assert!(snap.to_json().contains("\"aorta_probe_rtt\""));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use aorta_sim::{SimDuration, SimTime};
+
+/// Fixed histogram bucket upper bounds, in virtual microseconds.
+///
+/// The bounds span 100 µs (intra-epoch bookkeeping) to 30 s (the longest
+/// deadline any experiment configures), with a final implicit `+Inf` bucket.
+/// They are fixed — never derived from observed data — so the exported
+/// bucket layout is identical across runs regardless of workload.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_500_000,
+    5_000_000, 10_000_000, 30_000_000,
+];
+
+/// Maximum number of span events retained in the ring buffer.
+///
+/// Older events are dropped (and counted in `spans_dropped`) once the ring
+/// is full, bounding memory during long soak runs.
+pub const SPAN_RING_CAP: usize = 10_000;
+
+/// The instrumented engine stage a [`SpanEvent`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// A device probe round-trip (attempt, including retries).
+    Probe,
+    /// Virtual time a request spent waiting on a device lock.
+    LockWait,
+    /// One scheduling pass (LERFA phase-1 + SRFE phase-2) over a batch.
+    Schedule,
+    /// One action request executing on a device.
+    Execute,
+    /// A gateway routing decision for an escalated request.
+    GatewayRoute,
+}
+
+impl SpanKind {
+    /// Stable lower-snake-case name used in both export formats.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Probe => "probe",
+            SpanKind::LockWait => "lock_wait",
+            SpanKind::Schedule => "schedule",
+            SpanKind::Execute => "execute",
+            SpanKind::GatewayRoute => "gateway_route",
+        }
+    }
+}
+
+/// One structured span event: a stage, when it happened on the virtual
+/// clock, how long it took in virtual time, and a free-form label
+/// (`query=3 device=camera-1`-style).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Virtual time at which the span completed.
+    pub at: SimTime,
+    /// Which engine stage produced the span.
+    pub kind: SpanKind,
+    /// Virtual duration of the stage.
+    pub duration: SimDuration,
+    /// Space-separated `key=value` context (query, device, shard, …).
+    pub label: String,
+}
+
+/// A fixed-bucket latency histogram over virtual microseconds.
+///
+/// Bucket bounds come from [`LATENCY_BUCKETS_US`] plus an implicit `+Inf`
+/// bucket; counts are cumulative only at export time (stored per-bucket).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    sum_us: u128,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; LATENCY_BUCKETS_US.len() + 1],
+            sum_us: 0,
+            count: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn observe(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[idx] += 1;
+        self.sum_us += us as u128;
+        self.count += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed durations, in virtual microseconds.
+    pub fn sum_us(&self) -> u128 {
+        self.sum_us
+    }
+
+    /// Fold another histogram into this one bucket-by-bucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum_us += other.sum_us;
+        self.count += other.count;
+    }
+
+    fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Series key: metric name plus its sorted label set.
+type SeriesKey = (String, Vec<(String, String)>);
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+/// The deterministic metrics store: counters, gauges, histograms, and a
+/// bounded ring of span events.
+///
+/// All maps are `BTreeMap`s keyed by `(name, sorted labels)`, so iteration
+/// order — and therefore the byte layout of both exporters — is a pure
+/// function of the recorded data.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, i64>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
+    spans: VecDeque<SpanEvent>,
+    span_counts: BTreeMap<String, u64>,
+    spans_dropped: u64,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a counter series by `by`.
+    pub fn incr(&mut self, name: &str, labels: &[(&str, &str)], by: u64) {
+        *self.counters.entry(series_key(name, labels)).or_insert(0) += by;
+    }
+
+    /// Overwrite a counter series with an externally maintained total
+    /// (used to sync engine-side counters into the registry at snapshot
+    /// time without double-counting).
+    pub fn counter_set(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counters.insert(series_key(name, labels), value);
+    }
+
+    /// Set a gauge series to `value`.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.gauges.insert(series_key(name, labels), value);
+    }
+
+    /// Record one duration into a histogram series.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], d: SimDuration) {
+        self.histograms
+            .entry(series_key(name, labels))
+            .or_default()
+            .observe(d);
+    }
+
+    /// Read a counter series back (test/assertion helper — the engine
+    /// itself never reads metrics).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&series_key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum a counter across all label sets sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Record a structured span event. The ring holds at most
+    /// [`SPAN_RING_CAP`] events; overflow evicts the oldest and bumps the
+    /// dropped counter.
+    pub fn span(&mut self, kind: SpanKind, at: SimTime, duration: SimDuration, label: &str) {
+        *self
+            .span_counts
+            .entry(kind.as_str().to_string())
+            .or_insert(0) += 1;
+        if self.spans.len() == SPAN_RING_CAP {
+            self.spans.pop_front();
+            self.spans_dropped += 1;
+        }
+        self.spans.push_back(SpanEvent {
+            at,
+            kind,
+            duration,
+            label: label.to_string(),
+        });
+    }
+
+    /// Number of span events currently retained.
+    pub fn span_len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of span events evicted from the full ring.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
+
+    /// Iterate retained span events, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.spans.iter()
+    }
+
+    /// Fold `other` into `self`, appending one extra `(key, value)` label
+    /// to every series from `other` (used to merge per-shard registries
+    /// into a cluster-wide snapshot under a `shard` label).
+    pub fn merge_labeled(&mut self, other: &MetricsRegistry, key: &str, value: &str) {
+        let relabel = |(name, labels): &SeriesKey| -> SeriesKey {
+            let mut l = labels.clone();
+            l.push((key.to_string(), value.to_string()));
+            l.sort();
+            (name.clone(), l)
+        };
+        for (k, v) in &other.counters {
+            *self.counters.entry(relabel(k)).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(relabel(k), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(relabel(k)).or_default().merge(h);
+        }
+        for (kind, n) in &other.span_counts {
+            *self.span_counts.entry(kind.clone()).or_insert(0) += n;
+        }
+        self.spans_dropped += other.spans_dropped;
+        for ev in &other.spans {
+            if self.spans.len() == SPAN_RING_CAP {
+                self.spans.pop_front();
+                self.spans_dropped += 1;
+            }
+            self.spans.push_back(SpanEvent {
+                at: ev.at,
+                kind: ev.kind,
+                duration: ev.duration,
+                label: format!("{key}={value} {}", ev.label),
+            });
+        }
+    }
+
+    /// Export the full snapshot as deterministic, pretty-stable JSON.
+    ///
+    /// Series appear in `BTreeMap` order; span events appear oldest-first.
+    /// No floating point is emitted — all values are integers in virtual
+    /// microseconds — so formatting is platform-independent.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": [");
+        let mut first = true;
+        for ((name, labels), v) in &self.counters {
+            json_series_open(&mut out, &mut first, name, labels);
+            let _ = write!(out, "\"value\": {v}}}");
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        let mut first = true;
+        for ((name, labels), v) in &self.gauges {
+            json_series_open(&mut out, &mut first, name, labels);
+            let _ = write!(out, "\"value\": {v}}}");
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        let mut first = true;
+        for ((name, labels), h) in &self.histograms {
+            json_series_open(&mut out, &mut first, name, labels);
+            out.push_str("\"buckets\": [");
+            let cum = h.cumulative();
+            for (i, c) in cum.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let le = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let _ = write!(out, "{{\"le\": \"{le}\", \"count\": {c}}}");
+            }
+            let _ = write!(out, "], \"sum_us\": {}, \"count\": {}}}", h.sum_us, h.count);
+        }
+        out.push_str("\n  ],\n  \"spans\": {\n");
+        let _ = writeln!(out, "    \"dropped\": {},", self.spans_dropped);
+        out.push_str("    \"counts\": {");
+        let mut first = true;
+        for (kind, n) in &self.span_counts {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{kind}\": {n}");
+        }
+        out.push_str("},\n    \"events\": [");
+        let mut first = true;
+        for ev in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n      ");
+            let _ = write!(
+                out,
+                "{{\"at_us\": {}, \"kind\": \"{}\", \"duration_us\": {}, \"label\": \"{}\"}}",
+                ev.at.as_micros(),
+                ev.kind.as_str(),
+                ev.duration.as_micros(),
+                json_escape(&ev.label)
+            );
+        }
+        out.push_str("\n    ]\n  }\n}\n");
+        out
+    }
+
+    /// Export counters, gauges and histograms in the Prometheus text
+    /// exposition format (spans are summarized as
+    /// `aorta_span_events_total{kind=…}` counters; full events are only in
+    /// the JSON export).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, labels), v) in &self.counters {
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                last_name = name;
+            }
+            let _ = writeln!(out, "{name}{} {v}", prom_labels(labels, None));
+        }
+        let mut last_name = "";
+        for ((name, labels), v) in &self.gauges {
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                last_name = name;
+            }
+            let _ = writeln!(out, "{name}{} {v}", prom_labels(labels, None));
+        }
+        let mut last_name = "";
+        for ((name, labels), h) in &self.histograms {
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                last_name = name;
+            }
+            let cum = h.cumulative();
+            for (i, c) in cum.iter().enumerate() {
+                let le = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let _ = writeln!(out, "{name}_bucket{} {c}", prom_labels(labels, Some(&le)));
+            }
+            let _ = writeln!(out, "{name}_sum{} {}", prom_labels(labels, None), h.sum_us);
+            let _ = writeln!(out, "{name}_count{} {}", prom_labels(labels, None), h.count);
+        }
+        if !self.span_counts.is_empty() {
+            let _ = writeln!(out, "# TYPE aorta_span_events_total counter");
+            for (kind, n) in &self.span_counts {
+                let _ = writeln!(out, "aorta_span_events_total{{kind=\"{kind}\"}} {n}");
+            }
+        }
+        if self.spans_dropped > 0 {
+            let _ = writeln!(out, "# TYPE aorta_span_events_dropped_total counter");
+            let _ = writeln!(
+                out,
+                "aorta_span_events_dropped_total {}",
+                self.spans_dropped
+            );
+        }
+        out
+    }
+}
+
+fn json_series_open(out: &mut String, first: &mut bool, name: &str, labels: &[(String, String)]) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n    ");
+    let _ = write!(out, "{{\"name\": \"{}\", \"labels\": {{", json_escape(name));
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push_str("}, ");
+}
+
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", prom_escape(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// A cheaply clonable, thread-safe handle to one shared [`MetricsRegistry`].
+///
+/// The engine layers (core, net, sched, cluster) each hold a clone; all
+/// recording funnels into the same registry. Recording is lock-per-call;
+/// because the simulation is single-threaded the mutex is uncontended and
+/// exists only to keep the handle `Send + Sync` for test harnesses.
+#[derive(Clone, Debug, Default)]
+pub struct SharedMetrics(Arc<Mutex<MetricsRegistry>>);
+
+impl SharedMetrics {
+    /// Create a handle over a fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a counter series by `by`.
+    pub fn incr(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        self.0.lock().expect("metrics lock").incr(name, labels, by);
+    }
+
+    /// Overwrite a counter series with an externally maintained total.
+    pub fn counter_set(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.0
+            .lock()
+            .expect("metrics lock")
+            .counter_set(name, labels, value);
+    }
+
+    /// Set a gauge series.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.0
+            .lock()
+            .expect("metrics lock")
+            .gauge_set(name, labels, value);
+    }
+
+    /// Record one duration into a histogram series.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], d: SimDuration) {
+        self.0
+            .lock()
+            .expect("metrics lock")
+            .observe(name, labels, d);
+    }
+
+    /// Record a structured span event.
+    pub fn span(&self, kind: SpanKind, at: SimTime, duration: SimDuration, label: &str) {
+        self.0
+            .lock()
+            .expect("metrics lock")
+            .span(kind, at, duration, label);
+    }
+
+    /// Run `f` with exclusive access to the underlying registry.
+    pub fn with<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.0.lock().expect("metrics lock"))
+    }
+
+    /// Clone the current registry contents out as an owned snapshot.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.0.lock().expect("metrics lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.incr("aorta_probe_attempts", &[("device", "camera-1")], 3);
+        r.incr("aorta_probe_attempts", &[("device", "sensor-2")], 1);
+        r.incr("aorta_probe_timeouts", &[], 1);
+        r.gauge_set("aorta_admission_tokens_e6", &[], 1_500_000);
+        r.observe(
+            "aorta_action_latency",
+            &[("action", "photo")],
+            SimDuration::from_millis(42),
+        );
+        r.observe(
+            "aorta_action_latency",
+            &[("action", "photo")],
+            SimDuration::from_secs(2),
+        );
+        r.span(
+            SpanKind::Execute,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            SimDuration::from_millis(42),
+            "query=1 device=camera-1",
+        );
+        r
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_registry();
+        let b = sample_registry();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut a = MetricsRegistry::new();
+        a.incr("x", &[("a", "1"), ("b", "2")], 1);
+        let mut b = MetricsRegistry::new();
+        b.incr("x", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded() {
+        let mut h = Histogram::default();
+        h.observe(SimDuration::from_micros(50)); // bucket le=100
+        h.observe(SimDuration::from_micros(100)); // still le=100 (inclusive)
+        h.observe(SimDuration::from_secs(60)); // +Inf only
+        let cum = h.cumulative();
+        assert_eq!(cum[0], 2);
+        assert_eq!(*cum.last().unwrap(), 3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 50 + 100 + 60_000_000);
+    }
+
+    #[test]
+    fn span_ring_stays_bounded() {
+        let mut r = MetricsRegistry::new();
+        for i in 0..(SPAN_RING_CAP + 7) {
+            r.span(
+                SpanKind::Probe,
+                SimTime::ZERO + SimDuration::from_micros(i as u64),
+                SimDuration::ZERO,
+                "x",
+            );
+        }
+        assert_eq!(r.span_len(), SPAN_RING_CAP);
+        assert_eq!(r.spans_dropped(), 7);
+        assert_eq!(
+            r.spans().next().unwrap().at,
+            SimTime::ZERO + SimDuration::from_micros(7)
+        );
+    }
+
+    #[test]
+    fn merge_labeled_adds_shard_label() {
+        let shard = sample_registry();
+        let mut total = MetricsRegistry::new();
+        total.merge_labeled(&shard, "shard", "0");
+        total.merge_labeled(&shard, "shard", "1");
+        assert_eq!(
+            total.counter(
+                "aorta_probe_attempts",
+                &[("device", "camera-1"), ("shard", "0")]
+            ),
+            3
+        );
+        assert_eq!(total.counter_total("aorta_probe_attempts"), 8);
+        let prom = total.to_prometheus();
+        assert!(prom.contains("shard=\"1\""));
+        let json = total.to_json();
+        assert!(json.contains("shard=0 query=1 device=camera-1"));
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let prom = sample_registry().to_prometheus();
+        assert!(prom.contains("# TYPE aorta_probe_attempts counter"));
+        assert!(prom.contains("aorta_probe_attempts{device=\"camera-1\"} 3"));
+        assert!(prom.contains("aorta_probe_timeouts 1"));
+        assert!(prom.contains("# TYPE aorta_action_latency histogram"));
+        assert!(prom.contains("aorta_action_latency_bucket{action=\"photo\",le=\"+Inf\"} 2"));
+        assert!(prom.contains("aorta_action_latency_count{action=\"photo\"} 2"));
+        assert!(prom.contains("aorta_span_events_total{kind=\"execute\"} 1"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes() {
+        let mut r = MetricsRegistry::new();
+        r.span(
+            SpanKind::Schedule,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            "say \"hi\"",
+        );
+        assert!(r.to_json().contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn shared_handle_clones_record_into_one_registry() {
+        let m = SharedMetrics::new();
+        let m2 = m.clone();
+        m.incr("c", &[], 1);
+        m2.incr("c", &[], 2);
+        assert_eq!(m.snapshot().counter("c", &[]), 3);
+    }
+}

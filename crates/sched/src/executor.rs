@@ -6,6 +6,7 @@
 //! [`RunResult::total`] is the sum of the two, and Figure 5's breakdown
 //! falls out of the parts.
 
+use aorta_obs::MetricsRegistry;
 use aorta_sim::{CpuModel, OpCounter, SimDuration, SimRng};
 
 use crate::{Algorithm, CostModel, Instance, Plan, COST_ESTIMATE_OPS};
@@ -32,6 +33,24 @@ impl RunResult {
     /// The paper's makespan: scheduling time plus service makespan.
     pub fn total(&self) -> SimDuration {
         self.sched_time + self.service_makespan
+    }
+
+    /// Records this run into a metrics registry: per-algorithm schedule
+    /// time and makespan histograms, a completed-request counter, and one
+    /// per-lane busy-time gauge (virtual µs) for utilization analysis.
+    pub fn record_into(&self, registry: &mut MetricsRegistry) {
+        let alg = [("algorithm", self.algorithm)];
+        registry.observe("aorta_sched_time", &alg, self.sched_time);
+        registry.observe("aorta_sched_service_makespan", &alg, self.service_makespan);
+        registry.incr("aorta_sched_completed", &alg, self.completed as u64);
+        registry.incr("aorta_sched_ops", &alg, self.ops);
+        for (lane, busy) in self.per_device_busy.iter().enumerate() {
+            registry.gauge_set(
+                "aorta_sched_lane_busy_us",
+                &[("algorithm", self.algorithm), ("lane", &lane.to_string())],
+                busy.as_micros() as i64,
+            );
+        }
     }
 }
 
@@ -461,5 +480,32 @@ mod tests {
         );
         assert_eq!(r.sched_time, SimDuration::ZERO);
         assert_eq!(r.total(), r.service_makespan);
+    }
+
+    #[test]
+    fn record_into_emits_per_algorithm_and_per_lane_series() {
+        let (inst, model) = camera_instance(10, 4, 45);
+        let mut rng = SimRng::seed(6);
+        let r = run_algorithm(
+            &Algorithm::LerfaSrfe,
+            &inst,
+            &model,
+            &CpuModel::paper_notebook(),
+            &mut rng,
+        );
+        let mut reg = MetricsRegistry::new();
+        r.record_into(&mut reg);
+        let alg = [("algorithm", r.algorithm)];
+        assert_eq!(reg.counter("aorta_sched_completed", &alg), 10);
+        assert_eq!(reg.counter("aorta_sched_ops", &alg), r.ops);
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("aorta_sched_time_count{algorithm=\"LERFA + SRFE\"} 1"));
+        assert!(
+            prom.contains("lane=\"0\""),
+            "missing per-lane gauge: {prom}"
+        );
+        // Recording twice aggregates, never panics.
+        r.record_into(&mut reg);
+        assert_eq!(reg.counter("aorta_sched_completed", &alg), 20);
     }
 }

@@ -5,6 +5,42 @@ use std::fmt;
 
 use crate::SimDuration;
 
+/// Exact nearest-rank percentile over an already **sorted** slice.
+///
+/// `rank = ceil(q * n)` clamped to `[1, n]`, and the result is
+/// `sorted[rank - 1]` — the standard nearest-rank definition, which unlike
+/// the floor-index shortcut (`sorted[(q * n) as usize]`) never reads past
+/// the end at `q = 1.0` and returns the minimum (not an underflow) at
+/// `q = 0.0`. Returns `None` on an empty slice: callers must handle the
+/// no-samples case explicitly instead of defaulting to a vacuous value.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use aorta_sim::metrics::percentile;
+///
+/// let v = [1, 2, 3, 4];
+/// assert_eq!(percentile(&v, 0.5), Some(2));
+/// assert_eq!(percentile(&v, 0.99), Some(4));
+/// let empty: [i32; 0] = [];
+/// assert_eq!(percentile(&empty, 0.99), None);
+/// ```
+pub fn percentile<T: Copy>(sorted: &[T], q: f64) -> Option<T> {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "percentile must be in [0,1], got {q}"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
 /// A monotonically increasing named counter.
 ///
 /// # Example
@@ -146,8 +182,7 @@ impl DurationStats {
             self.samples.sort_unstable();
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        Some(self.samples[rank - 1])
+        percentile(&self.samples, q)
     }
 
     /// Median (50th percentile).
@@ -324,6 +359,49 @@ mod tests {
         assert_eq!(r.trials(), 10);
         assert_eq!(r.fraction(), Some(0.3));
         assert_eq!(r.to_string(), "3/10 (30.0%)");
+    }
+
+    #[test]
+    fn percentile_known_small_vectors() {
+        // Nearest-rank on [1,2,3,4]: p50 → rank 2 → 2. A floor-index
+        // implementation (v[(0.5 * 4) as usize]) would wrongly give 3.
+        let v = [1u64, 2, 3, 4];
+        assert_eq!(percentile(&v, 0.5), Some(2));
+        assert_eq!(percentile(&v, 0.25), Some(1));
+        assert_eq!(percentile(&v, 0.75), Some(3));
+        // p99 of 4 samples is the max; floor-index would read v[3] too,
+        // but at q=1.0 it would read v[4] and panic.
+        assert_eq!(percentile(&v, 0.99), Some(4));
+        assert_eq!(percentile(&v, 1.0), Some(4));
+        assert_eq!(percentile(&v, 0.0), Some(1));
+        // Single element: every percentile is that element.
+        assert_eq!(percentile(&[7u64], 0.0), Some(7));
+        assert_eq!(percentile(&[7u64], 0.99), Some(7));
+        assert_eq!(percentile(&[7u64], 1.0), Some(7));
+        // Empty: explicit None, never a silent default.
+        let empty: [u64; 0] = [];
+        assert_eq!(percentile(&empty, 0.99), None);
+        // Five elements: p50 → rank ceil(2.5)=3 → median element.
+        assert_eq!(percentile(&[10u64, 20, 30, 40, 50], 0.5), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1u64], -0.1);
+    }
+
+    #[test]
+    fn quantile_delegates_to_percentile() {
+        let mut s: DurationStats = [5u64, 1, 9, 3]
+            .iter()
+            .map(|&x| SimDuration::from_secs(x))
+            .collect();
+        let mut sorted: Vec<SimDuration> = s.iter().copied().collect();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), percentile(&sorted, q), "q={q}");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! * [`net`] — uniform data communication layer,
 //! * [`sql`] — declarative interface (`CREATE ACTION` / `CREATE AQ`),
 //! * [`sched`] — action workload scheduling algorithms,
+//! * [`obs`] — deterministic metrics and span events on the virtual clock,
 //! * [`engine`] — the action-oriented query processing engine,
 //! * [`cluster`] — sharded multi-engine execution with a routing gateway.
 //!
@@ -22,6 +23,7 @@ pub use aorta_core as engine;
 pub use aorta_data as data;
 pub use aorta_device as device;
 pub use aorta_net as net;
+pub use aorta_obs as obs;
 pub use aorta_sched as sched;
 pub use aorta_sim as sim;
 pub use aorta_sql as sql;

@@ -184,6 +184,54 @@ fn overloaded_cluster_runs_are_byte_identical_per_seed() {
     assert_ne!(a.0, c.0, "distinct seeds should diverge");
 }
 
+/// The observability exports themselves are deterministic artifacts: same
+/// seed, byte-identical JSON *and* Prometheus text. Everything in them is
+/// virtual-clock timestamps and integer microseconds, so this holds across
+/// platforms too.
+#[test]
+fn metrics_exports_are_byte_identical_per_seed() {
+    let (json_a, prom_a) = aorta::cluster::metrics_demo(2718);
+    let (json_b, prom_b) = aorta::cluster::metrics_demo(2718);
+    assert!(!json_a.is_empty() && !prom_a.is_empty());
+    assert_eq!(json_a, json_b, "JSON export must replay byte-identically");
+    assert_eq!(
+        prom_a, prom_b,
+        "Prometheus export must replay byte-identically"
+    );
+    let (json_c, _) = aorta::cluster::metrics_demo(2719);
+    assert_ne!(json_a, json_c, "distinct seeds should diverge");
+}
+
+/// Observability is write-only: the same seeded run with recording on and
+/// off must produce identical engine statistics (the recorded registry is
+/// extra output, never an input to any decision).
+#[test]
+fn observability_does_not_perturb_the_engine() {
+    let run = |observability: bool| {
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let mut config = aorta::engine::EngineConfig::seeded(77);
+        if observability {
+            config = config.with_observability();
+        }
+        let mut aorta = aorta::engine::Aorta::with_lab(config, lab);
+        aorta
+            .execute_sql(
+                r#"CREATE AQ obs AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#,
+            )
+            .unwrap();
+        aorta.run_for(SimDuration::from_mins(5));
+        (aorta.stats(), aorta.trace().render())
+    };
+    let on = run(true);
+    let off = run(false);
+    assert!(on.0.requests > 0, "the run must actually do work");
+    assert_eq!(on, off, "recording must never influence behavior");
+}
+
 #[test]
 fn cluster_traces_diverge_across_seeds() {
     let a = run_cluster(99, 2, true);

@@ -76,4 +76,18 @@ fn two_simulated_hours_stay_consistent() {
     // The engine stayed responsive: mean latency bounded.
     let latency = stats.mean_action_latency.expect("work happened");
     assert!(latency < SimDuration::from_secs(20), "{latency}");
+
+    // Rising-edge state is bounded by live (query, source) pairs — it must
+    // not grow with time (2 queries over ≤ 25 devices here, even after two
+    // hours of epochs).
+    assert!(
+        aorta.rising_edge_entries() <= 2 * 25,
+        "edge map leaked: {} entries",
+        aorta.rising_edge_entries()
+    );
+    // ... and deregistration reclaims it: after dropping both queries no
+    // entry survives, so register/drop churn cannot leak either.
+    aorta.execute_sql("DROP AQ watch").unwrap();
+    aorta.execute_sql("DROP AQ alert").unwrap();
+    assert_eq!(aorta.rising_edge_entries(), 0, "drop must GC edge state");
 }
