@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|ablation|metrics]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|ablation|metrics]..."
                 );
                 return;
             }
@@ -67,6 +67,8 @@ fn main() {
             "e7" => e7(runs),
             "e8" => e8(),
             "e9" => e9(),
+            "e10" => e10(true),
+            "e10-smoke" => e10(false),
             "metrics" => metrics(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
@@ -87,6 +89,125 @@ fn metrics() {
     println!("{json}");
     println!();
     println!("{prom}");
+}
+
+/// `repro e10` (full sweep, writes BENCH_detect.json) or `repro e10-smoke`
+/// (the 10³-AQ CI arm, no file). Deliberately *not* part of the default
+/// experiment list: the rows carry wall-clock throughput, which is
+/// machine-dependent — unlike every seed experiment, whose outputs are
+/// deterministic virtual-time quantities.
+fn e10(full: bool) {
+    let report = experiments::e10_detect(0xE10, full);
+    println!(
+        "== E10 (extension): vectorized detection, {}-template palette, {} motes ==",
+        experiments::E10_PALETTE,
+        experiments::E10_MOTES
+    );
+    let mut t = Table::new(vec![
+        "mode".into(),
+        "AQs".into(),
+        "epochs".into(),
+        "register(s)".into(),
+        "detect(s)".into(),
+        "tuples/s".into(),
+        "cmps".into(),
+        "groups".into(),
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.mode.into(),
+            r.queries.to_string(),
+            r.epochs.to_string(),
+            format!("{:.3}", r.register_secs),
+            format!("{:.3}", r.detect_secs),
+            format!("{:.0}", r.tuples_per_sec),
+            r.index_cmps.to_string(),
+            r.index_groups.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "vectorized/scalar speedup at {} AQs: {:.1}x (claim: >= 5x)",
+        report.speedup_queries, report.speedup
+    );
+    if !report.sublinear_ratios.is_empty() {
+        println!(
+            "per-epoch cost growth / query growth between vectorized scales: {} ({})",
+            report
+                .sublinear_ratios
+                .iter()
+                .map(|r| format!("{r:.4}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if report.sublinear_ok {
+                "sub-linear OK"
+            } else {
+                "NOT SUB-LINEAR"
+            },
+        );
+    }
+    println!(
+        "oracle equivalence (stats + trace bytes, both modes): {}\n",
+        if report.oracle_match {
+            "OK"
+        } else {
+            "DIVERGED"
+        },
+    );
+    if full {
+        write_bench_detect_json(&report);
+    }
+    // CI runs the smoke arm: a divergence must fail the process, not just
+    // print DIVERGED.
+    assert!(
+        report.oracle_match,
+        "vectorized detection diverged from the scalar oracle"
+    );
+}
+
+/// Hand-formats `BENCH_detect.json` (the repo has no JSON dependency).
+fn write_bench_detect_json(report: &experiments::E10Report) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"experiment\": \"e10\",\n");
+    body.push_str(&format!(
+        "  \"palette\": {},\n  \"batch_tuples\": {},\n  \"speedup_at_queries\": {},\n  \
+         \"speedup\": {:.2},\n  \"sublinear_ratios\": [{}],\n  \"sublinear_ok\": {},\n  \
+         \"oracle_match\": {},\n",
+        experiments::E10_PALETTE,
+        experiments::E10_MOTES,
+        report.speedup_queries,
+        report.speedup,
+        report
+            .sublinear_ratios
+            .iter()
+            .map(|r| format!("{r:.6}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        report.sublinear_ok,
+        report.oracle_match,
+    ));
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"queries\": {}, \"epochs\": {}, \"register_s\": {:.4}, \
+             \"detect_s\": {:.4}, \"tuples_per_s\": {:.1}, \"index_cmps\": {}, \
+             \"index_groups\": {}}}{}\n",
+            r.mode,
+            r.queries,
+            r.epochs,
+            r.register_secs,
+            r.detect_secs,
+            r.tuples_per_sec,
+            r.index_cmps,
+            r.index_groups,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_detect.json", body) {
+        Ok(()) => println!("(wrote BENCH_detect.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_detect.json: {e}"),
+    }
 }
 
 fn e7(runs: u64) {

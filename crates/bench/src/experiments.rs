@@ -914,6 +914,302 @@ pub fn e9_overload(seed: u64) -> E9Report {
     }
 }
 
+// ---------------------------------------------------------------------------
+// E10 (extension): vectorized event detection with a shared predicate index
+
+/// Number of distinct predicate templates in the E10 palette. Scales of
+/// 10³–10⁶ registered AQs all draw from this fixed palette, so the number of
+/// *distinct* comparisons — what vectorized detection's cost follows — stays
+/// constant while the query count grows three orders of magnitude.
+pub const E10_PALETTE: usize = 256;
+
+/// Motes in the E10 lab (= sensor tuples per scan batch epoch).
+pub const E10_MOTES: usize = 64;
+
+/// One E10 measurement arm: one detection mode at one registered-AQ scale.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// `"scalar"` or `"vectorized"`.
+    pub mode: &'static str,
+    /// Registered AQs.
+    pub queries: u64,
+    /// Detection epochs in the timed window (virtual seconds run).
+    pub epochs: u64,
+    /// Wall-clock seconds to register all AQs (bulk plan path).
+    pub register_secs: f64,
+    /// Wall-clock seconds of the timed detection window.
+    pub detect_secs: f64,
+    /// Detection throughput: scanned sensor tuples per wall-clock second.
+    pub tuples_per_sec: f64,
+    /// Live distinct comparisons in the predicate index after registration.
+    pub index_cmps: u64,
+    /// Live query groups in the predicate index after registration.
+    pub index_groups: u64,
+}
+
+/// The E10 report: throughput rows plus the derived claims.
+#[derive(Debug, Clone)]
+pub struct E10Report {
+    /// One row per (mode, scale) arm.
+    pub rows: Vec<E10Row>,
+    /// Vectorized over scalar tuples/sec at the largest scale both ran.
+    pub speedup: f64,
+    /// The scale `speedup` was computed at.
+    pub speedup_queries: u64,
+    /// Per-epoch wall-cost growth divided by query-count growth for each
+    /// consecutive pair of vectorized scales — 1.0 would be exactly linear
+    /// in the query count, so sub-linear means every ratio is below 1.0.
+    pub sublinear_ratios: Vec<f64>,
+    /// Whether every consecutive vectorized scale pair grew sub-linearly.
+    pub sublinear_ok: bool,
+    /// Whether a mixed firing workload (rising edges, eval errors, fallback
+    /// conjuncts, duplicate predicates) produced equal stats and
+    /// byte-identical traces under both detection modes.
+    pub oracle_match: bool,
+}
+
+/// The palette of E10 predicate templates. All are built never to match any
+/// sensor tuple (thresholds far outside physical ranges), so throughput
+/// measures pure detection, not action dispatch; matching behaviour is
+/// covered by the oracle workload and the differential harness. The mix
+/// covers single comparisons across operators and attributes, short-circuit
+/// two-conjunct chains, heavily shared duplicate comparisons, and
+/// non-indexable fallback conjuncts.
+fn e10_palette() -> Vec<String> {
+    let attrs = ["accel_x", "accel_y", "light", "battery", "temp"];
+    (0..E10_PALETTE)
+        .map(|k| {
+            let attr = attrs[k % attrs.len()];
+            let attr2 = attrs[(k + 2) % attrs.len()];
+            let hi = 1_000_000 + k;
+            match k % 8 {
+                0 | 1 => format!("s.{attr} > {hi}"),
+                2 | 3 => format!("s.{attr} >= {hi}"),
+                4 => format!("s.{attr} = {}", hi + 1_000_000),
+                5 => format!("s.{attr} > {hi} AND s.{attr2} >= {}", hi + 2_000_000),
+                // Motes report depth >= 1 and temp ~22 °C: indexable `<`
+                // comparisons that never match, shared by many queries.
+                6 => {
+                    if k % 16 == 6 {
+                        "s.depth < 1".to_string()
+                    } else {
+                        "s.temp <= 0".to_string()
+                    }
+                }
+                // distance(x, x) = 0: a guaranteed-false call conjunct that
+                // cannot be indexed — exercises the per-group fallback path.
+                _ => format!("distance(s.loc, s.loc) >= 1.5 AND s.{attr} > {hi}"),
+            }
+        })
+        .collect()
+}
+
+/// Parses and plans one `beep`-on-sensor AQ per palette predicate. The
+/// caller clones a template per registered query and renames it; planning
+/// happens once per *distinct* predicate, mirroring a real deployment where
+/// many users register the same alert shapes.
+fn e10_templates(preds: &[String]) -> Vec<aorta_core::AqPlan> {
+    use aorta_sql::ast::Statement;
+    let catalog = aorta_core::Catalog::with_builtins();
+    preds
+        .iter()
+        .map(|pred| {
+            let sql = format!("SELECT beep(t.id) FROM sensor t, sensor s WHERE {pred}");
+            let stmts = aorta_sql::parse(&sql).expect("palette SQL parses");
+            let Statement::Select(select) = stmts.into_iter().next().expect("one statement") else {
+                panic!("palette statements are SELECTs");
+            };
+            aorta_core::AqPlan::plan("template", &select, &catalog).expect("palette plans")
+        })
+        .collect()
+}
+
+/// Runs one E10 arm and measures registration and detection wall cost.
+fn e10_run(
+    seed: u64,
+    vectorized: bool,
+    queries: u64,
+    epochs: u64,
+    templates: &[aorta_core::AqPlan],
+) -> E10Row {
+    use aorta_core::{Aorta, EngineConfig};
+    use aorta_device::PervasiveLab;
+    use aorta_sim::SimDuration;
+    use std::time::Instant;
+
+    let lab = PervasiveLab::with_sizes(2, E10_MOTES, 1);
+    let config = if vectorized {
+        EngineConfig::seeded(seed)
+    } else {
+        EngineConfig::seeded(seed).with_scalar_detect()
+    };
+    let mut aorta = Aorta::with_lab(config, lab);
+    aorta.disable_trace();
+    let t0 = Instant::now();
+    for i in 0..queries {
+        let mut plan = templates[(i % templates.len() as u64) as usize].clone();
+        plan.name = format!("aq{i:07}");
+        aorta
+            .register_query_plan(plan)
+            .expect("bench plans register");
+    }
+    let register_secs = t0.elapsed().as_secs_f64();
+    // One untimed warm-up epoch fills lazy caches (scan-kind list).
+    aorta.run_for(SimDuration::from_secs(1));
+    let t0 = Instant::now();
+    aorta.run_for(SimDuration::from_secs(epochs));
+    let detect_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    E10Row {
+        mode: if vectorized { "vectorized" } else { "scalar" },
+        queries,
+        epochs,
+        register_secs,
+        detect_secs,
+        tuples_per_sec: (epochs * E10_MOTES as u64) as f64 / detect_secs,
+        index_cmps: aorta.predicate_index().cmp_count() as u64,
+        index_groups: aorta.predicate_index().group_count() as u64,
+    }
+}
+
+/// The E10 oracle workload: firing predicates, duplicates (group sharing),
+/// a permanent eval-error predicate, non-indexable fallback conjuncts, and
+/// never-matching thresholds — everything that distinguishes the two
+/// detection paths observably.
+fn e10_oracle_templates() -> Vec<aorta_core::AqPlan> {
+    let preds: Vec<String> = [
+        "s.accel_x > 450",
+        "s.accel_x >= 500",
+        "s.accel_x > 500",
+        "s.accel_x > 500 AND s.temp > 0",
+        "distance(s.loc, s.loc) < 1.0 AND s.accel_x > 480",
+        "s.loc > 500",
+        "s.temp > 1000",
+        "s.accel_x <> 0",
+        "s.battery >= 0 AND s.accel_x > 520",
+        "s.light >= 0 AND s.light <= 100000 AND s.accel_x > 460",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    e10_templates(&preds)
+}
+
+/// Runs the oracle workload under both detection modes with identical seeds
+/// and compares every observable: stats and trace bytes.
+fn e10_oracle_match(seed: u64) -> bool {
+    use aorta_core::{Aorta, EngineConfig};
+    use aorta_device::PervasiveLab;
+    use aorta_sim::SimDuration;
+
+    let templates = e10_oracle_templates();
+    let run = |vectorized: bool| {
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::from_secs(2));
+        let config = if vectorized {
+            EngineConfig::seeded(seed)
+        } else {
+            EngineConfig::seeded(seed).with_scalar_detect()
+        };
+        let mut aorta = Aorta::with_lab(config, lab);
+        // Three copies of each template so groups have several members.
+        for copy in 0..3 {
+            for (i, t) in templates.iter().enumerate() {
+                let mut plan = t.clone();
+                plan.name = format!("oq{copy}_{i:02}");
+                aorta.register_query_plan(plan).expect("oracle plans");
+            }
+        }
+        aorta.run_for(SimDuration::from_mins(5));
+        (aorta.stats(), aorta.trace().render())
+    };
+    let (vec_stats, vec_trace) = run(true);
+    let (sca_stats, sca_trace) = run(false);
+    vec_stats == sca_stats && vec_trace == sca_trace
+}
+
+/// **E10** — vectorized detection throughput and scaling. `full` runs the
+/// committed 10³ → 10⁵ → 10⁶ sweep; otherwise only the 10³ smoke arms run
+/// (the CI configuration). The scalar oracle is measured at every scale up
+/// to 10⁵ — at 10⁶ its per-query scan loop is impractically slow, which is
+/// the point of the experiment.
+pub fn e10_detect(seed: u64, full: bool) -> E10Report {
+    let templates = e10_templates(&e10_palette());
+    let (vec_scales, scalar_scales): (&[u64], &[u64]) = if full {
+        (&[1_000, 100_000, 1_000_000], &[1_000, 100_000])
+    } else {
+        (&[1_000], &[1_000])
+    };
+    let mut rows = Vec::new();
+    for &q in scalar_scales {
+        // The scalar loop's epoch cost is linear in the query count; keep
+        // large-scale arms short and normalise per epoch.
+        let epochs = if q >= 100_000 { 5 } else { 30 };
+        rows.push(e10_run(seed, false, q, epochs, &templates));
+    }
+    for &q in vec_scales {
+        rows.push(e10_run(seed, true, q, 30, &templates));
+    }
+    let common = scalar_scales.iter().copied().max().unwrap_or(0);
+    let tps = |mode: &str, q: u64| {
+        rows.iter()
+            .find(|r| r.mode == mode && r.queries == q)
+            .map(|r| r.tuples_per_sec)
+            .unwrap_or(0.0)
+    };
+    let scalar_tps = tps("scalar", common);
+    let speedup = if scalar_tps > 0.0 {
+        tps("vectorized", common) / scalar_tps
+    } else {
+        0.0
+    };
+    let vec_rows: Vec<&E10Row> = vec_scales
+        .iter()
+        .map(|q| {
+            rows.iter()
+                .find(|r| r.mode == "vectorized" && r.queries == *q)
+                .expect("every vectorized scale ran")
+        })
+        .collect();
+    let sublinear_ratios: Vec<f64> = vec_rows
+        .windows(2)
+        .map(|w| {
+            let per_epoch_a = w[0].detect_secs / w[0].epochs as f64;
+            let per_epoch_b = w[1].detect_secs / w[1].epochs as f64;
+            (per_epoch_b / per_epoch_a) / (w[1].queries as f64 / w[0].queries as f64)
+        })
+        .collect();
+    let sublinear_ok = sublinear_ratios.iter().all(|r| *r < 1.0);
+    E10Report {
+        rows,
+        speedup,
+        speedup_queries: common,
+        sublinear_ratios,
+        sublinear_ok,
+        oracle_match: e10_oracle_match(seed ^ 0xE10),
+    }
+}
+
+#[cfg(test)]
+mod detect_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn e10_smoke_oracle_matches_and_index_shares() {
+        let report = e10_detect(0xE10, false);
+        assert!(report.oracle_match, "detection modes diverged: {report:?}");
+        let vec_row = report
+            .rows
+            .iter()
+            .find(|r| r.mode == "vectorized")
+            .expect("vectorized arm ran");
+        // 1000 AQs drawn from a 256-template palette: the index must hold
+        // at most one group per template and strictly fewer distinct
+        // comparisons than registered queries.
+        assert!(vec_row.index_groups <= E10_PALETTE as u64, "{vec_row:?}");
+        assert!(vec_row.index_cmps < vec_row.queries, "{vec_row:?}");
+    }
+}
+
 #[cfg(test)]
 mod overload_experiment_tests {
     use super::*;

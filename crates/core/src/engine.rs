@@ -17,6 +17,7 @@ use crate::catalog::Catalog;
 use crate::exec::{EngineEvent, RawStats};
 use crate::expr::{eval_expr, eval_predicate, Env, EvalContext};
 use crate::lock::LockManager;
+use crate::pindex::PredicateIndex;
 use crate::plan::AqPlan;
 use crate::shared::SharedActionOperator;
 use crate::{EngineConfig, EngineError};
@@ -58,6 +59,17 @@ pub struct Aorta {
     /// a permanently broken predicate emits one trace event, not one per
     /// tuple per epoch (the `eval_errors` counter still counts every one).
     pub(crate) eval_error_reported: BTreeSet<(u32, usize)>,
+    /// The shared predicate index driving vectorized detection: interned
+    /// distinct comparisons, attribute lanes, and query groups with their
+    /// shared rising-edge state. Kept in lockstep with the catalog on
+    /// `CREATE AQ` / `DROP AQ` regardless of the detection mode, so mode is
+    /// purely a per-epoch execution choice.
+    pub(crate) pindex: PredicateIndex,
+    /// Cached scan-kind order for the sampling epoch (first appearance over
+    /// plans in catalog name order, event kind before device kind), so the
+    /// steady-state epoch does not re-walk a large catalog. `None` = stale;
+    /// invalidated on register/drop and rebuilt lazily by `handle_sample`.
+    pub(crate) scan_kinds: Option<Vec<DeviceKind>>,
     pub(crate) raw_stats: RawStats,
     /// Execution trace for debugging and tests (ring buffer).
     pub(crate) trace: TraceBuffer,
@@ -127,6 +139,8 @@ impl Aorta {
             operators: BTreeMap::new(),
             edge: BTreeMap::new(),
             eval_error_reported: BTreeSet::new(),
+            pindex: PredicateIndex::new(),
+            scan_kinds: None,
             raw_stats: RawStats::default(),
             trace: TraceBuffer::with_capacity(4096),
             faults: FaultPlan::new(),
@@ -227,11 +241,19 @@ impl Aorta {
         self.metrics().map(|m| m.to_prometheus())
     }
 
-    /// Number of rising-edge entries currently tracked (one per live
-    /// (query, event-source) pair). Exposed so soak tests can assert the
-    /// map stays bounded across query register/drop cycles.
+    /// Number of rising-edge entries currently tracked, in per-query units
+    /// (one per live (query, event-source) pair). The vectorized path
+    /// stores one edge map per *query group* and fans it out to members;
+    /// this reports the per-query equivalent so soak tests can assert the
+    /// state stays bounded across register/drop cycles in either mode.
     pub fn rising_edge_entries(&self) -> usize {
-        self.edge.len()
+        self.edge.len() + self.pindex.edge_entries()
+    }
+
+    /// The shared predicate index (introspection: distinct comparison and
+    /// query-group counts, used by tests and benchmarks to assert sharing).
+    pub fn predicate_index(&self) -> &PredicateIndex {
+        &self.pindex
     }
 
     /// The circuit-breaker state for `device`, when breakers are enabled.
@@ -345,20 +367,11 @@ impl Aorta {
             }
             Statement::CreateAq(aq) => {
                 let plan = AqPlan::plan(&aq.name, &aq.select, &self.catalog)?;
-                for a in &plan.actions {
-                    self.operators.entry(a.action.clone()).or_default();
-                }
-                let id = self.catalog.register_query(plan)?;
+                let id = self.register_query_plan(plan)?;
                 Ok(ExecOutput::QueryRegistered(id))
             }
             Statement::DropAq(name) => {
-                let dropped = self.catalog.drop_query(&name)?;
-                // GC the dropped query's rising-edge entries. Query IDs are
-                // never reused, so these keys can never match again; without
-                // eviction the map grows by one generation of entries per
-                // register/drop cycle, forever. Entries for other queries
-                // (including ones on currently-offline devices) must survive.
-                self.edge.retain(|(q, _), _| *q != dropped.query_id);
+                self.deregister_query(&name)?;
                 Ok(ExecOutput::QueryDropped)
             }
             Statement::Select(select) => Ok(ExecOutput::Rows(self.run_select(&select)?)),
@@ -377,6 +390,51 @@ impl Aorta {
                 other => Ok(ExecOutput::Plan(other.to_string())),
             },
         }
+    }
+
+    /// Registers an already-planned continuous query directly, bypassing
+    /// SQL parsing and statement validation — the bulk-registration path
+    /// for workloads that stand up 10⁵–10⁶ AQs (the E10 benchmark, churn
+    /// soak tests), where re-validating device catalogs per statement would
+    /// dominate. The plan's conjuncts are interned into the shared
+    /// predicate index exactly as `CREATE AQ` would.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when a query with the same name is already
+    /// registered.
+    pub fn register_query_plan(&mut self, plan: AqPlan) -> Result<u32, EngineError> {
+        for a in &plan.actions {
+            self.operators.entry(a.action.clone()).or_default();
+        }
+        let name = plan.name.clone();
+        let id = self.catalog.register_query(plan)?;
+        let registered = self.catalog.query(&name).expect("just registered");
+        let schema = self.registry.schema(registered.event_kind);
+        self.pindex.register(registered, schema);
+        self.scan_kinds = None;
+        Ok(id)
+    }
+
+    /// Drops a registered continuous query by name, releasing its
+    /// predicate-index entries and rising-edge state — the direct
+    /// counterpart of [`Aorta::register_query_plan`] (and the
+    /// implementation behind `DROP AQ`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when no query with that name is registered.
+    pub fn deregister_query(&mut self, name: &str) -> Result<(), EngineError> {
+        let dropped = self.catalog.drop_query(name)?;
+        // GC the dropped query's rising-edge entries. Query IDs are
+        // never reused, so these keys can never match again; without
+        // eviction the map grows by one generation of entries per
+        // register/drop cycle, forever. Entries for other queries
+        // (including ones on currently-offline devices) must survive.
+        self.edge.retain(|(q, _), _| *q != dropped.query_id);
+        self.pindex.unregister(&dropped);
+        self.scan_kinds = None;
+        Ok(())
     }
 
     fn create_action(&mut self, ca: CreateAction) -> Result<(), EngineError> {

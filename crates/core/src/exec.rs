@@ -10,19 +10,20 @@
 //! lock devices for the assigned window (§4), and execute on the simulated
 //! hardware.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use aorta_data::{Tuple, Value};
 use aorta_device::{
     DeviceId, DeviceKind, PhotoError, PhotoOutcome, PhotoSize, PhysicalStatus, PtzPosition,
 };
 use aorta_net::{BreakerDecision, BreakerState, ScanOperator};
-use aorta_obs::{MetricsRegistry, SpanKind};
+use aorta_obs::{detect_metrics, MetricsRegistry, SpanKind};
 use aorta_sim::{FaultEvent, LinkModel, SimDuration, SimTime};
 
 use crate::actions::{ActionDef, ActionHandler};
 use crate::cost::{estimate_action_cost, CostContext};
 use crate::expr::{eval_expr, eval_predicate, Env, EvalContext};
+use crate::pindex::{GroupEpoch, TupleOutcome};
 use crate::shared::ActionRequest;
 use crate::{Aorta, DispatchPolicy};
 
@@ -675,27 +676,51 @@ impl Aorta {
         self.queue
             .push(self.now + self.config.sample_period, EngineEvent::Sample);
 
-        let plans: Vec<crate::AqPlan> = self.catalog.queries().cloned().collect();
-        if plans.is_empty() {
+        if self.catalog.query_count() == 0 {
             return;
         }
 
-        // One scan per device kind per epoch, shared by all queries.
-        let mut cache: BTreeMap<DeviceKind, Vec<Tuple>> = BTreeMap::new();
-        for plan in &plans {
-            cache.entry(plan.event_kind).or_insert_with(|| {
-                ScanOperator::new(plan.event_kind).run(&mut self.registry, self.now, &mut self.rng)
-            });
-            if let Some(d) = &plan.device {
-                let kind = d.kind;
-                cache.entry(kind).or_insert_with(|| {
-                    ScanOperator::new(kind).run(&mut self.registry, self.now, &mut self.rng)
-                });
+        // One scan per device kind per epoch, shared by all queries. The
+        // kind list is collected in catalog name order — event kind before
+        // device kind per plan, first appearance wins — so the scans (and
+        // therefore the RNG draws they consume) happen in exactly the order
+        // the original per-plan loop produced. The list is cached between
+        // register/drop operations so the steady-state epoch never re-walks
+        // the catalog — with 10⁶ registered AQs that walk would dominate the
+        // epoch and break the sub-linear-cost property.
+        let kinds = match &self.scan_kinds {
+            Some(kinds) => kinds.clone(),
+            None => {
+                let mut kinds: Vec<DeviceKind> = Vec::new();
+                for plan in self.catalog.queries() {
+                    if !kinds.contains(&plan.event_kind) {
+                        kinds.push(plan.event_kind);
+                    }
+                    if let Some(d) = &plan.device {
+                        if !kinds.contains(&d.kind) {
+                            kinds.push(d.kind);
+                        }
+                    }
+                }
+                self.scan_kinds = Some(kinds.clone());
+                kinds
             }
+        };
+        let mut cache: BTreeMap<DeviceKind, Vec<Tuple>> = BTreeMap::new();
+        for kind in kinds {
+            cache.insert(
+                kind,
+                ScanOperator::new(kind).run(&mut self.registry, self.now, &mut self.rng),
+            );
         }
 
-        for plan in &plans {
-            self.detect_events(plan, &cache);
+        if self.config.vectorized_detect {
+            self.detect_vectorized(&cache);
+        } else {
+            let plans: Vec<crate::AqPlan> = self.catalog.queries().cloned().collect();
+            for plan in &plans {
+                self.detect_events(plan, &cache);
+            }
         }
         self.dispatch_pending();
     }
@@ -713,19 +738,7 @@ impl Aorta {
             // one shared key would let the first one flip the edge and mask
             // all the others' events. Skip them, counted, never silently.
             let Some(source) = tuple.get(id_idx).and_then(Value::as_i64) else {
-                self.raw_stats.idless_skipped += 1;
-                if let Some(m) = &self.obs {
-                    let query = plan.query_id.to_string();
-                    m.incr("aorta_idless_skipped", &[("query", query.as_str())], 1);
-                }
-                self.trace.emit(
-                    self.now,
-                    "event",
-                    format!(
-                        "query {}: {} tuple without id skipped",
-                        plan.query_id, plan.event_kind
-                    ),
-                );
+                self.note_idless(plan);
                 continue;
             };
             let matched = {
@@ -750,17 +763,7 @@ impl Aorta {
                             // error, and trace the first occurrence per
                             // (query, conjunct) so the trace is not flooded
                             // once per tuple per epoch.
-                            self.raw_stats.eval_errors += 1;
-                            if let Some(m) = &self.obs {
-                                let query = plan.query_id.to_string();
-                                let conjunct = idx.to_string();
-                                m.incr(
-                                    "aorta_eval_errors",
-                                    &[("conjunct", conjunct.as_str()), ("query", query.as_str())],
-                                    1,
-                                );
-                            }
-                            if self.eval_error_reported.insert((plan.query_id, idx)) {
+                            if self.record_eval_error(plan, idx) {
                                 self.trace.emit(
                                     self.now,
                                     "eval_error",
@@ -782,89 +785,290 @@ impl Aorta {
             if !matched || was {
                 continue; // not a rising edge
             }
-            self.raw_stats.events_detected += 1;
-            if let Some(m) = &self.obs {
-                let query = plan.query_id.to_string();
-                m.incr("aorta_events", &[("query", query.as_str())], 1);
-            }
-            self.trace.emit(
-                self.now,
-                "event",
-                format!(
-                    "query {} fired on {} {}",
-                    plan.query_id, plan.event_kind, source
-                ),
-            );
+            self.fire_event(plan, tuple, cache);
+        }
+    }
 
-            // Candidate filtering per event.
-            let candidates = self.candidates_for(plan, tuple, cache);
-            // The deadline derives from the AQ's trigger cadence: a periodic
-            // detection is stale once the next period's event supersedes it.
-            let deadline = match self.config.deadline {
-                Some(budget) => self.now + budget,
-                None => SimTime::MAX,
-            };
-            for call in &plan.actions {
-                self.raw_stats.requests += 1;
-                let verdict = self.admission_verdict(plan.query_id);
-                if let Some(m) = &self.obs {
-                    let decision = match verdict {
-                        AdmissionVerdict::Admit => "admit",
-                        AdmissionVerdict::Degrade => "degrade",
-                        AdmissionVerdict::Shed => "shed",
-                    };
-                    m.incr("aorta_admission_decisions", &[("decision", decision)], 1);
-                    if let Some(bucket) = &self.admission_bucket {
-                        // Pure read: the gauge never refills or drains the
-                        // bucket, so observing it cannot perturb admission.
-                        m.gauge_set(
-                            "aorta_admission_tokens_e6",
-                            &[],
-                            bucket.tokens_e6(self.now) as i64,
-                        );
-                    }
+    /// Shared idless-tuple bookkeeping: counter, obs metric, trace line.
+    /// Called per (plan, tuple) by both detection paths so the side effects
+    /// stay literally the same code.
+    fn note_idless(&mut self, plan: &crate::AqPlan) {
+        self.raw_stats.idless_skipped += 1;
+        if let Some(m) = &self.obs {
+            let query = plan.query_id.to_string();
+            m.incr("aorta_idless_skipped", &[("query", query.as_str())], 1);
+        }
+        self.trace.emit(
+            self.now,
+            "event",
+            format!(
+                "query {}: {} tuple without id skipped",
+                plan.query_id, plan.event_kind
+            ),
+        );
+    }
+
+    /// Shared eval-error bookkeeping: counter and obs metric, then returns
+    /// whether this is the first error for `(query, conjunct)` — the caller
+    /// owns the trace line because only it has the error value (the scalar
+    /// path has it in hand; the vectorized path re-evaluates lazily).
+    fn record_eval_error(&mut self, plan: &crate::AqPlan, idx: usize) -> bool {
+        self.raw_stats.eval_errors += 1;
+        if let Some(m) = &self.obs {
+            let query = plan.query_id.to_string();
+            let conjunct = idx.to_string();
+            m.incr(
+                "aorta_eval_errors",
+                &[("conjunct", conjunct.as_str()), ("query", query.as_str())],
+                1,
+            );
+        }
+        self.eval_error_reported.insert((plan.query_id, idx))
+    }
+
+    /// Shared rising-edge firing path: event counters and trace, candidate
+    /// filtering, admission verdicts, and one `ActionRequest` per action
+    /// call — everything downstream of "this tuple is a rising edge".
+    fn fire_event(
+        &mut self,
+        plan: &crate::AqPlan,
+        tuple: &Tuple,
+        cache: &BTreeMap<DeviceKind, Vec<Tuple>>,
+    ) {
+        let id_idx = self
+            .registry
+            .schema(plan.event_kind)
+            .index_of("id")
+            .expect("catalogs define id");
+        let source = tuple
+            .get(id_idx)
+            .and_then(Value::as_i64)
+            .expect("fire_event only sees tuples with an id");
+        self.raw_stats.events_detected += 1;
+        if let Some(m) = &self.obs {
+            let query = plan.query_id.to_string();
+            m.incr("aorta_events", &[("query", query.as_str())], 1);
+        }
+        self.trace.emit(
+            self.now,
+            "event",
+            format!(
+                "query {} fired on {} {}",
+                plan.query_id, plan.event_kind, source
+            ),
+        );
+
+        // Candidate filtering per event.
+        let candidates = self.candidates_for(plan, tuple, cache);
+        // The deadline derives from the AQ's trigger cadence: a periodic
+        // detection is stale once the next period's event supersedes it.
+        let deadline = match self.config.deadline {
+            Some(budget) => self.now + budget,
+            None => SimTime::MAX,
+        };
+        for call in &plan.actions {
+            self.raw_stats.requests += 1;
+            let verdict = self.admission_verdict(plan.query_id);
+            if let Some(m) = &self.obs {
+                let decision = match verdict {
+                    AdmissionVerdict::Admit => "admit",
+                    AdmissionVerdict::Degrade => "degrade",
+                    AdmissionVerdict::Shed => "shed",
+                };
+                m.incr("aorta_admission_decisions", &[("decision", decision)], 1);
+                if let Some(bucket) = &self.admission_bucket {
+                    // Pure read: the gauge never refills or drains the
+                    // bucket, so observing it cannot perturb admission.
+                    m.gauge_set(
+                        "aorta_admission_tokens_e6",
+                        &[],
+                        bucket.tokens_e6(self.now) as i64,
+                    );
                 }
-                let degraded = match verdict {
-                    AdmissionVerdict::Shed => {
-                        self.raw_stats.shed += 1;
-                        self.trace.emit(
-                            self.now,
-                            "admission",
-                            format!("query {}: request shed at admission", plan.query_id),
-                        );
-                        continue;
+            }
+            let degraded = match verdict {
+                AdmissionVerdict::Shed => {
+                    self.raw_stats.shed += 1;
+                    self.trace.emit(
+                        self.now,
+                        "admission",
+                        format!("query {}: request shed at admission", plan.query_id),
+                    );
+                    continue;
+                }
+                AdmissionVerdict::Degrade => {
+                    self.trace.emit(
+                        self.now,
+                        "admission",
+                        format!("query {}: admitted degraded (brownout)", plan.query_id),
+                    );
+                    true
+                }
+                AdmissionVerdict::Admit => false,
+            };
+            let request = ActionRequest {
+                query_id: plan.query_id,
+                action: call.action.clone(),
+                event_tuple: tuple.clone().tagged(plan.query_id),
+                event_binding: plan.event_binding.clone(),
+                event_kind: plan.event_kind,
+                device_binding: plan.device.as_ref().map(|d| (d.binding.clone(), d.kind)),
+                args: call.args.clone(),
+                candidates: candidates.clone(),
+                created_at: self.now,
+                deadline,
+                degraded,
+                attempts: 0,
+                hops: 0,
+            };
+            self.operators
+                .entry(call.action.clone())
+                .or_default()
+                .push(request);
+        }
+    }
+
+    /// Vectorized detection (the default path): one batch phase over the
+    /// shared [`crate::PredicateIndex`], a per-plan replay of side effects
+    /// for the few *affected* plans, and a commit of the shared edge state.
+    ///
+    /// The replay reproduces the scalar loop's observable behaviour byte for
+    /// byte — same counters, same trace lines in the same order, same
+    /// requests — because affected plans are visited in catalog name order
+    /// (the scalar iteration order) and each replay walks the batch
+    /// tuple-by-tuple exactly as the scalar loop would have.
+    fn detect_vectorized(&mut self, cache: &BTreeMap<DeviceKind, Vec<Tuple>>) {
+        let outcomes = {
+            let ctx = EvalContext {
+                registry: &self.registry,
+            };
+            self.pindex.plan_epoch(cache, &ctx)
+        };
+        if let Some(m) = &self.obs {
+            m.incr(detect_metrics::INDEXED_EVALS, &[], outcomes.tally.indexed);
+            m.incr(detect_metrics::FALLBACK_EVALS, &[], outcomes.tally.fallback);
+            m.incr(detect_metrics::CONJUNCT_EVALS, &[], outcomes.tally.total);
+            for (kind, tuples) in cache {
+                let kind = kind.to_string();
+                m.incr(
+                    detect_metrics::BATCH_TUPLES,
+                    &[("kind", kind.as_str())],
+                    tuples.len() as u64,
+                );
+            }
+            m.gauge_set(
+                detect_metrics::INDEX_CMPS,
+                &[],
+                self.pindex.cmp_count() as i64,
+            );
+            m.gauge_set(
+                detect_metrics::INDEX_GROUPS,
+                &[],
+                self.pindex.group_count() as i64,
+            );
+        }
+        for (name, qid) in &outcomes.affected {
+            // The plan clone is per *affected* plan, not per registered plan:
+            // in the steady state (no edges, no errors) an epoch clones
+            // nothing at all, which is what keeps detection sub-linear in the
+            // number of registered AQs.
+            let Some(plan) = self.catalog.query(name).cloned() else {
+                continue;
+            };
+            let epoch = &outcomes.groups[outcomes.by_query[qid]];
+            let sources = &outcomes.sources[&plan.event_kind];
+            let pending = outcomes.pending.get(qid);
+            self.replay_plan(&plan, epoch, sources, pending, cache);
+        }
+        self.pindex.commit_epoch(outcomes.commits);
+    }
+
+    /// Phase B: replays the scalar loop's per-tuple side effects for one
+    /// affected plan from the batch outcomes computed in phase A.
+    fn replay_plan(
+        &mut self,
+        plan: &crate::AqPlan,
+        epoch: &GroupEpoch,
+        sources: &[Option<i64>],
+        pending: Option<&BTreeSet<i64>>,
+        cache: &BTreeMap<DeviceKind, Vec<Tuple>>,
+    ) {
+        let tuples = cache.get(&plan.event_kind).expect("scanned above");
+        // This member's view of the per-source edge within the batch: a
+        // source seen earlier in the same batch overrides the pre-epoch
+        // state, exactly like the scalar loop's in-place `edge.insert`.
+        let mut local: BTreeMap<i64, bool> = BTreeMap::new();
+        for (t, tuple) in tuples.iter().enumerate() {
+            let matched = match epoch.stops[t] {
+                TupleOutcome::Idless => {
+                    self.note_idless(plan);
+                    continue;
+                }
+                TupleOutcome::Stop { idx, error } => {
+                    if error && self.record_eval_error(plan, idx) {
+                        // First error for this (query, conjunct): re-evaluate
+                        // the conjunct to recover the error message the
+                        // scalar path would have traced. Evaluation is pure
+                        // over the tuple, so the error is deterministic.
+                        let schema = self.registry.schema(plan.event_kind);
+                        let ctx = EvalContext {
+                            registry: &self.registry,
+                        };
+                        let env = Env::new().bind(&plan.event_binding, schema, tuple);
+                        if let Err(e) = eval_predicate(&plan.event_conjuncts[idx], &env, &ctx) {
+                            self.trace.emit(
+                                self.now,
+                                "eval_error",
+                                format!(
+                                    "query {} conjunct {idx} failed to evaluate: {e}",
+                                    plan.query_id
+                                ),
+                            );
+                        }
                     }
-                    AdmissionVerdict::Degrade => {
-                        self.trace.emit(
-                            self.now,
-                            "admission",
-                            format!("query {}: admitted degraded (brownout)", plan.query_id),
-                        );
-                        true
-                    }
-                    AdmissionVerdict::Admit => false,
-                };
-                let request = ActionRequest {
-                    query_id: plan.query_id,
-                    action: call.action.clone(),
-                    event_tuple: tuple.clone().tagged(plan.query_id),
-                    event_binding: plan.event_binding.clone(),
-                    event_kind: plan.event_kind,
-                    device_binding: plan.device.as_ref().map(|d| (d.binding.clone(), d.kind)),
-                    args: call.args.clone(),
-                    candidates: candidates.clone(),
-                    created_at: self.now,
-                    deadline,
-                    degraded,
-                    attempts: 0,
-                    hops: 0,
-                };
-                self.operators
-                    .entry(call.action.clone())
-                    .or_default()
-                    .push(request);
+                    false
+                }
+                TupleOutcome::Matched => true,
+            };
+            let source = sources[t].expect("non-idless outcomes have a source");
+            let was = match local.get(&source) {
+                Some(&w) => w,
+                // A source this member has never observed (it joined the
+                // group after the shared edge was recorded) reads as false,
+                // matching the scalar map's "absent" state.
+                None if pending.is_some_and(|p| p.contains(&source)) => false,
+                None => epoch.pre_edge.get(&source).copied().unwrap_or(false),
+            };
+            local.insert(source, matched);
+            if !matched || was {
+                continue; // not a rising edge
+            }
+            self.fire_event(plan, tuple, cache);
+        }
+    }
+
+    /// Runs one detection pass over an externally supplied scan batch,
+    /// honouring `EngineConfig::vectorized_detect`, then dispatches whatever
+    /// it produced. Test-only hook for the differential harness; not part of
+    /// the public API surface.
+    #[doc(hidden)]
+    pub fn detect_on_batch(&mut self, kind: DeviceKind, tuples: Vec<Tuple>) {
+        let mut cache: BTreeMap<DeviceKind, Vec<Tuple>> = BTreeMap::new();
+        cache.insert(kind, tuples);
+        if self.config.vectorized_detect {
+            self.detect_vectorized(&cache);
+        } else {
+            let plans: Vec<crate::AqPlan> = self
+                .catalog
+                .queries()
+                .filter(|p| p.event_kind == kind)
+                .cloned()
+                .collect();
+            for plan in &plans {
+                self.detect_events(plan, &cache);
             }
         }
+        self.dispatch_pending();
     }
 
     fn candidates_for(
@@ -1905,6 +2109,39 @@ mod tests {
         // The live labeled counter agrees with the aggregate stat.
         let snap = aorta.metrics().expect("observability is on");
         assert_eq!(snap.counter_total("aorta_eval_errors"), stats.eval_errors);
+    }
+
+    /// The batch path must handle `eval_predicate` type mismatches exactly
+    /// like the scalar loop: same error count, the same single deduplicated
+    /// structured trace event per (query, conjunct), and byte-identical
+    /// trace output — the error message included.
+    #[test]
+    fn batch_path_eval_errors_match_scalar_path() {
+        const TYPE_MISMATCH: &str = r#"CREATE AQ mismatch AS
+            SELECT photo(c.ip, s.loc, "photos/admin")
+            FROM sensor s, camera c
+            WHERE s.loc > 500 AND coverage(c.id, s.loc)"#;
+        let run = |config: EngineConfig| {
+            let lab = PervasiveLab::standard()
+                .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+            let mut aorta = Aorta::with_lab(config, lab);
+            aorta.execute_sql(TYPE_MISMATCH).unwrap();
+            aorta.run_for(SimDuration::from_secs(30));
+            aorta
+        };
+        let vectorized = run(EngineConfig::seeded(21));
+        let scalar = run(EngineConfig::seeded(21).with_scalar_detect());
+        assert!(vectorized.stats().eval_errors > 0);
+        assert_eq!(vectorized.stats(), scalar.stats());
+        let dedup = |a: &Aorta| {
+            a.trace()
+                .iter()
+                .filter(|e| e.subsystem == "eval_error")
+                .count()
+        };
+        assert_eq!(dedup(&vectorized), 1, "batch path must dedupe the trace");
+        assert_eq!(dedup(&scalar), 1);
+        assert_eq!(vectorized.trace().render(), scalar.trace().render());
     }
 
     /// Two simultaneous matches from id-less tuples used to share the one

@@ -231,6 +231,125 @@ fn call_builtin(name: &str, args: &[Value], ctx: &EvalContext<'_>) -> Result<Val
     }
 }
 
+/// A comparison operator in an indexable `<attr> <op> <constant>` conjunct.
+///
+/// Mirrors the comparison subset of [`aorta_sql::ast::BinOp`]; the predicate
+/// index stores these instead of whole expressions so distinct queries with
+/// the same threshold share one evaluation per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Whether an ordering between the column value and the constant
+    /// satisfies this operator. The table mirrors [`eval_expr`]'s comparison
+    /// arm exactly — the vectorized path must agree with the scalar oracle
+    /// bit for bit.
+    pub(crate) fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    fn from_binop(op: BinOp) -> Option<CmpOp> {
+        match op {
+            BinOp::Eq => Some(CmpOp::Eq),
+            BinOp::Ne => Some(CmpOp::Ne),
+            BinOp::Lt => Some(CmpOp::Lt),
+            BinOp::Le => Some(CmpOp::Le),
+            BinOp::Gt => Some(CmpOp::Gt),
+            BinOp::Ge => Some(CmpOp::Ge),
+            _ => None,
+        }
+    }
+
+    /// The operator with its operands swapped: `500 < s.accel_x` is the same
+    /// predicate as `s.accel_x > 500`. `Value::compare` errors are symmetric
+    /// in their operands, so flipping preserves error behaviour too.
+    fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// An event-attribute-vs-constant comparison extracted from a WHERE-clause
+/// conjunct, normalized so the column is always on the left.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct VectorizableCmp {
+    /// Attribute name in the event table's schema.
+    pub attr: String,
+    /// Normalized comparison operator.
+    pub op: CmpOp,
+    /// The constant operand (`Bool`, `Int`, `Float` or `Str`).
+    pub constant: Value,
+}
+
+/// Decomposes a conjunct into a comparison the predicate index can evaluate
+/// in batch, or `None` when the conjunct needs the scalar fallback.
+///
+/// Indexable shape: `Column <cmp> Literal` (or flipped), where the column is
+/// unqualified or qualified by the event binding, the attribute exists in
+/// the event schema, and the literal is a comparable constant. Everything
+/// else — calls, arithmetic, OR-trees, column-vs-column, unknown bindings or
+/// attributes (which must keep erroring per tuple), NULL or location
+/// literals — stays on the scalar path.
+pub(crate) fn extract_comparison(
+    conjunct: &Expr,
+    event_binding: &str,
+    schema: &Schema,
+) -> Option<VectorizableCmp> {
+    let Expr::Binary { op, lhs, rhs } = conjunct else {
+        return None;
+    };
+    let op = CmpOp::from_binop(*op)?;
+    let (column, constant, op) = match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Column { qualifier, name }, Expr::Literal(v)) => ((qualifier, name), v, op),
+        (Expr::Literal(v), Expr::Column { qualifier, name }) => {
+            ((qualifier, name), v, op.flipped())
+        }
+        _ => return None,
+    };
+    let (qualifier, name) = column;
+    if qualifier.as_deref().is_some_and(|q| q != event_binding) {
+        return None;
+    }
+    schema.index_of(name)?;
+    if !matches!(
+        constant,
+        Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Str(_)
+    ) {
+        return None;
+    }
+    Some(VectorizableCmp {
+        attr: name.clone(),
+        op,
+        constant: constant.clone(),
+    })
+}
+
 /// Convenience: evaluate a predicate; NULL counts as not satisfied.
 pub(crate) fn eval_predicate(
     expr: &Expr,
@@ -413,6 +532,64 @@ mod tests {
         assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(true));
         let pred = predicate_of("SELECT x FROM t WHERE -3 < -2");
         assert_eq!(eval_predicate(&pred, &env, &ctx), Ok(true));
+    }
+
+    #[test]
+    fn extraction_accepts_normalized_and_flipped_comparisons() {
+        let schema = sensor_schema();
+        let pred = predicate_of("SELECT x FROM sensor s WHERE s.accel_x > 500");
+        let cmp = extract_comparison(&pred, "s", &schema).unwrap();
+        assert_eq!(cmp.attr, "accel_x");
+        assert_eq!(cmp.op, CmpOp::Gt);
+        assert_eq!(cmp.constant, Value::Int(500));
+        // Flipped operands normalize: `500 >= s.accel_x` ⇔ `s.accel_x <= 500`.
+        let pred = predicate_of("SELECT x FROM sensor s WHERE 500 >= s.accel_x");
+        let cmp = extract_comparison(&pred, "s", &schema).unwrap();
+        assert_eq!(cmp.op, CmpOp::Le);
+        // Unqualified columns bind to the event table by planner convention.
+        let pred = predicate_of("SELECT x FROM sensor s WHERE accel_x = 7");
+        assert!(extract_comparison(&pred, "s", &schema).is_some());
+    }
+
+    #[test]
+    fn extraction_rejects_non_indexable_conjuncts() {
+        let schema = sensor_schema();
+        for sql in [
+            // Arithmetic, calls, OR-trees and column-vs-column need eval.
+            "SELECT x FROM sensor s WHERE s.accel_x + 1 > 500",
+            "SELECT x FROM sensor s WHERE coverage(s.id, s.loc)",
+            "SELECT x FROM sensor s WHERE s.accel_x > 500 OR s.id = 1",
+            "SELECT x FROM sensor s WHERE s.accel_x > s.id",
+            // Wrong binding / unknown attribute must keep erroring per tuple.
+            "SELECT x FROM sensor s WHERE c.accel_x > 500",
+            "SELECT x FROM sensor s WHERE s.nosuch > 500",
+            // Bare boolean literal is not a comparison.
+            "SELECT x FROM sensor s WHERE TRUE",
+        ] {
+            let pred = predicate_of(sql);
+            assert!(
+                extract_comparison(&pred, "s", &schema).is_none(),
+                "{sql} should not be indexable"
+            );
+        }
+    }
+
+    #[test]
+    fn cmp_op_matches_mirrors_eval_expr() {
+        use Ordering::*;
+        let table = [
+            (CmpOp::Eq, [false, true, false]),
+            (CmpOp::Ne, [true, false, true]),
+            (CmpOp::Lt, [true, false, false]),
+            (CmpOp::Le, [true, true, false]),
+            (CmpOp::Gt, [false, false, true]),
+            (CmpOp::Ge, [false, true, true]),
+        ];
+        for (op, expect) in table {
+            for (ord, want) in [Less, Equal, Greater].into_iter().zip(expect) {
+                assert_eq!(op.matches(ord), want, "{op:?} {ord:?}");
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod error;
 mod exec;
 mod expr;
 mod lock;
+mod pindex;
 mod plan;
 mod shared;
 
@@ -55,5 +56,6 @@ pub use error::EngineError;
 pub use exec::EngineStats;
 pub use expr::{eval_expr, Env, EvalContext};
 pub use lock::LockManager;
+pub use pindex::PredicateIndex;
 pub use plan::{ActionCallPlan, AqPlan, DevicePart};
 pub use shared::{ActionRequest, SharedActionOperator};

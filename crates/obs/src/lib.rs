@@ -73,6 +73,34 @@ pub const LATENCY_BUCKETS_US: &[u64] = &[
 /// is full, bounding memory during long soak runs.
 pub const SPAN_RING_CAP: usize = 10_000;
 
+/// Metric names emitted by the vectorized event-detection pipeline in
+/// `aorta-core` (the shared predicate index).
+///
+/// Centralised here so the engine, the soak tests and the differential
+/// harness agree on spelling, and so the invariant the soak test checks —
+/// `INDEXED_EVALS + FALLBACK_EVALS == CONJUNCT_EVALS`, i.e. every logical
+/// conjunct evaluation is attributed to exactly one serving strategy — is
+/// written against named constants rather than string literals.
+pub mod detect_metrics {
+    /// Counter: logical conjunct evaluations served by interned (shared)
+    /// comparisons. "Logical" means per member query, the unit the scalar
+    /// loop counts in, even though the index evaluates each distinct
+    /// comparison only once per batch.
+    pub const INDEXED_EVALS: &str = "aorta_indexed_evals";
+    /// Counter: logical conjunct evaluations served by scalar-fallback
+    /// slots (non-indexable conjuncts such as function calls or ORs).
+    pub const FALLBACK_EVALS: &str = "aorta_fallback_evals";
+    /// Counter: total logical conjunct evaluations, short-circuit aware.
+    /// Always equals `INDEXED_EVALS + FALLBACK_EVALS`.
+    pub const CONJUNCT_EVALS: &str = "aorta_conjunct_evals";
+    /// Counter, labelled `kind`: tuples per scan batch fed to detection.
+    pub const BATCH_TUPLES: &str = "aorta_detect_batch_tuples";
+    /// Gauge: live distinct comparisons interned in the predicate index.
+    pub const INDEX_CMPS: &str = "aorta_predicate_index_cmps";
+    /// Gauge: live query groups in the predicate index.
+    pub const INDEX_GROUPS: &str = "aorta_predicate_index_groups";
+}
+
 /// The instrumented engine stage a [`SpanEvent`] belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SpanKind {

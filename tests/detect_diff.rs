@@ -1,0 +1,258 @@
+//! Differential testing: vectorized detection vs the scalar oracle.
+//!
+//! The vectorized predicate-index pipeline (`EngineConfig::default()`) must
+//! be *observably indistinguishable* from the original tuple-at-a-time
+//! scalar loop (`with_scalar_detect()`): same events, same rising-edge
+//! transitions, same counters, byte-identical traces. These properties are
+//! checked over randomized workloads — random AQ sets with mixed attributes,
+//! operators and constants (drawn from small pools so duplicates and
+//! overlaps are common), non-indexable predicates, error-prone predicates,
+//! interleaved register/drop churn, and random tuple batches including
+//! id-less and NULL-valued tuples.
+
+use aorta::data::{Location, Tuple, Value};
+use aorta::device::{DeviceKind, PervasiveLab};
+use aorta::engine::{AqPlan, Catalog};
+use aorta::sim::{SimDuration, SimRng};
+use aorta::sql::ast::Statement;
+use aorta::{Aorta, EngineConfig};
+
+/// One scripted step, applied identically to both engines.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register a new AQ with the given event predicate.
+    Add(String),
+    /// Drop the i-th (mod live count) currently registered AQ.
+    Drop(usize),
+    /// Feed one synthetic scan batch to detection.
+    Batch(Vec<Tuple>),
+    /// Advance virtual time (real scans, dispatch, device events).
+    Run(u64),
+}
+
+fn plan_for(pred: &str) -> AqPlan {
+    let sql = format!("SELECT beep(t.id) FROM sensor t, sensor s WHERE {pred}");
+    let stmts = aorta::sql::parse(&sql).expect("generated predicates parse");
+    let Statement::Select(select) = stmts.into_iter().next().expect("one statement") else {
+        panic!("expected SELECT");
+    };
+    AqPlan::plan("template", &select, &Catalog::with_builtins()).expect("generated plans are valid")
+}
+
+/// A random conjunct from a deliberately small vocabulary: small pools of
+/// attributes, operators and constants make duplicate and overlapping
+/// comparisons (the sharing the index exploits) the common case, while
+/// variants 0–2 cover what the index *cannot* serve: call and OR conjuncts
+/// (scalar fallback slots) and a type-mismatched comparison that errors on
+/// every tuple.
+fn random_conjunct(rng: &mut SimRng) -> String {
+    let int_attrs = ["accel_x", "accel_y", "light", "depth"];
+    let all_attrs = ["accel_x", "accel_y", "light", "depth", "temp", "battery"];
+    let ops = [">", ">=", "<", "<=", "=", "<>"];
+    let consts = [-500i64, -1, 0, 1, 40, 100, 500, 501];
+    match rng.range(0..=9u64) {
+        0 => "distance(s.loc, s.loc) < 1.0".to_string(),
+        1 => format!(
+            "s.{} > {} OR s.{} <= {}",
+            rng.pick(&int_attrs).unwrap(),
+            rng.pick(&consts).unwrap(),
+            rng.pick(&int_attrs).unwrap(),
+            rng.pick(&consts).unwrap(),
+        ),
+        2 => "s.loc > 500".to_string(),
+        _ => format!(
+            "s.{} {} {}",
+            rng.pick(&all_attrs).unwrap(),
+            rng.pick(&ops).unwrap(),
+            rng.pick(&consts).unwrap(),
+        ),
+    }
+}
+
+fn random_pred(rng: &mut SimRng) -> String {
+    let n = rng.range(1..=3u64);
+    let conjuncts: Vec<String> = (0..n).map(|_| random_conjunct(rng)).collect();
+    conjuncts.join(" AND ")
+}
+
+/// A random sensor tuple: a small source-id pool (so rising/falling edges
+/// recur per source), occasional id-less tuples, occasional NULLs, and
+/// values straddling the constant pool's thresholds.
+fn random_tuple(rng: &mut SimRng, schema: &aorta::data::Schema) -> Tuple {
+    let mut values = vec![Value::Null; schema.len()];
+    let set = |name: &str, v: Value, values: &mut Vec<Value>| {
+        values[schema.index_of(name).expect("sensor attribute")] = v;
+    };
+    if !rng.chance(0.15) {
+        set("id", Value::Int(rng.range(0..=5i64)), &mut values);
+    }
+    if !rng.chance(0.2) {
+        set("loc", Value::Location(Location::ORIGIN), &mut values);
+    }
+    set("accel_x", Value::Int(rng.range(-600..=600i64)), &mut values);
+    if !rng.chance(0.1) {
+        set("accel_y", Value::Int(rng.range(-600..=600i64)), &mut values);
+    }
+    set("light", Value::Int(rng.range(0..=1200i64)), &mut values);
+    set("depth", Value::Int(rng.range(1..=4i64)), &mut values);
+    if !rng.chance(0.1) {
+        set("temp", Value::Float(15.0 + rng.unit() * 20.0), &mut values);
+    }
+    set("battery", Value::Float(2.0 + rng.unit()), &mut values);
+    Tuple::new(values)
+}
+
+/// Generates the whole script up front so both engines replay exactly the
+/// same operations in the same order.
+fn random_script(seed: u64, steps: usize) -> Vec<Op> {
+    let mut rng = SimRng::seed(seed);
+    let lab = PervasiveLab::standard();
+    let registry = aorta::net::DeviceRegistry::from_lab(lab);
+    let schema = registry.schema(DeviceKind::Sensor).clone();
+    let mut script = Vec::with_capacity(steps + 1);
+    // Always start with at least one query so batches have something to hit.
+    script.push(Op::Add(random_pred(&mut rng)));
+    for _ in 0..steps {
+        script.push(match rng.range(0..=9u64) {
+            0 | 1 => Op::Add(random_pred(&mut rng)),
+            2 => Op::Drop(rng.range(0..=31u64) as usize),
+            3 => Op::Run(rng.range(1..=5u64)),
+            _ => {
+                let n = rng.range(1..=12u64);
+                Op::Batch((0..n).map(|_| random_tuple(&mut rng, &schema)).collect())
+            }
+        });
+    }
+    script
+}
+
+/// Replays the script on one engine, asserting nothing — comparison happens
+/// between the two replays' observable states.
+struct Replay {
+    aorta: Aorta,
+    live: Vec<String>,
+    next_id: usize,
+}
+
+impl Replay {
+    fn new(seed: u64, vectorized: bool) -> Replay {
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_secs(30), SimDuration::from_secs(3));
+        let config = if vectorized {
+            EngineConfig::seeded(seed)
+        } else {
+            EngineConfig::seeded(seed).with_scalar_detect()
+        };
+        Replay {
+            aorta: Aorta::with_lab(config, lab),
+            live: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Add(pred) => {
+                let mut plan = plan_for(pred);
+                plan.name = format!("q{:03}", self.next_id);
+                self.next_id += 1;
+                self.live.push(plan.name.clone());
+                self.aorta
+                    .register_query_plan(plan)
+                    .expect("names are unique");
+            }
+            Op::Drop(i) => {
+                if self.live.is_empty() {
+                    return;
+                }
+                let name = self.live.remove(i % self.live.len());
+                self.aorta.deregister_query(&name).expect("was live");
+            }
+            Op::Batch(tuples) => {
+                self.aorta
+                    .detect_on_batch(DeviceKind::Sensor, tuples.clone());
+            }
+            Op::Run(secs) => {
+                self.aorta.run_for(SimDuration::from_secs(*secs));
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+    /// The core differential property: for any seed, any random AQ set and
+    /// any interleaving of synthetic batches, real scan epochs and
+    /// register/drop churn, the vectorized path and the scalar oracle agree
+    /// on every counter after every step and render byte-identical traces.
+    #[test]
+    fn vectorized_detection_matches_the_scalar_oracle(seed in 0u64..1_000_000) {
+        let script = random_script(seed, 40);
+        let mut vec_replay = Replay::new(seed, true);
+        let mut sca_replay = Replay::new(seed, false);
+        for (step, op) in script.iter().enumerate() {
+            vec_replay.apply(op);
+            sca_replay.apply(op);
+            proptest::prop_assert_eq!(
+                vec_replay.aorta.stats(),
+                sca_replay.aorta.stats(),
+                "stats diverged at step {} ({:?})",
+                step,
+                op
+            );
+        }
+        proptest::prop_assert_eq!(
+            vec_replay.aorta.pending_requests(),
+            sca_replay.aorta.pending_requests()
+        );
+        let vec_trace = vec_replay.aorta.trace().render();
+        let sca_trace = sca_replay.aorta.trace().render();
+        proptest::prop_assert!(
+            vec_trace == sca_trace,
+            "trace bytes diverged for seed {}:\nvectorized:\n{}\nscalar:\n{}",
+            seed,
+            vec_trace,
+            sca_trace
+        );
+    }
+}
+
+/// A deterministic end-to-end twin of the property: a fixed mixed workload
+/// (firing, never-firing, erroring, fallback, duplicated predicates) over
+/// several minutes of simulated periodic events, compared on stats and
+/// trace bytes — the case a CI failure can bisect without a proptest seed.
+#[test]
+fn fixed_mixed_workload_is_byte_identical_across_modes() {
+    let preds = [
+        "s.accel_x > 450",
+        "s.accel_x > 450", // duplicate: shares one group
+        "s.accel_x >= 500",
+        "s.loc > 500",                                      // errors every tuple
+        "distance(s.loc, s.loc) < 1.0 AND s.accel_x > 480", // fallback
+        "s.temp > 1000",                                    // never fires
+    ];
+    let run = |vectorized: bool| {
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::from_secs(2));
+        let config = if vectorized {
+            EngineConfig::seeded(0xD1FF)
+        } else {
+            EngineConfig::seeded(0xD1FF).with_scalar_detect()
+        };
+        let mut aorta = Aorta::with_lab(config, lab);
+        for (i, p) in preds.iter().enumerate() {
+            let mut plan = plan_for(p);
+            plan.name = format!("fx{i}");
+            aorta.register_query_plan(plan).expect("fixture plans");
+        }
+        aorta.run_for(SimDuration::from_mins(4));
+        aorta
+    };
+    let vectorized = run(true);
+    let scalar = run(false);
+    assert_eq!(vectorized.stats(), scalar.stats());
+    assert!(vectorized.stats().events_detected > 0, "workload must fire");
+    assert!(vectorized.stats().eval_errors > 0, "workload must error");
+    assert_eq!(vectorized.trace().render(), scalar.trace().render());
+}
