@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|ablation|metrics]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|e11|e11-smoke|ablation|metrics]..."
                 );
                 return;
             }
@@ -69,6 +69,8 @@ fn main() {
             "e9" => e9(),
             "e10" => e10(true),
             "e10-smoke" => e10(false),
+            "e11" => e11(true),
+            "e11-smoke" => e11(false),
             "metrics" => metrics(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
@@ -207,6 +209,130 @@ fn write_bench_detect_json(report: &experiments::E10Report) {
     match std::fs::write("BENCH_detect.json", body) {
         Ok(()) => println!("(wrote BENCH_detect.json)"),
         Err(e) => eprintln!("repro: failed to write BENCH_detect.json: {e}"),
+    }
+}
+
+/// `repro e11` (full sweep, writes BENCH_wal.json) or `repro e11-smoke`
+/// (one-arm CI gate, no file): kill shards mid-wave at seeded points,
+/// rebuild each from its write-ahead log, and require the recovered run to
+/// be byte-identical to a never-interrupted reference. Not part of the
+/// default list: `recovery_ms` is host wall-clock and machine-dependent;
+/// every identity/conservation verdict is deterministic.
+fn e11(full: bool) {
+    let report = experiments::e11_wal(0xE11, full);
+    println!(
+        "== E11 (extension): durable control plane, kill-and-recover, {} cameras / {} motes ==",
+        experiments::E11_CAMERAS,
+        experiments::E11_MOTES
+    );
+    let mut t = Table::new(vec![
+        "shards".into(),
+        "crashes".into(),
+        "cadence".into(),
+        "store".into(),
+        "requests".into(),
+        "recovered".into(),
+        "replayed".into(),
+        "snapshots".into(),
+        "wal KiB".into(),
+        "recovery ms".into(),
+        "conserved".into(),
+        "identical".into(),
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.shards.to_string(),
+            r.crashes.to_string(),
+            r.snapshot_every.to_string(),
+            if r.durable { "file" } else { "mem" }.into(),
+            r.requests.to_string(),
+            r.recoveries.to_string(),
+            r.records_replayed.to_string(),
+            r.snapshots.to_string(),
+            format!("{:.1}", r.wal_bytes as f64 / 1024.0),
+            r.recovery_wall_ms
+                .iter()
+                .map(|ms| ms.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            if r.conservation_ok { "OK" } else { "VIOLATED" }.into(),
+            if r.identical_to_reference {
+                "OK"
+            } else {
+                "DIVERGED"
+            }
+            .into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "determinism: {} (trace digest {:#018x})\n",
+        if report.deterministic {
+            "byte-identical across reruns"
+        } else {
+            "DIVERGED"
+        },
+        report.trace_digest,
+    );
+    if full {
+        write_bench_wal_json(&report);
+    }
+    // CI runs the smoke arm: a broken ledger or a visible recovery must
+    // fail the process, not just print a verdict.
+    assert!(report.all_conserved, "conservation violated after recovery");
+    assert!(
+        report.all_identical,
+        "recovered run diverged from the uninterrupted reference"
+    );
+    assert!(report.deterministic, "kill-and-recover runs diverged");
+}
+
+/// Hand-formats `BENCH_wal.json` (the repo has no JSON dependency).
+fn write_bench_wal_json(report: &experiments::E11Report) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"experiment\": \"e11\",\n");
+    body.push_str(&format!(
+        "  \"cameras\": {},\n  \"motes\": {},\n  \"all_conserved\": {},\n  \
+         \"all_identical\": {},\n  \"deterministic\": {},\n  \"trace_fnv1a\": \"{:#018x}\",\n",
+        experiments::E11_CAMERAS,
+        experiments::E11_MOTES,
+        report.all_conserved,
+        report.all_identical,
+        report.deterministic,
+        report.trace_digest,
+    ));
+    body.push_str("  \"arms\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"shards\": {}, \"crashes\": {}, \"snapshot_every\": {}, \"store\": \"{}\", \
+             \"requests\": {}, \"executed\": {}, \"recoveries\": {}, \"records_replayed\": {}, \
+             \"wal_appends\": {}, \"wal_bytes\": {}, \"snapshots\": {}, \"recovery_ms\": [{}], \
+             \"conservation_ok\": {}, \"identical_to_reference\": {}}}{}\n",
+            r.shards,
+            r.crashes,
+            r.snapshot_every,
+            if r.durable { "file" } else { "mem" },
+            r.requests,
+            r.executed,
+            r.recoveries,
+            r.records_replayed,
+            r.wal_appends,
+            r.wal_bytes,
+            r.snapshots,
+            r.recovery_wall_ms
+                .iter()
+                .map(|ms| ms.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.conservation_ok,
+            r.identical_to_reference,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_wal.json", body) {
+        Ok(()) => println!("(wrote BENCH_wal.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_wal.json: {e}"),
     }
 }
 

@@ -1189,6 +1189,214 @@ pub fn e10_detect(seed: u64, full: bool) -> E10Report {
     }
 }
 
+/// One arm of the **E11** kill-and-recover experiment: a WAL-logged
+/// cluster where one or more shards process-crash mid-wave and are rebuilt
+/// from their logs, compared record-for-record against a crash-immune
+/// reference run of the same seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E11Row {
+    /// Shard count.
+    pub shards: usize,
+    /// Shards crashed (each on its own seeded instant).
+    pub crashes: usize,
+    /// Snapshot cadence in log frames (a huge value forces genesis replay).
+    pub snapshot_every: usize,
+    /// True when the log lived in files on disk rather than memory.
+    pub durable: bool,
+    /// Requests admitted cluster-wide.
+    pub requests: u64,
+    /// Requests executed at full quality.
+    pub executed: u64,
+    /// Crash recoveries performed (must equal `crashes`).
+    pub recoveries: u64,
+    /// Log records replayed across all recoveries.
+    pub records_replayed: u64,
+    /// Host wall-clock milliseconds per recovery (machine-dependent).
+    pub recovery_wall_ms: Vec<u64>,
+    /// Records appended across all shard logs.
+    pub wal_appends: u64,
+    /// Live bytes across all shard logs.
+    pub wal_bytes: u64,
+    /// Snapshots vaulted across all shards.
+    pub snapshots: u64,
+    /// Whether the cluster ledger closed.
+    pub conservation_ok: bool,
+    /// Whether stats + trace matched the uninterrupted reference exactly.
+    pub identical_to_reference: bool,
+}
+
+/// The **E11** report: per-arm rows plus the cross-cutting verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E11Report {
+    /// One row per (shards, crashes, cadence, store) arm.
+    pub rows: Vec<E11Row>,
+    /// Every arm's ledger closed.
+    pub all_conserved: bool,
+    /// Every arm matched its reference byte-for-byte.
+    pub all_identical: bool,
+    /// Two repetitions of the first arm rendered byte-identical traces.
+    pub deterministic: bool,
+    /// FNV-1a digest of the first arm's recovered trace.
+    pub trace_digest: u64,
+}
+
+/// E11 fleet: the camera block …
+pub const E11_CAMERAS: usize = 12;
+/// … and the mote block.
+pub const E11_MOTES: usize = 16;
+
+/// One seeded kill-and-recover cluster run. `wal` is `(cadence, dir)` —
+/// `None` runs without logging; `immune` absorbs the crashes instead
+/// (the uninterrupted reference).
+fn e11_cluster(
+    seed: u64,
+    shards: usize,
+    crashes: usize,
+    wal: Option<(usize, Option<std::path::PathBuf>)>,
+    immune: bool,
+) -> aorta_cluster::ShardManager {
+    use aorta_cluster::{ClusterConfig, ShardManager};
+    use aorta_device::{DeviceId, PervasiveLab};
+    use aorta_sim::{FaultEvent, FaultPlan, SimDuration, SimTime};
+
+    let lab = PervasiveLab::with_sizes(E11_CAMERAS, E11_MOTES, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut config = ClusterConfig::seeded(seed, shards).with_imbalance_threshold(u64::MAX);
+    if let Some((every, dir)) = wal {
+        config = match dir {
+            Some(d) => config.with_wal_dir(every, d),
+            None => config.with_wal(every),
+        };
+    }
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .expect("valid query");
+    }
+    // Victim cameras on `crashes` distinct shards, chosen deterministically.
+    let mut victims: Vec<(usize, DeviceId)> = Vec::new();
+    for c in 0..E11_CAMERAS as u32 {
+        let id = DeviceId::camera(c);
+        let owner = cluster.shard_owning(id).expect("camera owned");
+        if !victims.iter().any(|(s, _)| *s == owner) {
+            victims.push((owner, id));
+        }
+        if victims.len() == crashes {
+            break;
+        }
+    }
+    assert_eq!(victims.len(), crashes, "need {crashes} distinct shards");
+    let mut plan = FaultPlan::new();
+    for (i, (owner, id)) in victims.iter().enumerate() {
+        if immune {
+            cluster.shard_mut(*owner).grant_crash_immunity(1);
+        }
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(100 + 37 * i as u64),
+            FaultEvent::ProcessCrash(*id),
+        );
+    }
+    cluster.inject_faults(plan);
+    cluster.run_for(SimDuration::from_mins(5));
+    cluster.run_for(SimDuration::from_secs(30));
+    cluster
+}
+
+/// **E11 (extension)** — durable control plane: kill shards mid-wave at
+/// seeded points, rebuild each from its write-ahead log (snapshot + replay
+/// suffix), and prove the recovered run is *indistinguishable* from one
+/// that was never interrupted: conservation holds and stats + trace are
+/// byte-identical to a crash-immune reference. See `DESIGN.md` §11.
+pub fn e11_wal(seed: u64, full: bool) -> E11Report {
+    // (shards, crashes, snapshot cadence, durable file store)
+    let mut arms: Vec<(usize, usize, usize, bool)> = vec![(2, 1, 64, true)];
+    if full {
+        arms.push((4, 2, 256, false));
+        // Cadence beyond the log length: recovery replays from genesis.
+        arms.push((4, 2, 1_000_000, false));
+    }
+
+    let mut rows = Vec::new();
+    for (i, &(shards, crashes, snapshot_every, durable)) in arms.iter().enumerate() {
+        let arm_seed = seed ^ (i as u64) << 8;
+        let dir = durable.then(|| {
+            let d = std::env::temp_dir().join(format!("aorta-e11-{arm_seed:08x}"));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        });
+        let live = e11_cluster(
+            arm_seed,
+            shards,
+            crashes,
+            Some((snapshot_every, dir.clone())),
+            false,
+        );
+        let reference = e11_cluster(arm_seed, shards, crashes, None, true);
+        let stats = live.stats();
+        let report = live.wal_report().expect("wal is on");
+        let identical =
+            stats == reference.stats() && live.render_trace() == reference.render_trace();
+        rows.push(E11Row {
+            shards,
+            crashes,
+            snapshot_every,
+            durable,
+            requests: stats.requests(),
+            executed: stats.executed(),
+            recoveries: report.recoveries,
+            records_replayed: report.records_replayed,
+            recovery_wall_ms: report.recovery_wall_ms.clone(),
+            wal_appends: report.per_shard.iter().map(|s| s.appends).sum(),
+            wal_bytes: report.per_shard.iter().map(|s| s.bytes).sum(),
+            snapshots: report.snapshots.iter().sum(),
+            conservation_ok: stats.check_conservation().is_ok(),
+            identical_to_reference: identical,
+        });
+        drop(live);
+        if let Some(d) = dir {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    // Determinism: two repetitions of the first arm, traces compared raw.
+    let (shards, crashes, every, _) = arms[0];
+    let rep_a = e11_cluster(seed, shards, crashes, Some((every, None)), false);
+    let rep_b = e11_cluster(seed, shards, crashes, Some((every, None)), false);
+    let trace_a = rep_a.render_trace();
+    let deterministic = trace_a == rep_b.render_trace() && rep_a.stats() == rep_b.stats();
+
+    E11Report {
+        all_conserved: rows.iter().all(|r| r.conservation_ok),
+        all_identical: rows.iter().all(|r| r.identical_to_reference),
+        rows,
+        deterministic,
+        trace_digest: fnv1a64(&trace_a),
+    }
+}
+
+#[cfg(test)]
+mod wal_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn e11_smoke_recovers_invisibly() {
+        let report = e11_wal(0xE11, false);
+        assert!(report.all_conserved, "{report:?}");
+        assert!(report.all_identical, "{report:?}");
+        assert!(report.deterministic, "{report:?}");
+        let row = &report.rows[0];
+        assert_eq!(row.recoveries, row.crashes as u64, "{row:?}");
+        assert!(row.records_replayed > 0, "{row:?}");
+        assert!(row.wal_appends > 0 && row.wal_bytes > 0, "{row:?}");
+    }
+}
+
 #[cfg(test)]
 mod detect_experiment_tests {
     use super::*;

@@ -17,11 +17,17 @@
 //! ownership between shards — only at a safe point (no queued execution,
 //! no lock held, no action physically in progress).
 
-use aorta_core::{ActionRequest, Aorta, CustomHandler, EngineConfig, EngineError, ExecOutput};
+use std::path::PathBuf;
+
+use aorta_core::{
+    genesis_fingerprint, recover_engine, ActionRequest, Aorta, CustomHandler, EngineConfig,
+    EngineError, ExecOutput, GenesisSpec,
+};
 use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
 use aorta_net::DeviceRegistry;
 use aorta_obs::{MetricsRegistry, SharedMetrics, SpanKind};
 use aorta_sim::{FaultPlan, SimDuration, SimRng, SimTime, TraceBuffer};
+use aorta_wal::{FileStore, LogStore, MemStore, WalHandle, WalManager, WalRecord, WalStats};
 
 use crate::partition::{owner_of, PartitionPolicy};
 use crate::stats::ClusterStats;
@@ -45,6 +51,30 @@ pub struct ClusterConfig {
     /// Template engine configuration; `seed` and `escalate_exhausted` are
     /// overridden per shard.
     pub engine: EngineConfig,
+    /// Durability: when set, every shard writes a WAL and crashed shards
+    /// are recovered in place. `None` (the default) runs without logs —
+    /// a process-crashed shard then stays dead.
+    pub wal: Option<WalClusterConfig>,
+}
+
+/// Durability tunables for a WAL-enabled cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalClusterConfig {
+    /// Take a snapshot of a shard every this many appended log frames
+    /// (plus forced barrier snapshots at every device migration).
+    pub snapshot_every: usize,
+    /// Directory for on-disk logs (`shard-<s>.wal`); `None` keeps the logs
+    /// in memory — same records, same recovery, no filesystem.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for WalClusterConfig {
+    fn default() -> Self {
+        WalClusterConfig {
+            snapshot_every: 512,
+            dir: None,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -56,6 +86,7 @@ impl Default for ClusterConfig {
             imbalance_threshold: 16,
             migration_batch: 1,
             engine: EngineConfig::default(),
+            wal: None,
         }
     }
 }
@@ -81,6 +112,59 @@ impl ClusterConfig {
         self.imbalance_threshold = threshold;
         self
     }
+
+    /// Enables per-shard write-ahead logging (in-memory stores), builder
+    /// style.
+    pub fn with_wal(mut self, snapshot_every: usize) -> Self {
+        self.wal = Some(WalClusterConfig {
+            snapshot_every,
+            dir: None,
+        });
+        self
+    }
+
+    /// Enables per-shard write-ahead logging with on-disk stores under
+    /// `dir`, builder style.
+    pub fn with_wal_dir(mut self, snapshot_every: usize, dir: impl Into<PathBuf>) -> Self {
+        self.wal = Some(WalClusterConfig {
+            snapshot_every,
+            dir: Some(dir.into()),
+        });
+        self
+    }
+}
+
+/// Per-shard durability state: log manager + genesis image, plus recovery
+/// bookkeeping. All of it lives on a channel separate from the simulation
+/// (its own metrics registry, no trace/stats writes), so a WAL-enabled
+/// cluster stays byte-identical to an unlogged one.
+struct Durability {
+    managers: Vec<WalManager<Box<Aorta>>>,
+    specs: Vec<GenesisSpec>,
+    fingerprints: Vec<u64>,
+    /// WAL-owned metrics registry (append/recovery series). Deliberately
+    /// not merged into the cluster's deterministic snapshot.
+    obs: SharedMetrics,
+    recoveries: u64,
+    records_replayed: u64,
+    /// Host wall-clock milliseconds per recovery (benchmark reporting
+    /// only — never feeds back into the simulation).
+    recovery_wall_ms: Vec<u64>,
+}
+
+/// A durability report for benchmarks and introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalReport {
+    /// Per-shard log stream counters.
+    pub per_shard: Vec<WalStats>,
+    /// Per-shard snapshots taken (cadence + migration barriers).
+    pub snapshots: Vec<u64>,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// Log records replayed across all recoveries.
+    pub records_replayed: u64,
+    /// Host wall-clock milliseconds per recovery.
+    pub recovery_wall_ms: Vec<u64>,
 }
 
 /// *k* engines over a partitioned fleet, stepped on one virtual clock,
@@ -98,6 +182,8 @@ pub struct ShardManager {
     /// Gateway-level metrics (`None` unless the engine template enables
     /// observability; each shard then carries its own registry too).
     obs: Option<SharedMetrics>,
+    /// WAL + snapshot state when durability is on.
+    durability: Option<Durability>,
 }
 
 impl ShardManager {
@@ -139,16 +225,51 @@ impl ShardManager {
         }
 
         let mut seeder = SimRng::seed(config.seed);
-        let shards = registries
-            .into_iter()
-            .enumerate()
-            .map(|(s, registry)| {
-                let mut engine_config = config.engine.clone();
-                engine_config.seed = seeder.fork(s as u64).next_u64();
-                engine_config.escalate_exhausted = k > 1;
-                Aorta::with_registry(engine_config, registry)
-            })
-            .collect();
+        let mut shards: Vec<Aorta> = Vec::with_capacity(k);
+        let mut durability = config.wal.as_ref().map(|wal| {
+            if let Some(dir) = &wal.dir {
+                std::fs::create_dir_all(dir).expect("wal directory");
+            }
+            Durability {
+                managers: Vec::with_capacity(k),
+                specs: Vec::with_capacity(k),
+                fingerprints: Vec::with_capacity(k),
+                obs: SharedMetrics::new(),
+                recoveries: 0,
+                records_replayed: 0,
+                recovery_wall_ms: Vec::new(),
+            }
+        });
+        for (s, registry) in registries.into_iter().enumerate() {
+            let mut engine_config = config.engine.clone();
+            engine_config.seed = seeder.fork(s as u64).next_u64();
+            engine_config.escalate_exhausted = k > 1;
+            let genesis_registry = durability.is_some().then(|| registry.clone());
+            let mut engine = Aorta::with_registry(engine_config.clone(), registry);
+            if let Some(dur) = &mut durability {
+                let wal = config.wal.as_ref().expect("durability implies wal config");
+                let store: Box<dyn LogStore> = match &wal.dir {
+                    Some(dir) => Box::new(
+                        FileStore::create(dir.join(format!("shard-{s}.wal")))
+                            .expect("wal file create"),
+                    ),
+                    None => Box::new(MemStore::new()),
+                };
+                let fingerprint = genesis_fingerprint(engine_config.seed, s as u64);
+                let handle = WalHandle::record(store, Some(dur.obs.clone()), format!("s{s}"));
+                handle.append(WalRecord::Genesis { fingerprint });
+                engine.attach_wal(handle.clone());
+                dur.managers
+                    .push(WalManager::new(handle, wal.snapshot_every));
+                dur.specs.push(GenesisSpec {
+                    config: engine_config,
+                    registry: genesis_registry.expect("cloned when durability is on"),
+                    handlers: Vec::new(),
+                });
+                dur.fingerprints.push(fingerprint);
+            }
+            shards.push(engine);
+        }
 
         let obs = config.engine.observability.then(SharedMetrics::new);
         ShardManager {
@@ -161,6 +282,7 @@ impl ShardManager {
             gateway_expired: 0,
             migrations: 0,
             obs,
+            durability,
         }
     }
 
@@ -181,9 +303,18 @@ impl ShardManager {
 
     /// Stages a custom action handler on every shard (see
     /// [`Aorta::register_handler`]).
+    ///
+    /// Handlers are code, not state, so they cannot travel through the WAL;
+    /// they are instead captured into each shard's genesis spec and
+    /// re-staged when a crashed shard is rebuilt.
     pub fn register_handler(&mut self, name: &str, handler: CustomHandler) {
         for shard in &mut self.shards {
             shard.register_handler(name, handler.clone());
+        }
+        if let Some(dur) = &mut self.durability {
+            for spec in &mut dur.specs {
+                spec.handlers.push((name.to_string(), handler.clone()));
+            }
         }
     }
 
@@ -218,6 +349,13 @@ impl ShardManager {
         loop {
             let mut next: Option<(SimTime, usize)> = None;
             for (s, shard) in self.shards.iter().enumerate() {
+                // A process-crashed shard has no runnable work. With a WAL
+                // it is recovered right after the crashing step, so this
+                // skip only persists when durability is off — the shard is
+                // then honestly dead and the rest of the cluster runs on.
+                if shard.is_crashed() {
+                    continue;
+                }
                 if let Some(t) = shard.next_event_time() {
                     if t <= deadline && next.is_none_or(|n| (t, s) < n) {
                         next = Some((t, s));
@@ -227,14 +365,83 @@ impl ShardManager {
             let Some((t, s)) = next else { break };
             self.now = t;
             self.shards[s].run_until(t);
+            self.recover_if_crashed(s);
             self.route_escalated(s);
             self.maybe_rebalance();
+            self.maybe_snapshots();
         }
         for s in 0..self.shards.len() {
             self.shards[s].run_until(deadline);
+            self.recover_if_crashed(s);
             self.route_escalated(s);
         }
+        self.maybe_snapshots();
         self.now = deadline;
+    }
+
+    /// Rebuilds shard `s` from its snapshot + WAL suffix after a process
+    /// crash. Without durability this is a no-op: the shard stays dead.
+    ///
+    /// Recovery is invisible to the simulation — the rebuilt engine resumes
+    /// at the exact virtual-clock point the log ends (the replay runs the
+    /// crash-truncated slice to its deadline), and all bookkeeping goes to
+    /// the WAL's own metrics registry, never the deterministic trace.
+    fn recover_if_crashed(&mut self, s: usize) {
+        if !self.shards[s].is_crashed() || self.durability.is_none() {
+            return;
+        }
+        let ShardManager {
+            durability, shards, ..
+        } = self;
+        let dur = durability.as_mut().expect("checked above");
+        let started = std::time::Instant::now();
+        let manager = &mut dur.managers[s];
+        let records = manager.records().expect("wal read at recovery");
+        let base = manager
+            .latest_snapshot()
+            .map(|(at, image)| (at, image.fork_snapshot()));
+        let (base_image, suffix) = match base {
+            Some((at, image)) => {
+                let skip = (at - manager.handle().base()) as usize;
+                (Some(image), records[skip..].to_vec())
+            }
+            None => (None, records),
+        };
+        let replayed = suffix.len();
+        let recovered = recover_engine(base_image, &dur.specs[s], suffix, dur.fingerprints[s])
+            .unwrap_or_else(|e| panic!("shard {s}: unrecoverable wal: {e}"));
+        // The replay ran the crash-truncated tail past the log's end;
+        // write that re-derived history back so the log stays complete.
+        manager.append_all(recovered.appended);
+        let mut engine = recovered.engine;
+        engine.attach_wal(manager.handle());
+        shards[s] = *engine;
+        dur.recoveries += 1;
+        dur.records_replayed += replayed as u64;
+        let wall_ms = started.elapsed().as_millis() as u64;
+        dur.recovery_wall_ms.push(wall_ms);
+        let label = s.to_string();
+        dur.obs
+            .incr("aorta_wal_recoveries", &[("shard", label.as_str())], 1);
+        dur.obs.span(
+            SpanKind::Recovery,
+            shards[s].now(),
+            SimDuration::ZERO,
+            &format!("s{s} replayed {replayed} records"),
+        );
+        debug_assert!(!shards[s].is_crashed(), "recovery left shard {s} halted");
+    }
+
+    /// Takes cadence snapshots of any shard whose log has grown past the
+    /// configured frame budget since its last snapshot.
+    fn maybe_snapshots(&mut self) {
+        let ShardManager {
+            durability, shards, ..
+        } = self;
+        let Some(dur) = durability else { return };
+        for (s, manager) in dur.managers.iter_mut().enumerate() {
+            manager.maybe_snapshot(|| shards[s].fork_snapshot());
+        }
     }
 
     /// Advances the shared virtual clock by `duration`.
@@ -378,11 +585,24 @@ impl ShardManager {
                 .collect()
         };
         for d in movable {
-            let Some(entry) = self.shards[max_s].registry_mut().extract(d) else {
+            let Some(entry) = self.shards[max_s].migrate_out(d) else {
                 continue;
             };
-            self.shards[min_s].registry_mut().adopt(entry);
+            self.shards[min_s].migrate_in(entry);
             self.migrations += 1;
+            // Snapshot barrier: the destination's MigrateIn record carries
+            // no device state (the adopted entry is a live image), so both
+            // shards vault an image *now* — no replay suffix ever has to
+            // cross the migration.
+            {
+                let ShardManager {
+                    durability, shards, ..
+                } = self;
+                if let Some(dur) = durability {
+                    dur.managers[max_s].force_snapshot(|| shards[max_s].fork_snapshot());
+                    dur.managers[min_s].force_snapshot(|| shards[min_s].fork_snapshot());
+                }
+            }
             if let Some(m) = &self.obs {
                 m.incr("aorta_gateway_migrations", &[], 1);
             }
@@ -438,6 +658,31 @@ impl ShardManager {
     /// The gateway's own trace (reroutes, drops, migrations).
     pub fn gateway_trace(&self) -> &TraceBuffer {
         &self.trace
+    }
+
+    /// The durability report: per-shard log counters, snapshots, and
+    /// recovery bookkeeping. `None` unless the cluster was configured with
+    /// a WAL.
+    pub fn wal_report(&self) -> Option<WalReport> {
+        let dur = self.durability.as_ref()?;
+        Some(WalReport {
+            per_shard: dur.managers.iter().map(|m| m.stats()).collect(),
+            snapshots: dur.managers.iter().map(|m| m.snapshots_taken()).collect(),
+            recoveries: dur.recoveries,
+            records_replayed: dur.records_replayed,
+            recovery_wall_ms: dur.recovery_wall_ms.clone(),
+        })
+    }
+
+    /// Crash recoveries performed so far (0 without a WAL).
+    pub fn recoveries(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.recoveries)
+    }
+
+    /// The WAL's own metrics registry (append/recovery series), kept apart
+    /// from the deterministic cluster snapshot. `None` without a WAL.
+    pub fn wal_metrics_snapshot(&self) -> Option<MetricsRegistry> {
+        self.durability.as_ref().map(|d| d.obs.snapshot())
     }
 
     /// Requests the gateway re-routed to a sibling shard.
@@ -756,6 +1001,126 @@ mod tests {
         plain.inject_faults(plan);
         plain.run_for(RUN);
         assert_eq!(plain.stats(), stats, "recording must be write-only");
+    }
+
+    #[test]
+    fn wal_cluster_is_byte_identical_to_unlogged() {
+        let run = |wal: bool| {
+            let mut config = ClusterConfig::seeded(13, 2);
+            if wal {
+                config = config.with_wal(64);
+            }
+            let mut cluster = ShardManager::new(config, lab());
+            admit_queries(&mut cluster, true);
+            cluster.run_for(SimDuration::from_mins(4));
+            (cluster.stats(), cluster.render_trace())
+        };
+        let (plain_stats, plain_trace) = run(false);
+        let (wal_stats, wal_trace) = run(true);
+        assert_eq!(plain_stats, wal_stats, "logging must be write-only");
+        assert_eq!(plain_trace, wal_trace, "logging must be write-only");
+    }
+
+    #[test]
+    fn crashed_shard_recovers_byte_identical_to_uninterrupted_run() {
+        let victim = DeviceId::camera(0);
+        let crash_at = SimTime::ZERO + SimDuration::from_secs(150);
+        let build = |wal: bool| {
+            let mut config = ClusterConfig::seeded(17, 2).with_imbalance_threshold(u64::MAX);
+            if wal {
+                config = config.with_wal(128);
+            }
+            let mut cluster = ShardManager::new(config, lab());
+            admit_queries(&mut cluster, true);
+            cluster
+        };
+
+        // Reference: the same crash event, absorbed — the shard never halts.
+        let mut reference = build(false);
+        let owner = reference.shard_owning(victim).expect("victim is owned");
+        reference.shard_mut(owner).grant_crash_immunity(1);
+        let mut plan = FaultPlan::new();
+        plan.schedule(crash_at, FaultEvent::ProcessCrash(victim));
+        reference.inject_faults(plan.clone());
+        reference.run_for(RUN);
+        assert_eq!(reference.recoveries(), 0);
+
+        // Live: the shard halts mid-run and is rebuilt from its WAL.
+        let mut live = build(true);
+        assert_eq!(live.shard_owning(victim), Some(owner));
+        live.inject_faults(plan);
+        live.run_for(RUN);
+        assert_eq!(live.recoveries(), 1, "exactly one recovery expected");
+        assert!(!live.shard(owner).is_crashed());
+
+        let stats = live.stats();
+        stats.check_conservation().unwrap();
+        assert_eq!(stats, reference.stats(), "recovery must be invisible");
+        assert_eq!(
+            live.render_trace(),
+            reference.render_trace(),
+            "recovered cluster trace must be byte-identical"
+        );
+        let report = live.wal_report().expect("wal is on");
+        assert!(report.records_replayed > 0);
+        assert_eq!(report.recovery_wall_ms.len(), 1);
+    }
+
+    #[test]
+    fn recovery_after_migration_replays_from_the_barrier_snapshot() {
+        // Rebalancing on + WAL on: migrations force barrier snapshots, and
+        // a later process crash on each shard must recover from them (a
+        // replay from genesis would hit the unreplayable MigrateIn).
+        let mut config = ClusterConfig::seeded(5, 2).with_wal(1_000_000);
+        config.imbalance_threshold = 1;
+        config.migration_batch = 1;
+        let mut cluster = ShardManager::new(config, lab());
+        admit_queries(&mut cluster, true);
+        cluster.run_for(SimDuration::from_mins(6));
+        assert!(cluster.migrations() > 0, "scenario must migrate");
+
+        // Crash one camera-owning device per shard late in the run.
+        let mut plan = FaultPlan::new();
+        for s in 0..2 {
+            let cam = cluster.shard(s).registry().ids_of_kind(DeviceKind::Camera)[0];
+            assert_eq!(cluster.shard_owning(cam), Some(s));
+            plan.schedule(
+                cluster.now() + SimDuration::from_secs(30 + s as u64),
+                FaultEvent::ProcessCrash(cam),
+            );
+        }
+        cluster.inject_faults(plan);
+        cluster.run_for(SimDuration::from_mins(4));
+
+        assert_eq!(cluster.recoveries(), 2, "both shards must recover");
+        cluster.stats().check_conservation().unwrap();
+        let report = cluster.wal_report().expect("wal is on");
+        // The snapshot cadence is effectively off (1M frames), so every
+        // vaulted image is a migration barrier — and recovery used them.
+        assert!(report.snapshots.iter().sum::<u64>() >= 2);
+    }
+
+    #[test]
+    fn without_wal_a_crashed_shard_stays_dead_but_conservation_holds() {
+        let mut cluster = ShardManager::new(
+            ClusterConfig::seeded(17, 2).with_imbalance_threshold(u64::MAX),
+            lab(),
+        );
+        admit_queries(&mut cluster, true);
+        let victim = DeviceId::camera(0);
+        let owner = cluster.shard_owning(victim).expect("owned");
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(150),
+            FaultEvent::ProcessCrash(victim),
+        );
+        cluster.inject_faults(plan);
+        cluster.run_for(RUN);
+        assert!(cluster.shard(owner).is_crashed(), "no wal, no recovery");
+        assert_eq!(cluster.recoveries(), 0);
+        // The dead shard's admitted-but-unresolved work is visibly pending,
+        // so the cluster ledger still closes.
+        cluster.stats().check_conservation().unwrap();
     }
 
     #[test]

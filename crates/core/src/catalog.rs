@@ -13,7 +13,11 @@ use crate::EngineError;
 pub(crate) const BUILTIN_FUNCTIONS: &[(&str, usize)] = &[("coverage", 2), ("distance", 2)];
 
 /// The catalog of actions and registered continuous queries.
-#[derive(Debug, Default)]
+///
+/// `Clone` supports crash-recovery snapshots: custom action handlers are
+/// `Arc`-shared closures, so a cloned catalog shares handler code while
+/// owning its query plans.
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     actions: BTreeMap<String, ActionDef>,
     queries: BTreeMap<String, AqPlan>,

@@ -10,6 +10,7 @@ use aorta_obs::{MetricsRegistry, SharedMetrics};
 use aorta_sim::metrics::DurationStats;
 use aorta_sim::{EventQueue, FaultPlan, LinkModel, SimRng, SimTime, TraceBuffer};
 use aorta_sql::ast::{CreateAction, Select, Statement};
+use aorta_wal::{WalHandle, WalRecord};
 
 use crate::actions::{ActionDef, ActionHandler, ActionProfile, CustomHandler};
 use crate::admission::TokenBucket;
@@ -98,6 +99,20 @@ pub struct Aorta {
     /// `config.observability` — recording is write-only, so this never
     /// influences engine behavior).
     pub(crate) obs: Option<SharedMetrics>,
+    /// Write-ahead log sink (`None` when durability is off). A separate
+    /// channel from trace/stats/rng: attaching a WAL never perturbs the
+    /// simulated run, so a logged run stays byte-identical to an unlogged
+    /// one.
+    pub(crate) wal: Option<WalHandle>,
+    /// Set when a [`aorta_sim::FaultEvent::ProcessCrash`] halted this
+    /// engine. A halted engine ignores further work; its in-memory state is
+    /// garbage by definition (the process died) and recovery rebuilds a
+    /// fresh engine from snapshot + WAL replay.
+    pub(crate) halted: bool,
+    /// Process-crash events to absorb without halting. Recovery grants one
+    /// immunity per `CrashApplied` record in the replay suffix so a crash
+    /// already in the log cannot halt the replaying engine a second time.
+    pub(crate) crash_immunity: u32,
 }
 
 impl Aorta {
@@ -153,7 +168,139 @@ impl Aorta {
             admission_bucket,
             latency_samples: DurationStats::new(),
             obs,
+            wal: None,
+            halted: false,
+            crash_immunity: 0,
         }
+    }
+
+    // --- write-ahead logging & crash recovery --------------------------------
+
+    /// Attaches a WAL sink: from here on every external input (command) and
+    /// control-plane transition (effect) is appended to it. Logging is a
+    /// separate channel from the simulation (no trace/stats/RNG use), so an
+    /// attached WAL never changes the run's observable behavior.
+    pub fn attach_wal(&mut self, wal: WalHandle) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches the WAL sink, returning it (e.g. to switch a recovered
+    /// engine from verify mode back to record mode).
+    pub fn detach_wal(&mut self) -> Option<WalHandle> {
+        self.wal.take()
+    }
+
+    /// The attached WAL sink, if any.
+    pub fn wal(&self) -> Option<&WalHandle> {
+        self.wal.as_ref()
+    }
+
+    /// Whether a process-crash fault has halted this engine. A crashed
+    /// engine refuses further work until recovery replaces it.
+    pub fn is_crashed(&self) -> bool {
+        self.halted
+    }
+
+    /// Grants immunity against the next `n` process-crash events (used by
+    /// recovery so crashes already in the log don't halt the replay).
+    pub fn grant_crash_immunity(&mut self, n: u32) {
+        self.crash_immunity += n;
+    }
+
+    /// Appends to the WAL when one is attached. The record is built lazily
+    /// so the hot path pays nothing when durability is off.
+    pub(crate) fn wal_emit(&self, record: impl FnOnce() -> WalRecord) {
+        if let Some(wal) = &self.wal {
+            wal.append(record());
+        }
+    }
+
+    /// A deep copy of the engine for a crash-recovery snapshot.
+    ///
+    /// Everything is cloned by value except: the WAL handle (a snapshot is
+    /// a passive image — it must not share, or re-log into, the live log),
+    /// custom action handlers (`Arc`-shared code, not state), and the
+    /// observability registry, which is deep-cloned and re-pointed into the
+    /// prober/breakers so the image's metrics can diverge from the donor's.
+    pub fn fork_snapshot(&self) -> Box<Aorta> {
+        let obs = self.obs.as_ref().map(SharedMetrics::deep_clone);
+        let mut prober = self.prober.clone();
+        let mut breakers = self.breakers.clone();
+        if let Some(m) = &obs {
+            prober.set_metrics(m.clone());
+            if let Some(bank) = &mut breakers {
+                bank.set_metrics(m.clone());
+            }
+        }
+        Box::new(Aorta {
+            config: self.config.clone(),
+            registry: self.registry.clone(),
+            catalog: self.catalog.clone(),
+            locks: self.locks.clone(),
+            prober,
+            rng: self.rng.clone(),
+            now: self.now,
+            queue: self.queue.clone(),
+            operators: self.operators.clone(),
+            edge: self.edge.clone(),
+            eval_error_reported: self.eval_error_reported.clone(),
+            pindex: self.pindex.clone(),
+            scan_kinds: self.scan_kinds.clone(),
+            raw_stats: self.raw_stats,
+            trace: self.trace.clone(),
+            faults: self.faults.clone(),
+            loss_stack: self.loss_stack.clone(),
+            latency_stack: self.latency_stack.clone(),
+            baseline_links: self.baseline_links.clone(),
+            staged_handlers: self.staged_handlers.clone(),
+            escalated: self.escalated.clone(),
+            breakers,
+            admission_bucket: self.admission_bucket.clone(),
+            latency_samples: self.latency_samples.clone(),
+            obs,
+            wal: None,
+            halted: self.halted,
+            crash_immunity: self.crash_immunity,
+        })
+    }
+
+    /// A deterministic digest over the engine's dynamic state: virtual
+    /// clock, counters, RNG state, trace, locks, edges, queue, operators.
+    /// Two engines with equal digests produce identical futures — the
+    /// equality recovery tests assert between a replayed engine and its
+    /// uninterrupted reference.
+    pub fn state_digest(&self) -> u64 {
+        fn fnv(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        fnv(&mut h, format!("{:?}", self.now).as_bytes());
+        fnv(&mut h, format!("{:?}", self.raw_stats).as_bytes());
+        fnv(&mut h, format!("{:?}", self.rng.state()).as_bytes());
+        fnv(&mut h, self.trace.render().as_bytes());
+        fnv(&mut h, format!("{:?}", self.locks).as_bytes());
+        fnv(&mut h, format!("{:?}", self.edge).as_bytes());
+        fnv(&mut h, format!("{:?}", self.escalated).as_bytes());
+        fnv(&mut h, format!("{:?}", self.latency_samples).as_bytes());
+        fnv(&mut h, format!("{:?}", self.loss_stack).as_bytes());
+        fnv(&mut h, format!("{:?}", self.latency_stack).as_bytes());
+        let queued: Vec<String> = self
+            .queue
+            .iter()
+            .map(|(t, e)| format!("{t:?} {e:?}"))
+            .collect();
+        fnv(&mut h, format!("{queued:?}").as_bytes());
+        for (name, op) in &self.operators {
+            fnv(
+                &mut h,
+                format!("{name} {} {}", op.pending_len(), op.total_enqueued()).as_bytes(),
+            );
+        }
+        fnv(&mut h, format!("{}", self.catalog.query_count()).as_bytes());
+        h
     }
 
     /// Installs a fault schedule. As the clock advances, due faults are
@@ -165,6 +312,9 @@ impl Aorta {
     /// bursts degrade, so call this after any [`DeviceRegistry::set_link`]
     /// customization.
     pub fn inject_faults(&mut self, plan: FaultPlan<DeviceId>) {
+        self.wal_emit(|| WalRecord::FaultsInjected {
+            events: plan.iter().cloned().collect(),
+        });
         self.baseline_links.clear();
         for kind in DeviceKind::ALL {
             self.baseline_links
@@ -278,8 +428,31 @@ impl Aorta {
     }
 
     /// Mutable access to the device registry (join/leave devices).
+    ///
+    /// Membership changes made through this accessor bypass the WAL; on a
+    /// WAL-attached engine use [`Aorta::migrate_out`] / [`Aorta::migrate_in`]
+    /// for ownership transfers so recovery sees them.
     pub fn registry_mut(&mut self) -> &mut DeviceRegistry {
         &mut self.registry
+    }
+
+    /// Extracts `device` for migration to another shard, logging the
+    /// departure — the WAL-aware counterpart of
+    /// `registry_mut().extract(device)`.
+    pub fn migrate_out(&mut self, device: DeviceId) -> Option<aorta_net::DeviceEntry> {
+        self.wal_emit(|| WalRecord::MigrateOut { device });
+        self.registry.extract(device)
+    }
+
+    /// Adopts a device entry migrated from another shard, logging the
+    /// arrival. The adopted entry is a live device image no log record can
+    /// reconstruct, so the cluster's WAL manager force-snapshots both sides
+    /// immediately after each migration — replay never crosses a
+    /// `MigrateIn` record (encountering one is a loud recovery error).
+    pub fn migrate_in(&mut self, entry: aorta_net::DeviceEntry) -> DeviceId {
+        let id = self.registry.adopt(entry);
+        self.wal_emit(|| WalRecord::MigrateIn { device: id });
+        id
     }
 
     /// The catalog of actions and registered queries.
@@ -351,6 +524,12 @@ impl Aorta {
     /// [`EngineError`] on syntax, validation, planning or catalog problems.
     pub fn execute_sql(&mut self, sql: &str) -> Result<Vec<ExecOutput>, EngineError> {
         let statements = aorta_sql::parse(sql)?;
+        // Command-log the whole batch once parsing succeeds. Execution
+        // errors are deterministic, so replaying the batch fails at the
+        // same statement and leaves the same prefix applied.
+        self.wal_emit(|| WalRecord::SqlExec {
+            sql: sql.to_string(),
+        });
         let mut out = Vec::with_capacity(statements.len());
         for stmt in statements {
             out.push(self.execute_statement(stmt)?);
@@ -413,6 +592,10 @@ impl Aorta {
         let schema = self.registry.schema(registered.event_kind);
         self.pindex.register(registered, schema);
         self.scan_kinds = None;
+        self.wal_emit(|| WalRecord::AqRegistered {
+            query_id: id,
+            name: name.clone(),
+        });
         Ok(id)
     }
 
@@ -434,6 +617,10 @@ impl Aorta {
         self.edge.retain(|(q, _), _| *q != dropped.query_id);
         self.pindex.unregister(&dropped);
         self.scan_kinds = None;
+        self.wal_emit(|| WalRecord::AqDropped {
+            query_id: dropped.query_id,
+            name: name.to_string(),
+        });
         Ok(())
     }
 

@@ -19,6 +19,7 @@ use aorta_device::{
 use aorta_net::{BreakerDecision, BreakerState, ScanOperator};
 use aorta_obs::{detect_metrics, MetricsRegistry, SpanKind};
 use aorta_sim::{FaultEvent, LinkModel, SimDuration, SimTime};
+use aorta_wal::{LifecycleStage, WalRecord};
 
 use crate::actions::{ActionDef, ActionHandler};
 use crate::cost::{estimate_action_cost, CostContext};
@@ -268,6 +269,12 @@ impl Aorta {
     /// same clock: a fault scheduled at or before the next engine event is
     /// applied first, so a crash at `t` affects an execution at `t`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        // A crashed engine does nothing (and logs nothing): its in-memory
+        // state died with the process, and recovery rebuilds a fresh one.
+        if self.halted {
+            return;
+        }
+        self.wal_emit(|| WalRecord::RunUntil { deadline });
         loop {
             let next_fault = self.faults.peek_next_time().filter(|&f| f <= deadline);
             let next_event = self.queue.peek_time().filter(|&e| e <= deadline);
@@ -281,6 +288,9 @@ impl Aorta {
                 self.now = t;
                 for (time, fault) in self.faults.pop_due(t) {
                     self.apply_fault(time, fault);
+                    if self.halted {
+                        return;
+                    }
                 }
                 continue;
             }
@@ -313,6 +323,9 @@ impl Aorta {
         for (time, fault) in self.faults.pop_due(deadline) {
             self.now = time;
             self.apply_fault(time, fault);
+            if self.halted {
+                return;
+            }
         }
         self.now = deadline;
     }
@@ -411,6 +424,11 @@ impl Aorta {
                     if bank.force_open(d, time, &mut self.rng) {
                         self.trace
                             .emit(time, "breaker", format!("{d} opened on crash"));
+                        self.wal_emit(|| WalRecord::Breaker {
+                            device: d,
+                            state: 1,
+                            at: time,
+                        });
                     }
                 }
             }
@@ -447,6 +465,20 @@ impl Aorta {
                 self.rebuild_links();
                 self.trace.emit(time, "fault", "latency spike ends");
             }
+            FaultEvent::ProcessCrash(_) => {
+                // Control-plane crash: this engine process dies at `time`.
+                // Deliberately zero observable footprint — no trace line, no
+                // counter, no RNG draw — so a crashed-and-recovered run can
+                // be byte-identical to an uninterrupted reference run. The
+                // WAL is a separate channel; the `CrashApplied` record is
+                // what recovery counts to grant replay immunity.
+                self.wal_emit(|| WalRecord::CrashApplied { at: time });
+                if self.crash_immunity > 0 {
+                    self.crash_immunity -= 1;
+                } else {
+                    self.halted = true;
+                }
+            }
         }
     }
 
@@ -465,11 +497,22 @@ impl Aorta {
         }
     }
 
+    /// WAL lifecycle effect for one request transition (no-op without WAL).
+    fn wal_stage(&self, query_id: u32, stage: LifecycleStage) {
+        let at = self.now;
+        self.wal_emit(|| WalRecord::Lifecycle {
+            query_id,
+            stage,
+            at,
+        });
+    }
+
     // --- cluster hooks -------------------------------------------------------
 
     /// Parks an exhausted request in the escalation buffer for the gateway.
     fn escalate(&mut self, request: ActionRequest) {
         self.raw_stats.escalated_out += 1;
+        self.wal_stage(request.query_id, LifecycleStage::Escalated);
         self.trace.emit(
             self.now,
             "gateway",
@@ -486,6 +529,7 @@ impl Aorta {
     /// some shard via [`Aorta::inject_request`] or counted dropped, so the
     /// cluster-wide conservation invariant keeps holding.
     pub fn drain_escalated(&mut self) -> Vec<ActionRequest> {
+        self.wal_emit(|| WalRecord::DrainEscalated);
         std::mem::take(&mut self.escalated)
     }
 
@@ -498,6 +542,10 @@ impl Aorta {
     /// shard counts it only as `escalated_in`, so cluster-wide each request
     /// is counted exactly once.
     pub fn inject_request(&mut self, mut request: ActionRequest) {
+        if self.wal.is_some() {
+            let wire = crate::recovery::wire_from_request(&request);
+            self.wal_emit(|| WalRecord::RequestInjected { request: wire });
+        }
         self.raw_stats.escalated_in += 1;
         request.candidates = self.recompute_candidates(&request);
         self.trace.emit(
@@ -524,6 +572,13 @@ impl Aorta {
         &mut self,
         request: &ActionRequest,
     ) -> Option<(DeviceId, SimDuration)> {
+        // Command-logged even though it mutates no visible state: the
+        // candidate rescan draws from the engine RNG, so replay must re-run
+        // it to keep the stream aligned.
+        if self.wal.is_some() {
+            let wire = crate::recovery::wire_from_request(request);
+            self.wal_emit(|| WalRecord::RouteProbe { request: wire });
+        }
         let def = self.catalog.action(&request.action).cloned()?;
         let candidates = self.recompute_candidates(request);
         if candidates.is_empty() {
@@ -628,6 +683,7 @@ impl Aorta {
                 self.escalate(request.clone());
             } else {
                 self.raw_stats.orphaned += 1;
+                self.wal_stage(request.query_id, LifecycleStage::Orphaned);
                 self.trace.emit(
                     self.now,
                     "failover",
@@ -654,6 +710,7 @@ impl Aorta {
             return false;
         }
         self.raw_stats.retries += 1;
+        self.wal_stage(retry.query_id, LifecycleStage::Retried);
         self.trace.emit(
             self.now,
             "failover",
@@ -845,6 +902,10 @@ impl Aorta {
             .and_then(Value::as_i64)
             .expect("fire_event only sees tuples with an id");
         self.raw_stats.events_detected += 1;
+        self.wal_emit(|| WalRecord::EdgeCommit {
+            query_id: plan.query_id,
+            source,
+        });
         if let Some(m) = &self.obs {
             let query = plan.query_id.to_string();
             m.incr("aorta_events", &[("query", query.as_str())], 1);
@@ -889,6 +950,7 @@ impl Aorta {
             let degraded = match verdict {
                 AdmissionVerdict::Shed => {
                     self.raw_stats.shed += 1;
+                    self.wal_stage(plan.query_id, LifecycleStage::Shed);
                     self.trace.emit(
                         self.now,
                         "admission",
@@ -897,6 +959,7 @@ impl Aorta {
                     continue;
                 }
                 AdmissionVerdict::Degrade => {
+                    self.wal_stage(plan.query_id, LifecycleStage::Degraded);
                     self.trace.emit(
                         self.now,
                         "admission",
@@ -904,7 +967,10 @@ impl Aorta {
                     );
                     true
                 }
-                AdmissionVerdict::Admit => false,
+                AdmissionVerdict::Admit => {
+                    self.wal_stage(plan.query_id, LifecycleStage::Admitted);
+                    false
+                }
             };
             let request = ActionRequest {
                 query_id: plan.query_id,
@@ -1226,6 +1292,7 @@ impl Aorta {
                     self.escalate(request);
                 } else {
                     self.raw_stats.no_candidate += 1;
+                    self.wal_stage(request.query_id, LifecycleStage::NoCandidate);
                     self.trace.emit(
                         self.now,
                         "dispatch",
@@ -1237,6 +1304,7 @@ impl Aorta {
             let start = free_at[&d];
             if start > request.created_at + self.config.request_timeout {
                 self.raw_stats.timed_out += 1;
+                self.wal_stage(request.query_id, LifecycleStage::TimedOut);
                 self.trace.emit(
                     self.now,
                     "dispatch",
@@ -1252,6 +1320,7 @@ impl Aorta {
             // on a result that will be cancelled — shed it up front.
             if finish > request.deadline {
                 self.raw_stats.shed += 1;
+                self.wal_stage(request.query_id, LifecycleStage::Shed);
                 self.trace.emit(
                     self.now,
                     "deadline",
@@ -1262,6 +1331,7 @@ impl Aorta {
                 );
                 continue;
             }
+            self.wal_stage(request.query_id, LifecycleStage::Dispatched);
             self.trace.emit(
                 self.now,
                 "dispatch",
@@ -1525,6 +1595,7 @@ impl Aorta {
             return false;
         }
         self.raw_stats.retries += 1;
+        self.wal_stage(retry.query_id, LifecycleStage::Retried);
         self.trace.emit(
             self.now,
             "dispatch",
@@ -1618,6 +1689,7 @@ impl Aorta {
     /// behind it, so an expiry never strands a healthy device locked.
     fn expire_request(&mut self, request: &ActionRequest, device: DeviceId) {
         self.raw_stats.expired += 1;
+        self.wal_stage(request.query_id, LifecycleStage::Expired);
         self.trace.emit(
             self.now,
             "deadline",
@@ -1659,6 +1731,12 @@ impl Aorta {
                         bank.health(device)
                     ),
                 );
+                let at = self.now;
+                self.wal_emit(|| WalRecord::Breaker {
+                    device,
+                    state: 0,
+                    at,
+                });
             }
         } else if bank.record_failure(device, self.now, &mut self.rng) {
             self.trace.emit(
@@ -1669,14 +1747,22 @@ impl Aorta {
                     bank.health(device)
                 ),
             );
+            let at = self.now;
+            self.wal_emit(|| WalRecord::Breaker {
+                device,
+                state: 1,
+                at,
+            });
         }
     }
 
     fn execute_request(&mut self, request: &ActionRequest, device: DeviceId) {
         let Some(def) = self.catalog.action(&request.action).cloned() else {
             self.raw_stats.action_errors += 1;
+            self.wal_stage(request.query_id, LifecycleStage::Failed);
             return;
         };
+        self.wal_stage(request.query_id, LifecycleStage::Executing);
         let args = self.arg_values(request, device).unwrap_or_default();
         match &def.handler {
             ActionHandler::Photo => self.execute_photo(request, device),
@@ -1698,6 +1784,7 @@ impl Aorta {
                     Some(done) => {
                         self.raw_stats.executed += 1;
                         self.raw_stats.messages_delivered += 1;
+                        self.wal_stage(request.query_id, LifecycleStage::Completed);
                         self.record_latency(request, done);
                         self.breaker_note(device, true);
                         if self.config.sync_enabled {
@@ -1708,6 +1795,7 @@ impl Aorta {
                         self.breaker_note(device, false);
                         if !self.maybe_retry(request, device) {
                             self.raw_stats.connect_failures += 1;
+                            self.wal_stage(request.query_id, LifecycleStage::Failed);
                         }
                     }
                 }
@@ -1723,12 +1811,14 @@ impl Aorta {
                 if ok {
                     self.raw_stats.executed += 1;
                     self.raw_stats.beeps_delivered += 1;
+                    self.wal_stage(request.query_id, LifecycleStage::Completed);
                     self.record_latency(request, now);
                     self.breaker_note(device, true);
                 } else {
                     self.breaker_note(device, false);
                     if !self.maybe_retry(request, device) {
                         self.raw_stats.connect_failures += 1;
+                        self.wal_stage(request.query_id, LifecycleStage::Failed);
                     }
                 }
             }
@@ -1738,6 +1828,7 @@ impl Aorta {
                 match handler(&mut self.registry, device, &args, now, &mut self.rng) {
                     Ok(done) => {
                         self.raw_stats.executed += 1;
+                        self.wal_stage(request.query_id, LifecycleStage::Completed);
                         self.record_latency(request, done);
                         self.breaker_note(device, true);
                         if self.config.sync_enabled {
@@ -1747,6 +1838,7 @@ impl Aorta {
                     Err(_) => {
                         self.breaker_note(device, false);
                         self.raw_stats.action_errors += 1;
+                        self.wal_stage(request.query_id, LifecycleStage::Failed);
                     }
                 }
             }
@@ -1756,6 +1848,7 @@ impl Aorta {
     fn execute_photo(&mut self, request: &ActionRequest, device: DeviceId) {
         let Some(target) = self.photo_target(request, device) else {
             self.raw_stats.action_errors += 1;
+            self.wal_stage(request.query_id, LifecycleStage::Failed);
             return;
         };
         let now = self.now;
@@ -1803,6 +1896,7 @@ impl Aorta {
         }
         let Some(cam) = self.registry.camera_mut(device) else {
             self.raw_stats.action_errors += 1;
+            self.wal_stage(request.query_id, LifecycleStage::Failed);
             return;
         };
         match cam.begin_photo(now, target, size, &mut self.rng) {
@@ -1817,6 +1911,7 @@ impl Aorta {
                 } else {
                     self.raw_stats.executed += 1;
                 }
+                self.wal_stage(request.query_id, LifecycleStage::Completed);
                 self.record_latency(request, record.completes_at);
                 self.breaker_note(device, true);
                 if self.config.sync_enabled {
@@ -1841,6 +1936,7 @@ impl Aorta {
                         PhotoError::BusyRejected => self.raw_stats.busy_rejections += 1,
                         PhotoError::OutOfRange => self.raw_stats.out_of_range += 1,
                     }
+                    self.wal_stage(request.query_id, LifecycleStage::Failed);
                 }
             }
         }

@@ -45,6 +45,7 @@ mod expr;
 mod lock;
 mod pindex;
 mod plan;
+mod recovery;
 mod shared;
 
 pub use actions::{ActionDef, ActionHandler, ActionProfile, CustomHandler, ProfileNode, UnitsSpec};
@@ -58,4 +59,8 @@ pub use expr::{eval_expr, Env, EvalContext};
 pub use lock::LockManager;
 pub use pindex::PredicateIndex;
 pub use plan::{ActionCallPlan, AqPlan, DevicePart};
+pub use recovery::{
+    genesis_fingerprint, recover_engine, recover_from_log, request_from_wire, wire_from_request,
+    GenesisSpec, Recovered,
+};
 pub use shared::{ActionRequest, SharedActionOperator};

@@ -66,7 +66,7 @@ pub struct ActionRequest {
 
 /// The per-action-name shared operator: a request accumulator with
 /// statistics.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SharedActionOperator {
     pending: Vec<ActionRequest>,
     /// Which queries share this operator (for introspection).

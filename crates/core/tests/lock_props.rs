@@ -176,6 +176,116 @@ proptest! {
     }
 }
 
+/// Regression (crash recovery): a process crash while a request is executing
+/// — device lock held — must not leak the lock through recovery. Replay
+/// re-acquires and releases it deterministically, so the recovered engine's
+/// lock table is byte-identical to an uninterrupted run's and the device is
+/// grantable again afterwards.
+#[test]
+fn crash_mid_execution_relocks_deterministically_on_replay() {
+    use aorta_core::{genesis_fingerprint, recover_from_log, EngineConfig, GenesisSpec};
+    use aorta_device::PervasiveLab;
+    use aorta_net::DeviceRegistry;
+    use aorta_sim::{FaultEvent, FaultPlan, SimDuration};
+    use aorta_wal::{MemStore, WalHandle, WalRecord};
+
+    const SNAPSHOT_AQ: &str = r#"CREATE AQ snapshot AS
+        SELECT photo(c.ip, s.loc, "photos/admin")
+        FROM sensor s, camera c
+        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#;
+
+    // One camera, one mote: every epoch's photo serializes through one lock.
+    let spec = GenesisSpec {
+        config: EngineConfig::seeded(11),
+        registry: DeviceRegistry::from_lab(
+            PervasiveLab::with_sizes(1, 1, 0)
+                .with_reliable_cameras()
+                .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO),
+        ),
+        handlers: Vec::new(),
+    };
+    let fp = genesis_fingerprint(11, 0);
+    let cam = DeviceId::camera(0);
+    let epoch = t(60_000_000);
+
+    // Find an instant inside the second epoch's lock window: the seed is
+    // fixed, so this probe is deterministic.
+    let crash_at = [500u64, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000]
+        .into_iter()
+        .map(|us| epoch + SimDuration::from_micros(us))
+        .find(|&at| {
+            let mut probe = spec.build();
+            probe.execute_sql(SNAPSHOT_AQ).unwrap();
+            probe.run_until(at);
+            probe.locks().is_locked(cam, at)
+        })
+        .expect("no instant found with the camera lock held");
+
+    let mut plan = FaultPlan::new();
+    plan.schedule(crash_at, FaultEvent::ProcessCrash(cam));
+    let drive = |engine: &mut aorta_core::Aorta| {
+        for i in 1..=5u64 {
+            engine.run_until(t(i * 30_000_000));
+            if engine.is_crashed() {
+                return;
+            }
+        }
+    };
+
+    // Reference: crash absorbed, request completes, lock released normally.
+    let mut reference = spec.build();
+    reference.grant_crash_immunity(1);
+    reference.execute_sql(SNAPSHOT_AQ).unwrap();
+    reference.inject_faults(plan.clone());
+    drive(&mut reference);
+
+    // Live run halts holding the lock; recovery replays through the crash.
+    let mut live = spec.build();
+    let handle = WalHandle::record(Box::new(MemStore::new()), None, "s0");
+    handle.append(WalRecord::Genesis { fingerprint: fp });
+    live.attach_wal(handle.clone());
+    live.execute_sql(SNAPSHOT_AQ).unwrap();
+    live.inject_faults(plan);
+    drive(&mut live);
+    assert!(live.is_crashed());
+    assert!(
+        live.locks().is_locked(cam, crash_at),
+        "the crash must land inside the execution's lock window"
+    );
+
+    let recovered = recover_from_log(&spec, handle.records().unwrap(), fp).expect("recovery");
+    let mut engine = recovered.engine;
+    drive(&mut engine);
+
+    // The replay re-acquired and released the lock on the original
+    // schedule: same grant counters, same table, camera grantable again.
+    assert_eq!(
+        format!("{:?}", engine.locks()),
+        format!("{:?}", reference.locks()),
+        "lock table must match the uninterrupted run"
+    );
+    assert_eq!(
+        engine.locks().acquisitions(),
+        reference.locks().acquisitions()
+    );
+    assert!(!engine.locks().is_locked(cam, engine.now()));
+    assert_eq!(engine.state_digest(), reference.state_digest());
+    let stats = engine.stats();
+    let accounted = stats.executed
+        + stats.degraded
+        + stats.connect_failures
+        + stats.busy_rejections
+        + stats.no_candidate
+        + stats.timed_out
+        + stats.out_of_range
+        + stats.action_errors
+        + stats.orphaned
+        + stats.shed
+        + stats.expired
+        + engine.pending_requests();
+    assert_eq!(stats.requests, accounted, "{stats:?}");
+}
+
 /// Regression (overload lifecycle): a request cancelled at execution because
 /// its deadline passed must release the device lock its lane was holding —
 /// the deadline analogue of the lock leak the crash-failover path fixed.

@@ -1,0 +1,237 @@
+//! Crash-recovery integration tests for the WAL subsystem (single engine).
+//!
+//! The contract under test: attaching a WAL never perturbs a run, and a
+//! process crash mid-run recovers — by snapshot or by full replay from
+//! genesis — to a state *byte-identical* to an uninterrupted reference run
+//! over the same inputs (same stats, same trace, same RNG position, same
+//! lock table; the `state_digest` covers all of it).
+
+use aorta_core::{
+    genesis_fingerprint, recover_engine, recover_from_log, Aorta, EngineConfig, GenesisSpec,
+};
+use aorta_device::{DeviceId, PervasiveLab};
+use aorta_net::DeviceRegistry;
+use aorta_sim::{FaultEvent, FaultPlan, SimDuration, SimTime};
+use aorta_wal::{MemStore, WalHandle, WalManager, WalRecord};
+
+const SNAPSHOT_AQ: &str = r#"CREATE AQ snapshot AS
+    SELECT photo(c.ip, s.loc, "photos/admin")
+    FROM sensor s, camera c
+    WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#;
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_micros(secs * 1_000_000)
+}
+
+fn lab() -> PervasiveLab {
+    PervasiveLab::with_sizes(4, 6, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO)
+}
+
+fn genesis(seed: u64) -> (GenesisSpec, u64) {
+    let spec = GenesisSpec {
+        config: EngineConfig::seeded(seed),
+        registry: DeviceRegistry::from_lab(lab()),
+        handlers: Vec::new(),
+    };
+    (spec, genesis_fingerprint(seed, 0))
+}
+
+/// Camera crash/recover plus a process crash at 150.01s (mid-slice, between
+/// the 120s and 180s event epochs).
+fn plan_with_process_crash() -> FaultPlan<DeviceId> {
+    let mut plan = FaultPlan::new();
+    plan.schedule(t(90), FaultEvent::Crash(DeviceId::camera(1)));
+    plan.schedule(
+        t(150) + SimDuration::from_millis(10),
+        FaultEvent::ProcessCrash(DeviceId::camera(0)),
+    );
+    plan.schedule(t(200), FaultEvent::Recover(DeviceId::camera(1)));
+    plan
+}
+
+fn drive_slices(engine: &mut Aorta, from: u64, to: u64) {
+    for i in from..=to {
+        engine.run_until(t(30 * i));
+        if engine.is_crashed() {
+            return;
+        }
+    }
+}
+
+/// Attaching a WAL is a separate channel: a logged run is byte-identical
+/// to an unlogged one over the same inputs.
+#[test]
+fn wal_attach_never_perturbs_the_run() {
+    let (spec, fp) = genesis(7);
+
+    let mut silent = spec.build();
+    silent.execute_sql(SNAPSHOT_AQ).unwrap();
+    silent.inject_faults(plan_with_process_crash());
+    silent.grant_crash_immunity(1);
+    drive_slices(&mut silent, 1, 10);
+
+    let mut logged = spec.build();
+    let handle = WalHandle::record(Box::new(MemStore::new()), None, "s0");
+    handle.append(WalRecord::Genesis { fingerprint: fp });
+    logged.attach_wal(handle.clone());
+    logged.execute_sql(SNAPSHOT_AQ).unwrap();
+    logged.inject_faults(plan_with_process_crash());
+    logged.grant_crash_immunity(1);
+    drive_slices(&mut logged, 1, 10);
+
+    assert_eq!(silent.stats(), logged.stats());
+    assert_eq!(silent.trace().render(), logged.trace().render());
+    assert_eq!(silent.state_digest(), logged.state_digest());
+    // …and the log actually recorded the run.
+    let records = handle.records().unwrap();
+    assert!(records.len() > 4, "only {} records", records.len());
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, WalRecord::CrashApplied { .. })));
+}
+
+/// A process crash mid-run, recovered by full replay from genesis, resumes
+/// at the exact virtual-clock point and finishes byte-identical to an
+/// uninterrupted reference run.
+#[test]
+fn genesis_replay_recovery_matches_uninterrupted_run() {
+    let (spec, fp) = genesis(7);
+
+    // Reference: same inputs, crash absorbed (never halts).
+    let mut reference = spec.build();
+    reference.grant_crash_immunity(1);
+    reference.execute_sql(SNAPSHOT_AQ).unwrap();
+    reference.inject_faults(plan_with_process_crash());
+    drive_slices(&mut reference, 1, 10);
+    assert!(!reference.is_crashed());
+
+    // Live run: same inputs, logged; the crash halts it mid-slice 6.
+    let mut live = spec.build();
+    let handle = WalHandle::record(Box::new(MemStore::new()), None, "s0");
+    handle.append(WalRecord::Genesis { fingerprint: fp });
+    live.attach_wal(handle.clone());
+    live.execute_sql(SNAPSHOT_AQ).unwrap();
+    live.inject_faults(plan_with_process_crash());
+    drive_slices(&mut live, 1, 10);
+    assert!(live.is_crashed(), "process crash must halt the engine");
+    assert!(live.now() < t(180), "halted mid-slice, not at its end");
+
+    // Recover: replay the log from genesis. The final logged RunUntil(180)
+    // replays *through* the crash instant, so the replay emits records past
+    // the log's end — the re-derived crash-truncated tail.
+    let records = handle.records().unwrap();
+    let recovered = recover_from_log(&spec, records, fp).expect("recovery");
+    assert!(
+        !recovered.appended.is_empty(),
+        "replaying past the crash must extend the log"
+    );
+    let mut engine = recovered.engine;
+    assert_eq!(engine.now(), t(180), "resume at the logged slice deadline");
+    assert!(!engine.is_crashed());
+
+    // Finish the timeline and compare everything.
+    drive_slices(&mut engine, 7, 10);
+    assert_eq!(engine.now(), reference.now());
+    assert_eq!(engine.stats(), reference.stats());
+    assert_eq!(engine.trace().render(), reference.trace().render());
+    assert_eq!(engine.state_digest(), reference.state_digest());
+}
+
+/// Snapshot-based recovery (snapshot + suffix replay) lands in exactly the
+/// same state as full replay from genesis — before and after the log is
+/// compacted up to the snapshot.
+#[test]
+fn snapshot_replay_equals_genesis_replay() {
+    let (spec, fp) = genesis(11);
+
+    let mut live = spec.build();
+    let handle = WalHandle::record(Box::new(MemStore::new()), None, "s0");
+    handle.append(WalRecord::Genesis { fingerprint: fp });
+    let mut manager: WalManager<Box<Aorta>> = WalManager::new(handle.clone(), 1_000_000);
+    live.attach_wal(handle.clone());
+    live.execute_sql(SNAPSHOT_AQ).unwrap();
+    live.inject_faults({
+        let mut plan = FaultPlan::new();
+        plan.schedule(t(90), FaultEvent::Crash(DeviceId::camera(1)));
+        plan.schedule(t(200), FaultEvent::Recover(DeviceId::camera(1)));
+        plan
+    });
+    drive_slices(&mut live, 1, 4);
+    manager.force_snapshot(|| live.fork_snapshot());
+    drive_slices(&mut live, 5, 8);
+    let target = live.state_digest();
+
+    // Full replay from genesis.
+    let records = manager.records().unwrap();
+    let from_genesis = recover_from_log(&spec, records.clone(), fp).expect("genesis replay");
+    assert_eq!(from_genesis.engine.state_digest(), target);
+
+    // Snapshot + suffix replay.
+    let (at, image) = manager.latest_snapshot().expect("snapshot taken");
+    let suffix = records[(at - handle.base()) as usize..].to_vec();
+    let from_snapshot =
+        recover_engine(Some(image.fork_snapshot()), &spec, suffix, fp).expect("suffix replay");
+    assert_eq!(from_snapshot.engine.state_digest(), target);
+    assert!(
+        from_snapshot.replayed < from_genesis.replayed,
+        "the snapshot must shorten the replay"
+    );
+
+    // Compact the log up to the snapshot and recover from what remains.
+    let dropped = manager.compact_to_snapshot().unwrap();
+    assert_eq!(dropped as u64, at);
+    let (at, image) = manager
+        .latest_snapshot()
+        .expect("snapshot survives compaction");
+    assert_eq!(at, handle.base());
+    let from_compacted = recover_engine(
+        Some(image.fork_snapshot()),
+        &spec,
+        manager.records().unwrap(),
+        fp,
+    )
+    .expect("compacted replay");
+    assert_eq!(from_compacted.engine.state_digest(), target);
+}
+
+/// A log from one lineage refuses to replay against another genesis, and a
+/// truncated command stream surfaces as leftover records, never silently.
+#[test]
+fn recovery_refuses_foreign_or_truncated_logs() {
+    let (spec, fp) = genesis(7);
+    let mut live = spec.build();
+    let handle = WalHandle::record(Box::new(MemStore::new()), None, "s0");
+    handle.append(WalRecord::Genesis { fingerprint: fp });
+    live.attach_wal(handle.clone());
+    live.execute_sql(SNAPSHOT_AQ).unwrap();
+    drive_slices(&mut live, 1, 3);
+    let records = handle.records().unwrap();
+
+    // Wrong genesis fingerprint.
+    let err = recover_from_log(&spec, records.clone(), fp ^ 1)
+        .err()
+        .expect("foreign log must be refused");
+    assert!(
+        matches!(err, aorta_wal::RecoveryError::GenesisMismatch { .. }),
+        "{err}"
+    );
+
+    // Drop the final command: its effects are left unconsumed in the log.
+    let mut truncated = records.clone();
+    let last_command = truncated
+        .iter()
+        .rposition(|r| r.is_command())
+        .expect("log has commands");
+    truncated.remove(last_command);
+    let err = recover_from_log(&spec, truncated, fp)
+        .err()
+        .expect("truncated log must be refused");
+    assert!(
+        matches!(
+            err,
+            aorta_wal::RecoveryError::Leftover { .. } | aorta_wal::RecoveryError::Divergence { .. }
+        ),
+        "{err}"
+    );
+}

@@ -114,6 +114,8 @@ pub enum SpanKind {
     Execute,
     /// A gateway routing decision for an escalated request.
     GatewayRoute,
+    /// One crash-recovery replay (snapshot load + WAL suffix).
+    Recovery,
 }
 
 impl SpanKind {
@@ -125,6 +127,7 @@ impl SpanKind {
             SpanKind::Schedule => "schedule",
             SpanKind::Execute => "execute",
             SpanKind::GatewayRoute => "gateway_route",
+            SpanKind::Recovery => "recovery",
         }
     }
 }
@@ -607,6 +610,13 @@ impl SharedMetrics {
     /// Clone the current registry contents out as an owned snapshot.
     pub fn snapshot(&self) -> MetricsRegistry {
         self.0.lock().expect("metrics lock").clone()
+    }
+
+    /// Clone the *registry*, not the handle: the result is an independent
+    /// `SharedMetrics` whose future recordings do not affect this one.
+    /// Used when forking an engine snapshot for crash recovery.
+    pub fn deep_clone(&self) -> SharedMetrics {
+        SharedMetrics(Arc::new(Mutex::new(self.snapshot())))
     }
 }
 

@@ -54,6 +54,13 @@ pub enum FaultEvent<D> {
     },
     /// The current latency spike ends.
     LatencySpikeEnd,
+    /// The *process hosting* the engine that owns device `D` dies — not a
+    /// device fault but a control-plane fault. The engine halts on the spot
+    /// (zero observable footprint: no trace or stat change) and stays dead
+    /// until its supervisor recovers it from the write-ahead log. The
+    /// device identifier exists only to route the event to the owning shard
+    /// when a plan is [`split_by`](FaultPlan::split_by) shard ownership.
+    ProcessCrash(D),
 }
 
 /// Parameters for seeded fault generation.
@@ -81,6 +88,11 @@ pub struct FaultConfig {
     pub latency_spike_len: SimDuration,
     /// Base-latency multiplier during a spike.
     pub latency_factor: f64,
+    /// Probability per period that the process hosting a shard crashes
+    /// ([`FaultEvent::ProcessCrash`]). Zero by default: process crashes are
+    /// only meaningful when a WAL-backed supervisor can recover the shard,
+    /// so plans stay byte-identical to pre-WAL generations unless opted in.
+    pub process_crash_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -95,6 +107,7 @@ impl Default for FaultConfig {
             latency_spike_rate: 0.1,
             latency_spike_len: SimDuration::from_secs(3),
             latency_factor: 10.0,
+            process_crash_rate: 0.0,
         }
     }
 }
@@ -199,6 +212,28 @@ impl<D: Copy> FaultPlan<D> {
             }
         }
 
+        // Process crashes. This stream forks *after* every pre-existing
+        // stream and defaults to rate zero, so plans generated by older
+        // configs are byte-identical with or without this block. Each
+        // crash names a round-robin device purely to address the owning
+        // shard under `split_by`.
+        let mut rng = root.fork(u64::MAX - 1);
+        let mut t = SimTime::ZERO;
+        let mut victim = 0usize;
+        while t < end && !devices.is_empty() {
+            if rng.chance(config.process_crash_rate) {
+                let at = t + SimDuration::from_micros(rng.range(0..period.as_micros()));
+                events.push((
+                    at,
+                    FaultEvent::ProcessCrash(devices[victim % devices.len()]),
+                ));
+                victim += 1;
+                t = at + period;
+            } else {
+                t += period;
+            }
+        }
+
         events.sort_by_key(|(t, _)| *t); // stable: ties keep generation order
         FaultPlan { events, cursor: 0 }
     }
@@ -267,7 +302,7 @@ impl<D: Copy> FaultPlan<D> {
         let mut out: Vec<FaultPlan<D>> = (0..shards).map(|_| FaultPlan::new()).collect();
         for &(t, event) in &self.events {
             match event {
-                FaultEvent::Crash(d) | FaultEvent::Recover(d) => {
+                FaultEvent::Crash(d) | FaultEvent::Recover(d) | FaultEvent::ProcessCrash(d) => {
                     let s = owner(&d);
                     assert!(s < shards, "owner mapped a device to shard {s} of {shards}");
                     out[s].events.push((t, event));
@@ -453,6 +488,47 @@ mod tests {
             crashes(&high_events),
             crashes(&low_events)
         );
+    }
+
+    #[test]
+    fn process_crashes_are_plan_driven_and_leave_other_streams_untouched() {
+        let horizon = SimDuration::from_mins(10);
+        let devices: Vec<u32> = (0..4).collect();
+        let base = FaultPlan::generate(11, horizon, &devices, &FaultConfig::default());
+        let with_pc = FaultPlan::generate(
+            11,
+            horizon,
+            &devices,
+            &FaultConfig {
+                process_crash_rate: 0.3,
+                ..FaultConfig::default()
+            },
+        );
+        let non_pc = |p: &FaultPlan<u32>| {
+            p.iter()
+                .filter(|(_, e)| !matches!(e, FaultEvent::ProcessCrash(_)))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        // The new stream forks last: every pre-existing event is identical.
+        assert_eq!(non_pc(&base), non_pc(&with_pc));
+        assert!(base
+            .iter()
+            .all(|(_, e)| !matches!(e, FaultEvent::ProcessCrash(_))));
+        let pc_count = with_pc
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::ProcessCrash(_)))
+            .count();
+        assert!(pc_count > 0, "rate 0.3 over 10 minutes crashes something");
+        // And they route to the owning shard under split_by.
+        let shards = with_pc.split_by(2, |d| (*d % 2) as usize);
+        for (s, shard) in shards.iter().enumerate() {
+            for (_, e) in shard.iter() {
+                if let FaultEvent::ProcessCrash(d) = e {
+                    assert_eq!((*d % 2) as usize, s);
+                }
+            }
+        }
     }
 
     #[test]

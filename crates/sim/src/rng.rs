@@ -126,6 +126,13 @@ impl SimRng {
         result
     }
 
+    /// The raw generator state, for state-equality checks (e.g. asserting
+    /// two recovery paths reconstructed the same engine). Two generators
+    /// with equal state produce identical futures.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Uniform value in `[0, bound)` via rejection sampling (no modulo bias).
     fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);

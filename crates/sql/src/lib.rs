@@ -44,4 +44,4 @@ pub mod validate;
 
 pub use error::SqlError;
 pub use lexer::{Lexer, Span, Token, TokenKind};
-pub use parser::parse;
+pub use parser::{parse, parse_expr};

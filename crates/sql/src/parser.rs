@@ -16,6 +16,24 @@ pub fn parse(src: &str) -> Result<Vec<Statement>, SqlError> {
     Parser { tokens, pos: 0 }.parse_statements()
 }
 
+/// Parses a single standalone expression (the whole input must be one
+/// expression). The inverse of [`Expr`]'s `Display`, whose output is
+/// guaranteed re-parseable — which is how expressions travel through the
+/// write-ahead log as plain text.
+///
+/// # Errors
+///
+/// [`SqlError`] on a syntax problem or trailing input.
+pub fn parse_expr(src: &str) -> Result<Expr, SqlError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if !p.at_eof() {
+        return Err(p.err_here("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -548,6 +566,23 @@ mod tests {
         assert!(err.message().contains("empty"), "{err}");
         let err = parse("CREATE ACTION f(Widget x) AS \"lib\"").unwrap_err();
         assert!(err.message().contains("unknown parameter type"), "{err}");
+    }
+
+    #[test]
+    fn parse_expr_roundtrips_display() {
+        for src in [
+            "s.accel_x > 500",
+            r#"photo(c.ip, s.loc, "photos/admin")"#,
+            "(NOT (s.id = 3))",
+            "-(s.accel_x)",
+            r#"coverage(c.id, s.loc) AND s.accel_x > (500 + 1)"#,
+        ] {
+            let e = parse_expr(src).unwrap();
+            let reparsed = parse_expr(&e.to_string()).unwrap();
+            assert_eq!(e, reparsed, "expr Display must round-trip: {src}");
+        }
+        assert!(parse_expr("s.id > 1 extra").is_err(), "trailing input");
+        assert!(parse_expr("").is_err());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! The snapshot/recovery manager: owns one shard's log handle plus a vault
+//! of state-image snapshots keyed by log position.
+//!
+//! Snapshots are deep clones of the engine taken *between* host commands —
+//! always a safe point: no record is ever emitted mid-snapshot, so the
+//! vault key (the live frame count at snapshot time) exactly partitions
+//! the log into "already reflected in the snapshot" and "replay this".
+//!
+//! Two snapshot triggers:
+//! - **cadence** — every `snapshot_every` appended frames;
+//! - **migration barrier** — forced immediately after a device migration,
+//!   because a `MigrateIn` record cannot be replayed from bytes alone
+//!   (adopted device state is a live image). The barrier guarantees no
+//!   replay suffix ever crosses one.
+
+use crate::error::WalError;
+use crate::record::WalRecord;
+use crate::sink::{WalHandle, WalStats};
+
+/// Snapshot vault + log handle for one shard. `S` is the snapshot type
+/// (the cluster instantiates it with a boxed engine image).
+pub struct WalManager<S> {
+    handle: WalHandle,
+    /// (absolute frame index, state image) — ascending.
+    vault: Vec<(u64, S)>,
+    snapshot_every: usize,
+    /// Absolute frame index at the last snapshot (or genesis).
+    last_snapshot_at: u64,
+    snapshots_taken: u64,
+}
+
+impl<S> WalManager<S> {
+    /// A manager over `handle`, snapshotting every `snapshot_every` frames.
+    pub fn new(handle: WalHandle, snapshot_every: usize) -> Self {
+        let last_snapshot_at = handle.base() + handle.frame_count() as u64;
+        WalManager {
+            handle,
+            vault: Vec::new(),
+            snapshot_every: snapshot_every.max(1),
+            last_snapshot_at,
+            snapshots_taken: 0,
+        }
+    }
+
+    /// A clone of the log handle (for attaching to an engine).
+    pub fn handle(&self) -> WalHandle {
+        self.handle.clone()
+    }
+
+    /// Absolute frame position of the log tail.
+    pub fn position(&self) -> u64 {
+        self.handle.base() + self.handle.frame_count() as u64
+    }
+
+    /// Takes a snapshot now if the cadence says one is due.
+    pub fn maybe_snapshot(&mut self, image: impl FnOnce() -> S) {
+        if self.position() - self.last_snapshot_at >= self.snapshot_every as u64 {
+            self.force_snapshot(image);
+        }
+    }
+
+    /// Takes a snapshot unconditionally (the migration barrier).
+    pub fn force_snapshot(&mut self, image: impl FnOnce() -> S) {
+        // The vault key promises every frame below it is immutable, so a
+        // later `RunUntil` must not coalesce into the current tail frame.
+        self.handle.seal_tail();
+        let at = self.position();
+        // A second snapshot at the same position replaces the first — the
+        // newer image reflects the same log prefix.
+        if let Some(last) = self.vault.last_mut() {
+            if last.0 == at {
+                last.1 = image();
+                return;
+            }
+        }
+        self.vault.push((at, image()));
+        self.last_snapshot_at = at;
+        self.snapshots_taken += 1;
+    }
+
+    /// The most recent snapshot and its absolute frame position.
+    pub fn latest_snapshot(&self) -> Option<(u64, &S)> {
+        self.vault.last().map(|(at, s)| (*at, s))
+    }
+
+    /// Snapshots taken so far.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+
+    /// Decodes the full live log.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] on any frame damage.
+    pub fn records(&self) -> Result<Vec<WalRecord>, WalError> {
+        self.handle.records()
+    }
+
+    /// Appends records produced by replaying past the log's end (the
+    /// crash-truncated tail re-derived during recovery).
+    pub fn append_all(&self, records: Vec<WalRecord>) {
+        for r in records {
+            self.handle.append(r);
+        }
+    }
+
+    /// Stream counters.
+    pub fn stats(&self) -> WalStats {
+        self.handle.stats()
+    }
+
+    /// Compacts the log up to the latest snapshot: frames the snapshot
+    /// already reflects are dropped, and recovery starts from the vault.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] when the store refuses the truncation.
+    pub fn compact_to_snapshot(&mut self) -> Result<usize, WalError> {
+        let Some((at, _)) = self.latest_snapshot() else {
+            return Ok(0);
+        };
+        let drop = (at - self.handle.base()) as usize;
+        self.handle.truncate_prefix(drop)?;
+        Ok(drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use aorta_sim::SimTime;
+
+    #[test]
+    fn cadence_and_barrier_snapshots() {
+        let h = WalHandle::record(Box::new(MemStore::new()), None, "t");
+        let mut m: WalManager<u64> = WalManager::new(h.clone(), 3);
+        for i in 0..7 {
+            h.append(WalRecord::EdgeCommit {
+                query_id: i,
+                source: 0,
+            });
+            m.maybe_snapshot(|| u64::from(i));
+        }
+        // Snapshots at frame 3 and frame 6.
+        assert_eq!(m.snapshots_taken(), 2);
+        assert_eq!(m.latest_snapshot().map(|(at, s)| (at, *s)), Some((6, 5)));
+        m.force_snapshot(|| 99);
+        assert_eq!(m.latest_snapshot().map(|(at, s)| (at, *s)), Some((7, 99)));
+    }
+
+    #[test]
+    fn snapshot_seals_the_tail_against_coalescing() {
+        let h = WalHandle::record(Box::new(MemStore::new()), None, "t");
+        let mut m: WalManager<u64> = WalManager::new(h.clone(), 100);
+        h.append(WalRecord::RunUntil {
+            deadline: SimTime::from_micros(1),
+        });
+        m.force_snapshot(|| 7);
+        let (at, _) = m.latest_snapshot().unwrap();
+        assert_eq!(at, 1);
+        // A later advance must append a new frame, not rewrite frame 0 —
+        // frame 0 is below the vault key and excluded from the snapshot's
+        // replay suffix.
+        h.append(WalRecord::RunUntil {
+            deadline: SimTime::from_micros(2),
+        });
+        let records = m.records().unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::RunUntil {
+                    deadline: SimTime::from_micros(1),
+                },
+                WalRecord::RunUntil {
+                    deadline: SimTime::from_micros(2),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_suffix() {
+        let h = WalHandle::record(Box::new(MemStore::new()), None, "t");
+        let mut m: WalManager<u64> = WalManager::new(h.clone(), 100);
+        for i in 0..5 {
+            h.append(WalRecord::RunUntil {
+                deadline: SimTime::from_micros(i),
+            });
+            h.append(WalRecord::DrainEscalated);
+        }
+        m.force_snapshot(|| 1);
+        h.append(WalRecord::DrainEscalated);
+        let dropped = m.compact_to_snapshot().unwrap();
+        assert_eq!(dropped, 10);
+        assert_eq!(m.records().unwrap(), vec![WalRecord::DrainEscalated]);
+        // The vault key still lines up with the compacted store.
+        let (at, _) = m.latest_snapshot().unwrap();
+        assert_eq!(at, h.base());
+    }
+}

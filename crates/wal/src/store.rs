@@ -1,0 +1,328 @@
+//! Log storage backends: a deterministic in-memory store for simulation and
+//! tests, and a real file-backed store that flushes every append.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::decode_frame;
+use crate::error::WalError;
+use crate::record::WalRecord;
+
+/// Where encoded frames live. The sink talks to stores in whole frames;
+/// `replace_tail` exists solely for `RunUntil` tail-coalescing (rewriting
+/// the final frame in place bounds log volume under per-event stepping).
+pub trait LogStore: Send {
+    /// Appends one encoded frame.
+    fn append(&mut self, frame: &[u8]) -> Result<(), WalError>;
+    /// Replaces the final frame with `frame`. Errors when the log is empty.
+    fn replace_tail(&mut self, frame: &[u8]) -> Result<(), WalError>;
+    /// Decodes every stored frame, in order. Fails loudly on any damage.
+    fn read_all(&mut self) -> Result<Vec<(u64, WalRecord)>, WalError>;
+    /// Number of live frames (after any prefix truncation).
+    fn frame_count(&self) -> usize;
+    /// Frames dropped from the front by compaction.
+    fn base(&self) -> u64;
+    /// Total live bytes.
+    fn byte_len(&self) -> u64;
+    /// Drops the first `n` live frames (snapshot compaction). The base
+    /// offset advances so LSNs stay stable.
+    fn truncate_prefix(&mut self, n: usize) -> Result<(), WalError>;
+}
+
+/// Deterministic in-memory store: frames in a vector, plus a base offset
+/// recording how many were compacted away.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    frames: Vec<Vec<u8>>,
+    base: u64,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl LogStore for MemStore {
+    fn append(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        self.frames.push(frame.to_vec());
+        Ok(())
+    }
+
+    fn replace_tail(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        let tail = self
+            .frames
+            .last_mut()
+            .ok_or_else(|| WalError::Io("replace_tail on empty log".into()))?;
+        *tail = frame.to_vec();
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<(u64, WalRecord)>, WalError> {
+        let mut out = Vec::with_capacity(self.frames.len());
+        for frame in &self.frames {
+            let mut off = 0;
+            out.push(decode_frame(frame, &mut off)?);
+        }
+        Ok(out)
+    }
+
+    fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn base(&self) -> u64 {
+        self.base
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.frames.iter().map(|f| f.len() as u64).sum()
+    }
+
+    fn truncate_prefix(&mut self, n: usize) -> Result<(), WalError> {
+        if n > self.frames.len() {
+            return Err(WalError::Io(format!(
+                "truncate_prefix({n}) exceeds {} live frames",
+                self.frames.len()
+            )));
+        }
+        self.frames.drain(..n);
+        self.base += n as u64;
+        Ok(())
+    }
+}
+
+/// File-backed store. Every append is written and flushed immediately —
+/// the durability point is the return of `append`, not some later sync.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    path: PathBuf,
+    /// Byte offset where each live frame starts (parallel to frame order).
+    offsets: Vec<u64>,
+    base: u64,
+    end: u64,
+}
+
+impl FileStore {
+    /// Creates (truncating) a fresh log file.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| WalError::Io(format!("create {}: {e}", path.display())))?;
+        Ok(FileStore {
+            file,
+            path,
+            offsets: Vec::new(),
+            base: 0,
+            end: 0,
+        })
+    }
+
+    /// Opens an existing log file, scanning and validating every frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] on I/O failure or any frame damage — an unreadable log
+    /// is reported, never silently shortened.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| WalError::Io(format!("open {}: {e}", path.display())))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| WalError::Io(format!("read {}: {e}", path.display())))?;
+        let mut offsets = Vec::new();
+        let mut off = 0usize;
+        while off < buf.len() {
+            offsets.push(off as u64);
+            decode_frame(&buf, &mut off)?;
+        }
+        Ok(FileStore {
+            file,
+            path,
+            offsets,
+            base: 0,
+            end: buf.len() as u64,
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_at(&mut self, pos: u64, bytes: &[u8]) -> Result<(), WalError> {
+        self.file
+            .seek(SeekFrom::Start(pos))
+            .and_then(|_| self.file.write_all(bytes))
+            .and_then(|_| self.file.flush())
+            .map_err(|e| WalError::Io(format!("write {}: {e}", self.path.display())))
+    }
+}
+
+impl LogStore for FileStore {
+    fn append(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        let pos = self.end;
+        self.write_at(pos, frame)?;
+        self.offsets.push(pos);
+        self.end = pos + frame.len() as u64;
+        Ok(())
+    }
+
+    fn replace_tail(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        let &pos = self
+            .offsets
+            .last()
+            .ok_or_else(|| WalError::Io("replace_tail on empty log".into()))?;
+        self.file
+            .set_len(pos)
+            .map_err(|e| WalError::Io(format!("truncate {}: {e}", self.path.display())))?;
+        self.write_at(pos, frame)?;
+        self.end = pos + frame.len() as u64;
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<(u64, WalRecord)>, WalError> {
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| WalError::Io(format!("seek {}: {e}", self.path.display())))?;
+        let mut buf = Vec::new();
+        self.file
+            .read_to_end(&mut buf)
+            .map_err(|e| WalError::Io(format!("read {}: {e}", self.path.display())))?;
+        let mut out = Vec::with_capacity(self.offsets.len());
+        let mut off = 0usize;
+        while off < buf.len() {
+            out.push(decode_frame(&buf, &mut off)?);
+        }
+        Ok(out)
+    }
+
+    fn frame_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn base(&self) -> u64 {
+        self.base
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.end - self.offsets.first().copied().unwrap_or(self.end)
+    }
+
+    fn truncate_prefix(&mut self, n: usize) -> Result<(), WalError> {
+        if n > self.offsets.len() {
+            return Err(WalError::Io(format!(
+                "truncate_prefix({n}) exceeds {} live frames",
+                self.offsets.len()
+            )));
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        // Rewrite the file with only the surviving suffix. Compaction is
+        // rare (it follows snapshots), so the full rewrite is acceptable.
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| WalError::Io(format!("seek {}: {e}", self.path.display())))?;
+        let mut buf = Vec::new();
+        self.file
+            .read_to_end(&mut buf)
+            .map_err(|e| WalError::Io(format!("read {}: {e}", self.path.display())))?;
+        let cut = self.offsets[n] as usize;
+        let survivors = buf[cut..].to_vec();
+        self.file
+            .set_len(0)
+            .map_err(|e| WalError::Io(format!("truncate {}: {e}", self.path.display())))?;
+        self.write_at(0, &survivors)?;
+        self.offsets = self
+            .offsets
+            .split_off(n)
+            .iter()
+            .map(|o| o - cut as u64)
+            .collect();
+        self.base += n as u64;
+        self.end = survivors.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_frame;
+    use aorta_sim::SimTime;
+
+    fn rec(n: u64) -> WalRecord {
+        WalRecord::RunUntil {
+            deadline: SimTime::from_micros(n),
+        }
+    }
+
+    #[test]
+    fn mem_store_roundtrip_and_compaction() {
+        let mut s = MemStore::new();
+        for i in 0..5 {
+            s.append(&encode_frame(&rec(i), i)).unwrap();
+        }
+        assert_eq!(s.frame_count(), 5);
+        let all = s.read_all().unwrap();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[3], (3, rec(3)));
+        s.truncate_prefix(2).unwrap();
+        assert_eq!(s.base(), 2);
+        let all = s.read_all().unwrap();
+        assert_eq!(all[0], (2, rec(2)));
+    }
+
+    #[test]
+    fn file_store_survives_reopen() {
+        let path = std::env::temp_dir().join(format!("aorta_wal_test_{}.wal", std::process::id()));
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            for i in 0..4 {
+                s.append(&encode_frame(&rec(i), i)).unwrap();
+            }
+            s.replace_tail(&encode_frame(&rec(99), 3)).unwrap();
+        }
+        let mut s = FileStore::open(&path).unwrap();
+        let all = s.read_all().unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], (3, rec(99)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_reopen_rejects_corruption() {
+        let path =
+            std::env::temp_dir().join(format!("aorta_wal_corrupt_{}.wal", std::process::id()));
+        {
+            let mut s = FileStore::create(&path).unwrap();
+            s.append(&encode_frame(&rec(0), 0)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(WalError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -232,6 +232,90 @@ fn observability_does_not_perturb_the_engine() {
     assert_eq!(on, off, "recording must never influence behavior");
 }
 
+/// A 4-shard WAL-logged cluster where TWO shards process-crash at seeded
+/// points and are rebuilt from their logs mid-run. The witness is the full
+/// gateway + per-shard trace: recovery must be invisible to it, so two
+/// repetitions are byte-identical, and the run matches a crash-immune
+/// reference run record for record.
+fn run_kill_and_recover_cluster(seed: u64, immune: bool) -> (String, String, u64) {
+    use aorta::cluster::{ClusterConfig, ShardManager};
+    use aorta_device::DeviceId;
+    use aorta_sim::{FaultEvent, FaultPlan, SimTime};
+
+    let lab = PervasiveLab::with_sizes(12, 16, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut config = ClusterConfig::seeded(seed, 4).with_imbalance_threshold(u64::MAX);
+    if !immune {
+        config = config.with_wal(256);
+    }
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .unwrap();
+    }
+    // Pick victim cameras on two distinct shards, deterministically.
+    let mut victims: Vec<(usize, DeviceId)> = Vec::new();
+    for c in 0..12u32 {
+        let id = DeviceId::camera(c);
+        let owner = cluster.shard_owning(id).expect("camera owned");
+        if !victims.iter().any(|(s, _)| *s == owner) {
+            victims.push((owner, id));
+        }
+        if victims.len() == 2 {
+            break;
+        }
+    }
+    assert_eq!(victims.len(), 2, "need victims on two distinct shards");
+    let mut plan = FaultPlan::new();
+    for (i, (owner, id)) in victims.iter().enumerate() {
+        if immune {
+            cluster.shard_mut(*owner).grant_crash_immunity(1);
+        }
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(100 + 37 * i as u64),
+            FaultEvent::ProcessCrash(*id),
+        );
+    }
+    cluster.inject_faults(plan);
+    cluster.run_for(SimDuration::from_mins(5));
+    cluster.run_for(SimDuration::from_secs(30));
+    let stats = cluster.stats();
+    stats.check_conservation().expect("kill-and-recover ledger");
+    (
+        cluster.render_trace(),
+        format!("{stats:?}"),
+        cluster.recoveries(),
+    )
+}
+
+#[test]
+fn kill_and_recover_runs_are_byte_identical_per_seed() {
+    let a = run_kill_and_recover_cluster(4242, false);
+    let b = run_kill_and_recover_cluster(4242, false);
+    assert_eq!(a.2, 2, "both crashed shards must recover from their logs");
+    assert!(!a.0.is_empty());
+    assert_eq!(
+        (&a.0, &a.1),
+        (&b.0, &b.1),
+        "same seed must replay the kill-and-recover run byte-identically"
+    );
+    // Recovery is invisible: the logged run matches a run where the same
+    // crashes were absorbed by immunity instead of ever halting a shard.
+    let reference = run_kill_and_recover_cluster(4242, true);
+    assert_eq!(reference.2, 0);
+    assert_eq!(
+        (&a.0, &a.1),
+        (&reference.0, &reference.1),
+        "recovered run must be indistinguishable from the uninterrupted one"
+    );
+}
+
 #[test]
 fn cluster_traces_diverge_across_seeds() {
     let a = run_cluster(99, 2, true);
