@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|e11|e11-smoke|ablation|metrics]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|e11|e11-smoke|e12|e12-smoke|ablation|metrics]..."
                 );
                 return;
             }
@@ -71,6 +71,8 @@ fn main() {
             "e10-smoke" => e10(false),
             "e11" => e11(true),
             "e11-smoke" => e11(false),
+            "e12" => e12(true),
+            "e12-smoke" => e12(false),
             "metrics" => metrics(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
@@ -333,6 +335,157 @@ fn write_bench_wal_json(report: &experiments::E11Report) {
     match std::fs::write("BENCH_wal.json", body) {
         Ok(()) => println!("(wrote BENCH_wal.json)"),
         Err(e) => eprintln!("repro: failed to write BENCH_wal.json: {e}"),
+    }
+}
+
+/// `repro e12` (full sweep, writes BENCH_failover.json) or `repro
+/// e12-smoke` (one-arm CI gate, no file): kill shards mid-wave under an
+/// asymmetric partition, ship a CRC-framed snapshot image over the lossy
+/// simulated network, rebuild each victim on a *fresh* host under a bumped
+/// epoch, and require zero lost or double-executed requests, zero
+/// late-epoch successes, and loud refusal of any corrupted image byte.
+fn e12(full: bool) {
+    let report = experiments::e12_failover(0xE12, full);
+    println!(
+        "== E12 (extension): cross-host failover under partition, {} cameras / {} motes ==",
+        experiments::E11_CAMERAS,
+        experiments::E11_MOTES
+    );
+    let mut t = Table::new(vec![
+        "shards".into(),
+        "crashes".into(),
+        "ship loss".into(),
+        "requests".into(),
+        "executed".into(),
+        "rerouted".into(),
+        "failovers".into(),
+        "window ms".into(),
+        "shipped KiB".into(),
+        "rounds".into(),
+        "replayed".into(),
+        "new hosts".into(),
+        "fenced".into(),
+        "conserved".into(),
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.shards.to_string(),
+            r.crashes.to_string(),
+            format!("{:.0}%", r.ship_loss * 100.0),
+            r.requests.to_string(),
+            r.executed.to_string(),
+            r.rerouted.to_string(),
+            r.failovers.to_string(),
+            r.degraded_window_us
+                .iter()
+                .map(|us| format!("{:.0}", *us as f64 / 1000.0))
+                .collect::<Vec<_>>()
+                .join("+"),
+            format!("{:.1}", r.bytes_shipped as f64 / 1024.0),
+            r.ship_rounds.to_string(),
+            r.records_replayed.to_string(),
+            r.new_hosts
+                .iter()
+                .map(|h| format!("h{h}"))
+                .collect::<Vec<_>>()
+                .join("+"),
+            if r.zombie_probe_rejected && r.late_successes == 0 {
+                "OK"
+            } else {
+                "LEAKED"
+            }
+            .into(),
+            if r.conservation_ok { "OK" } else { "VIOLATED" }.into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "corruption sweep: {}; determinism: {} (trace digest {:#018x})\n",
+        if report.corruption_detected {
+            "every flipped byte refused"
+        } else {
+            "CORRUPT IMAGE ACCEPTED"
+        },
+        if report.deterministic {
+            "byte-identical across reruns"
+        } else {
+            "DIVERGED"
+        },
+        report.trace_digest,
+    );
+    if full {
+        write_bench_failover_json(&report);
+    }
+    // CI runs the smoke arm: a lost request, an applied zombie, or an
+    // accepted corrupt image must fail the process, not just print.
+    assert!(report.all_conserved, "conservation violated under failover");
+    assert!(report.all_fenced, "stale-epoch traffic was not fenced");
+    assert!(report.no_late_successes, "a zombie completion was applied");
+    assert!(report.corruption_detected, "corrupt image went undetected");
+    assert!(report.deterministic, "failover runs diverged");
+}
+
+/// Hand-formats `BENCH_failover.json` (the repo has no JSON dependency).
+fn write_bench_failover_json(report: &experiments::E12Report) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"experiment\": \"e12\",\n");
+    body.push_str(&format!(
+        "  \"cameras\": {},\n  \"motes\": {},\n  \"all_conserved\": {},\n  \
+         \"all_fenced\": {},\n  \"no_late_successes\": {},\n  \
+         \"corruption_detected\": {},\n  \"deterministic\": {},\n  \
+         \"trace_fnv1a\": \"{:#018x}\",\n",
+        experiments::E11_CAMERAS,
+        experiments::E11_MOTES,
+        report.all_conserved,
+        report.all_fenced,
+        report.no_late_successes,
+        report.corruption_detected,
+        report.deterministic,
+        report.trace_digest,
+    ));
+    body.push_str("  \"arms\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"shards\": {}, \"crashes\": {}, \"ship_loss\": {}, \"requests\": {}, \
+             \"executed\": {}, \"degraded\": {}, \"shed\": {}, \"rerouted\": {}, \
+             \"gateway_dropped\": {}, \"gateway_expired\": {}, \"failovers\": {}, \
+             \"degraded_window_us\": [{}], \"bytes_shipped\": {}, \"ship_rounds\": {}, \
+             \"records_replayed\": {}, \"new_hosts\": [{}], \"zombie_probe_rejected\": {}, \
+             \"late_successes\": {}, \"conservation_ok\": {}}}{}\n",
+            r.shards,
+            r.crashes,
+            r.ship_loss,
+            r.requests,
+            r.executed,
+            r.degraded,
+            r.shed,
+            r.rerouted,
+            r.gateway_dropped,
+            r.gateway_expired,
+            r.failovers,
+            r.degraded_window_us
+                .iter()
+                .map(|us| us.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.bytes_shipped,
+            r.ship_rounds,
+            r.records_replayed,
+            r.new_hosts
+                .iter()
+                .map(|h| h.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.zombie_probe_rejected,
+            r.late_successes,
+            r.conservation_ok,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_failover.json", body) {
+        Ok(()) => println!("(wrote BENCH_failover.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_failover.json: {e}"),
     }
 }
 

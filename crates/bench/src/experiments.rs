@@ -1380,6 +1380,295 @@ pub fn e11_wal(seed: u64, full: bool) -> E11Report {
     }
 }
 
+/// One arm of the **E12** cross-host failover experiment: a WAL-logged,
+/// failover-enabled cluster where shards process-crash mid-wave inside
+/// asymmetric partition windows and are rebuilt on fresh hosts from
+/// shipped snapshot images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E12Row {
+    /// Shard count.
+    pub shards: usize,
+    /// Shards crashed (each on its own seeded instant, under a partition).
+    pub crashes: usize,
+    /// Per-chunk loss probability on the image transfer path.
+    pub ship_loss: f64,
+    /// Requests admitted cluster-wide.
+    pub requests: u64,
+    /// Requests executed at full quality.
+    pub executed: u64,
+    /// Requests completed at degraded (brownout) quality.
+    pub degraded: u64,
+    /// Requests shed by admission or deadline rejection.
+    pub shed: u64,
+    /// Escalations the gateway delivered to a sibling.
+    pub rerouted: u64,
+    /// Escalations terminally dropped at the gateway.
+    pub gateway_dropped: u64,
+    /// Escalations whose deadline lapsed at the gateway.
+    pub gateway_expired: u64,
+    /// Cross-host failovers completed (must equal `crashes`).
+    pub failovers: u64,
+    /// Degraded-window length per failover, in virtual microseconds
+    /// (crash detection to adoption of the rebuilt shard).
+    pub degraded_window_us: Vec<u64>,
+    /// Snapshot-image bytes shipped across all failovers.
+    pub bytes_shipped: u64,
+    /// Transfer rounds across all failovers (loss forces retransmission).
+    pub ship_rounds: u64,
+    /// Log records the adopting hosts replayed.
+    pub records_replayed: u64,
+    /// The fresh host ids the shards were rebuilt on.
+    pub new_hosts: Vec<u32>,
+    /// The post-run zombie probe: a message stamped with the fenced-off
+    /// epoch was rejected and counted, not applied.
+    pub zombie_probe_rejected: bool,
+    /// Successes past their deadline (must be zero).
+    pub late_successes: u64,
+    /// Whether the cluster ledger closed.
+    pub conservation_ok: bool,
+}
+
+/// The **E12** report: per-arm rows plus the cross-cutting verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E12Report {
+    /// One row per (shards, crashes, ship loss) arm.
+    pub rows: Vec<E12Row>,
+    /// Every arm's ledger closed.
+    pub all_conserved: bool,
+    /// Every arm's zombie probe was fenced.
+    pub all_fenced: bool,
+    /// No arm completed a success past its deadline.
+    pub no_late_successes: bool,
+    /// Flipping any single byte of an encoded snapshot image made the
+    /// receiver refuse it (the integrity gate swept every offset).
+    pub corruption_detected: bool,
+    /// Two repetitions of the first arm were byte-identical (trace, stats,
+    /// and failover report).
+    pub deterministic: bool,
+    /// FNV-1a digest of the first arm's trace.
+    pub trace_digest: u64,
+}
+
+/// One seeded kill-under-partition cluster run with cross-host failover.
+/// Each victim shard process-crashes mid-wave inside a pair of asymmetric
+/// partition windows (both directions of its gateway path to the next
+/// shard blacked out around the crash instant).
+fn e12_cluster(seed: u64, shards: usize, crashes: usize, loss: f64) -> aorta_cluster::ShardManager {
+    use aorta_cluster::{ClusterConfig, FailoverConfig, ShardManager};
+    use aorta_device::{DeviceId, PervasiveLab};
+    use aorta_net::ShipConfig;
+    use aorta_sim::{FaultEvent, FaultPlan, SimDuration, SimTime};
+
+    let lab = PervasiveLab::with_sizes(E11_CAMERAS, E11_MOTES, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let config = ClusterConfig::seeded(seed, shards)
+        .with_imbalance_threshold(u64::MAX)
+        .with_wal(128)
+        .with_failover(FailoverConfig {
+            ship: ShipConfig {
+                loss,
+                ..ShipConfig::default()
+            },
+            ..FailoverConfig::default()
+        });
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .expect("valid query");
+    }
+    let mut victims: Vec<(usize, DeviceId)> = Vec::new();
+    for c in 0..E11_CAMERAS as u32 {
+        let id = DeviceId::camera(c);
+        let owner = cluster.shard_owning(id).expect("camera owned");
+        if !victims.iter().any(|(s, _)| *s == owner) {
+            victims.push((owner, id));
+        }
+        if victims.len() == crashes {
+            break;
+        }
+    }
+    assert_eq!(victims.len(), crashes, "need {crashes} distinct shards");
+    let mut plan = FaultPlan::new();
+    for (i, (owner, id)) in victims.iter().enumerate() {
+        let crash_at = SimTime::ZERO + SimDuration::from_secs(100 + 37 * i as u64);
+        let sibling = ((*owner + 1) % shards) as u32;
+        let window = SimDuration::from_secs(20);
+        let blackout_from = crash_at - SimDuration::from_secs(5);
+        plan.schedule(
+            blackout_from,
+            FaultEvent::Partition {
+                a: *owner as u32,
+                b: sibling,
+                window,
+            },
+        );
+        plan.schedule(
+            blackout_from,
+            FaultEvent::Partition {
+                a: sibling,
+                b: *owner as u32,
+                window,
+            },
+        );
+        plan.schedule(crash_at, FaultEvent::ProcessCrash(*id));
+    }
+    cluster.inject_faults(plan);
+    cluster.run_for(SimDuration::from_mins(5));
+    cluster.run_for(SimDuration::from_secs(30));
+    cluster
+}
+
+/// A minimal escalation message for the post-run zombie probe (the fence
+/// inspects the epoch stamp, not the payload).
+fn e12_probe_request() -> aorta_core::ActionRequest {
+    aorta_core::ActionRequest {
+        query_id: u32::MAX,
+        action: "photo".into(),
+        event_tuple: aorta_data::Tuple::empty(),
+        event_binding: "s".into(),
+        event_kind: aorta_device::DeviceKind::Sensor,
+        device_binding: None,
+        args: Vec::new(),
+        candidates: Vec::new(),
+        created_at: aorta_sim::SimTime::ZERO,
+        deadline: aorta_sim::SimTime::MAX,
+        degraded: false,
+        attempts: 0,
+        hops: 0,
+    }
+}
+
+/// Every single-byte corruption of an encoded snapshot image must be
+/// refused by the receiver's decode gate — manifest, checksum slot, and
+/// payload alike.
+fn e12_corruption_sweep() -> bool {
+    use aorta_sim::SimTime;
+    use aorta_wal::{SnapshotImage, WalRecord};
+
+    let image = SnapshotImage {
+        shard: 3,
+        epoch: 7,
+        fingerprint: 0xFEED_F00D_DEAD_BEEF,
+        prefix: vec![WalRecord::Genesis {
+            fingerprint: 0xFEED_F00D_DEAD_BEEF,
+        }],
+        suffix: vec![WalRecord::RunUntil {
+            deadline: SimTime::from_micros(123_456),
+        }],
+    };
+    let bytes = image.encode();
+    (0..bytes.len()).all(|i| {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x01;
+        SnapshotImage::decode(&corrupt).is_err()
+    })
+}
+
+/// **E12 (extension)** — cross-host shard failover: kill shards mid-wave
+/// under asymmetric partition windows, rebuild each on a *fresh host* from
+/// a CRC-framed snapshot image shipped over a lossy link, and prove the
+/// degraded window loses nothing: conservation holds, no success lands
+/// past its deadline, a stale-epoch zombie message is fenced, and the whole
+/// scenario is byte-identical across repetitions. See `DESIGN.md` §12.
+pub fn e12_failover(seed: u64, full: bool) -> E12Report {
+    // (shards, crashes, image-transfer loss rate)
+    let mut arms: Vec<(usize, usize, f64)> = vec![(2, 1, 0.0)];
+    if full {
+        arms.push((4, 2, 0.05));
+        arms.push((4, 1, 0.25));
+    }
+
+    let mut rows = Vec::new();
+    for (i, &(shards, crashes, loss)) in arms.iter().enumerate() {
+        let arm_seed = seed ^ (i as u64) << 8;
+        let mut cluster = e12_cluster(arm_seed, shards, crashes, loss);
+        let stats = cluster.stats();
+        let events = cluster.failover_report();
+        // Zombie probe: replay a message from the fenced-off incarnation.
+        let zombie_probe_rejected = events.first().is_some_and(|ev| {
+            let rejected = !cluster.inject_escalation(ev.shard, ev.epoch - 1, e12_probe_request());
+            rejected && cluster.zombie_rejects() == 1
+        });
+        rows.push(E12Row {
+            shards,
+            crashes,
+            ship_loss: loss,
+            requests: stats.requests(),
+            executed: stats.executed(),
+            degraded: stats.degraded(),
+            shed: stats.shed(),
+            rerouted: stats.rerouted,
+            gateway_dropped: stats.gateway_dropped,
+            gateway_expired: stats.gateway_expired,
+            failovers: stats.failovers,
+            degraded_window_us: events
+                .iter()
+                .map(|ev| ev.degraded_window().as_micros())
+                .collect(),
+            bytes_shipped: events.iter().map(|ev| ev.bytes_shipped).sum(),
+            ship_rounds: events.iter().map(|ev| u64::from(ev.ship_rounds)).sum(),
+            records_replayed: events.iter().map(|ev| ev.records_replayed).sum(),
+            new_hosts: events.iter().map(|ev| ev.new_host).collect(),
+            zombie_probe_rejected,
+            late_successes: stats.late_successes(),
+            conservation_ok: stats.check_conservation().is_ok(),
+        });
+    }
+
+    // Determinism: two repetitions of the first arm, compared raw.
+    let (shards, crashes, loss) = arms[0];
+    let rep_a = e12_cluster(seed, shards, crashes, loss);
+    let rep_b = e12_cluster(seed, shards, crashes, loss);
+    let trace_a = rep_a.render_trace();
+    let deterministic = trace_a == rep_b.render_trace()
+        && rep_a.stats() == rep_b.stats()
+        && rep_a.failover_report() == rep_b.failover_report();
+
+    E12Report {
+        all_conserved: rows.iter().all(|r| r.conservation_ok),
+        all_fenced: rows
+            .iter()
+            .all(|r| r.failovers == r.crashes as u64 && r.zombie_probe_rejected),
+        no_late_successes: rows.iter().all(|r| r.late_successes == 0),
+        corruption_detected: e12_corruption_sweep(),
+        rows,
+        deterministic,
+        trace_digest: fnv1a64(&trace_a),
+    }
+}
+
+#[cfg(test)]
+mod failover_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn e12_smoke_fails_over_without_losing_work() {
+        let report = e12_failover(0xE12, false);
+        assert!(report.all_conserved, "{report:?}");
+        assert!(report.all_fenced, "{report:?}");
+        assert!(report.no_late_successes, "{report:?}");
+        assert!(report.corruption_detected, "{report:?}");
+        assert!(report.deterministic, "{report:?}");
+        let row = &report.rows[0];
+        assert_eq!(row.failovers, row.crashes as u64, "{row:?}");
+        assert!(row.bytes_shipped > 0 && row.records_replayed > 0, "{row:?}");
+        assert!(
+            row.degraded_window_us.iter().all(|&w| w >= 100_000),
+            "window shorter than the rebuild delay: {row:?}"
+        );
+        assert!(
+            row.new_hosts.iter().all(|&h| h >= row.shards as u32),
+            "adoption must land on a fresh host: {row:?}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod wal_experiment_tests {
     use super::*;

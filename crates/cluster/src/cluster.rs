@@ -20,14 +20,16 @@
 use std::path::PathBuf;
 
 use aorta_core::{
-    genesis_fingerprint, recover_engine, ActionRequest, Aorta, CustomHandler, EngineConfig,
-    EngineError, ExecOutput, GenesisSpec,
+    genesis_fingerprint, recover_engine, restore_from_image, ActionRequest, Aorta, CustomHandler,
+    EngineConfig, EngineError, ExecOutput, GenesisSpec,
 };
 use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
-use aorta_net::DeviceRegistry;
+use aorta_net::{ship_bytes, DeviceRegistry, EpochFence, RetryPolicy, ShipConfig};
 use aorta_obs::{MetricsRegistry, SharedMetrics, SpanKind};
-use aorta_sim::{FaultPlan, SimDuration, SimRng, SimTime, TraceBuffer};
-use aorta_wal::{FileStore, LogStore, MemStore, WalHandle, WalManager, WalRecord, WalStats};
+use aorta_sim::{FaultEvent, FaultPlan, SimDuration, SimRng, SimTime, TraceBuffer};
+use aorta_wal::{
+    FileStore, LogStore, MemStore, SnapshotImage, WalHandle, WalManager, WalRecord, WalStats,
+};
 
 use crate::partition::{owner_of, PartitionPolicy};
 use crate::stats::ClusterStats;
@@ -55,6 +57,42 @@ pub struct ClusterConfig {
     /// are recovered in place. `None` (the default) runs without logs —
     /// a process-crashed shard then stays dead.
     pub wal: Option<WalClusterConfig>,
+    /// Cross-host failover: when set (and durability is on), a
+    /// process-crashed shard is rebuilt on a *fresh host* from a shipped
+    /// [`SnapshotImage`] instead of in place, behind epoch fencing and a
+    /// parked-escalation queue. `None` (the default) keeps the in-place
+    /// recovery path byte-identical to previous releases.
+    pub failover: Option<FailoverConfig>,
+}
+
+/// Cross-host failover tunables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverConfig {
+    /// Simulated network parameters for shipping the snapshot image to the
+    /// adopting host (chunking, loss, duplication, reordering, bandwidth).
+    pub ship: ShipConfig,
+    /// Fixed rebuild cost on the adopting host (process start + replay),
+    /// added to the shipment's transfer time to give the degraded window
+    /// its length on the virtual clock.
+    pub rebuild_delay: SimDuration,
+    /// Backoff schedule for parked escalations: every gateway re-injection
+    /// waits `backoff_base × 2^(attempt-1)` plus seeded jitter instead of
+    /// retrying immediately (the same policy the probe layer uses).
+    pub retry: RetryPolicy,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            ship: ShipConfig::default(),
+            rebuild_delay: SimDuration::from_millis(100),
+            retry: RetryPolicy::new(
+                6,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(25),
+            ),
+        }
+    }
 }
 
 /// Durability tunables for a WAL-enabled cluster.
@@ -87,6 +125,7 @@ impl Default for ClusterConfig {
             migration_batch: 1,
             engine: EngineConfig::default(),
             wal: None,
+            failover: None,
         }
     }
 }
@@ -132,6 +171,14 @@ impl ClusterConfig {
         });
         self
     }
+
+    /// Enables cross-host failover, builder style. Requires a WAL (the
+    /// snapshot image is cut from the shard's log); [`ShardManager::new`]
+    /// panics otherwise.
+    pub fn with_failover(mut self, failover: FailoverConfig) -> Self {
+        self.failover = Some(failover);
+        self
+    }
 }
 
 /// Per-shard durability state: log manager + genesis image, plus recovery
@@ -167,6 +214,90 @@ pub struct WalReport {
     pub recovery_wall_ms: Vec<u64>,
 }
 
+/// Cross-host failover runtime state (present only when configured).
+struct Failover {
+    config: FailoverConfig,
+    /// Gateway-owned RNG (image shipping, backoff jitter), forked from the
+    /// cluster seed *after* every shard seed — adding it never perturbs
+    /// the shard streams.
+    rng: SimRng,
+    /// One fence per shard slot: the incarnation epoch the gateway believes
+    /// current, plus the count of stale-epoch messages it refused.
+    fences: Vec<EpochFence>,
+    /// The host currently running each shard slot (hosts `0..k` at birth;
+    /// every failover adopts on a fresh host id).
+    hosts: Vec<u32>,
+    next_host: u32,
+    /// Escalations parked at the gateway awaiting backoff delivery.
+    waiting: Vec<Parked>,
+    next_seq: u64,
+    /// In-flight rebuilds: the replacement engine is ready but not adopted
+    /// until the degraded window (`ready_at`) elapses on the virtual clock.
+    rebuilds: Vec<Option<PendingRebuild>>,
+    events: Vec<FailoverEvent>,
+}
+
+/// One escalation parked at the gateway (satellite of the backoff fix: the
+/// gateway never re-injects immediately when failover is on).
+struct Parked {
+    request: ActionRequest,
+    /// Shard slot that escalated the request.
+    from: usize,
+    /// Epoch of `from`'s incarnation when the gateway admitted the
+    /// handoff (auditing; admission is where the fence is enforced).
+    #[allow(dead_code)]
+    epoch: u64,
+    /// Delivery attempts scheduled so far (1 = first backoff wait).
+    attempt: u32,
+    next_at: SimTime,
+    /// Admission order, to break `next_at` ties deterministically.
+    seq: u64,
+}
+
+/// A replacement engine rebuilt on a fresh host, waiting out the degraded
+/// window before adoption.
+struct PendingRebuild {
+    engine: Box<Aorta>,
+    ready_at: SimTime,
+    detected_at: SimTime,
+    old_host: u32,
+    new_host: u32,
+    bytes_shipped: u64,
+    ship_rounds: u32,
+    replayed: u64,
+}
+
+/// One completed cross-host failover, for benchmarks and introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// Shard slot that failed over.
+    pub shard: usize,
+    /// Host that died.
+    pub old_host: u32,
+    /// Fresh host the shard was rebuilt on.
+    pub new_host: u32,
+    /// The new incarnation's epoch (old epoch + 1).
+    pub epoch: u64,
+    /// Virtual instant the process crash was detected.
+    pub detected_at: SimTime,
+    /// Virtual instant the rebuilt shard was adopted (end of the degraded
+    /// window).
+    pub ready_at: SimTime,
+    /// Encoded snapshot-image size shipped to the adopting host.
+    pub bytes_shipped: u64,
+    /// Transfer rounds the shipment needed (1 = no loss).
+    pub ship_rounds: u32,
+    /// Log records the adopting host replayed.
+    pub records_replayed: u64,
+}
+
+impl FailoverEvent {
+    /// Length of the degraded window on the virtual clock.
+    pub fn degraded_window(&self) -> SimDuration {
+        self.ready_at - self.detected_at
+    }
+}
+
 /// *k* engines over a partitioned fleet, stepped on one virtual clock,
 /// with gateway routing, cross-shard failover, and rebalancing.
 pub struct ShardManager {
@@ -184,6 +315,12 @@ pub struct ShardManager {
     obs: Option<SharedMetrics>,
     /// WAL + snapshot state when durability is on.
     durability: Option<Durability>,
+    /// Cross-host failover state when configured.
+    failover: Option<Failover>,
+    /// Active inter-shard blackout windows `(start, end, from, to)` from
+    /// injected [`FaultEvent::Partition`] events. Asymmetric: a window
+    /// blocks gateway deliveries `from → to` only.
+    partitions: Vec<(SimTime, SimTime, u32, u32)>,
 }
 
 impl ShardManager {
@@ -246,6 +383,10 @@ impl ShardManager {
             engine_config.escalate_exhausted = k > 1;
             let genesis_registry = durability.is_some().then(|| registry.clone());
             let mut engine = Aorta::with_registry(engine_config.clone(), registry);
+            // Incarnation identity: shard s starts on host s, epoch 1.
+            // Pure metadata (excluded from digests and stats), so stamping
+            // it unconditionally changes no byte of any existing artifact.
+            engine.set_identity(s as u32, 1);
             if let Some(dur) = &mut durability {
                 let wal = config.wal.as_ref().expect("durability implies wal config");
                 let store: Box<dyn LogStore> = match &wal.dir {
@@ -271,6 +412,26 @@ impl ShardManager {
             shards.push(engine);
         }
 
+        // Forked after every shard seed, so enabling failover leaves the
+        // shard RNG streams (and thus every existing artifact) untouched.
+        let failover = config.failover.clone().map(|fc| {
+            assert!(
+                durability.is_some(),
+                "failover requires a WAL: the snapshot image is cut from the shard's log"
+            );
+            Failover {
+                config: fc,
+                rng: seeder.fork(u64::MAX),
+                fences: (0..k).map(|_| EpochFence::new(1)).collect(),
+                hosts: (0..k as u32).collect(),
+                next_host: k as u32,
+                waiting: Vec::new(),
+                next_seq: 0,
+                rebuilds: (0..k).map(|_| None).collect(),
+                events: Vec::new(),
+            }
+        });
+
         let obs = config.engine.observability.then(SharedMetrics::new);
         ShardManager {
             config,
@@ -283,6 +444,8 @@ impl ShardManager {
             migrations: 0,
             obs,
             durability,
+            failover,
+            partitions: Vec::new(),
         }
     }
 
@@ -324,11 +487,29 @@ impl ShardManager {
     /// events no-op harmlessly on the old shard (fault application checks
     /// registry membership). Global link events replicate to every shard.
     pub fn inject_faults(&mut self, plan: FaultPlan<DeviceId>) {
+        // Partition events are cluster-scope: the gateway keeps the blackout
+        // windows (engines no-op them) and refuses deliveries crossing an
+        // active window. Plans without partitions leave this list empty and
+        // routing byte-identical.
+        for (at, event) in plan.iter() {
+            if let FaultEvent::Partition { a, b, window } = *event {
+                self.partitions.push((*at, *at + window, a, b));
+            }
+        }
         let owners: Vec<FaultPlan<DeviceId>> =
             plan.split_by(self.shards.len(), |d| self.shard_owning(*d).unwrap_or(0));
         for (shard, sub) in self.shards.iter_mut().zip(owners) {
             shard.inject_faults(sub);
         }
+    }
+
+    /// True when an active partition window blocks gateway deliveries
+    /// `from → to` at the current virtual instant.
+    fn blocked(&self, from: usize, to: usize) -> bool {
+        let now = self.now;
+        self.partitions.iter().any(|&(start, end, a, b)| {
+            a as usize == from && b as usize == to && start <= now && now < end
+        })
     }
 
     /// The shard currently owning `device`, if any.
@@ -362,13 +543,33 @@ impl ShardManager {
                     }
                 }
             }
-            let Some((t, s)) = next else { break };
-            self.now = t;
-            self.shards[s].run_until(t);
-            self.recover_if_crashed(s);
-            self.route_escalated(s);
-            self.maybe_rebalance();
-            self.maybe_snapshots();
+            // Gateway timers (rebuild adoptions, parked deliveries) share
+            // the same clock; a shard step wins ties so escalations drain
+            // before the gateway acts at the same instant.
+            let gateway = self.next_gateway_time().filter(|&g| g <= deadline);
+            match (next, gateway) {
+                (Some((t, s)), g) => {
+                    if let Some(g) = g {
+                        if g < t {
+                            self.now = g;
+                            self.gateway_tick();
+                            continue;
+                        }
+                    }
+                    self.now = t;
+                    self.shards[s].run_until(t);
+                    self.recover_if_crashed(s);
+                    self.route_escalated(s);
+                    self.gateway_tick();
+                    self.maybe_rebalance();
+                    self.maybe_snapshots();
+                }
+                (None, Some(g)) => {
+                    self.now = g;
+                    self.gateway_tick();
+                }
+                (None, None) => break,
+            }
         }
         for s in 0..self.shards.len() {
             self.shards[s].run_until(deadline);
@@ -377,6 +578,64 @@ impl ShardManager {
         }
         self.maybe_snapshots();
         self.now = deadline;
+        self.gateway_tick();
+    }
+
+    /// The earliest pending gateway timer: a rebuild's adoption instant or
+    /// a parked escalation's delivery instant. `None` without failover.
+    fn next_gateway_time(&self) -> Option<SimTime> {
+        let fo = self.failover.as_ref()?;
+        let rebuild = fo
+            .rebuilds
+            .iter()
+            .filter_map(|r| r.as_ref().map(|r| r.ready_at))
+            .min();
+        let parked = fo.waiting.iter().map(|p| p.next_at).min();
+        match (rebuild, parked) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Services every gateway timer due at the current instant: rebuild
+    /// adoptions first (an adopted shard can then receive deliveries at the
+    /// same instant), then parked escalations in `(next_at, seq)` order.
+    /// No-op without failover.
+    fn gateway_tick(&mut self) {
+        if self.failover.is_none() {
+            return;
+        }
+        loop {
+            let due = {
+                let fo = self.failover.as_ref().expect("checked above");
+                (0..self.shards.len()).find(|&s| {
+                    fo.rebuilds[s]
+                        .as_ref()
+                        .is_some_and(|r| r.ready_at <= self.now)
+                })
+            };
+            let Some(s) = due else { break };
+            self.adopt_rebuild(s);
+        }
+        loop {
+            let idx = {
+                let fo = self.failover.as_ref().expect("checked above");
+                fo.waiting
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.next_at <= self.now)
+                    .min_by_key(|(_, p)| (p.next_at, p.seq))
+                    .map(|(i, _)| i)
+            };
+            let Some(i) = idx else { break };
+            let parked = self
+                .failover
+                .as_mut()
+                .expect("checked above")
+                .waiting
+                .remove(i);
+            self.deliver_parked(parked);
+        }
     }
 
     /// Rebuilds shard `s` from its snapshot + WAL suffix after a process
@@ -390,8 +649,14 @@ impl ShardManager {
         if !self.shards[s].is_crashed() || self.durability.is_none() {
             return;
         }
+        if self.failover.is_some() && self.try_failover_rebuild(s) {
+            return;
+        }
         let ShardManager {
-            durability, shards, ..
+            durability,
+            failover,
+            shards,
+            ..
         } = self;
         let dur = durability.as_mut().expect("checked above");
         let started = std::time::Instant::now();
@@ -415,6 +680,12 @@ impl ShardManager {
         manager.append_all(recovered.appended);
         let mut engine = recovered.engine;
         engine.attach_wal(manager.handle());
+        // In-place recovery is the same incarnation: restore its identity
+        // (the replayed engine was rebuilt with the default stamp).
+        let (host, epoch) = failover
+            .as_ref()
+            .map_or((s as u32, 1), |fo| (fo.hosts[s], fo.fences[s].current()));
+        engine.set_identity(host, epoch);
         shards[s] = *engine;
         dur.recoveries += 1;
         dur.records_replayed += replayed as u64;
@@ -432,14 +703,320 @@ impl ShardManager {
         debug_assert!(!shards[s].is_crashed(), "recovery left shard {s} halted");
     }
 
+    /// Cross-host failover, phase 1: cut a [`SnapshotImage`] from the dead
+    /// shard's sealed log, ship it over the simulated network to a fresh
+    /// host, and rebuild the engine there by replay. The rebuilt engine is
+    /// parked until the degraded window (`rebuild_delay` + transfer time)
+    /// elapses; [`Self::adopt_rebuild`] then swaps it in under a bumped
+    /// epoch. Returns `false` when the log cannot be cut into a shippable
+    /// image (compacted, or it crossed a device adoption, whose `MigrateIn`
+    /// is unreplayable from genesis) — the caller then recovers in place.
+    ///
+    /// A transfer the retransmission budget cannot repair, or a shipped
+    /// image that fails its integrity gate, panics: a shard must never be
+    /// rebuilt from a torn or corrupt image, and silently staying dead is
+    /// exactly the silent failure this subsystem exists to prevent.
+    fn try_failover_rebuild(&mut self, s: usize) -> bool {
+        let now = self.now;
+        let ShardManager {
+            durability,
+            failover,
+            trace,
+            obs,
+            ..
+        } = self;
+        let (Some(dur), Some(fo)) = (durability.as_mut(), failover.as_mut()) else {
+            return false;
+        };
+        let manager = &mut dur.managers[s];
+        // Group-commit point: only durable frames may enter the image.
+        manager.handle().seal_tail();
+        let records = manager.records().expect("wal read at failover");
+        let shippable = manager.handle().base() == 0
+            && !records
+                .iter()
+                .any(|r| matches!(r, WalRecord::MigrateIn { .. }));
+        if !shippable {
+            trace.emit(
+                now,
+                "gateway",
+                format!(
+                    "shard {s}: log not shippable as an image \
+                     (compacted or crossed a device adoption), recovering in place"
+                ),
+            );
+            return false;
+        }
+        let barrier = manager
+            .latest_snapshot()
+            .map_or(0, |(at, _)| at as usize)
+            .min(records.len());
+        let image = SnapshotImage {
+            shard: s as u32,
+            epoch: fo.fences[s].current(),
+            fingerprint: dur.fingerprints[s],
+            prefix: records[..barrier].to_vec(),
+            suffix: records[barrier..].to_vec(),
+        };
+        let bytes = image.encode();
+        let shipment = ship_bytes(&bytes, &fo.config.ship, &mut fo.rng)
+            .unwrap_or_else(|e| panic!("shard {s}: snapshot image transfer failed: {e}"));
+        // Decode what actually arrived — the receiver's integrity gate. A
+        // torn or corrupt image is refused loudly, never replayed.
+        let verified = SnapshotImage::decode(&shipment.bytes)
+            .unwrap_or_else(|e| panic!("shard {s}: shipped snapshot image refused: {e}"));
+        assert_eq!(verified.shard, s as u32, "image shard identity mismatch");
+        assert_eq!(
+            verified.fingerprint, dur.fingerprints[s],
+            "image genesis fingerprint mismatch"
+        );
+        let replayed = verified.records().len() as u64;
+        let recovered = restore_from_image(&dur.specs[s], &verified, dur.fingerprints[s])
+            .unwrap_or_else(|e| panic!("shard {s}: image replay failed: {e}"));
+        // The replay ran the crash-truncated tail to its deadline; write
+        // that re-derived history back so the log stays complete.
+        manager.append_all(recovered.appended);
+        let mut engine = recovered.engine;
+        engine.attach_wal(manager.handle());
+        let new_host = fo.next_host;
+        fo.next_host += 1;
+        let ready_at = now + fo.config.rebuild_delay + shipment.elapsed;
+        fo.rebuilds[s] = Some(PendingRebuild {
+            engine,
+            ready_at,
+            detected_at: now,
+            old_host: fo.hosts[s],
+            new_host,
+            bytes_shipped: bytes.len() as u64,
+            ship_rounds: shipment.rounds,
+            replayed,
+        });
+        if let Some(m) = obs {
+            m.incr("aorta_failover_started", &[], 1);
+        }
+        trace.emit(
+            now,
+            "gateway",
+            format!(
+                "shard {s}: process crash detected, {} B image shipped to host {new_host} \
+                 in {} round(s), rebuild in flight",
+                bytes.len(),
+                shipment.rounds
+            ),
+        );
+        true
+    }
+
+    /// Cross-host failover, phase 2: the degraded window elapsed — swap the
+    /// rebuilt engine in under a bumped epoch on its fresh host, then let
+    /// the gateway drain whatever the replay re-derived into its escalation
+    /// buffer (the dead incarnation's in-flight work, reconciled exactly
+    /// once: the corpse was never drained).
+    fn adopt_rebuild(&mut self, s: usize) {
+        let (rebuild, epoch) = {
+            let fo = self.failover.as_mut().expect("gated by caller");
+            let rebuild = fo.rebuilds[s].take().expect("gated by caller");
+            let epoch = fo.fences[s].bump();
+            fo.hosts[s] = rebuild.new_host;
+            (rebuild, epoch)
+        };
+        let mut engine = rebuild.engine;
+        engine.set_identity(rebuild.new_host, epoch);
+        self.shards[s] = *engine;
+        self.trace.emit(
+            self.now,
+            "gateway",
+            format!(
+                "shard {s}: failover complete, host {} -> {} under epoch {epoch} \
+                 ({} records replayed, {} B shipped)",
+                rebuild.old_host, rebuild.new_host, rebuild.replayed, rebuild.bytes_shipped
+            ),
+        );
+        if let Some(m) = &self.obs {
+            m.incr("aorta_failover_completed", &[], 1);
+            m.span(
+                SpanKind::Failover,
+                rebuild.detected_at,
+                rebuild.ready_at - rebuild.detected_at,
+                &format!(
+                    "s{s} host {}->{} epoch={epoch} shipped={}B rounds={}",
+                    rebuild.old_host, rebuild.new_host, rebuild.bytes_shipped, rebuild.ship_rounds
+                ),
+            );
+        }
+        let fo = self.failover.as_mut().expect("gated by caller");
+        fo.events.push(FailoverEvent {
+            shard: s,
+            old_host: rebuild.old_host,
+            new_host: rebuild.new_host,
+            epoch,
+            detected_at: rebuild.detected_at,
+            ready_at: rebuild.ready_at,
+            bytes_shipped: rebuild.bytes_shipped,
+            ship_rounds: rebuild.ship_rounds,
+            records_replayed: rebuild.replayed,
+        });
+        // Reconcile at the epoch bump: the replay re-derived every
+        // escalation the dead incarnation held; drain them through the
+        // normal (parked, backed-off) path under the new epoch.
+        self.route_escalated(s);
+    }
+
+    /// Parks an escalation at the gateway for backed-off delivery — the
+    /// probe layer's seeded-jitter exponential backoff, not an immediate
+    /// re-injection.
+    fn park(&mut self, from: usize, request: ActionRequest, attempt: u32) {
+        let now = self.now;
+        let query_id = request.query_id;
+        let fo = self.failover.as_mut().expect("gated by caller");
+        let retry = fo.config.retry;
+        let jitter = SimDuration::from_micros(fo.rng.range(0..=retry.jitter().as_micros()));
+        // Always strictly in the future, so a zero-backoff policy cannot
+        // spin the gateway at one instant.
+        let next_at =
+            (now + retry.backoff_after(attempt) + jitter).max(now + SimDuration::from_micros(1));
+        let seq = fo.next_seq;
+        fo.next_seq += 1;
+        fo.waiting.push(Parked {
+            request,
+            from,
+            epoch: fo.fences[from].current(),
+            attempt,
+            next_at,
+            seq,
+        });
+        if let Some(m) = &self.obs {
+            m.incr("aorta_gateway_parked", &[], 1);
+        }
+        self.trace.emit(
+            now,
+            "gateway",
+            format!("query {query_id}: escalation from s{from} parked (attempt {attempt})"),
+        );
+    }
+
+    /// Delivers (or re-parks, or terminally resolves) one parked
+    /// escalation whose backoff elapsed.
+    fn deliver_parked(&mut self, parked: Parked) {
+        let Parked {
+            mut request,
+            from,
+            attempt,
+            ..
+        } = parked;
+        if request.deadline != SimTime::MAX && self.now >= request.deadline {
+            self.gateway_expired += 1;
+            if let Some(m) = &self.obs {
+                m.incr("aorta_gateway_expired", &[], 1);
+            }
+            self.trace.emit(
+                self.now,
+                "gateway",
+                format!(
+                    "query {}: deadline passed while parked, escalation dropped",
+                    request.query_id
+                ),
+            );
+            return;
+        }
+        if request.hops as usize + 1 >= self.shards.len() {
+            self.drop_request(&request, "visited every shard");
+            return;
+        }
+        // Select among siblings that are alive, reachable (no active
+        // partition window on the from→to path), and whose cheapest
+        // estimate fits the remaining deadline budget.
+        let eligible: Vec<bool> = (0..self.shards.len())
+            .map(|t| {
+                t != from
+                    && !self.shards[t].is_crashed()
+                    && !self.is_rebuilding(t)
+                    && !self.blocked(from, t)
+            })
+            .collect();
+        let now = self.now;
+        let mut best: Option<(SimDuration, usize, DeviceId)> = None;
+        for (t, shard) in self.shards.iter_mut().enumerate() {
+            if !eligible[t] {
+                continue;
+            }
+            if let Some((device, cost)) = shard.cheapest_local_candidate(&request) {
+                if now + cost > request.deadline {
+                    continue;
+                }
+                if best.is_none_or(|(bc, bt, _)| (cost, t) < (bc, bt)) {
+                    best = Some((cost, t, device));
+                }
+            }
+        }
+        match best {
+            Some((cost, t, device)) => {
+                request.hops += 1;
+                self.rerouted += 1;
+                if let Some(m) = &self.obs {
+                    m.incr("aorta_gateway_rerouted", &[], 1);
+                    m.span(
+                        SpanKind::GatewayRoute,
+                        self.now,
+                        SimDuration::ZERO,
+                        &format!(
+                            "query={} s{from}->s{t} device={device} estimate={cost} \
+                             attempt={attempt}",
+                            request.query_id
+                        ),
+                    );
+                }
+                self.trace.emit(
+                    self.now,
+                    "gateway",
+                    format!(
+                        "query {}: delivered s{from} -> s{t} on attempt {attempt} \
+                         (cheapest {device}, estimate {cost})",
+                        request.query_id
+                    ),
+                );
+                self.shards[t].inject_request(request);
+            }
+            None => {
+                let budget = self
+                    .failover
+                    .as_ref()
+                    .expect("gated by caller")
+                    .config
+                    .retry
+                    .max_attempts();
+                if attempt < budget {
+                    self.park(from, request, attempt + 1);
+                } else {
+                    self.drop_request(&request, "no eligible sibling within the retry budget");
+                }
+            }
+        }
+    }
+
+    /// True while shard slot `s` awaits adoption of a cross-host rebuild.
+    fn is_rebuilding(&self, s: usize) -> bool {
+        self.failover
+            .as_ref()
+            .is_some_and(|fo| fo.rebuilds[s].is_some())
+    }
+
     /// Takes cadence snapshots of any shard whose log has grown past the
     /// configured frame budget since its last snapshot.
     fn maybe_snapshots(&mut self) {
         let ShardManager {
-            durability, shards, ..
+            durability,
+            failover,
+            shards,
+            ..
         } = self;
         let Some(dur) = durability else { return };
         for (s, manager) in dur.managers.iter_mut().enumerate() {
+            // Never snapshot a corpse awaiting a cross-host rebuild: the
+            // halted engine's image would poison later recoveries.
+            if failover.as_ref().is_some_and(|fo| fo.rebuilds[s].is_some()) {
+                continue;
+            }
             manager.maybe_snapshot(|| shards[s].fork_snapshot());
         }
     }
@@ -455,6 +1032,13 @@ impl ShardManager {
     /// for which no sibling has an eligible device, is terminally dropped —
     /// and counted, never lost.
     fn route_escalated(&mut self, s: usize) {
+        // A corpse awaiting cross-host rebuild is never drained: its
+        // buffered escalations are re-derived by the replay, so draining
+        // both would double-count the same work. The backlog stays visible
+        // as in-flight (`gateway_parked`) until adoption.
+        if self.failover.is_some() && self.shards[s].is_crashed() {
+            return;
+        }
         let escalated = self.shards[s].drain_escalated();
         if !escalated.is_empty() {
             if let Some(m) = &self.obs {
@@ -490,9 +1074,23 @@ impl ShardManager {
                 self.drop_request(&request, "visited every shard");
                 continue;
             }
+            // With failover on, the gateway never re-injects immediately:
+            // every escalation parks for a backed-off, jittered delivery
+            // (and degraded-mode routing happens at delivery time, when
+            // shard liveness and partition windows are re-checked).
+            if self.failover.is_some() {
+                self.park(s, request, 1);
+                continue;
+            }
+            // Partition windows apply even without failover (they only
+            // exist when a plan injected them): a blocked path is not
+            // probed at all — no message can travel it.
+            let reachable: Vec<bool> = (0..self.shards.len())
+                .map(|t| self.partitions.is_empty() || !self.blocked(s, t))
+                .collect();
             let mut best: Option<(SimDuration, usize, DeviceId)> = None;
             for (t, shard) in self.shards.iter_mut().enumerate() {
-                if t == s {
+                if t == s || !reachable[t] {
                     continue;
                 }
                 if let Some((device, cost)) = shard.cheapest_local_candidate(&request) {
@@ -558,6 +1156,11 @@ impl ShardManager {
         if self.shards.len() < 2 || self.config.imbalance_threshold == u64::MAX {
             return;
         }
+        // Never migrate devices while a shard is dead or mid-rebuild: the
+        // corpse's registry is frozen and the replacement's is in flight.
+        if self.failover.is_some() && self.shards.iter().any(Aorta::is_crashed) {
+            return;
+        }
         let depths: Vec<u64> = self.shards.iter().map(|s| s.pending_requests()).collect();
         let (max_s, &max_d) = depths
             .iter()
@@ -619,13 +1222,31 @@ impl ShardManager {
     /// request is terminally resolved on some shard, visibly pending, or
     /// counted dropped by the gateway.
     pub fn stats(&self) -> ClusterStats {
+        let (gateway_parked, failovers, zombie_rejects) = match &self.failover {
+            Some(fo) => (
+                // Parked escalations, plus the undrained backlog of any
+                // corpse awaiting rebuild (in-flight work the replay will
+                // re-derive) — both are "at the gateway", not lost.
+                fo.waiting.len() as u64
+                    + (0..self.shards.len())
+                        .filter(|&s| fo.rebuilds[s].is_some())
+                        .map(|s| self.shards[s].escalated_backlog())
+                        .sum::<u64>(),
+                fo.events.len() as u64,
+                fo.fences.iter().map(EpochFence::rejected).sum(),
+            ),
+            None => (0, 0, 0),
+        };
         ClusterStats {
             per_shard: self.shards.iter().map(Aorta::stats).collect(),
             pending: self.pending_requests(),
             rerouted: self.rerouted,
             gateway_dropped: self.gateway_dropped,
             gateway_expired: self.gateway_expired,
+            gateway_parked,
             migrations: self.migrations,
+            failovers,
+            zombie_rejects,
         }
     }
 
@@ -677,6 +1298,84 @@ impl ShardManager {
     /// Crash recoveries performed so far (0 without a WAL).
     pub fn recoveries(&self) -> u64 {
         self.durability.as_ref().map_or(0, |d| d.recoveries)
+    }
+
+    /// Every completed cross-host failover, in adoption order. Empty
+    /// without failover configured.
+    pub fn failover_report(&self) -> Vec<FailoverEvent> {
+        self.failover
+            .as_ref()
+            .map_or_else(Vec::new, |fo| fo.events.clone())
+    }
+
+    /// Stale-epoch deliveries the gateway's fences refused (counted, never
+    /// applied). Zero without failover configured.
+    pub fn zombie_rejects(&self) -> u64 {
+        self.failover
+            .as_ref()
+            .map_or(0, |fo| fo.fences.iter().map(EpochFence::rejected).sum())
+    }
+
+    /// The incarnation epoch the gateway believes current for shard slot
+    /// `s` (1 until the first failover; without failover, always 1).
+    pub fn shard_epoch(&self, s: usize) -> u64 {
+        self.failover
+            .as_ref()
+            .map_or(1, |fo| fo.fences[s].current())
+    }
+
+    /// The host currently running shard slot `s` (host `s` until the first
+    /// failover; every failover adopts on a fresh host id).
+    pub fn shard_host(&self, s: usize) -> u32 {
+        self.failover.as_ref().map_or(s as u32, |fo| fo.hosts[s])
+    }
+
+    /// Escalations currently parked in the gateway's backoff queue.
+    pub fn parked_requests(&self) -> u64 {
+        self.failover
+            .as_ref()
+            .map_or(0, |fo| fo.waiting.len() as u64)
+    }
+
+    /// Delivers an escalation message claiming to come from incarnation
+    /// `epoch` of shard slot `from` — the zombie path made explicit. A
+    /// message stamped with a fenced-off (stale) epoch is refused and
+    /// counted in [`Self::zombie_rejects`], never applied: this is how a
+    /// partition-isolated old incarnation's late messages die. A message
+    /// stamped with the current epoch is admitted into the normal parked
+    /// delivery path and `true` is returned — the caller then vouches that
+    /// some shard's `escalated_out` covers the request, or the conservation
+    /// ledger will (correctly) flag the orphan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when failover is not configured, or when `epoch` is *ahead*
+    /// of the fence (a message from the future is a logic bug, not a
+    /// zombie).
+    pub fn inject_escalation(&mut self, from: usize, epoch: u64, request: ActionRequest) -> bool {
+        assert!(
+            self.failover.is_some(),
+            "inject_escalation requires failover (epoch fences) to be configured"
+        );
+        let admitted = self.failover.as_mut().expect("checked above").fences[from].admit(epoch);
+        if !admitted {
+            let current = self.shard_epoch(from);
+            if let Some(m) = &self.obs {
+                m.incr("aorta_zombie_rejects", &[], 1);
+            }
+            self.trace.emit(
+                self.now,
+                "gateway",
+                format!(
+                    "query {}: stale-epoch escalation from s{from} \
+                     (epoch {epoch}, fence at {current}) rejected",
+                    request.query_id
+                ),
+            );
+            return false;
+        }
+        self.park(from, request, 1);
+        true
     }
 
     /// The WAL's own metrics registry (append/recovery series), kept apart
@@ -1121,6 +1820,248 @@ mod tests {
         // The dead shard's admitted-but-unresolved work is visibly pending,
         // so the cluster ledger still closes.
         cluster.stats().check_conservation().unwrap();
+    }
+
+    fn failover_config(seed: u64) -> ClusterConfig {
+        ClusterConfig::seeded(seed, 2)
+            .with_imbalance_threshold(u64::MAX)
+            .with_wal(128)
+            .with_failover(FailoverConfig::default())
+    }
+
+    /// A minimal escalation message for fence tests (the fence inspects the
+    /// stamp, not the payload).
+    fn zombie_request() -> ActionRequest {
+        ActionRequest {
+            query_id: 999,
+            action: "photo".into(),
+            event_tuple: aorta_data::Tuple::empty(),
+            event_binding: "s".into(),
+            event_kind: DeviceKind::Sensor,
+            device_binding: None,
+            args: Vec::new(),
+            candidates: Vec::new(),
+            created_at: SimTime::ZERO,
+            deadline: SimTime::MAX,
+            degraded: false,
+            attempts: 0,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn crashed_shard_is_rebuilt_on_a_fresh_host() {
+        let victim = DeviceId::camera(0);
+        let mut cluster = ShardManager::new(failover_config(23), lab());
+        admit_queries(&mut cluster, true);
+        let owner = cluster.shard_owning(victim).expect("victim is owned");
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(150),
+            FaultEvent::ProcessCrash(victim),
+        );
+        cluster.inject_faults(plan);
+        cluster.run_for(RUN);
+
+        let events = cluster.failover_report();
+        assert_eq!(events.len(), 1, "exactly one failover expected");
+        let ev = &events[0];
+        assert_eq!(ev.shard, owner);
+        assert_eq!(ev.old_host, owner as u32);
+        assert_eq!(ev.new_host, 2, "the adopting host must be fresh");
+        assert_eq!(ev.epoch, 2, "adoption must bump the epoch");
+        assert!(ev.bytes_shipped > 0, "an image must actually ship");
+        assert!(ev.records_replayed > 0, "the image must carry history");
+        assert!(
+            ev.degraded_window() >= SimDuration::from_millis(100),
+            "the degraded window includes the rebuild delay"
+        );
+        assert!(!cluster.shard(owner).is_crashed());
+        assert_eq!(cluster.shard_host(owner), 2);
+        assert_eq!(cluster.shard_epoch(owner), 2);
+        assert_eq!(cluster.shard(owner).host(), 2);
+        assert_eq!(cluster.shard(owner).epoch(), 2);
+        assert_eq!(
+            cluster.recoveries(),
+            0,
+            "cross-host rebuild must not count as in-place recovery"
+        );
+        let stats = cluster.stats();
+        stats.check_conservation().unwrap();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.late_successes(), 0);
+        assert!(cluster.gateway_trace().any("gateway", "rebuild in flight"));
+        assert!(cluster.gateway_trace().any("gateway", "failover complete"));
+    }
+
+    #[test]
+    fn failover_under_partition_is_deterministic() {
+        let run = || {
+            let mut cluster = ShardManager::new(failover_config(29), lab());
+            admit_queries(&mut cluster, false);
+            let mut plan = FaultPlan::new();
+            // Kill shard 0's cameras so escalations flow, then the owning
+            // process, inside an asymmetric gateway blackout s0 -> s1.
+            for c in 0..12u32 {
+                let id = DeviceId::camera(c);
+                if cluster.shard_owning(id) == Some(0) {
+                    plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+                }
+            }
+            let mote = (0..16u32)
+                .map(DeviceId::sensor)
+                .find(|&d| cluster.shard_owning(d) == Some(0))
+                .expect("shard 0 owns a mote");
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_secs(145),
+                FaultEvent::Partition {
+                    a: 0,
+                    b: 1,
+                    window: SimDuration::from_secs(20),
+                },
+            );
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_secs(150),
+                FaultEvent::ProcessCrash(mote),
+            );
+            cluster.inject_faults(plan);
+            cluster.run_for(RUN);
+            let stats = cluster.stats();
+            stats.check_conservation().unwrap();
+            assert_eq!(stats.late_successes(), 0);
+            assert_eq!(stats.failovers, 1, "the mote crash must fail over");
+            (
+                cluster.render_trace(),
+                format!("{stats:?}"),
+                format!("{:?}", cluster.failover_report()),
+            )
+        };
+        let a = run();
+        assert_eq!(a, run(), "failover must be byte-identical per seed");
+        assert!(a.0.contains("failover complete"));
+    }
+
+    #[test]
+    fn escalations_park_with_backoff_instead_of_immediate_reinjection() {
+        let mut cluster = ShardManager::new(failover_config(11), lab());
+        admit_queries(&mut cluster, false);
+        let mut plan = FaultPlan::new();
+        for c in 0..12u32 {
+            let id = DeviceId::camera(c);
+            if cluster.shard_owning(id) == Some(0) {
+                plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+            }
+        }
+        assert!(!plan.is_empty(), "stripe 0 owned no cameras");
+        cluster.inject_faults(plan);
+        cluster.run_for(RUN);
+
+        let stats = cluster.stats();
+        stats.check_conservation().unwrap();
+        assert!(cluster.rerouted() > 0, "deliveries must still happen");
+        assert!(
+            cluster.gateway_trace().any("gateway", "parked (attempt 1)"),
+            "escalations must park before delivery"
+        );
+        assert!(
+            cluster.gateway_trace().any("gateway", "delivered s0 -> s1"),
+            "parked escalations must be delivered after backoff"
+        );
+        assert!(
+            stats.per_shard[1].escalated_in > 0,
+            "sibling adopted nothing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_escalations_are_fenced_not_double_applied() {
+        let victim = DeviceId::camera(0);
+        // Two arms differing only in a stale-epoch (zombie) message
+        // delivered after the failover: the rejection must have zero
+        // footprint on every engine — counted, never applied.
+        let run = |inject_zombie: bool| {
+            let mut cluster = ShardManager::new(failover_config(23), lab());
+            admit_queries(&mut cluster, true);
+            let owner = cluster.shard_owning(victim).expect("owned");
+            let old_epoch = cluster.shard_epoch(owner);
+            let mut plan = FaultPlan::new();
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_secs(150),
+                FaultEvent::ProcessCrash(victim),
+            );
+            cluster.inject_faults(plan);
+            cluster.run_for(RUN);
+            assert_eq!(cluster.shard_epoch(owner), old_epoch + 1);
+            if inject_zombie {
+                assert!(!cluster.inject_escalation(owner, old_epoch, zombie_request()));
+                assert_eq!(cluster.zombie_rejects(), 1);
+                assert_eq!(cluster.parked_requests(), 0, "a zombie must never park");
+            }
+            cluster.run_for(SimDuration::from_secs(30));
+            let stats = cluster.stats();
+            stats.check_conservation().unwrap();
+            assert_eq!(stats.zombie_rejects, u64::from(inject_zombie));
+            assert!(
+                !inject_zombie
+                    || cluster
+                        .gateway_trace()
+                        .any("gateway", "stale-epoch escalation"),
+                "the rejection must be visible in the gateway trace"
+            );
+            (cluster, stats, owner, old_epoch)
+        };
+        let (_, clean_stats, ..) = run(false);
+        let (mut cluster, zombie_stats, owner, old_epoch) = run(true);
+        assert_eq!(
+            zombie_stats.per_shard, clean_stats.per_shard,
+            "a fenced message must never touch any engine"
+        );
+        assert_eq!(zombie_stats.executed(), clean_stats.executed());
+
+        // A current-epoch message is admitted into the parked path.
+        assert!(cluster.inject_escalation(owner, old_epoch + 1, zombie_request()));
+        assert_eq!(cluster.parked_requests(), 1);
+    }
+
+    #[test]
+    fn partition_window_blocks_routing_without_failover() {
+        // Partitions apply even on the immediate-injection path: a window
+        // covering the whole run on the only escape path s0 -> s1 forces
+        // terminal drops instead of reroutes — counted, never lost.
+        let run = |partitioned: bool| {
+            let mut cluster = ShardManager::new(
+                ClusterConfig::seeded(11, 2).with_imbalance_threshold(u64::MAX),
+                lab(),
+            );
+            admit_queries(&mut cluster, false);
+            let mut plan = FaultPlan::new();
+            for c in 0..12u32 {
+                let id = DeviceId::camera(c);
+                if cluster.shard_owning(id) == Some(0) {
+                    plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+                }
+            }
+            if partitioned {
+                plan.schedule(
+                    SimTime::ZERO,
+                    FaultEvent::Partition {
+                        a: 0,
+                        b: 1,
+                        window: RUN + RUN,
+                    },
+                );
+            }
+            cluster.inject_faults(plan);
+            cluster.run_for(RUN);
+            let stats = cluster.stats();
+            stats.check_conservation().unwrap();
+            (cluster.rerouted(), stats.gateway_dropped)
+        };
+        let (rerouted_open, _) = run(false);
+        let (rerouted_blocked, dropped_blocked) = run(true);
+        assert!(rerouted_open > 0);
+        assert_eq!(rerouted_blocked, 0, "a blackout path must carry nothing");
+        assert!(dropped_blocked > 0, "blocked escalations are counted drops");
     }
 
     #[test]

@@ -49,6 +49,9 @@ mod partition;
 mod stats;
 
 pub use batch::{run_photo_batch, BatchConfig, BatchOutcome, ShardBatchReport};
-pub use cluster::{metrics_demo, ClusterConfig, ShardManager, WalClusterConfig, WalReport};
+pub use cluster::{
+    metrics_demo, ClusterConfig, FailoverConfig, FailoverEvent, ShardManager, WalClusterConfig,
+    WalReport,
+};
 pub use partition::{owner_of, rendezvous_owner, stripe_of, PartitionPolicy};
 pub use stats::ClusterStats;

@@ -31,8 +31,20 @@ pub struct ClusterStats {
     /// Escalated requests whose deadline lapsed in flight at the gateway —
     /// dropped as counted sheds instead of being retried forever.
     pub gateway_expired: u64,
+    /// Escalated requests currently parked in the gateway's backoff queue
+    /// (awaiting delivery to a sibling, or admission-queued while their
+    /// shard rebuilds). In-flight, not lost: they resolve to an injection,
+    /// a drop, or an expiry on delivery.
+    pub gateway_parked: u64,
     /// Device ownership transfers performed by the rebalancer.
     pub migrations: u64,
+    /// Cross-host failovers completed (dead shard rebuilt from a shipped
+    /// snapshot image on a fresh host).
+    pub failovers: u64,
+    /// Deliveries stamped with a fenced-off incarnation epoch, rejected at
+    /// the fence and re-routed under the current epoch — counted, never
+    /// double-applied.
+    pub zombie_rejects: u64,
 }
 
 impl ClusterStats {
@@ -115,33 +127,45 @@ impl ClusterStats {
     /// Verifies the cluster-wide conservation invariant, returning a
     /// description of the imbalance when it fails.
     ///
-    /// Checks both the telescoped cluster identity
-    /// (`requests == terminal + pending + gateway_dropped + gateway_expired`)
-    /// and the gateway's own ledger
-    /// (`escalated_out == escalated_in + gateway_dropped + gateway_expired`):
-    /// together they imply every re-routed request is counted exactly once.
+    /// Checks both the telescoped cluster identity (requests equal
+    /// `terminal + pending + gateway_dropped + gateway_expired +
+    /// gateway_parked`) and the gateway's own ledger (escalated_out equals
+    /// `escalated_in + gateway_dropped + gateway_expired +
+    /// gateway_parked`): together they imply every re-routed request is
+    /// counted exactly once. The parked term covers the degraded window —
+    /// work queued at the gateway while a shard rebuilds is in flight, not
+    /// lost. Zombie rejects enter neither identity: a fenced delivery is a
+    /// discarded *duplicate*; the request itself is re-routed and stays
+    /// accounted through the other terms.
     pub fn check_conservation(&self) -> Result<(), String> {
         let requests = self.requests();
-        let accounted =
-            self.terminal() + self.pending + self.gateway_dropped + self.gateway_expired;
+        let accounted = self.terminal()
+            + self.pending
+            + self.gateway_dropped
+            + self.gateway_expired
+            + self.gateway_parked;
         if requests != accounted {
             return Err(format!(
                 "requests {requests} != terminal {} + pending {} + gateway_dropped {} \
-                 + gateway_expired {}",
+                 + gateway_expired {} + gateway_parked {}",
                 self.terminal(),
                 self.pending,
                 self.gateway_dropped,
-                self.gateway_expired
+                self.gateway_expired,
+                self.gateway_parked
             ));
         }
         let out = self.escalated_out();
-        let handled = self.escalated_in() + self.gateway_dropped + self.gateway_expired;
+        let handled =
+            self.escalated_in() + self.gateway_dropped + self.gateway_expired + self.gateway_parked;
         if out != handled {
             return Err(format!(
-                "escalated_out {out} != escalated_in {} + gateway_dropped {} + gateway_expired {}",
+                "escalated_out {out} != escalated_in {} + gateway_dropped {} + gateway_expired {} \
+                 + gateway_parked {}",
                 self.escalated_in(),
                 self.gateway_dropped,
-                self.gateway_expired
+                self.gateway_expired,
+                self.gateway_parked
             ));
         }
         Ok(())

@@ -113,6 +113,16 @@ pub struct Aorta {
     /// immunity per `CrashApplied` record in the replay suffix so a crash
     /// already in the log cannot halt the replaying engine a second time.
     pub(crate) crash_immunity: u32,
+    /// Identity of the simulated host this incarnation runs on. Pure
+    /// identity, not state: excluded from [`state_digest`](Aorta::state_digest)
+    /// so a failed-over engine (new host, same replayed state) digests
+    /// equal to the original.
+    pub(crate) host: u32,
+    /// Monotonically increasing incarnation epoch. The cluster bumps it at
+    /// every failover; messages stamped with an older epoch are zombie
+    /// traffic from a fenced-off incarnation. Identity, not state — see
+    /// [`host`](field@Aorta::host).
+    pub(crate) epoch: u64,
 }
 
 impl Aorta {
@@ -171,6 +181,8 @@ impl Aorta {
             wal: None,
             halted: false,
             crash_immunity: 0,
+            host: 0,
+            epoch: 1,
         }
     }
 
@@ -205,6 +217,26 @@ impl Aorta {
     /// recovery so crashes already in the log don't halt the replay).
     pub fn grant_crash_immunity(&mut self, n: u32) {
         self.crash_immunity += n;
+    }
+
+    // --- incarnation identity ------------------------------------------------
+
+    /// The simulated host this incarnation runs on.
+    pub fn host(&self) -> u32 {
+        self.host
+    }
+
+    /// This incarnation's epoch (see [`set_identity`](Aorta::set_identity)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps this engine's incarnation identity: which host it runs on
+    /// and at which epoch. Set by the cluster at construction and at every
+    /// failover adoption; pure identity, never part of the state digest.
+    pub fn set_identity(&mut self, host: u32, epoch: u64) {
+        self.host = host;
+        self.epoch = epoch;
     }
 
     /// Appends to the WAL when one is attached. The record is built lazily
@@ -261,6 +293,8 @@ impl Aorta {
             wal: None,
             halted: self.halted,
             crash_immunity: self.crash_immunity,
+            host: self.host,
+            epoch: self.epoch,
         })
     }
 

@@ -479,6 +479,12 @@ impl Aorta {
                     self.halted = true;
                 }
             }
+            FaultEvent::Partition { .. } => {
+                // Cluster-scope event: inter-shard blackouts are modelled at
+                // the gateway, which extracts the windows before splitting
+                // the plan. Zero footprint here (no trace, no RNG draw), so
+                // replicated copies never perturb a shard's byte history.
+            }
         }
     }
 
@@ -531,6 +537,14 @@ impl Aorta {
     pub fn drain_escalated(&mut self) -> Vec<ActionRequest> {
         self.wal_emit(|| WalRecord::DrainEscalated);
         std::mem::take(&mut self.escalated)
+    }
+
+    /// Requests escalated but not yet drained by the gateway. Normally zero
+    /// between steps (the gateway drains after every step); non-zero only on
+    /// a halted engine whose final drain never happened — the cluster counts
+    /// that backlog as in-flight while the shard is rebuilt elsewhere.
+    pub fn escalated_backlog(&self) -> u64 {
+        self.escalated.len() as u64
     }
 
     /// Adopts a request escalated from another shard: recomputes its

@@ -60,7 +60,7 @@ pub use lock::LockManager;
 pub use pindex::PredicateIndex;
 pub use plan::{ActionCallPlan, AqPlan, DevicePart};
 pub use recovery::{
-    genesis_fingerprint, recover_engine, recover_from_log, request_from_wire, wire_from_request,
-    GenesisSpec, Recovered,
+    genesis_fingerprint, recover_engine, recover_from_log, request_from_wire, restore_from_image,
+    wire_from_request, GenesisSpec, Recovered,
 };
 pub use shared::{ActionRequest, SharedActionOperator};

@@ -12,7 +12,7 @@
 
 use aorta_net::DeviceRegistry;
 use aorta_sim::FaultPlan;
-use aorta_wal::{RecoveryError, WalHandle, WalRecord, WireRequest};
+use aorta_wal::{RecoveryError, SnapshotImage, WalHandle, WalRecord, WireRequest};
 
 use crate::actions::CustomHandler;
 use crate::shared::ActionRequest;
@@ -270,4 +270,31 @@ pub fn recover_from_log(
     fingerprint: u64,
 ) -> Result<Recovered, RecoveryError> {
     recover_engine(None, genesis, records, fingerprint)
+}
+
+/// Rebuilds a shard on a *new* host from a shipped, already-verified
+/// [`SnapshotImage`] (decode is the receiver's integrity gate; this
+/// function trusts the image's contents but still cross-checks the replay
+/// record-for-record).
+///
+/// The engine snapshot a donor holds in memory cannot cross a host
+/// boundary — custom handlers are code — so the image carries the shard's
+/// complete command history and the adopting host replays it from its own
+/// `genesis` (which must describe the same birth state; the fingerprint
+/// check enforces that). The caller stamps the returned engine with its new
+/// host id and bumped epoch.
+///
+/// # Errors
+///
+/// As [`recover_engine`] — in particular, an image whose embedded
+/// `Genesis` fingerprint disagrees with `genesis` fails with
+/// [`RecoveryError::GenesisMismatch`], and an image cut after a device
+/// adoption fails with [`RecoveryError::UnreplayableMigration`] instead of
+/// rebuilding a shard missing that device's live state.
+pub fn restore_from_image(
+    genesis: &GenesisSpec,
+    image: &SnapshotImage,
+    fingerprint: u64,
+) -> Result<Recovered, RecoveryError> {
+    recover_engine(None, genesis, image.records(), fingerprint)
 }

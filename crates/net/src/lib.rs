@@ -38,6 +38,7 @@ mod probe;
 mod profiles_dir;
 mod registry;
 mod scan;
+mod ship;
 
 pub use breaker::{BreakerBank, BreakerConfig, BreakerDecision, BreakerState};
 pub use channel::Channel;
@@ -46,3 +47,4 @@ pub use probe::{ProbeOutcome, Prober, RetryPolicy};
 pub use profiles_dir::{export_profiles, import_cost_tables};
 pub use registry::{DeviceEntry, DeviceRegistry, DeviceSim};
 pub use scan::ScanOperator;
+pub use ship::{ship_bytes, EpochFence, ShipConfig, ShipError, Shipment};

@@ -1,0 +1,349 @@
+//! Bulk transfer over the simulated network, plus epoch fencing.
+//!
+//! Shard failover ships snapshot images between hosts. A transfer is
+//! chunked into fixed-size segments and sent in retransmission rounds over
+//! a lossy link: each segment can be dropped, duplicated, or delivered out
+//! of order, with every hazard drawn from a caller-supplied [`SimRng`] so
+//! two runs with the same seed ship byte-identical histories. The receiver
+//! reassembles by sequence number — duplication and reordering are
+//! *tolerated by construction* (a duplicate overwrites an identical slot, a
+//! stray segment sorts into place), loss is repaired by retransmission, and
+//! a transfer that cannot complete within the round budget fails loudly
+//! rather than delivering a prefix.
+//!
+//! Integrity of the *content* is not this layer's job: the shipped bytes
+//! carry their own checksums (see `aorta_wal::SnapshotImage`), so a
+//! transfer that somehow delivered damage is caught by the decoder. This
+//! layer guarantees only all-or-nothing delivery with a deterministic cost.
+//!
+//! [`EpochFence`] is the companion guard for *everything else* that moves
+//! between hosts during failover: each shard incarnation owns an epoch, and
+//! a fence admits only messages stamped with the current one. A zombie
+//! incarnation (isolated by a partition, already failed over) keeps the old
+//! stamp, so its late messages bounce off the fence — counted, never
+//! applied.
+
+use aorta_sim::{SimDuration, SimRng};
+
+/// Parameters of one bulk transfer hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShipConfig {
+    /// Segment size in bytes.
+    pub chunk_bytes: usize,
+    /// Per-segment loss probability.
+    pub loss: f64,
+    /// Per-segment duplication probability (the duplicate also arrives).
+    pub dup_rate: f64,
+    /// Per-segment probability of arriving out of order.
+    pub reorder_rate: f64,
+    /// Fixed per-round link latency.
+    pub latency: SimDuration,
+    /// Link throughput used to cost each round's bytes.
+    pub bytes_per_sec: u64,
+    /// Retransmission rounds before the transfer is abandoned.
+    pub max_rounds: u32,
+}
+
+impl Default for ShipConfig {
+    fn default() -> Self {
+        ShipConfig {
+            chunk_bytes: 4096,
+            loss: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            latency: SimDuration::from_millis(2),
+            bytes_per_sec: 10_000_000,
+            max_rounds: 16,
+        }
+    }
+}
+
+/// What a completed transfer cost and survived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shipment {
+    /// The reassembled bytes — always exactly the payload that was sent.
+    pub bytes: Vec<u8>,
+    /// Total simulated transfer time across all rounds.
+    pub elapsed: SimDuration,
+    /// Retransmission rounds used (1 = clean first pass).
+    pub rounds: u32,
+    /// Segments put on the wire, including retransmissions and duplicates.
+    pub chunks_sent: u64,
+    /// Duplicated segments the receiver discarded.
+    pub duplicates: u64,
+    /// Segments that arrived out of order and were re-sorted.
+    pub reordered: u64,
+}
+
+/// A transfer that could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipError {
+    /// Segments still missing when the round budget ran out.
+    pub missing: usize,
+    /// Rounds attempted.
+    pub rounds: u32,
+}
+
+impl std::fmt::Display for ShipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transfer abandoned after {} round(s) with {} segment(s) missing",
+            self.rounds, self.missing
+        )
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+/// Ships `payload` over the simulated link, repairing loss by
+/// retransmission and tolerating duplication and reordering.
+///
+/// Deterministic in (`payload`, `config`, RNG state): the same inputs ship
+/// the same history, hazard for hazard.
+///
+/// # Errors
+///
+/// [`ShipError`] when segments are still missing after
+/// [`max_rounds`](ShipConfig::max_rounds) — all-or-nothing, never a
+/// silently short delivery.
+pub fn ship_bytes(
+    payload: &[u8],
+    config: &ShipConfig,
+    rng: &mut SimRng,
+) -> Result<Shipment, ShipError> {
+    let chunk = config.chunk_bytes.max(1);
+    let total = payload.len().div_ceil(chunk).max(1);
+    let mut received: Vec<Option<&[u8]>> = vec![None; total];
+    let mut elapsed = SimDuration::ZERO;
+    let mut rounds = 0u32;
+    let mut chunks_sent = 0u64;
+    let mut duplicates = 0u64;
+    let mut reordered = 0u64;
+
+    while rounds < config.max_rounds.max(1) {
+        rounds += 1;
+        // This round retransmits exactly the segments still missing.
+        let wanted: Vec<usize> = (0..total).filter(|&i| received[i].is_none()).collect();
+        if wanted.is_empty() {
+            break;
+        }
+        // Arrival schedule: each surviving segment lands in order unless
+        // the reorder draw displaces it; duplicates arrive right behind
+        // their original.
+        let mut arrivals: Vec<usize> = Vec::new();
+        let mut round_bytes = 0u64;
+        for &i in &wanted {
+            chunks_sent += 1;
+            let start = i * chunk;
+            let end = (start + chunk).min(payload.len());
+            round_bytes += (end - start) as u64;
+            if rng.chance(config.loss) {
+                continue; // dropped on the wire; next round retransmits
+            }
+            arrivals.push(i);
+            if rng.chance(config.dup_rate) {
+                chunks_sent += 1;
+                round_bytes += (end - start) as u64;
+                arrivals.push(i);
+            }
+        }
+        // Displace a subset of arrivals to the back of the round.
+        let mut displaced: Vec<usize> = Vec::new();
+        arrivals.retain(|&i| {
+            if rng.chance(config.reorder_rate) {
+                displaced.push(i);
+                false
+            } else {
+                true
+            }
+        });
+        reordered += displaced.len() as u64;
+        rng.shuffle(&mut displaced);
+        arrivals.extend(displaced);
+        for i in arrivals {
+            let start = i * chunk;
+            let end = (start + chunk).min(payload.len());
+            let slot = &mut received[i];
+            if slot.is_some() {
+                duplicates += 1;
+            } else {
+                *slot = Some(&payload[start..end]);
+            }
+        }
+        elapsed += config.latency
+            + SimDuration::from_micros(round_bytes * 1_000_000 / config.bytes_per_sec.max(1));
+        if received.iter().all(|s| s.is_some()) {
+            break;
+        }
+    }
+
+    let missing = received.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(ShipError { missing, rounds });
+    }
+    let mut bytes = Vec::with_capacity(payload.len());
+    for slot in received {
+        bytes.extend_from_slice(slot.expect("verified complete"));
+    }
+    debug_assert_eq!(bytes, payload);
+    Ok(Shipment {
+        bytes,
+        elapsed,
+        rounds,
+        chunks_sent,
+        duplicates,
+        reordered,
+    })
+}
+
+/// An epoch gate for one shard's message streams.
+///
+/// Every shard incarnation runs at a monotonically increasing epoch; the
+/// fence admits only messages stamped with the current one. Stale stamps
+/// are zombie traffic from a fenced-off incarnation — rejected and counted,
+/// never applied, so a request can neither double-execute nor resurrect on
+/// the wrong side of a partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochFence {
+    current: u64,
+    rejected: u64,
+}
+
+impl EpochFence {
+    /// A fence open at `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        EpochFence {
+            current: epoch,
+            rejected: 0,
+        }
+    }
+
+    /// The epoch currently admitted.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Advances to the next epoch (a new incarnation took over) and
+    /// returns it. Everything stamped with an older epoch is now zombie
+    /// traffic.
+    pub fn bump(&mut self) -> u64 {
+        self.current += 1;
+        self.current
+    }
+
+    /// Admits or rejects a message stamped `epoch`. Rejections are
+    /// counted; a stamp *ahead* of the fence is a protocol bug, not a
+    /// zombie, and panics loudly.
+    pub fn admit(&mut self, epoch: u64) -> bool {
+        assert!(
+            epoch <= self.current,
+            "message from the future: stamped epoch {epoch}, fence at {}",
+            self.current
+        );
+        if epoch == self.current {
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Stale-epoch messages rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aorta_sim::SimRng;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 7 + 3) as u8).collect()
+    }
+
+    #[test]
+    fn clean_link_ships_in_one_round() {
+        let data = payload(10_000);
+        let mut rng = SimRng::seed(1);
+        let s = ship_bytes(&data, &ShipConfig::default(), &mut rng).unwrap();
+        assert_eq!(s.bytes, data);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.duplicates, 0);
+        assert_eq!(s.reordered, 0);
+        assert!(s.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hazardous_link_still_delivers_exact_bytes() {
+        let data = payload(50_000);
+        let cfg = ShipConfig {
+            chunk_bytes: 1024,
+            loss: 0.3,
+            dup_rate: 0.2,
+            reorder_rate: 0.3,
+            max_rounds: 64,
+            ..ShipConfig::default()
+        };
+        let mut rng = SimRng::seed(99);
+        let s = ship_bytes(&data, &cfg, &mut rng).unwrap();
+        assert_eq!(s.bytes, data, "reassembly must be byte-exact");
+        assert!(s.rounds > 1, "30% loss forces retransmission rounds");
+        assert!(s.duplicates > 0);
+        assert!(s.reordered > 0);
+    }
+
+    #[test]
+    fn shipping_is_deterministic_per_seed() {
+        let data = payload(20_000);
+        let cfg = ShipConfig {
+            chunk_bytes: 512,
+            loss: 0.2,
+            dup_rate: 0.1,
+            reorder_rate: 0.2,
+            max_rounds: 64,
+            ..ShipConfig::default()
+        };
+        let a = ship_bytes(&data, &cfg, &mut SimRng::seed(7)).unwrap();
+        let b = ship_bytes(&data, &cfg, &mut SimRng::seed(7)).unwrap();
+        assert_eq!(a, b);
+        let c = ship_bytes(&data, &cfg, &mut SimRng::seed(8)).unwrap();
+        assert!(a.elapsed != c.elapsed || a.chunks_sent != c.chunks_sent);
+    }
+
+    #[test]
+    fn total_loss_fails_loudly_not_short() {
+        let data = payload(4_000);
+        let cfg = ShipConfig {
+            chunk_bytes: 256,
+            loss: 1.0,
+            max_rounds: 4,
+            ..ShipConfig::default()
+        };
+        let err = ship_bytes(&data, &cfg, &mut SimRng::seed(3)).unwrap_err();
+        assert_eq!(err.rounds, 4);
+        assert_eq!(err.missing, 16);
+        assert!(err.to_string().contains("abandoned"));
+    }
+
+    #[test]
+    fn fence_rejects_and_counts_zombie_stamps() {
+        let mut fence = EpochFence::new(1);
+        assert!(fence.admit(1));
+        assert_eq!(fence.bump(), 2);
+        assert!(!fence.admit(1), "old incarnation is fenced out");
+        assert!(fence.admit(2));
+        assert!(!fence.admit(1));
+        assert_eq!(fence.rejected(), 2);
+        assert_eq!(fence.current(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "message from the future")]
+    fn future_stamp_is_a_protocol_bug() {
+        let mut fence = EpochFence::new(1);
+        fence.admit(2);
+    }
+}

@@ -116,6 +116,9 @@ pub enum SpanKind {
     GatewayRoute,
     /// One crash-recovery replay (snapshot load + WAL suffix).
     Recovery,
+    /// One cross-host failover: image cut, shipment, and rebuild on the
+    /// adopting host (the degraded window, gateway-side).
+    Failover,
 }
 
 impl SpanKind {
@@ -128,6 +131,7 @@ impl SpanKind {
             SpanKind::Execute => "execute",
             SpanKind::GatewayRoute => "gateway_route",
             SpanKind::Recovery => "recovery",
+            SpanKind::Failover => "failover",
         }
     }
 }

@@ -61,6 +61,22 @@ pub enum FaultEvent<D> {
     /// device identifier exists only to route the event to the owning shard
     /// when a plan is [`split_by`](FaultPlan::split_by) shard ownership.
     ProcessCrash(D),
+    /// An asymmetric network partition opens between two shards: messages
+    /// from shard `a` to shard `b` are blocked for `window`, while the
+    /// reverse direction keeps flowing. Asymmetry is the hard case for
+    /// fencing — shard `b` can look alive to `a`'s zombie incarnation while
+    /// the gateway has already failed it over. A cluster-scope event:
+    /// engines ignore it ([`split_by`](FaultPlan::split_by) replicates it
+    /// like other global events, where it is a no-op), and the cluster
+    /// gateway extracts the windows before splitting.
+    Partition {
+        /// Source shard whose outbound messages are blocked.
+        a: u32,
+        /// Destination shard that stops hearing from `a`.
+        b: u32,
+        /// How long the one-way blackout lasts.
+        window: SimDuration,
+    },
 }
 
 /// Parameters for seeded fault generation.
@@ -93,6 +109,17 @@ pub struct FaultConfig {
     /// only meaningful when a WAL-backed supervisor can recover the shard,
     /// so plans stay byte-identical to pre-WAL generations unless opted in.
     pub process_crash_rate: f64,
+    /// Probability per period that an asymmetric partition opens between an
+    /// ordered pair of shards ([`FaultEvent::Partition`]). Zero by default
+    /// (and inert unless [`partition_peers`](FaultConfig::partition_peers)
+    /// names at least two shards), so plans stay byte-identical to older
+    /// generations unless opted in.
+    pub partition_rate: f64,
+    /// Length of each partition window.
+    pub partition_window: SimDuration,
+    /// Number of shards partition pairs are drawn from. Zero (the default)
+    /// disables partition generation entirely.
+    pub partition_peers: u32,
 }
 
 impl Default for FaultConfig {
@@ -108,6 +135,9 @@ impl Default for FaultConfig {
             latency_spike_len: SimDuration::from_secs(3),
             latency_factor: 10.0,
             process_crash_rate: 0.0,
+            partition_rate: 0.0,
+            partition_window: SimDuration::from_secs(20),
+            partition_peers: 0,
         }
     }
 }
@@ -229,6 +259,34 @@ impl<D: Copy> FaultPlan<D> {
                 ));
                 victim += 1;
                 t = at + period;
+            } else {
+                t += period;
+            }
+        }
+
+        // Asymmetric partitions. Like process crashes, this stream forks
+        // after every pre-existing one and is rate-zero (and peer-zero) by
+        // default, so older configs generate byte-identical plans.
+        let mut rng = root.fork(u64::MAX - 2);
+        let mut t = SimTime::ZERO;
+        while t < end && config.partition_peers >= 2 {
+            if rng.chance(config.partition_rate) {
+                let at = t + SimDuration::from_micros(rng.range(0..period.as_micros()));
+                let a = rng.range(0..config.partition_peers);
+                // Draw b from the remaining peers so a != b always holds.
+                let mut b = rng.range(0..config.partition_peers - 1);
+                if b >= a {
+                    b += 1;
+                }
+                events.push((
+                    at,
+                    FaultEvent::Partition {
+                        a,
+                        b,
+                        window: config.partition_window,
+                    },
+                ));
+                t = at + config.partition_window;
             } else {
                 t += period;
             }
@@ -528,6 +586,84 @@ mod tests {
                     assert_eq!((*d % 2) as usize, s);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn partitions_fork_last_and_leave_other_streams_untouched() {
+        let horizon = SimDuration::from_mins(10);
+        let devices: Vec<u32> = (0..4).collect();
+        let base = FaultPlan::generate(
+            13,
+            horizon,
+            &devices,
+            &FaultConfig {
+                process_crash_rate: 0.2,
+                ..FaultConfig::default()
+            },
+        );
+        let with_parts = FaultPlan::generate(
+            13,
+            horizon,
+            &devices,
+            &FaultConfig {
+                process_crash_rate: 0.2,
+                partition_rate: 0.3,
+                partition_peers: 4,
+                ..FaultConfig::default()
+            },
+        );
+        let non_part = |p: &FaultPlan<u32>| {
+            p.iter()
+                .filter(|(_, e)| !matches!(e, FaultEvent::Partition { .. }))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        // The partition stream forks after every pre-existing stream
+        // (including process crashes): everything else is identical.
+        assert_eq!(non_part(&base), non_part(&with_parts));
+        assert!(base
+            .iter()
+            .all(|(_, e)| !matches!(e, FaultEvent::Partition { .. })));
+        let parts: Vec<_> = with_parts
+            .iter()
+            .filter_map(|(_, e)| match e {
+                FaultEvent::Partition { a, b, window } => Some((*a, *b, *window)),
+                _ => None,
+            })
+            .collect();
+        assert!(!parts.is_empty(), "rate 0.3 over 10 minutes partitions");
+        for (a, b, window) in &parts {
+            assert_ne!(a, b, "a partition must separate two distinct shards");
+            assert!(*a < 4 && *b < 4);
+            assert_eq!(*window, SimDuration::from_secs(20));
+        }
+        // Zero peers keeps the stream inert even at rate 1.
+        let inert = FaultPlan::generate(
+            13,
+            horizon,
+            &devices,
+            &FaultConfig {
+                partition_rate: 1.0,
+                partition_peers: 0,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(inert
+            .iter()
+            .all(|(_, e)| !matches!(e, FaultEvent::Partition { .. })));
+        // Partitions are cluster-scope: split_by replicates them to every
+        // shard like other global events.
+        let shards = with_parts.split_by(2, |d| (*d % 2) as usize);
+        for shard in &shards {
+            let got: Vec<_> = shard
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    FaultEvent::Partition { a, b, window } => Some((*a, *b, *window)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(got, parts);
         }
     }
 

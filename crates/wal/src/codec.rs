@@ -14,7 +14,7 @@
 
 use aorta_data::{Location, Tuple, Value};
 use aorta_device::{DeviceId, DeviceKind};
-use aorta_sim::{FaultEvent, SimTime};
+use aorta_sim::{FaultEvent, SimDuration, SimTime};
 
 use crate::error::WalError;
 use crate::record::{LifecycleStage, WalRecord, WireRequest};
@@ -160,6 +160,12 @@ fn put_fault(out: &mut Vec<u8>, f: &FaultEvent<DeviceId>) {
             put_u8(out, 6);
             put_device(out, *d);
         }
+        FaultEvent::Partition { a, b, window } => {
+            put_u8(out, 7);
+            put_u32(out, *a);
+            put_u32(out, *b);
+            put_u64(out, window.as_micros());
+        }
     }
 }
 fn put_request(out: &mut Vec<u8>, r: &WireRequest) {
@@ -296,6 +302,11 @@ impl<'a> Reader<'a> {
             }),
             5 => Ok(FaultEvent::LatencySpikeEnd),
             6 => Ok(FaultEvent::ProcessCrash(self.device()?)),
+            7 => Ok(FaultEvent::Partition {
+                a: self.u32()?,
+                b: self.u32()?,
+                window: SimDuration::from_micros(self.u64()?),
+            }),
             t => Err(format!("unknown fault tag {t}")),
         }
     }
@@ -600,6 +611,37 @@ mod tests {
         assert_eq!(lsn, 42);
         assert_eq!(decoded, r);
         assert_eq!(off, frame.len());
+    }
+
+    #[test]
+    fn every_fault_variant_roundtrips() {
+        let d = DeviceId::new(DeviceKind::Camera, 3);
+        let faults = vec![
+            FaultEvent::Crash(d),
+            FaultEvent::Recover(d),
+            FaultEvent::LossBurstStart { extra_loss: 0.25 },
+            FaultEvent::LossBurstEnd,
+            FaultEvent::LatencySpikeStart { factor: 8.0 },
+            FaultEvent::LatencySpikeEnd,
+            FaultEvent::ProcessCrash(d),
+            FaultEvent::Partition {
+                a: 1,
+                b: 3,
+                window: SimDuration::from_secs(20),
+            },
+        ];
+        let r = WalRecord::FaultsInjected {
+            events: faults
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| (SimTime::from_micros(i as u64 * 10), f))
+                .collect(),
+        };
+        let frame = encode_frame(&r, 5);
+        let mut off = 0;
+        let (lsn, decoded) = decode_frame(&frame, &mut off).unwrap();
+        assert_eq!(lsn, 5);
+        assert_eq!(decoded, r);
     }
 
     #[test]

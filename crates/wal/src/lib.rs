@@ -32,6 +32,7 @@
 
 mod codec;
 mod error;
+mod image;
 mod manager;
 mod record;
 mod sink;
@@ -39,7 +40,8 @@ mod store;
 
 pub use codec::{crc64, decode_frame, encode_frame, FRAME_HEADER_LEN, WAL_MAGIC};
 pub use error::{RecoveryError, WalError};
+pub use image::{SnapshotImage, IMAGE_HEADER_LEN, IMAGE_MAGIC, IMAGE_VERSION};
 pub use manager::WalManager;
 pub use record::{LifecycleStage, WalRecord, WireRequest};
 pub use sink::{WalHandle, WalStats};
-pub use store::{FileStore, LogStore, MemStore};
+pub use store::{FileStore, FlushPolicy, LogStore, MemStore};

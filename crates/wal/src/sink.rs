@@ -170,12 +170,20 @@ impl WalHandle {
     /// vault key (the frame count at snapshot time) promises every earlier
     /// frame is immutable — a coalescing rewrite of the tail would change a
     /// frame the snapshot's replay suffix excludes.
+    ///
+    /// Sealing is also the group-commit point: any appends the store's
+    /// [`FlushPolicy`](crate::FlushPolicy) was buffering are synced to
+    /// durable storage here, so a vaulted snapshot never refers to frames
+    /// that could still vanish in a crash.
     pub fn seal_tail(&self) {
         if let SinkState::Record {
-            tail_is_run_until, ..
+            store,
+            tail_is_run_until,
+            ..
         } = &mut *self.0.lock().expect("wal lock")
         {
             *tail_is_run_until = false;
+            store.sync().expect("wal sync failed");
         }
     }
 

@@ -316,6 +316,90 @@ fn kill_and_recover_runs_are_byte_identical_per_seed() {
     );
 }
 
+/// A 4-shard WAL-logged cluster where one shard process-crashes *inside*
+/// an asymmetric partition window and fails over to a brand-new host from
+/// a shipped snapshot image. The witness is the full trace plus the stats
+/// snapshot; `obs` toggles span/metric recording, which must be write-only.
+fn run_partitioned_failover_cluster(seed: u64, obs: bool) -> (String, String) {
+    use aorta::cluster::{ClusterConfig, FailoverConfig, ShardManager};
+    use aorta_device::DeviceId;
+    use aorta_sim::{FaultEvent, FaultPlan, SimTime};
+
+    let lab = PervasiveLab::with_sizes(12, 16, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let mut config = ClusterConfig::seeded(seed, 4)
+        .with_imbalance_threshold(u64::MAX)
+        .with_wal(256)
+        .with_failover(FailoverConfig::default());
+    if obs {
+        config.engine = config.engine.with_observability();
+    }
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .unwrap();
+    }
+    let victim = DeviceId::camera(0);
+    let owner = cluster.shard_owning(victim).expect("victim owned");
+    let sibling = ((owner + 1) % 4) as u32;
+    let crash_at = SimTime::ZERO + SimDuration::from_secs(150);
+    let window = SimDuration::from_secs(40);
+    let mut plan = FaultPlan::new();
+    plan.schedule(
+        crash_at - SimDuration::from_secs(5),
+        FaultEvent::Partition {
+            a: owner as u32,
+            b: sibling,
+            window,
+        },
+    );
+    plan.schedule(
+        crash_at - SimDuration::from_secs(5),
+        FaultEvent::Partition {
+            a: sibling,
+            b: owner as u32,
+            window,
+        },
+    );
+    plan.schedule(crash_at, FaultEvent::ProcessCrash(victim));
+    cluster.inject_faults(plan);
+    cluster.run_for(SimDuration::from_mins(5));
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let stats = cluster.stats();
+    stats.check_conservation().expect("failover ledger");
+    let events = cluster.failover_report();
+    assert_eq!(events.len(), 1, "exactly one failover expected");
+    assert_eq!(events[0].new_host, 4, "rebuild must land on a fresh host");
+    assert_eq!(cluster.shard_epoch(owner), 2, "epoch must have bumped");
+    assert_eq!(stats.late_successes(), 0, "no zombie completion may apply");
+    (cluster.render_trace(), format!("{stats:?}"))
+}
+
+#[test]
+fn partitioned_failover_runs_are_byte_identical_per_seed() {
+    let a = run_partitioned_failover_cluster(515, false);
+    let b = run_partitioned_failover_cluster(515, false);
+    assert!(!a.0.is_empty());
+    assert_eq!(
+        a, b,
+        "same seed must replay the mid-partition failover byte-identically"
+    );
+    // Observability is write-only even across a cross-host failover: spans
+    // and metrics are extra output, never an input to any decision.
+    let observed = run_partitioned_failover_cluster(515, true);
+    assert_eq!(
+        a, observed,
+        "recording must never influence the failover run"
+    );
+}
+
 #[test]
 fn cluster_traces_diverge_across_seeds() {
     let a = run_cluster(99, 2, true);

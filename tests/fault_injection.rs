@@ -136,6 +136,118 @@ fn identical_seeds_yield_byte_identical_traces() {
     );
 }
 
+/// Builds a 4-shard failover cluster over the standard small lab with the
+/// given snapshot-shipping network knobs, admits the stock 10-query
+/// workload, and returns it ready for fault injection.
+fn failover_cluster(
+    seed: u64,
+    loss: f64,
+    dup_rate: f64,
+    reorder_rate: f64,
+) -> aorta::cluster::ShardManager {
+    use aorta::cluster::{ClusterConfig, FailoverConfig, ShardManager};
+    use aorta::net::ShipConfig;
+
+    let lab = PervasiveLab::with_sizes(12, 16, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let config = ClusterConfig::seeded(seed, 4)
+        .with_imbalance_threshold(u64::MAX)
+        .with_wal(128)
+        .with_failover(FailoverConfig {
+            ship: ShipConfig {
+                loss,
+                dup_rate,
+                reorder_rate,
+                ..ShipConfig::default()
+            },
+            ..FailoverConfig::default()
+        });
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .unwrap();
+    }
+    cluster
+}
+
+/// A minimal escalation payload for fencing tests — the epoch fence
+/// inspects the stamp, not the request body.
+fn stale_probe() -> aorta::engine::ActionRequest {
+    use aorta_sim::SimTime;
+
+    aorta::engine::ActionRequest {
+        query_id: u32::MAX,
+        action: "photo".into(),
+        event_tuple: aorta::data::Tuple::empty(),
+        event_binding: "s".into(),
+        event_kind: DeviceKind::Sensor,
+        device_binding: None,
+        args: Vec::new(),
+        candidates: Vec::new(),
+        created_at: SimTime::ZERO,
+        deadline: SimTime::MAX,
+        degraded: false,
+        attempts: 0,
+        hops: 0,
+    }
+}
+
+/// Zombie-fencing regression: after a shard fails over to a fresh host, a
+/// late completion arriving under the *previous* incarnation's epoch must
+/// be rejected and counted — never re-applied. Two otherwise identical
+/// runs, one with the stale injection, must agree on every per-shard
+/// counter; only the rejection counter may differ.
+#[test]
+fn stale_epoch_completions_are_rejected_and_counted() {
+    use aorta_sim::{FaultEvent, FaultPlan, SimTime};
+
+    let run = |inject: bool| {
+        let mut cluster = failover_cluster(4242, 0.05, 0.05, 0.05);
+        let victim = DeviceId::camera(0);
+        let owner = cluster.shard_owning(victim).expect("victim is owned");
+        let mut plan = FaultPlan::new();
+        plan.schedule(
+            SimTime::ZERO + SimDuration::from_secs(150),
+            FaultEvent::ProcessCrash(victim),
+        );
+        cluster.inject_faults(plan);
+        cluster.run_for(SimDuration::from_mins(5));
+
+        let events = cluster.failover_report();
+        assert_eq!(events.len(), 1, "exactly one failover expected");
+        assert_eq!(events[0].shard, owner);
+        assert_eq!(cluster.shard_epoch(owner), 2, "epoch must have bumped");
+        if inject {
+            let admitted = cluster.inject_escalation(owner, 1, stale_probe());
+            assert!(!admitted, "stale-epoch escalation was admitted");
+        }
+        cluster.run_for(SimDuration::from_secs(30));
+        cluster
+    };
+
+    let clean = run(false);
+    let probed = run(true);
+    assert_eq!(clean.zombie_rejects(), 0);
+    assert_eq!(
+        probed.zombie_rejects(),
+        1,
+        "the stale probe must be counted as a rejection"
+    );
+    // Zero engine footprint: the zombie changed nothing a shard can see.
+    assert_eq!(
+        clean.stats().per_shard,
+        probed.stats().per_shard,
+        "a fenced zombie must not perturb any shard"
+    );
+    probed.stats().check_conservation().unwrap();
+}
+
 proptest::proptest! {
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
 
@@ -197,6 +309,66 @@ proptest::proptest! {
                 "seed={seed} shards={shards}: {e}"
             )));
         }
+    }
+
+    /// Partition windows, duplicated/reordered snapshot chunks, and a
+    /// mid-window process crash are noise the ledger must absorb: under any
+    /// seed, window placement and network misbehaviour mix, the cluster
+    /// fails over without losing or double-executing a single request, and
+    /// the rebuilt incarnation's fence holds.
+    #[test]
+    fn partitions_and_lossy_shipping_never_violate_conservation(
+        seed in 0u64..1_000_000,
+        crash_secs in 80u64..200,
+        lead_secs in 1u64..30,
+        window_secs in 10u64..90,
+        loss in 0.0f64..0.3,
+        dup_rate in 0.0f64..0.5,
+        reorder_rate in 0.0f64..0.5,
+    ) {
+        use aorta_sim::{FaultEvent, FaultPlan, SimTime};
+
+        let mut cluster = failover_cluster(seed, loss, dup_rate, reorder_rate);
+        let victim = DeviceId::camera(0);
+        let owner = cluster.shard_owning(victim).expect("victim is owned");
+        let sibling = ((owner + 1) % 4) as u32;
+        let crash_at = SimTime::ZERO + SimDuration::from_secs(crash_secs);
+        let window_at = crash_at - SimDuration::from_secs(lead_secs);
+        let window = SimDuration::from_secs(window_secs);
+        let mut plan = FaultPlan::new();
+        // An asymmetric partition bracketing the crash: the dead shard's
+        // stripe cannot reach its preferred sibling in either direction.
+        plan.schedule(
+            window_at,
+            FaultEvent::Partition { a: owner as u32, b: sibling, window },
+        );
+        plan.schedule(
+            window_at,
+            FaultEvent::Partition { a: sibling, b: owner as u32, window },
+        );
+        plan.schedule(crash_at, FaultEvent::ProcessCrash(victim));
+        cluster.inject_faults(plan);
+        cluster.run_for(SimDuration::from_mins(5));
+        cluster.run_for(SimDuration::from_secs(30));
+
+        let stats = cluster.stats();
+        proptest::prop_assert!(stats.requests() > 0, "workload starved: {stats:?}");
+        proptest::prop_assert_eq!(
+            cluster.failover_report().len(),
+            1,
+            "exactly one failover expected (seed={})", seed
+        );
+        proptest::prop_assert_eq!(cluster.shard_epoch(owner), 2);
+        proptest::prop_assert_eq!(stats.late_successes(), 0u64);
+        if let Err(e) = stats.check_conservation() {
+            return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "seed={seed} crash@{crash_secs}s window={window_secs}s: {e}"
+            )));
+        }
+        // The previous incarnation stays fenced off after the storm.
+        let mut probed = cluster;
+        proptest::prop_assert!(!probed.inject_escalation(owner, 1, stale_probe()));
+        proptest::prop_assert_eq!(probed.zombie_rejects(), 1u64);
     }
 
     /// A healthy device is never permanently quarantined: a breaker opened
