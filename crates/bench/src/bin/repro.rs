@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|e11|e11-smoke|e12|e12-smoke|ablation|metrics]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|e11|e11-smoke|e12|e12-smoke|e13|e13-smoke|ablation|metrics]..."
                 );
                 return;
             }
@@ -73,6 +73,8 @@ fn main() {
             "e11-smoke" => e11(false),
             "e12" => e12(true),
             "e12-smoke" => e12(false),
+            "e13" => e13(true),
+            "e13-smoke" => e13(false),
             "metrics" => metrics(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
@@ -486,6 +488,94 @@ fn write_bench_failover_json(report: &experiments::E12Report) {
     match std::fs::write("BENCH_failover.json", body) {
         Ok(()) => println!("(wrote BENCH_failover.json)"),
         Err(e) => eprintln!("repro: failed to write BENCH_failover.json: {e}"),
+    }
+}
+
+/// `repro e13` (full shards × threads ∈ {1,2,4,8}² sweep, writes
+/// BENCH_parallel.json) or `repro e13-smoke` (one shard arm, threads
+/// {1,4}, no file): the E8 live wave scaled to 2000 cameras, stepped on a
+/// worker pool, every threaded arm's trace digest checked against the
+/// 1-thread oracle. Like e10, not in the default experiment list: the rows
+/// carry wall-clock times, which are machine-dependent — the digests are
+/// the deterministic part.
+fn e13(full: bool) {
+    let report = experiments::e13_parallel(0xE13, full);
+    println!(
+        "== E13 (extension): parallel shard stepping, {} cameras / {} motes / {} AQs, {} host core(s) ==",
+        report.cameras, report.motes, report.queries, report.host_cores
+    );
+    let mut t = Table::new(vec![
+        "shards".into(),
+        "threads".into(),
+        "wall(s)".into(),
+        "requests".into(),
+        "executed".into(),
+        "trace fnv".into(),
+        "oracle".into(),
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.shards.to_string(),
+            r.threads.to_string(),
+            format!("{:.3}", r.wall_secs),
+            r.requests.to_string(),
+            r.executed.to_string(),
+            format!("{:016x}", r.trace_fnv),
+            if r.matches_oracle { "OK" } else { "DIVERGED" }.into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "wall-clock speedup, 4 threads vs 1 at the largest shard arm: {:.2}x \
+         (bounded by {} host core(s))\n",
+        report.speedup_4t, report.host_cores
+    );
+    if full {
+        write_bench_parallel_json(&report);
+    }
+    // CI runs the smoke arm: a byte of divergence between a threaded arm
+    // and the sequential oracle must fail the process, not just print.
+    assert!(
+        report.all_match,
+        "a threaded arm diverged from the 1-thread oracle"
+    );
+}
+
+/// Hand-formats `BENCH_parallel.json` (the repo has no JSON dependency).
+fn write_bench_parallel_json(report: &experiments::E13Report) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"experiment\": \"e13\",\n");
+    body.push_str(&format!(
+        "  \"cameras\": {},\n  \"motes\": {},\n  \"queries\": {},\n  \
+         \"virtual_secs\": {},\n  \"host_cores\": {},\n  \
+         \"speedup_4t_at_max_shards\": {:.2},\n  \"all_match\": {},\n",
+        report.cameras,
+        report.motes,
+        report.queries,
+        report.virtual_secs,
+        report.host_cores,
+        report.speedup_4t,
+        report.all_match,
+    ));
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"shards\": {}, \"threads\": {}, \"wall_s\": {:.4}, \"requests\": {}, \
+             \"executed\": {}, \"trace_fnv1a\": \"{:#018x}\", \"matches_oracle\": {}}}{}\n",
+            r.shards,
+            r.threads,
+            r.wall_secs,
+            r.requests,
+            r.executed,
+            r.trace_fnv,
+            r.matches_oracle,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_parallel.json", body) {
+        Ok(()) => println!("(wrote BENCH_parallel.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_parallel.json: {e}"),
     }
 }
 

@@ -1643,6 +1643,182 @@ pub fn e12_failover(seed: u64, full: bool) -> E12Report {
     }
 }
 
+/// One arm of the **E13** multicore sweep: one `(shards, threads)` cell of
+/// the scaled-up live wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E13Row {
+    /// Shard count *k*.
+    pub shards: usize,
+    /// Worker threads stepping shards between synchronization windows.
+    pub threads: usize,
+    /// Wall-clock time of the wave, seconds (machine-dependent).
+    pub wall_secs: f64,
+    /// Requests admitted cluster-wide.
+    pub requests: u64,
+    /// Requests executed cluster-wide.
+    pub executed: u64,
+    /// FNV-1a digest of the full trace + stats rendering.
+    pub trace_fnv: u64,
+    /// Whether this arm's digest equals the 1-thread oracle's at the same
+    /// shard count (trivially true for the oracle itself).
+    pub matches_oracle: bool,
+}
+
+/// The full **E13** report: wall-clock (not virtual-makespan) scaling of
+/// parallel shard stepping, with every threaded arm byte-checked against
+/// the sequential oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E13Report {
+    /// Camera fleet size.
+    pub cameras: usize,
+    /// Mote fleet size (each mote spikes every 30 virtual seconds).
+    pub motes: usize,
+    /// Registered AQ count.
+    pub queries: usize,
+    /// Virtual wave length per arm, seconds (plus a 30 s drain).
+    pub virtual_secs: u64,
+    /// Host logical core count (`std::thread::available_parallelism`) —
+    /// recorded because wall-clock speedup is bounded by it.
+    pub host_cores: usize,
+    /// One row per `(shards, threads)` cell.
+    pub rows: Vec<E13Row>,
+    /// Every threaded arm matched its 1-thread oracle's digest.
+    pub all_match: bool,
+    /// Wall-clock ratio of 1 thread over 4 threads at the largest shard
+    /// count in the sweep (8 in the full run). ≤ 1 on a single-core host.
+    pub speedup_4t: f64,
+}
+
+/// E13 workload scale: the camera fleet (10× the E8 wave),
+pub const E13_CAMERAS: usize = 2000;
+/// … the mote fleet driving the periodic event load,
+pub const E13_MOTES: usize = 240;
+/// … and the registered-query count (coverage-only predicates, so every
+/// mote's spike fans out to all of them and every shard stays busy).
+pub const E13_QUERIES: usize = 8;
+
+/// Runs one E13 cell and returns `(wall_secs, requests, executed, digest)`.
+/// Only the wave itself is timed; lab construction and AQ registration are
+/// setup. The digest covers the full trace *and* the stats snapshot, so a
+/// single flipped byte anywhere in the run changes it.
+fn e13_arm(seed: u64, shards: usize, threads: usize, virtual_secs: u64) -> (f64, u64, u64, u64) {
+    use aorta_cluster::{ClusterConfig, ShardManager};
+    use aorta_device::PervasiveLab;
+    use aorta_sim::SimDuration;
+    use std::time::Instant;
+
+    // Reliable cameras keep the wave escalation-free: probe failures would
+    // otherwise escalate ~7% of requests to the gateway, and every
+    // cross-shard escalation is a synchronization point that trips the
+    // parallel window back to the sequential oracle (see DESIGN.md §13).
+    // E13 measures the scaling of the clean-wave fast path; the storm
+    // proptests in tests/determinism.rs cover the escalating case.
+    let lab = PervasiveLab::with_sizes(E13_CAMERAS, E13_MOTES, 0)
+        .with_reliable_cameras()
+        .with_periodic_events(SimDuration::from_secs(30), SimDuration::ZERO);
+    let config = ClusterConfig::seeded(seed, shards)
+        .with_imbalance_threshold(u64::MAX)
+        .with_threads(threads);
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..E13_QUERIES {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND coverage(c.id, s.loc)"#
+            ))
+            .expect("valid query");
+    }
+    let start = Instant::now();
+    cluster.run_for(SimDuration::from_secs(virtual_secs));
+    cluster.run_for(SimDuration::from_secs(30));
+    let wall = start.elapsed().as_secs_f64();
+    let stats = cluster.stats();
+    stats.check_conservation().expect("e13 ledger");
+    let digest = fnv1a64(&format!("{}\n{:?}", cluster.render_trace(), stats));
+    (wall, stats.requests(), stats.executed(), digest)
+}
+
+/// **E13 (extension)** — true multicore execution: the E8 live wave scaled
+/// to 2000 cameras / 240 motes, swept over shards × threads ∈ {1,2,4,8}²
+/// (full) or one smoke cell (4 shards, threads {1,4}). Each threaded arm's
+/// trace digest is checked against the 1-thread oracle at the same shard
+/// count. See `DESIGN.md` §13.
+pub fn e13_parallel(seed: u64, full: bool) -> E13Report {
+    let virtual_secs: u64 = if full { 120 } else { 60 };
+    let shard_arms: &[usize] = if full { &[1, 2, 4, 8] } else { &[4] };
+    let thread_arms: &[usize] = if full { &[1, 2, 4, 8] } else { &[1, 4] };
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Untimed warm-up: without it the first measured arm alone pays the
+    // process's heap growth and page-fault warm-up, which skews the very
+    // 1-thread oracle every other arm is compared against.
+    let _ = e13_arm(seed ^ 1, shard_arms[0], 1, 30);
+
+    let mut rows = Vec::new();
+    for &k in shard_arms {
+        let mut oracle_fnv = 0u64;
+        for &t in thread_arms {
+            let (wall_secs, requests, executed, trace_fnv) = e13_arm(seed, k, t, virtual_secs);
+            if t == 1 {
+                oracle_fnv = trace_fnv;
+            }
+            rows.push(E13Row {
+                shards: k,
+                threads: t,
+                wall_secs,
+                requests,
+                executed,
+                trace_fnv,
+                matches_oracle: trace_fnv == oracle_fnv,
+            });
+        }
+    }
+    let all_match = rows.iter().all(|r| r.matches_oracle);
+    let k_max = *shard_arms.last().expect("non-empty sweep");
+    let wall = |t: usize| {
+        rows.iter()
+            .find(|r| r.shards == k_max && r.threads == t)
+            .map(|r| r.wall_secs)
+    };
+    let speedup_4t = match (wall(1), wall(4)) {
+        (Some(one), Some(four)) if four > 0.0 => one / four,
+        _ => 1.0,
+    };
+    E13Report {
+        cameras: E13_CAMERAS,
+        motes: E13_MOTES,
+        queries: E13_QUERIES,
+        virtual_secs,
+        host_cores,
+        rows,
+        all_match,
+        speedup_4t,
+    }
+}
+
+#[cfg(test)]
+mod parallel_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn e13_smoke_threaded_arm_matches_oracle() {
+        let report = e13_parallel(0xE13, false);
+        assert!(report.all_match, "{report:?}");
+        assert!(
+            report.rows.iter().all(|r| r.requests > 0),
+            "wave starved: {report:?}"
+        );
+        assert!(
+            report.rows.iter().all(|r| r.executed > 0),
+            "nothing executed: {report:?}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod failover_experiment_tests {
     use super::*;

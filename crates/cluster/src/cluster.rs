@@ -17,7 +17,10 @@
 //! ownership between shards — only at a safe point (no queued execution,
 //! no lock held, no action physically in progress).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use aorta_core::{
     genesis_fingerprint, recover_engine, restore_from_image, ActionRequest, Aorta, CustomHandler,
@@ -63,6 +66,12 @@ pub struct ClusterConfig {
     /// parked-escalation queue. `None` (the default) keeps the in-place
     /// recovery path byte-identical to previous releases.
     pub failover: Option<FailoverConfig>,
+    /// Worker threads for parallel shard stepping. `0` (the default) means
+    /// auto: one thread per host core. `1` forces the sequential oracle.
+    /// Thread count never changes a single byte of any trace or stat — it
+    /// only changes how fast the same bytes are produced (see
+    /// [`ShardManager::run_until`]).
+    pub threads: usize,
 }
 
 /// Cross-host failover tunables.
@@ -126,6 +135,7 @@ impl Default for ClusterConfig {
             engine: EngineConfig::default(),
             wal: None,
             failover: None,
+            threads: 0,
         }
     }
 }
@@ -178,6 +188,26 @@ impl ClusterConfig {
     pub fn with_failover(mut self, failover: FailoverConfig) -> Self {
         self.failover = Some(failover);
         self
+    }
+
+    /// Sets the worker-thread count for parallel shard stepping, builder
+    /// style. `0` means auto (one per host core); `1` is the sequential
+    /// oracle every threaded run is byte-compared against.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread count after resolving `0` (auto) against the
+    /// host's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -322,6 +352,91 @@ pub struct ShardManager {
     /// blocks gateway deliveries `from → to` only.
     partitions: Vec<(SimTime, SimTime, u32, u32)>,
 }
+
+/// A cached agenda of per-shard next-event times for the sequential loop:
+/// a lazy min-heap keyed by `(next_event_time, shard_id)` replacing the
+/// O(k)-per-step linear scan. `slot[s]` holds the time currently standing
+/// for shard `s` (`None` = consumed, crashed, or past the cutoff); heap
+/// entries superseded by a refresh are dropped on pop.
+struct Agenda {
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    slot: Vec<Option<SimTime>>,
+    cutoff: SimTime,
+}
+
+impl Agenda {
+    /// An agenda over every live shard with pending work at or before
+    /// `cutoff`.
+    fn build(shards: &[Aorta], cutoff: SimTime) -> Self {
+        let mut agenda = Agenda {
+            heap: BinaryHeap::with_capacity(shards.len() + 4),
+            slot: vec![None; shards.len()],
+            cutoff,
+        };
+        for s in 0..shards.len() {
+            agenda.refresh(s, shards);
+        }
+        agenda
+    }
+
+    /// Re-reads shard `s`'s next event time and (re)enters it, superseding
+    /// any stale heap entry. Must be called after every mutation that can
+    /// change a shard's timing: its own step, in-place recovery, rebuild
+    /// adoption. (Gateway request injection only touches the dispatch
+    /// operators, never the event queue, so it needs no refresh.)
+    fn refresh(&mut self, s: usize, shards: &[Aorta]) {
+        let cur = (!shards[s].is_crashed())
+            .then(|| shards[s].next_event_time())
+            .flatten()
+            .filter(|&t| t <= self.cutoff);
+        if self.slot[s] != cur {
+            self.slot[s] = cur;
+            if let Some(t) = cur {
+                self.heap.push(Reverse((t, s)));
+            }
+        }
+    }
+
+    /// Pops the earliest `(time, shard)` pair, dropping superseded entries.
+    /// The caller owns the consumed entry: either step the shard and
+    /// [`refresh`](Self::refresh) it, or [`restore`](Self::restore) it.
+    fn pop_earliest(&mut self, shards: &[Aorta]) -> Option<(SimTime, usize)> {
+        while let Some(Reverse((t, s))) = self.heap.pop() {
+            if self.slot[s] != Some(t) {
+                continue;
+            }
+            debug_assert_eq!(
+                shards[s].next_event_time(),
+                Some(t),
+                "agenda missed a timing mutation of shard {s}"
+            );
+            self.slot[s] = None;
+            return Some((t, s));
+        }
+        None
+    }
+
+    /// Returns an entry consumed by [`pop_earliest`](Self::pop_earliest)
+    /// unstepped (a gateway timer won the instant).
+    fn restore(&mut self, t: SimTime, s: usize) {
+        self.slot[s] = Some(t);
+        self.heap.push(Reverse((t, s)));
+    }
+}
+
+// Compile-time thread-safety audit (see the matching assertion on `Aorta`
+// in aorta-core): the parallel runner fans per-shard state out across
+// `std::thread::scope` workers, so the engines must be shareable (`Sync`)
+// and their clones movable (`Send`); the manager itself — gateway, WAL
+// managers, failover state — must stay `Send` so whole clusters can be
+// driven from worker threads (the E13 benchmark does).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Aorta>();
+    assert_send::<Box<Aorta>>();
+    assert_send::<ShardManager>();
+};
 
 impl ShardManager {
     /// Partitions `lab` across `config.shards` engines.
@@ -526,51 +641,28 @@ impl ShardManager {
     /// lower shard ID. After each step the gateway services that shard's
     /// escalations and checks the rebalance condition, so cross-shard
     /// failover happens at the same virtual instant the exhaustion did.
+    ///
+    /// When the configuration permits (`parallel_eligible`: several
+    /// shards, several workers, no WAL, no failover, rebalancer off) and
+    /// more than one worker thread is available, shards step **concurrently
+    /// between cross-shard synchronization points** instead: the window up
+    /// to the earliest cross-shard interaction (an escalation or a process
+    /// crash — the only gateway-visible events in an eligible
+    /// configuration) runs on clones in parallel, and the interaction
+    /// itself is replayed through this sequential loop. The merged outcome
+    /// is bit-for-bit identical to the sequential interleaving; only wall
+    /// time changes. `ClusterConfig::with_threads(1)` keeps the sequential
+    /// path as the oracle.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            let mut next: Option<(SimTime, usize)> = None;
-            for (s, shard) in self.shards.iter().enumerate() {
-                // A process-crashed shard has no runnable work. With a WAL
-                // it is recovered right after the crashing step, so this
-                // skip only persists when durability is off — the shard is
-                // then honestly dead and the rest of the cluster runs on.
-                if shard.is_crashed() {
-                    continue;
-                }
-                if let Some(t) = shard.next_event_time() {
-                    if t <= deadline && next.is_none_or(|n| (t, s) < n) {
-                        next = Some((t, s));
-                    }
-                }
-            }
-            // Gateway timers (rebuild adoptions, parked deliveries) share
-            // the same clock; a shard step wins ties so escalations drain
-            // before the gateway acts at the same instant.
-            let gateway = self.next_gateway_time().filter(|&g| g <= deadline);
-            match (next, gateway) {
-                (Some((t, s)), g) => {
-                    if let Some(g) = g {
-                        if g < t {
-                            self.now = g;
-                            self.gateway_tick();
-                            continue;
-                        }
-                    }
-                    self.now = t;
-                    self.shards[s].run_until(t);
-                    self.recover_if_crashed(s);
-                    self.route_escalated(s);
-                    self.gateway_tick();
-                    self.maybe_rebalance();
-                    self.maybe_snapshots();
-                }
-                (None, Some(g)) => {
-                    self.now = g;
-                    self.gateway_tick();
-                }
-                (None, None) => break,
-            }
+        if self.parallel_eligible() {
+            self.run_windows_parallel(deadline);
+        } else {
+            self.run_steps(deadline, deadline);
         }
+        // Tail: every surviving shard coasts to the deadline (faults past
+        // its last event may still be due), with the same crash/escalation
+        // follow-ups a mid-run step gets — a crash or escalation landing
+        // exactly at the deadline is recovered/routed, never stranded.
         for s in 0..self.shards.len() {
             self.shards[s].run_until(deadline);
             self.recover_if_crashed(s);
@@ -579,6 +671,177 @@ impl ShardManager {
         self.maybe_snapshots();
         self.now = deadline;
         self.gateway_tick();
+    }
+
+    /// Whether [`Self::run_until`] may execute windows on the thread pool.
+    ///
+    /// Parallel stepping requires every between-step gateway sweep to be a
+    /// provable no-op unless a shard escalates or crashes (which trips the
+    /// window back to the sequential oracle). That holds exactly when:
+    ///
+    /// - there is more than one shard and more than one worker thread;
+    /// - durability is off — a WAL records the stepping slice boundaries
+    ///   (`RunUntil` frames) and snapshot cadence, which are artifacts of
+    ///   the sequential interleaving itself;
+    /// - failover is off — gateway timers (parked deliveries, rebuild
+    ///   adoptions) can fire between any two steps (failover already
+    ///   requires a WAL; checked separately for clarity);
+    /// - rebalancing is off — the imbalance check samples every shard's
+    ///   backlog after every step.
+    ///
+    /// Ineligible configurations take the sequential path at any thread
+    /// count, so thread count never changes their bytes either.
+    fn parallel_eligible(&self) -> bool {
+        self.shards.len() > 1
+            && self.config.effective_threads() > 1
+            && self.config.wal.is_none()
+            && self.config.failover.is_none()
+            && self.config.imbalance_threshold == u64::MAX
+    }
+
+    /// Parallel window driver: repeatedly clone the live shards, run the
+    /// clones concurrently toward `deadline` under a shared tripwire, and
+    /// either commit the clones (no shard escalated or crashed — the whole
+    /// window was interaction-free, so the sequential interleaving would
+    /// have produced exactly these per-shard states) or discard them and
+    /// replay the prefix up to the earliest interaction through the
+    /// sequential oracle, then try again from there.
+    ///
+    /// The tripwire carries the earliest violation instant in microseconds
+    /// (`u64::MAX` = none): each clone stops before processing any work at
+    /// or past it, and lowers it when it escalates or crashes. Because a
+    /// clone keeps running while its pending work lies strictly below the
+    /// wire, the final value is exactly the first instant the sequential
+    /// interleaving would have seen a cross-shard interaction — replaying
+    /// `(-∞, wire]` sequentially therefore reproduces the oracle's order,
+    /// including `(event_time, shard_id)`-ordered same-instant batches and
+    /// the gateway's routing at the interaction itself.
+    fn run_windows_parallel(&mut self, deadline: SimTime) {
+        // After this many consecutive tripped windows, finish the call
+        // sequentially: interaction-dense phases (crash storms) would
+        // otherwise pay a full clone fan-out per interaction.
+        const MAX_TRIPPED_WINDOWS: u32 = 3;
+        let mut tripped_windows = 0;
+        loop {
+            let live: Vec<usize> = (0..self.shards.len())
+                .filter(|&s| {
+                    !self.shards[s].is_crashed()
+                        && self.shards[s]
+                            .next_event_time()
+                            .is_some_and(|t| t <= deadline)
+                })
+                .collect();
+            if live.is_empty() {
+                return; // nothing left below the deadline; the tail coasts
+            }
+            if tripped_windows >= MAX_TRIPPED_WINDOWS {
+                self.run_steps(deadline, deadline);
+                return;
+            }
+            let lanes = self.config.effective_threads().min(live.len());
+            let mut lane_shards: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+            for (i, &s) in live.iter().enumerate() {
+                lane_shards[i % lanes].push(s);
+            }
+            let tripwire = AtomicU64::new(u64::MAX);
+            let shards = &self.shards;
+            let clones: Vec<(usize, Box<Aorta>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = lane_shards
+                    .into_iter()
+                    .map(|lane| {
+                        let tw = &tripwire;
+                        scope.spawn(move || {
+                            lane.into_iter()
+                                .map(|s| {
+                                    debug_assert_eq!(
+                                        shards[s].escalated_backlog(),
+                                        0,
+                                        "window started with an undrained escalation buffer"
+                                    );
+                                    let mut clone = shards[s].fork_snapshot();
+                                    clone.run_until_bounded(deadline, tw);
+                                    (s, clone)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            let wire = tripwire.load(Ordering::Acquire);
+            if wire == u64::MAX {
+                // Interaction-free to the deadline: the clones *are* the
+                // sequential outcome. Swap them in and let the tail finish.
+                for (s, clone) in clones {
+                    self.shards[s] = *clone;
+                }
+                return;
+            }
+            // Tripped: discard the clones and replay sequentially through
+            // the interaction instant, then open the next window there.
+            drop(clones);
+            tripped_windows += 1;
+            self.run_steps(deadline, SimTime::from_micros(wire));
+        }
+    }
+
+    /// The sequential oracle loop: steps shards in `(next_event_time,
+    /// shard_id)` order while their next pending work is at or before
+    /// `cutoff`, interleaving gateway timers due by then. The pure
+    /// sequential path passes `cutoff == deadline`; the parallel driver
+    /// passes the tripped instant to replay an interaction prefix.
+    ///
+    /// Shard selection uses a cached agenda (a lazy min-heap keyed by
+    /// `(next_event_time, shard_id)`) instead of an O(k) scan per step;
+    /// entries are refreshed for the stepped shard and for any shard whose
+    /// engine the gateway replaced (recovery, rebuild adoption) — the only
+    /// mutations that can change a shard's next event time from outside
+    /// its own step (gateway injections only touch dispatch operators).
+    fn run_steps(&mut self, deadline: SimTime, cutoff: SimTime) {
+        debug_assert!(cutoff <= deadline);
+        let mut agenda = Agenda::build(&self.shards, cutoff);
+        loop {
+            let next = agenda.pop_earliest(&self.shards);
+            // Gateway timers (rebuild adoptions, parked deliveries) share
+            // the same clock; a shard step wins ties so escalations drain
+            // before the gateway acts at the same instant.
+            let gateway = self.next_gateway_time().filter(|&g| g <= cutoff);
+            match (next, gateway) {
+                (Some((t, s)), g) => {
+                    if let Some(g) = g {
+                        if g < t {
+                            agenda.restore(t, s);
+                            self.now = g;
+                            for u in self.gateway_tick() {
+                                agenda.refresh(u, &self.shards);
+                            }
+                            continue;
+                        }
+                    }
+                    self.now = t;
+                    self.shards[s].run_until(t);
+                    self.recover_if_crashed(s);
+                    self.route_escalated(s);
+                    let adopted = self.gateway_tick();
+                    self.maybe_rebalance();
+                    self.maybe_snapshots();
+                    agenda.refresh(s, &self.shards);
+                    for u in adopted {
+                        agenda.refresh(u, &self.shards);
+                    }
+                }
+                (None, Some(g)) => {
+                    self.now = g;
+                    for u in self.gateway_tick() {
+                        agenda.refresh(u, &self.shards);
+                    }
+                }
+                (None, None) => break,
+            }
+        }
     }
 
     /// The earliest pending gateway timer: a rebuild's adoption instant or
@@ -600,10 +863,13 @@ impl ShardManager {
     /// Services every gateway timer due at the current instant: rebuild
     /// adoptions first (an adopted shard can then receive deliveries at the
     /// same instant), then parked escalations in `(next_at, seq)` order.
-    /// No-op without failover.
-    fn gateway_tick(&mut self) {
+    /// No-op without failover. Returns the shard slots whose engine was
+    /// replaced by an adoption (their event timing changed — the caller's
+    /// agenda must refresh them); allocation-free when nothing is adopted.
+    fn gateway_tick(&mut self) -> Vec<usize> {
+        let mut adopted = Vec::new();
         if self.failover.is_none() {
-            return;
+            return adopted;
         }
         loop {
             let due = {
@@ -616,6 +882,7 @@ impl ShardManager {
             };
             let Some(s) = due else { break };
             self.adopt_rebuild(s);
+            adopted.push(s);
         }
         loop {
             let idx = {
@@ -636,6 +903,7 @@ impl ShardManager {
                 .remove(i);
             self.deliver_parked(parked);
         }
+        adopted
     }
 
     /// Rebuilds shard `s` from its snapshot + WAL suffix after a process
@@ -1599,6 +1867,170 @@ mod tests {
         let stats = cluster.stats();
         assert!(stats.requests() >= 10, "storm starved workload: {stats:?}");
         stats.check_conservation().unwrap();
+    }
+
+    /// An eligible (rebalance-off, WAL-off) config for the parallel path.
+    fn parallel_config(seed: u64, shards: usize, threads: usize) -> ClusterConfig {
+        ClusterConfig::seeded(seed, shards)
+            .with_imbalance_threshold(u64::MAX)
+            .with_threads(threads)
+    }
+
+    #[test]
+    fn threads_default_to_auto_and_resolve_to_host_cores() {
+        // The pool is on by default: `threads: 0` means one worker per
+        // host core, no feature flag, no opt-in.
+        let config = ClusterConfig::default();
+        assert_eq!(config.threads, 0, "default must be auto");
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(config.effective_threads(), host);
+        assert_eq!(config.with_threads(3).effective_threads(), 3);
+    }
+
+    #[test]
+    fn parallel_windows_match_oracle_on_clean_wave() {
+        // No faults → no escalations → the whole run is one clean window
+        // committed straight from the clones.
+        for shards in [2, 4] {
+            let run = |threads: usize| {
+                let mut cluster = ShardManager::new(parallel_config(29, shards, threads), lab());
+                admit_queries(&mut cluster, true);
+                cluster.run_for(RUN);
+                (cluster.stats(), cluster.render_trace())
+            };
+            let oracle = run(1);
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    run(threads),
+                    oracle,
+                    "threads={threads} shards={shards} diverged from the oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_windows_match_oracle_under_escalation_fallback() {
+        // The dead-stripe scenario: shard 0's cameras all die, every one of
+        // its detections escalates — each window trips and replays through
+        // the sequential oracle, and with more trips than the hysteresis
+        // budget the run also exercises the finish-sequentially path.
+        let run = |threads: usize| {
+            let mut cluster = ShardManager::new(parallel_config(11, 2, threads), lab());
+            admit_queries(&mut cluster, false);
+            let mut plan = FaultPlan::new();
+            for c in 0..12u32 {
+                let id = DeviceId::camera(c);
+                if cluster.shard_owning(id) == Some(0) {
+                    plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+                }
+            }
+            cluster.inject_faults(plan);
+            cluster.run_for(RUN);
+            (cluster.stats(), cluster.render_trace())
+        };
+        let (oracle_stats, oracle_trace) = run(1);
+        assert!(oracle_stats.rerouted > 0, "scenario must actually escalate");
+        oracle_stats.check_conservation().unwrap();
+        for threads in [2, 4, 8] {
+            let (stats, trace) = run(threads);
+            assert_eq!(stats, oracle_stats, "threads={threads} stats diverged");
+            assert_eq!(trace, oracle_trace, "threads={threads} trace diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_windows_match_oracle_under_crash_storm() {
+        // Random device crashes + loss bursts: escalations land at
+        // arbitrary instants, so windows trip at arbitrary points.
+        let devices: Vec<DeviceId> = (0..12)
+            .map(DeviceId::camera)
+            .chain((0..16).map(DeviceId::sensor))
+            .collect();
+        let config = aorta_sim::FaultConfig {
+            crash_rate: 0.25,
+            loss_burst_rate: 0.3,
+            extra_loss: 0.5,
+            ..aorta_sim::FaultConfig::default()
+        };
+        for seed in [21, 0xBEEF] {
+            let run = |threads: usize| {
+                let mut cluster = ShardManager::new(parallel_config(seed, 4, threads), lab());
+                admit_queries(&mut cluster, true);
+                cluster.inject_faults(FaultPlan::generate(seed, RUN, &devices, &config));
+                cluster.run_for(RUN);
+                (cluster.stats(), cluster.render_trace())
+            };
+            let oracle = run(1);
+            oracle.0.check_conservation().unwrap();
+            for threads in [2, 8] {
+                assert_eq!(run(threads), oracle, "seed={seed} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn process_crash_exactly_at_the_deadline_is_recovered_not_stranded() {
+        // Regression guard for the run_until tail: a ProcessCrash landing
+        // exactly at the deadline must still be recovered (WAL) and its
+        // escalations routed before run_until returns. (The main loop
+        // already treats pending faults as next-event work, so the crash
+        // is stepped in-loop; the tail's recover/route follow-ups are the
+        // backstop this test pins down.)
+        let deadline = SimTime::ZERO + RUN;
+        let mut config = ClusterConfig::seeded(33, 2).with_wal(128);
+        config.imbalance_threshold = u64::MAX;
+        let mut cluster = ShardManager::new(config, lab());
+        admit_queries(&mut cluster, true);
+        let mut plan = FaultPlan::new();
+        plan.schedule(deadline, FaultEvent::ProcessCrash(DeviceId::camera(0)));
+        cluster.inject_faults(plan);
+        cluster.run_until(deadline);
+        assert_eq!(cluster.recoveries(), 1, "deadline-edge crash not recovered");
+        for s in 0..cluster.shard_count() {
+            assert!(
+                !cluster.shard(s).is_crashed(),
+                "shard {s} left dead at the deadline"
+            );
+            assert_eq!(
+                cluster.shard(s).escalated_backlog(),
+                0,
+                "shard {s} left an unrouted escalation at the deadline"
+            );
+        }
+        cluster.stats().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn escalation_exactly_at_the_deadline_is_routed_not_stranded() {
+        // Same edge from the escalation side: stop the run exactly on a
+        // detection epoch, when the dead-stripe shard escalates at the
+        // final instant. The escalation must be drained and routed (or
+        // terminally counted) before run_until returns.
+        let mut cluster = ShardManager::new(parallel_config(11, 2, 1), lab());
+        admit_queries(&mut cluster, false);
+        let mut plan = FaultPlan::new();
+        for c in 0..12u32 {
+            let id = DeviceId::camera(c);
+            if cluster.shard_owning(id) == Some(0) {
+                plan.schedule(SimTime::from_micros(1), FaultEvent::Crash(id));
+            }
+        }
+        cluster.inject_faults(plan);
+        // Periodic events fire every minute; stop exactly on an epoch.
+        cluster.run_until(SimTime::ZERO + SimDuration::from_mins(1));
+        for s in 0..cluster.shard_count() {
+            assert_eq!(
+                cluster.shard(s).escalated_backlog(),
+                0,
+                "shard {s} stranded an escalation at the deadline"
+            );
+        }
+        assert!(
+            cluster.rerouted() + cluster.stats().gateway_dropped > 0,
+            "the deadline-instant escalation was neither routed nor counted"
+        );
+        cluster.stats().check_conservation().unwrap();
     }
 
     #[test]

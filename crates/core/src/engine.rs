@@ -125,6 +125,15 @@ pub struct Aorta {
     pub(crate) epoch: u64,
 }
 
+// Compile-time thread-safety audit: the cluster's parallel window runner
+// shares engines immutably across worker threads while cloning (`Sync`) and
+// moves the clones back across the join (`Send`). A future `Rc`/`RefCell`
+// leaking into engine state fails this build, not the parallel runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Aorta>();
+};
+
 impl Aorta {
     /// An engine over an empty device registry.
     pub fn new(config: EngineConfig) -> Self {

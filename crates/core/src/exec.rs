@@ -269,15 +269,73 @@ impl Aorta {
     /// same clock: a fault scheduled at or before the next engine event is
     /// applied first, so a crash at `t` affects an execution at `t`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_until_inner(deadline, None);
+    }
+
+    /// Advances the clock to `deadline` under a shared **tripwire**: the
+    /// cluster's parallel window runner executes shard clones concurrently
+    /// and must stop every clone at the earliest cross-shard interaction so
+    /// the window can be re-run sequentially from there.
+    ///
+    /// The engine stops (returning `false`) as soon as:
+    ///
+    /// - it escalates a request (the gateway would act at that instant) —
+    ///   it also lowers the tripwire to that instant via `fetch_min`;
+    /// - a process crash halts it — likewise lowering the tripwire;
+    /// - its next pending work lies **at or past** the current tripwire
+    ///   value (another clone interacted there; events at the violation
+    ///   instant itself are left unprocessed, because at equal instants the
+    ///   sequential order between this shard and the violating one is not
+    ///   known from inside a clone).
+    ///
+    /// An untripped run (`true`) is byte-identical to [`Aorta::run_until`].
+    /// Times on the wire are microseconds ([`SimTime::as_micros`]);
+    /// `u64::MAX` means "no violation observed yet".
+    pub fn run_until_bounded(
+        &mut self,
+        deadline: SimTime,
+        tripwire: &std::sync::atomic::AtomicU64,
+    ) -> bool {
+        self.run_until_inner(deadline, Some(tripwire))
+    }
+
+    /// Shared body of [`Aorta::run_until`] (no tripwire) and
+    /// [`Aorta::run_until_bounded`] (tripwire for parallel windows).
+    /// Returns `true` when the engine ran all the way to `deadline`.
+    fn run_until_inner(
+        &mut self,
+        deadline: SimTime,
+        tripwire: Option<&std::sync::atomic::AtomicU64>,
+    ) -> bool {
+        use std::sync::atomic::Ordering;
         // A crashed engine does nothing (and logs nothing): its in-memory
         // state died with the process, and recovery rebuilds a fresh one.
         if self.halted {
-            return;
+            return false;
         }
         self.wal_emit(|| WalRecord::RunUntil { deadline });
         loop {
+            if let Some(tw) = tripwire {
+                if !self.escalated.is_empty() {
+                    // `now` is still the instant of the escalating batch:
+                    // this check runs before the next pop.
+                    tw.fetch_min(self.now.as_micros(), Ordering::AcqRel);
+                    return false;
+                }
+            }
             let next_fault = self.faults.peek_next_time().filter(|&f| f <= deadline);
             let next_event = self.queue.peek_time().filter(|&e| e <= deadline);
+            if let Some(tw) = tripwire {
+                let next = match (next_fault, next_event) {
+                    (Some(f), Some(e)) => Some(f.min(e)),
+                    (f, e) => f.or(e),
+                };
+                if let Some(t) = next {
+                    if t.as_micros() >= tw.load(Ordering::Acquire) {
+                        return false;
+                    }
+                }
+            }
             let fault_first = match (next_fault, next_event) {
                 (Some(f), Some(e)) => f <= e,
                 (Some(_), None) => true,
@@ -289,7 +347,10 @@ impl Aorta {
                 for (time, fault) in self.faults.pop_due(t) {
                     self.apply_fault(time, fault);
                     if self.halted {
-                        return;
+                        if let Some(tw) = tripwire {
+                            tw.fetch_min(self.now.as_micros(), Ordering::AcqRel);
+                        }
+                        return false;
                     }
                 }
                 continue;
@@ -324,10 +385,14 @@ impl Aorta {
             self.now = time;
             self.apply_fault(time, fault);
             if self.halted {
-                return;
+                if let Some(tw) = tripwire {
+                    tw.fetch_min(self.now.as_micros(), Ordering::AcqRel);
+                }
+                return false;
             }
         }
         self.now = deadline;
+        true
     }
 
     /// Advances the virtual clock by `duration`.

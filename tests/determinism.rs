@@ -319,8 +319,12 @@ fn kill_and_recover_runs_are_byte_identical_per_seed() {
 /// A 4-shard WAL-logged cluster where one shard process-crashes *inside*
 /// an asymmetric partition window and fails over to a brand-new host from
 /// a shipped snapshot image. The witness is the full trace plus the stats
-/// snapshot; `obs` toggles span/metric recording, which must be write-only.
-fn run_partitioned_failover_cluster(seed: u64, obs: bool) -> (String, String) {
+/// snapshot; `obs` toggles span/metric recording, which must be write-only,
+/// and `threads` sets the worker-pool size, which must also be write-only:
+/// WAL + failover configs are sequential-gated (their replay cadence and
+/// gateway timers are part of the byte-contract), so any thread count must
+/// reproduce the 1-thread bytes exactly.
+fn run_partitioned_failover_cluster(seed: u64, obs: bool, threads: usize) -> (String, String) {
     use aorta::cluster::{ClusterConfig, FailoverConfig, ShardManager};
     use aorta_device::DeviceId;
     use aorta_sim::{FaultEvent, FaultPlan, SimTime};
@@ -330,6 +334,7 @@ fn run_partitioned_failover_cluster(seed: u64, obs: bool) -> (String, String) {
     let mut config = ClusterConfig::seeded(seed, 4)
         .with_imbalance_threshold(u64::MAX)
         .with_wal(256)
+        .with_threads(threads)
         .with_failover(FailoverConfig::default());
     if obs {
         config.engine = config.engine.with_observability();
@@ -384,8 +389,8 @@ fn run_partitioned_failover_cluster(seed: u64, obs: bool) -> (String, String) {
 
 #[test]
 fn partitioned_failover_runs_are_byte_identical_per_seed() {
-    let a = run_partitioned_failover_cluster(515, false);
-    let b = run_partitioned_failover_cluster(515, false);
+    let a = run_partitioned_failover_cluster(515, false, 1);
+    let b = run_partitioned_failover_cluster(515, false, 1);
     assert!(!a.0.is_empty());
     assert_eq!(
         a, b,
@@ -393,11 +398,128 @@ fn partitioned_failover_runs_are_byte_identical_per_seed() {
     );
     // Observability is write-only even across a cross-host failover: spans
     // and metrics are extra output, never an input to any decision.
-    let observed = run_partitioned_failover_cluster(515, true);
+    let observed = run_partitioned_failover_cluster(515, true, 1);
     assert_eq!(
         a, observed,
         "recording must never influence the failover run"
     );
+}
+
+/// Mid-wave cross-host failover under every pool size: a durable config
+/// never takes the parallel path, so `with_threads(n)` must be a pure
+/// no-op on its bytes — trace and stats match the 1-thread oracle exactly.
+#[test]
+fn failover_runs_are_invariant_across_thread_counts() {
+    let oracle = run_partitioned_failover_cluster(515, false, 1);
+    assert!(!oracle.0.is_empty());
+    for threads in [2usize, 4, 8] {
+        let arm = run_partitioned_failover_cluster(515, false, threads);
+        assert_eq!(
+            oracle, arm,
+            "threads={threads}: a sequential-gated failover run drifted \
+             from the 1-thread oracle"
+        );
+    }
+}
+
+/// A parallel-eligible cluster (no WAL, no failover, rebalancer off) under
+/// a combined device-crash + loss storm with an asymmetric mid-wave
+/// partition window — the arm that actually exercises the multicore window
+/// scheduler. Returns the full trace plus the stats snapshot so a single
+/// flipped byte anywhere in the run fails the comparison.
+fn run_threaded_storm_cluster(
+    seed: u64,
+    shards: usize,
+    threads: usize,
+    crash_rate: f64,
+    loss_burst_rate: f64,
+    extra_loss: f64,
+) -> (String, String) {
+    use aorta::cluster::{ClusterConfig, ShardManager};
+    use aorta_device::DeviceId;
+    use aorta_sim::{FaultConfig, FaultEvent, FaultPlan, SimTime};
+
+    let lab = PervasiveLab::with_sizes(12, 16, 0)
+        .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+    let config = ClusterConfig::seeded(seed, shards)
+        .with_imbalance_threshold(u64::MAX)
+        .with_threads(threads);
+    let mut cluster = ShardManager::new(config, lab);
+    for i in 0..10 {
+        cluster
+            .execute_sql(&format!(
+                r#"CREATE AQ q{i} AS
+                   SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE s.accel_x > 500 AND s.id = {i} AND coverage(c.id, s.loc)"#
+            ))
+            .unwrap();
+    }
+    let devices: Vec<DeviceId> = (0..12)
+        .map(DeviceId::camera)
+        .chain((0..16).map(DeviceId::sensor))
+        .collect();
+    let storm = FaultConfig {
+        crash_rate,
+        loss_burst_rate,
+        extra_loss,
+        ..FaultConfig::default()
+    };
+    let mut plan =
+        FaultPlan::generate(seed ^ 0x9A11E7, SimDuration::from_mins(3), &devices, &storm);
+    // One asymmetric inter-shard blackout mid-wave: the gateway refuses
+    // crossings a→b while the window is open, so parked routing decisions
+    // land inside the parallel windows too.
+    let a = (seed % shards as u64) as u32;
+    let b = ((seed + 1) % shards as u64) as u32;
+    plan.schedule(
+        SimTime::ZERO + SimDuration::from_secs(80),
+        FaultEvent::Partition {
+            a,
+            b,
+            window: SimDuration::from_secs(45),
+        },
+    );
+    cluster.inject_faults(plan);
+    cluster.run_for(SimDuration::from_mins(3));
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let stats = cluster.stats();
+    stats.check_conservation().expect("threaded storm ledger");
+    (cluster.render_trace(), format!("{stats:?}"))
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+    /// The tentpole contract as a property: under any seed, shard count
+    /// and random crash + partition + loss mix, stepping shards on 2, 4,
+    /// or 8 worker threads reproduces the 1-thread oracle's trace and
+    /// stats byte for byte.
+    #[test]
+    fn threaded_stepping_matches_the_sequential_oracle_under_random_storms(
+        seed in 0u64..1_000_000,
+        shards in 2usize..=8,
+        crash_rate in 0.0f64..0.4,
+        loss_burst_rate in 0.0f64..0.4,
+        extra_loss in 0.0f64..0.6,
+    ) {
+        let oracle = run_threaded_storm_cluster(
+            seed, shards, 1, crash_rate, loss_burst_rate, extra_loss,
+        );
+        proptest::prop_assert!(!oracle.0.is_empty(), "oracle produced no trace");
+        for threads in [2usize, 4, 8] {
+            let arm = run_threaded_storm_cluster(
+                seed, shards, threads, crash_rate, loss_burst_rate, extra_loss,
+            );
+            if arm != oracle {
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "seed={seed} shards={shards} threads={threads}: \
+                     parallel stepping diverged from the 1-thread oracle"
+                )));
+            }
+        }
+    }
 }
 
 #[test]
