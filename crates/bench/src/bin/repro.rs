@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|e11|e11-smoke|e12|e12-smoke|e13|e13-smoke|ablation|metrics]..."
+                    "usage: repro [--runs N] [--csv DIR] [e1|fig4|fig5|fig6|e5|e6|e7|e8|e9|e10|e10-smoke|e11|e11-smoke|e12|e12-smoke|e13|e13-smoke|e14|e14-smoke|ablation|metrics]..."
                 );
                 return;
             }
@@ -75,6 +75,8 @@ fn main() {
             "e12-smoke" => e12(false),
             "e13" => e13(true),
             "e13-smoke" => e13(false),
+            "e14" => e14(true),
+            "e14-smoke" => e14(false),
             "metrics" => metrics(),
             "ablation" => ablation(runs),
             other => die(&format!("unknown experiment '{other}'")),
@@ -539,6 +541,101 @@ fn e13(full: bool) {
         report.all_match,
         "a threaded arm diverged from the 1-thread oracle"
     );
+}
+
+/// `repro e14` (the full three-workload sweep, writes BENCH_pushdown.json)
+/// or `repro e14-smoke` (the threshold arm only, no file): in-network
+/// operator pushdown — windowed aggregates and indexable filters evaluated
+/// on the sensor side, suppressed samples shipping a 1-byte marker. Every
+/// quantity is a deterministic virtual-time count (bytes, tuples, digests),
+/// so unlike e10/e13 the committed artifact is bit-for-bit reproducible on
+/// any machine. Every arm is byte-checked against a pushdown-off oracle.
+fn e14(full: bool) {
+    let report = experiments::e14_pushdown(0xE14, full);
+    println!("== E14 (extension): in-network operator pushdown, hop-weighted wire bytes ==");
+    let mut t = Table::new(vec![
+        "workload".into(),
+        "mins".into(),
+        "AQs".into(),
+        "shipped".into(),
+        "suppressed".into(),
+        "supp%".into(),
+        "baseline(B)".into(),
+        "wire(B)".into(),
+        "saved%".into(),
+        "oracle".into(),
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            r.workload.to_string(),
+            r.minutes.to_string(),
+            r.queries.to_string(),
+            r.shipped.to_string(),
+            r.suppressed.to_string(),
+            format!("{:.1}", r.suppression_pct),
+            r.baseline_bytes.to_string(),
+            r.wire_bytes.to_string(),
+            format!("{:.1}", r.saved_pct),
+            if r.identical_to_oracle {
+                "OK"
+            } else {
+                "DIVERGED"
+            }
+            .into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "best savings {:.1}% of baseline bytes; deterministic: {}\n",
+        report.best_saved_pct, report.deterministic
+    );
+    if full {
+        write_bench_pushdown_json(&report);
+    }
+    // CI runs the smoke arm: a pushdown run that detects even one byte
+    // differently from its oracle must fail the process, not just print.
+    assert!(
+        report.all_identical,
+        "a pushdown arm diverged from its pushdown-off oracle"
+    );
+    assert!(report.deterministic, "e14 is not repetition-stable");
+}
+
+/// Hand-formats `BENCH_pushdown.json` (the repo has no JSON dependency).
+fn write_bench_pushdown_json(report: &experiments::E14Report) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"experiment\": \"e14\",\n");
+    body.push_str(&format!(
+        "  \"best_saved_pct\": {:.1},\n  \"all_identical\": {},\n  \"deterministic\": {},\n",
+        report.best_saved_pct, report.all_identical, report.deterministic,
+    ));
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"minutes\": {}, \"queries\": {}, \"shipped\": {}, \
+             \"suppressed\": {}, \"suppression_pct\": {:.1}, \"baseline_bytes\": {}, \
+             \"wire_bytes\": {}, \"saved_bytes\": {}, \"saved_pct\": {:.1}, \
+             \"trace_fnv1a\": \"{:#018x}\", \"identical_to_oracle\": {}}}{}\n",
+            r.workload,
+            r.minutes,
+            r.queries,
+            r.shipped,
+            r.suppressed,
+            r.suppression_pct,
+            r.baseline_bytes,
+            r.wire_bytes,
+            r.saved_bytes,
+            r.saved_pct,
+            r.trace_fnv,
+            r.identical_to_oracle,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_pushdown.json", body) {
+        Ok(()) => println!("(wrote BENCH_pushdown.json)"),
+        Err(e) => eprintln!("repro: failed to write BENCH_pushdown.json: {e}"),
+    }
 }
 
 /// Hand-formats `BENCH_parallel.json` (the repo has no JSON dependency).

@@ -1800,6 +1800,206 @@ pub fn e13_parallel(seed: u64, full: bool) -> E13Report {
     }
 }
 
+/// One arm of the **E14** in-network pushdown experiment: one workload,
+/// run with pushdown accounting on, byte-checked against the same seed
+/// with pushdown off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E14Row {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Simulated minutes.
+    pub minutes: u64,
+    /// Registered AQ count.
+    pub queries: usize,
+    /// Tuples that shipped their full payload (hop-weighted units are
+    /// bytes; tuple counts are raw).
+    pub shipped: u64,
+    /// Tuples suppressed at the device (a 1-byte marker shipped instead).
+    pub suppressed: u64,
+    /// Share of scanned tuples suppressed, percent.
+    pub suppression_pct: f64,
+    /// Hop-weighted bytes the same run would ship with pushdown off.
+    pub baseline_bytes: u64,
+    /// Hop-weighted bytes actually on the wire (replies + markers).
+    pub wire_bytes: u64,
+    /// `baseline - wire`.
+    pub saved_bytes: u64,
+    /// Savings as a share of the baseline, percent.
+    pub saved_pct: f64,
+    /// FNV-1a digest of the pushdown run's trace + stats.
+    pub trace_fnv: u64,
+    /// Whether the pushdown-off oracle produced the identical digest —
+    /// detections must be byte-for-byte unaffected by suppression.
+    pub identical_to_oracle: bool,
+}
+
+/// The full **E14** report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E14Report {
+    /// One row per workload arm.
+    pub rows: Vec<E14Row>,
+    /// Every arm's pushdown run matched its pushdown-off oracle exactly.
+    pub all_identical: bool,
+    /// Two repetitions of the first arm rendered identical digests.
+    pub deterministic: bool,
+    /// The best savings across arms, percent of baseline bytes.
+    pub best_saved_pct: f64,
+}
+
+/// Parses and plans one photo-on-camera AQ per predicate: the event part
+/// is the sensor fleet (suppressible — no query targets sensors as
+/// devices), the device part the camera fleet (never suppressed: camera
+/// tuples feed the candidate join).
+fn e14_templates(preds: &[&str]) -> Vec<aorta_core::AqPlan> {
+    use aorta_sql::ast::Statement;
+    let catalog = aorta_core::Catalog::with_builtins();
+    preds
+        .iter()
+        .map(|pred| {
+            let sql = format!(
+                r#"SELECT photo(c.ip, s.loc, "p")
+                   FROM sensor s, camera c
+                   WHERE {pred} AND coverage(c.id, s.loc)"#
+            );
+            let stmts = aorta_sql::parse(&sql).expect("e14 SQL parses");
+            let Statement::Select(select) = stmts.into_iter().next().expect("one statement") else {
+                panic!("e14 statements are SELECTs");
+            };
+            aorta_core::AqPlan::plan("template", &select, &catalog).expect("e14 plans")
+        })
+        .collect()
+}
+
+/// Runs one E14 arm and returns the pushdown ledger plus the trace + stats
+/// digest. The digest covers every observable of the run, so a single
+/// detection or counter perturbed by suppression would flip it.
+fn e14_arm(
+    seed: u64,
+    preds: &[&str],
+    minutes: u64,
+    pushdown: bool,
+) -> (aorta_core::PushdownStats, u64) {
+    use aorta_core::{Aorta, EngineConfig};
+    use aorta_device::PervasiveLab;
+    use aorta_sim::SimDuration;
+
+    let lab = PervasiveLab::standard()
+        .with_periodic_events(SimDuration::from_secs(30), SimDuration::from_secs(3));
+    let mut config = EngineConfig::seeded(seed);
+    if pushdown {
+        config = config.with_pushdown();
+    }
+    let mut aorta = Aorta::with_lab(config, lab);
+    for (i, plan) in e14_templates(preds).into_iter().enumerate() {
+        let mut plan = plan;
+        plan.name = format!("pq{i:02}");
+        aorta.register_query_plan(plan).expect("e14 plans register");
+    }
+    aorta.run_for(SimDuration::from_mins(minutes));
+    let digest = fnv1a64(&format!("{}\n{:?}", aorta.trace().render(), aorta.stats()));
+    (aorta.pushdown_stats(), digest)
+}
+
+/// **E14 (extension)** — in-network operator pushdown: sliding-window
+/// aggregates and indexable filters are pushed onto the sensor side, and
+/// samples that no watching query can use ship a 1-byte marker instead of
+/// a full reply. Three workloads bound the savings: sparse thresholds
+/// (most samples suppressed), windowed aggregates (device-resident
+/// windows keep smoothing exact), and a mixed set whose erroring and
+/// non-pushable predicates force conservative shipping. Every arm's
+/// pushdown run is byte-checked against the same seed with pushdown off
+/// — suppression is accounting, never behaviour. See `DESIGN.md` §14.
+pub fn e14_pushdown(seed: u64, full: bool) -> E14Report {
+    // Sparse alerts: spikes are ~1 scan in 30 per mote, so almost every
+    // sample fails every prefix and ships a marker.
+    let threshold: &[&str] = &["s.accel_x > 500", "s.accel_x >= 520", "s.light > 100000"];
+    // Windowed smoothing: suppression must consult the device-resident
+    // window, not just the current sample.
+    let windowed: &[&str] = &[
+        "AVG(s.accel_x) OVER LAST 4 > 450",
+        "MAX(s.accel_x) OVER LAST 3 >= 500",
+        "COUNT(s.temp) OVER LAST 8 < 1",
+    ];
+    // Adversarial mix: an erroring comparison (`s.loc > 500`) must ship
+    // every tuple it cannot decide, and a leading call conjunct is not
+    // pushable at all — savings should collapse, correctness must not.
+    let mixed: &[&str] = &[
+        "s.accel_x > 500",
+        "AVG(s.accel_x) OVER LAST 4 > 450",
+        "s.loc > 500",
+        "distance(s.loc, s.loc) < 1.0 AND s.accel_x > 480",
+    ];
+    let arms: Vec<(&'static str, &[&str])> = if full {
+        vec![
+            ("threshold", threshold),
+            ("windowed", windowed),
+            ("mixed", mixed),
+        ]
+    } else {
+        vec![("threshold", threshold)]
+    };
+    let minutes: u64 = if full { 10 } else { 3 };
+
+    let mut rows = Vec::new();
+    for (i, (workload, preds)) in arms.iter().enumerate() {
+        let arm_seed = seed ^ (i as u64) << 8;
+        let (push, on_fnv) = e14_arm(arm_seed, preds, minutes, true);
+        let (off_push, off_fnv) = e14_arm(arm_seed, preds, minutes, false);
+        assert_eq!(
+            off_push,
+            aorta_core::PushdownStats::default(),
+            "oracle arm must not account"
+        );
+        let total = push.shipped_tuples + push.suppressed_tuples;
+        let pct = |part: u64, whole: u64| {
+            if whole == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / whole as f64
+            }
+        };
+        rows.push(E14Row {
+            workload,
+            minutes,
+            queries: preds.len(),
+            shipped: push.shipped_tuples,
+            suppressed: push.suppressed_tuples,
+            suppression_pct: pct(push.suppressed_tuples, total),
+            baseline_bytes: push.baseline_bytes,
+            wire_bytes: push.wire_bytes(),
+            saved_bytes: push.saved_bytes(),
+            saved_pct: pct(push.saved_bytes(), push.baseline_bytes),
+            trace_fnv: on_fnv,
+            identical_to_oracle: on_fnv == off_fnv,
+        });
+    }
+    let (_, first_preds) = arms[0];
+    let (_, repeat_fnv) = e14_arm(seed, first_preds, minutes, true);
+    E14Report {
+        all_identical: rows.iter().all(|r| r.identical_to_oracle),
+        deterministic: repeat_fnv == rows[0].trace_fnv,
+        best_saved_pct: rows.iter().map(|r| r.saved_pct).fold(0.0, f64::max),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod pushdown_experiment_tests {
+    use super::*;
+
+    #[test]
+    fn e14_smoke_saves_bytes_without_changing_a_byte() {
+        let report = e14_pushdown(0xE14, false);
+        assert!(report.all_identical, "{report:?}");
+        assert!(report.deterministic, "{report:?}");
+        let row = &report.rows[0];
+        assert!(row.suppressed > 0, "nothing suppressed: {row:?}");
+        assert!(row.shipped > 0, "nothing shipped: {row:?}");
+        assert!(row.saved_bytes > 0, "no wire savings: {row:?}");
+        assert!(row.wire_bytes <= row.baseline_bytes, "{row:?}");
+    }
+}
+
 #[cfg(test)]
 mod parallel_experiment_tests {
     use super::*;

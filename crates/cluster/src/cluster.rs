@@ -2326,6 +2326,55 @@ mod tests {
         assert!(cluster.gateway_trace().any("gateway", "failover complete"));
     }
 
+    /// Pushdown rides the engine-config template through WAL snapshots and
+    /// cross-host failover, and never perturbs the cluster run: the flag-on
+    /// arm is byte-identical to the baseline, while every shard — including
+    /// the one rebuilt on a fresh host — keeps accounting suppression.
+    #[test]
+    fn pushdown_rides_failover_and_never_perturbs_the_cluster() {
+        let run = |pushdown: bool| {
+            let mut config = failover_config(37);
+            if pushdown {
+                config.engine = config.engine.clone().with_pushdown();
+            }
+            let mut cluster = ShardManager::new(config, lab());
+            admit_queries(&mut cluster, true);
+            let mut plan = FaultPlan::new();
+            plan.schedule(
+                SimTime::ZERO + SimDuration::from_secs(150),
+                FaultEvent::ProcessCrash(DeviceId::camera(0)),
+            );
+            cluster.inject_faults(plan);
+            cluster.run_for(RUN);
+            cluster
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.stats(), off.stats());
+        assert_eq!(on.render_trace(), off.render_trace());
+        assert_eq!(on.stats().failovers, 1, "the failover must still happen");
+        for s in 0..on.shard_count() {
+            let push = on.shard(s).pushdown_stats();
+            assert!(
+                push.suppressed_tuples > 0,
+                "shard {s} suppressed nothing: {push:?}"
+            );
+            assert!(
+                push.wire_bytes() < push.baseline_bytes,
+                "shard {s} saved no bytes: {push:?}"
+            );
+            assert_eq!(
+                off.shard(s).pushdown_stats(),
+                aorta_core::PushdownStats::default(),
+                "baseline shard {s} must not account pushdown"
+            );
+            assert!(
+                on.shard(s).config().pushdown,
+                "shard {s} lost the flag (failover rebuilds from the config template)"
+            );
+        }
+    }
+
     #[test]
     fn failover_under_partition_is_deterministic() {
         let run = || {

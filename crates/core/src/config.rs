@@ -120,6 +120,18 @@ pub struct EngineConfig {
     /// strategy, which is why vectorized can be the default without
     /// perturbing the committed seed artifacts.
     pub vectorized_detect: bool,
+    /// Enable in-network operator pushdown: the placement pass compiles
+    /// each query's maximal pushable prefix (indexable comparisons and
+    /// windowed aggregate comparisons) into device-side programs, and
+    /// samples whose every watching prefix evaluates cleanly false are
+    /// *suppressed* — replaced on the wire by a one-byte marker instead of
+    /// the full attribute reply. Suppression is sound by construction (a
+    /// false prefix implies the engine's own short-circuit AND would
+    /// reject the sample), so detections, traces and stats are
+    /// byte-identical with the flag on or off; only the pushdown byte
+    /// accounting ([`crate::PushdownStats`]) changes. Off by default so
+    /// the committed seed artifacts stay bit-for-bit unchanged.
+    pub pushdown: bool,
 }
 
 impl Default for EngineConfig {
@@ -138,6 +150,7 @@ impl Default for EngineConfig {
             breaker: None,
             observability: false,
             vectorized_detect: true,
+            pushdown: false,
         }
     }
 }
@@ -224,6 +237,12 @@ impl EngineConfig {
         self.vectorized_detect = false;
         self
     }
+
+    /// Enables in-network operator pushdown, builder style.
+    pub fn with_pushdown(mut self) -> Self {
+        self.pushdown = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +286,12 @@ mod tests {
                 .with_scalar_detect()
                 .vectorized_detect
         );
+    }
+
+    #[test]
+    fn pushdown_is_opt_in() {
+        assert!(!EngineConfig::default().pushdown);
+        assert!(EngineConfig::default().with_pushdown().pushdown);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use aorta_data::Tuple;
+use aorta_device::pushdown::{PushProgram, WindowBank};
 use aorta_device::{DeviceId, DeviceKind, PervasiveLab};
 use aorta_net::{BreakerBank, BreakerState, DeviceRegistry, Prober};
 use aorta_obs::{MetricsRegistry, SharedMetrics};
@@ -15,7 +16,7 @@ use aorta_wal::{WalHandle, WalRecord};
 use crate::actions::{ActionDef, ActionHandler, ActionProfile, CustomHandler};
 use crate::admission::TokenBucket;
 use crate::catalog::Catalog;
-use crate::exec::{EngineEvent, RawStats};
+use crate::exec::{EngineEvent, PushdownStats, RawStats};
 use crate::expr::{eval_expr, eval_predicate, Env, EvalContext};
 use crate::lock::LockManager;
 use crate::pindex::PredicateIndex;
@@ -66,6 +67,31 @@ pub struct Aorta {
     /// `CREATE AQ` / `DROP AQ` regardless of the detection mode, so mode is
     /// purely a per-epoch execution choice.
     pub(crate) pindex: PredicateIndex,
+    /// Per-(query, conjunct, source) sliding-window buffers backing
+    /// `AGG(attr) OVER LAST n` conjuncts. Conceptually device-resident —
+    /// the mote sees every sample it takes, shipped or suppressed, so
+    /// windows advance on every scanned tuple. Excluded from
+    /// [`state_digest`](Aorta::state_digest) for the same reason a mote's
+    /// ADC buffer is: it is edge state that a recovered engine rebuilds by
+    /// observing the next `n` samples, not coordinator state the WAL
+    /// promises to reconstruct exactly.
+    pub(crate) windows: WindowBank,
+    /// The compiled device-side pushdown programs (the operator-placement
+    /// pass output). Pure derived state — a deterministic function of the
+    /// catalog and registry schemas — invalidated (`None`) on
+    /// register/drop like `scan_kinds` and rebuilt lazily, so bulk
+    /// registration of 10⁵⁺ AQs never pays a per-register recompile.
+    pub(crate) placement: Option<PushProgram>,
+    /// Pushdown byte accounting ([`crate::PushdownStats`]). Write-only
+    /// bookkeeping, separate from `raw_stats` so the committed seed
+    /// artifacts (which digest `EngineStats`' Debug rendering) stay
+    /// byte-identical whether pushdown is on or off.
+    pub(crate) push_stats: PushdownStats,
+    /// Queries whose candidate join already traced a bad-device-id skip,
+    /// so a device table that persistently reports unusable ids emits one
+    /// trace line per query, not one per tuple per epoch (the
+    /// `bad_device_ids` counter still counts every one).
+    pub(crate) bad_id_reported: BTreeSet<u32>,
     /// Cached scan-kind order for the sampling epoch (first appearance over
     /// plans in catalog name order, event kind before device kind), so the
     /// steady-state epoch does not re-walk a large catalog. `None` = stale;
@@ -174,6 +200,10 @@ impl Aorta {
             edge: BTreeMap::new(),
             eval_error_reported: BTreeSet::new(),
             pindex: PredicateIndex::new(),
+            windows: WindowBank::new(),
+            placement: None,
+            push_stats: PushdownStats::default(),
+            bad_id_reported: BTreeSet::new(),
             scan_kinds: None,
             raw_stats: RawStats::default(),
             trace: TraceBuffer::with_capacity(4096),
@@ -286,6 +316,10 @@ impl Aorta {
             edge: self.edge.clone(),
             eval_error_reported: self.eval_error_reported.clone(),
             pindex: self.pindex.clone(),
+            windows: self.windows.clone(),
+            placement: self.placement.clone(),
+            push_stats: self.push_stats,
+            bad_id_reported: self.bad_id_reported.clone(),
             scan_kinds: self.scan_kinds.clone(),
             raw_stats: self.raw_stats,
             trace: self.trace.clone(),
@@ -447,6 +481,12 @@ impl Aorta {
     /// query-group counts, used by tests and benchmarks to assert sharing).
     pub fn predicate_index(&self) -> &PredicateIndex {
         &self.pindex
+    }
+
+    /// Pushdown byte accounting accumulated so far. All-zero unless
+    /// [`EngineConfig::pushdown`] is on.
+    pub fn pushdown_stats(&self) -> PushdownStats {
+        self.push_stats
     }
 
     /// The circuit-breaker state for `device`, when breakers are enabled.
@@ -633,8 +673,14 @@ impl Aorta {
         let id = self.catalog.register_query(plan)?;
         let registered = self.catalog.query(&name).expect("just registered");
         let schema = self.registry.schema(registered.event_kind);
-        self.pindex.register(registered, schema);
+        // Windowed plans carry per-source aggregate state the stateless
+        // predicate index cannot represent; they detect through the scalar
+        // walk (merged into the vectorized pass in catalog name order).
+        if registered.windowed.is_empty() {
+            self.pindex.register(registered, schema);
+        }
         self.scan_kinds = None;
+        self.placement = None;
         self.wal_emit(|| WalRecord::AqRegistered {
             query_id: id,
             name: name.clone(),
@@ -658,8 +704,12 @@ impl Aorta {
         // register/drop cycle, forever. Entries for other queries
         // (including ones on currently-offline devices) must survive.
         self.edge.retain(|(q, _), _| *q != dropped.query_id);
-        self.pindex.unregister(&dropped);
+        if dropped.windowed.is_empty() {
+            self.pindex.unregister(&dropped);
+        }
+        self.windows.drop_query(dropped.query_id);
         self.scan_kinds = None;
+        self.placement = None;
         self.wal_emit(|| WalRecord::AqDropped {
             query_id: dropped.query_id,
             name: name.to_string(),

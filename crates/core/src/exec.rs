@@ -13,11 +13,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use aorta_data::{Tuple, Value};
+use aorta_device::pushdown::numeric_sample;
 use aorta_device::{
     DeviceId, DeviceKind, PhotoError, PhotoOutcome, PhotoSize, PhysicalStatus, PtzPosition,
 };
 use aorta_net::{BreakerDecision, BreakerState, ScanOperator};
-use aorta_obs::{detect_metrics, MetricsRegistry, SpanKind};
+use aorta_obs::{detect_metrics, push_metrics, MetricsRegistry, SpanKind};
 use aorta_sim::{FaultEvent, LinkModel, SimDuration, SimTime};
 use aorta_wal::{LifecycleStage, WalRecord};
 
@@ -86,6 +87,7 @@ pub(crate) struct RawStats {
     pub late_successes: u64,
     pub eval_errors: u64,
     pub idless_skipped: u64,
+    pub bad_device_ids: u64,
 }
 
 /// A snapshot of engine statistics.
@@ -174,6 +176,46 @@ pub struct EngineStats {
     /// rising edges are tracked per source device, and folding all id-less
     /// tuples onto one shared key would let the first mask the rest.
     pub idless_skipped: u64,
+}
+
+/// Byte accounting for in-network operator pushdown (`EngineConfig::pushdown`).
+///
+/// All byte counters are hop-weighted: a reply from a mote `d` radio hops
+/// from the gateway is counted `d` times, since every intermediate mote
+/// forwards it (the in-network cost model pushdown exists to reduce).
+/// Kept apart from [`EngineStats`] on purpose — the committed seed
+/// artifacts digest `EngineStats`' `Debug` rendering, and pushdown
+/// accounting must never perturb them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushdownStats {
+    /// Scanned tuples shipped in full (some watching prefix passed or
+    /// errored, the tuple had no usable id, or its kind is not
+    /// suppressible).
+    pub shipped_tuples: u64,
+    /// Scanned tuples suppressed at the device: every watching query's
+    /// pushed prefix evaluated cleanly false.
+    pub suppressed_tuples: u64,
+    /// Hop-weighted bytes of full attribute replies actually shipped.
+    pub reply_bytes: u64,
+    /// Hop-weighted bytes of one-byte suppression markers sent in place
+    /// of full replies.
+    pub marker_bytes: u64,
+    /// Hop-weighted bytes the same scans would have cost with pushdown
+    /// off (every tuple shipped in full).
+    pub baseline_bytes: u64,
+}
+
+impl PushdownStats {
+    /// Total bytes on the wire with pushdown on: full replies plus
+    /// suppression markers.
+    pub fn wire_bytes(&self) -> u64 {
+        self.reply_bytes + self.marker_bytes
+    }
+
+    /// Bytes pushdown kept off the wire relative to shipping everything.
+    pub fn saved_bytes(&self) -> u64 {
+        self.baseline_bytes.saturating_sub(self.wire_bytes())
+    }
 }
 
 impl EngineStats {
@@ -850,6 +892,9 @@ impl Aorta {
             );
         }
 
+        if self.config.pushdown {
+            self.account_pushdown(&cache);
+        }
         if self.config.vectorized_detect {
             self.detect_vectorized(&cache);
         } else {
@@ -859,6 +904,81 @@ impl Aorta {
             }
         }
         self.dispatch_pending();
+    }
+
+    /// The pushdown accounting pass: replays, per scanned tuple, the
+    /// decision the device-side program would make — ship the full
+    /// attribute reply, or substitute the one-byte suppression marker
+    /// because every watching query's pushed prefix evaluated cleanly
+    /// false — and accumulates what each arm costs on the wire.
+    ///
+    /// It runs *before* detection advances the window bank: a windowed
+    /// push step previews the post-advance window through
+    /// `WindowBank::peek`, so the device's decision agrees exactly with
+    /// the aggregate the engine is about to evaluate. The pass writes
+    /// only `push_stats` and obs counters — no RNG draws, no trace
+    /// lines, no `raw_stats` — which is what keeps a pushdown run
+    /// byte-identical to a baseline run.
+    fn account_pushdown(&mut self, cache: &BTreeMap<DeviceKind, Vec<Tuple>>) {
+        // The placement program is derived state, invalidated on
+        // register/drop and rebuilt lazily here (cf. `scan_kinds`).
+        if self.placement.is_none() {
+            self.placement = Some(crate::placement::build_program(
+                &self.catalog,
+                &self.registry,
+            ));
+        }
+        let program = self.placement.take().expect("built above");
+        // The device's own view of its windows: a scratch copy of the bank
+        // advanced sample-by-sample, so a tuple's ship/suppress decision sees
+        // every earlier sample from the same source this epoch — exactly the
+        // order detection will replay below against the real bank.
+        let mut bank = self.windows.clone();
+        for (kind, tuples) in cache {
+            let schema = self.registry.schema(*kind).clone();
+            let id_idx = schema.index_of("id");
+            let mut shipped = 0u64;
+            let mut suppressed = 0u64;
+            let mut reply_bytes = 0u64;
+            let mut marker_bytes = 0u64;
+            let mut baseline_bytes = 0u64;
+            for tuple in tuples {
+                // Hop-weighted reply cost: every intermediate mote on the
+                // path to the gateway forwards the reply. Non-mote devices
+                // (and tuples whose id resolves to nothing) count one hop.
+                let hops = id_idx
+                    .and_then(|i| tuple.get(i))
+                    .and_then(Value::as_i64)
+                    .and_then(|raw| u32::try_from(raw).ok())
+                    .and_then(|idx| self.registry.get(DeviceId::new(*kind, idx)))
+                    .and_then(|e| e.sim.as_mote())
+                    .map_or(1, |m| u64::from(m.depth()));
+                let reply_cost = ScanOperator::reply_wire_len(&schema, tuple) as u64 * hops;
+                baseline_bytes += reply_cost;
+                if program.ships(*kind, &schema, tuple, &bank) {
+                    shipped += 1;
+                    reply_bytes += reply_cost;
+                } else {
+                    suppressed += 1;
+                    marker_bytes += ScanOperator::suppressed_wire_len() as u64 * hops;
+                }
+                program.advance_windows(*kind, &schema, tuple, &mut bank);
+            }
+            self.push_stats.shipped_tuples += shipped;
+            self.push_stats.suppressed_tuples += suppressed;
+            self.push_stats.reply_bytes += reply_bytes;
+            self.push_stats.marker_bytes += marker_bytes;
+            self.push_stats.baseline_bytes += baseline_bytes;
+            if let Some(m) = &self.obs {
+                let kind_label = kind.to_string();
+                let labels = &[("kind", kind_label.as_str())];
+                m.incr(push_metrics::SHIPPED, labels, shipped);
+                m.incr(push_metrics::SUPPRESSED, labels, suppressed);
+                m.incr(push_metrics::WIRE_BYTES, labels, reply_bytes + marker_bytes);
+                m.incr(push_metrics::BASELINE_BYTES, labels, baseline_bytes);
+            }
+        }
+        self.placement = Some(program);
     }
 
     fn detect_events(&mut self, plan: &crate::AqPlan, cache: &BTreeMap<DeviceKind, Vec<Tuple>>) {
@@ -877,6 +997,24 @@ impl Aorta {
                 self.note_idless(plan);
                 continue;
             };
+            // Windows advance on *every* scanned tuple before the conjunct
+            // walk — the mote sees every sample it takes, whether or not
+            // pushdown later suppresses the reply — so a windowed conjunct
+            // observes the window including the current sample. Non-numeric
+            // samples (a lossy scan's NULLs) still occupy a slot: `LAST n`
+            // means the last n samples taken, not the last n that parsed.
+            for w in &plan.windowed {
+                let attr = event_schema
+                    .index_of(&w.attr)
+                    .expect("windowed attrs are validated at plan time");
+                self.windows.advance(
+                    plan.query_id,
+                    w.idx,
+                    source,
+                    w.window,
+                    numeric_sample(tuple.get(attr)),
+                );
+            }
             let matched = {
                 let ctx = EvalContext {
                     registry: &self.registry,
@@ -884,7 +1022,23 @@ impl Aorta {
                 let env = Env::new().bind(&plan.event_binding, &event_schema, tuple);
                 let mut all = true;
                 for (idx, conjunct) in plan.event_conjuncts.iter().enumerate() {
-                    match eval_predicate(conjunct, &env, &ctx) {
+                    let outcome = match plan.windowed.iter().find(|w| w.idx == idx) {
+                        Some(w) => {
+                            match self.windows.aggregate(plan.query_id, w.idx, source, w.agg) {
+                                // An all-NULL (or empty) window has no aggregate:
+                                // the conjunct is false, not an error — a mote
+                                // warming up or a lossy stretch is normal
+                                // operation, not a broken query.
+                                None => Ok(false),
+                                Some(v) => v
+                                    .compare(&w.constant)
+                                    .map(|ord| w.op.matches(ord))
+                                    .map_err(|e| crate::EngineError::Eval(e.to_string())),
+                            }
+                        }
+                        None => eval_predicate(conjunct, &env, &ctx),
+                    };
+                    match outcome {
                         Ok(true) => {}
                         Ok(false) => {
                             all = false;
@@ -917,6 +1071,9 @@ impl Aorta {
                 all
             };
             let key = (plan.query_id, source);
+            // Audited fold: `None` here is not a swallowed error — it is
+            // the map's encoding for "source never observed", and an edge
+            // that has never been observed is low by definition.
             let was = self.edge.insert(key, matched).unwrap_or(false);
             if !matched || was {
                 continue; // not a rising edge
@@ -1112,7 +1269,24 @@ impl Aorta {
                 self.pindex.group_count() as i64,
             );
         }
+        // Windowed plans never register in the predicate index — their
+        // per-source aggregate state has no stateless batch form — so they
+        // always detect through the scalar walk. Merging them into the
+        // affected list *by catalog name* preserves the scalar loop's
+        // plan order, which is what keeps the two detection modes'
+        // traces byte-identical.
+        let windowed: Vec<String> = self
+            .catalog
+            .queries()
+            .filter(|p| !p.windowed.is_empty())
+            .map(|p| p.name.clone())
+            .collect();
+        let mut windowed = windowed.into_iter().peekable();
         for (name, qid) in &outcomes.affected {
+            while windowed.peek().is_some_and(|w| w.as_str() < name.as_str()) {
+                let wname = windowed.next().expect("peeked above");
+                self.detect_windowed_plan(&wname, cache);
+            }
             // The plan clone is per *affected* plan, not per registered plan:
             // in the steady state (no edges, no errors) an epoch clones
             // nothing at all, which is what keeps detection sub-linear in the
@@ -1125,7 +1299,22 @@ impl Aorta {
             let pending = outcomes.pending.get(qid);
             self.replay_plan(&plan, epoch, sources, pending, cache);
         }
+        for wname in windowed {
+            self.detect_windowed_plan(&wname, cache);
+        }
         self.pindex.commit_epoch(outcomes.commits);
+    }
+
+    /// Runs one windowed plan through the scalar walk during a vectorized
+    /// epoch. The cache-membership guard matters for externally supplied
+    /// single-kind batches ([`Aorta::detect_on_batch`]): a windowed plan
+    /// over a kind absent from the batch has nothing to detect.
+    fn detect_windowed_plan(&mut self, name: &str, cache: &BTreeMap<DeviceKind, Vec<Tuple>>) {
+        if let Some(plan) = self.catalog.query(name).cloned() {
+            if cache.contains_key(&plan.event_kind) {
+                self.detect_events(&plan, cache);
+            }
+        }
     }
 
     /// Phase B: replays the scalar loop's per-tuple side effects for one
@@ -1200,6 +1389,9 @@ impl Aorta {
     pub fn detect_on_batch(&mut self, kind: DeviceKind, tuples: Vec<Tuple>) {
         let mut cache: BTreeMap<DeviceKind, Vec<Tuple>> = BTreeMap::new();
         cache.insert(kind, tuples);
+        if self.config.pushdown {
+            self.account_pushdown(&cache);
+        }
         if self.config.vectorized_detect {
             self.detect_vectorized(&cache);
         } else {
@@ -1217,7 +1409,7 @@ impl Aorta {
     }
 
     fn candidates_for(
-        &self,
+        &mut self,
         plan: &crate::AqPlan,
         event_tuple: &Tuple,
         cache: &BTreeMap<DeviceKind, Vec<Tuple>>,
@@ -1228,25 +1420,96 @@ impl Aorta {
         let device_schema = self.registry.schema(device_part.kind).clone();
         let event_schema = self.registry.schema(plan.event_kind).clone();
         let id_idx = device_schema.index_of("id").expect("catalogs define id");
-        let ctx = EvalContext {
-            registry: &self.registry,
-        };
         let mut out = Vec::new();
-        for dt in cache.get(&device_part.kind).into_iter().flatten() {
-            let env = Env::new()
-                .bind(&plan.event_binding, &event_schema, event_tuple)
-                .bind(&device_part.binding, &device_schema, dt);
-            let pass = device_part
-                .conjuncts
-                .iter()
-                .all(|c| eval_predicate(c, &env, &ctx).unwrap_or(false));
-            if pass {
-                if let Some(idx) = dt.get(id_idx).and_then(Value::as_i64) {
-                    out.push((DeviceId::new(device_part.kind, idx as u32), dt.clone()));
+        // Eval errors and unusable ids are collected during the pass (the
+        // eval context borrows the registry) and surfaced after it. A
+        // device-join conjunct that *errors* excludes the candidate — same
+        // as false — but is counted and traced like an event-conjunct
+        // error: folding it into false would hide a permanently broken
+        // join predicate forever.
+        let mut errors: Vec<(usize, String)> = Vec::new();
+        let mut bad_ids: Vec<Option<i64>> = Vec::new();
+        {
+            let ctx = EvalContext {
+                registry: &self.registry,
+            };
+            for dt in cache.get(&device_part.kind).into_iter().flatten() {
+                let env = Env::new()
+                    .bind(&plan.event_binding, &event_schema, event_tuple)
+                    .bind(&device_part.binding, &device_schema, dt);
+                let mut pass = true;
+                for (idx, c) in device_part.conjuncts.iter().enumerate() {
+                    match eval_predicate(c, &env, &ctx) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            pass = false;
+                            break;
+                        }
+                        Err(e) => {
+                            errors.push((idx, e.to_string()));
+                            pass = false;
+                            break;
+                        }
+                    }
+                }
+                if !pass {
+                    continue;
+                }
+                // A device id outside the u32 range cannot address a real
+                // device: `as u32` would silently truncate it onto some
+                // *other* device's id. Reject and count instead.
+                match dt.get(id_idx).and_then(Value::as_i64) {
+                    Some(raw) if u32::try_from(raw).is_ok() => {
+                        out.push((DeviceId::new(device_part.kind, raw as u32), dt.clone()));
+                    }
+                    other => bad_ids.push(other),
                 }
             }
         }
+        for (idx, msg) in errors {
+            // Dedup in the same (query, conjunct) space as event-conjunct
+            // errors, offset past the event conjuncts so a device conjunct
+            // can never collide with an event conjunct's key.
+            if self.record_eval_error(plan, plan.event_conjuncts.len() + idx) {
+                self.trace.emit(
+                    self.now,
+                    "eval_error",
+                    format!(
+                        "query {} device conjunct {idx} failed to evaluate: {msg}",
+                        plan.query_id
+                    ),
+                );
+            }
+        }
+        for raw in bad_ids {
+            self.note_bad_device_id(plan, device_part.kind, raw);
+        }
         out
+    }
+
+    /// Bookkeeping for a joined device tuple whose `id` cannot name a
+    /// device (missing, non-integer, negative, or past `u32::MAX`):
+    /// counter, obs metric, and one trace line per query.
+    fn note_bad_device_id(&mut self, plan: &crate::AqPlan, kind: DeviceKind, raw: Option<i64>) {
+        self.raw_stats.bad_device_ids += 1;
+        if let Some(m) = &self.obs {
+            let query = plan.query_id.to_string();
+            m.incr("aorta_bad_device_ids", &[("query", query.as_str())], 1);
+        }
+        if self.bad_id_reported.insert(plan.query_id) {
+            let shown = match raw {
+                Some(v) => v.to_string(),
+                None => "<none>".to_string(),
+            };
+            self.trace.emit(
+                self.now,
+                "event",
+                format!(
+                    "query {}: {kind} candidate with unusable id {shown} skipped",
+                    plan.query_id
+                ),
+            );
+        }
     }
 
     // --- dispatch ------------------------------------------------------------
@@ -1490,6 +1753,10 @@ impl Aorta {
                     t = start + cost + SimDuration::from_millis(5);
                 }
                 if self.config.sync_enabled {
+                    // Audited fold: `holder` is set by the first queued
+                    // request, so `None` only survives an empty lane — and
+                    // an empty lane locks a zero-length window under a
+                    // query id that owns nothing. Harmless, not hidden.
                     let q = holder.unwrap_or(0);
                     if !self.locks.try_lock(d, q, self.now, t) {
                         self.locks.extend(d, self.now, t);
@@ -1545,6 +1812,8 @@ impl Aorta {
                 t = start + cost + SCHEDULE_GUARD;
             }
             if self.config.sync_enabled {
+                // Audited fold: same invariant as the fast path above —
+                // `None` means an empty lane and a vacuous lock window.
                 let q = holder.unwrap_or(0);
                 if !self.locks.try_lock(d, q, self.now, t) {
                     self.locks.extend(d, self.now, t);
@@ -1881,6 +2150,10 @@ impl Aorta {
             }
             ActionHandler::Beep => {
                 let now = self.now;
+                // Audited fold: `None` means the device de-registered or
+                // is not a mote — either way the beep was not delivered,
+                // and `false` routes into the failure/retry path below
+                // rather than vanishing.
                 let ok = self
                     .registry
                     .get_mut(device)
@@ -2353,6 +2626,165 @@ mod tests {
             aorta.rising_edge_entries(),
             0,
             "no shared -1 key is created"
+        );
+    }
+
+    /// `c.ip > 5` validates but every evaluation errors (`ip` is a string).
+    /// The old `candidates_for` folded that error into `false` via
+    /// `unwrap_or(false)`, so a permanently broken device-join predicate
+    /// silently produced empty candidate sets forever.
+    #[test]
+    fn device_conjunct_eval_errors_are_surfaced_not_swallowed() {
+        const BAD_JOIN: &str = r#"CREATE AQ badjoin AS
+            SELECT photo(c.ip, s.loc, "photos/admin")
+            FROM sensor s, camera c
+            WHERE s.accel_x > 500 AND c.ip > 5"#;
+        let lab = PervasiveLab::standard()
+            .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(31).with_observability(), lab);
+        aorta.execute_sql(BAD_JOIN).unwrap();
+        aorta.run_for(SimDuration::from_mins(2));
+        let stats = aorta.stats();
+        assert!(stats.events_detected > 0, "the event side still fires");
+        assert!(
+            stats.eval_errors > 0,
+            "device-join type mismatch must be counted, got {stats:?}"
+        );
+        assert!(aorta
+            .trace()
+            .any("eval_error", "device conjunct 0 failed to evaluate"));
+        // Deduplicated like event-conjunct errors: one structured trace
+        // event per (query, conjunct), not one per camera per event.
+        let traced = aorta
+            .trace()
+            .iter()
+            .filter(|e| e.subsystem == "eval_error")
+            .count();
+        assert_eq!(traced, 1, "device-conjunct eval-error trace must dedupe");
+        let snap = aorta.metrics().expect("observability is on");
+        assert_eq!(snap.counter_total("aorta_eval_errors"), stats.eval_errors);
+    }
+
+    /// A device id outside the u32 range used to be truncated by `as u32`
+    /// onto some *other* device's id (2^32+3 → 3, -1 → 4294967295). Now
+    /// such tuples are rejected, counted, and traced once per query.
+    #[test]
+    fn out_of_range_device_ids_are_rejected_not_truncated() {
+        use aorta_data::{Tuple, Value};
+        use std::collections::BTreeMap;
+
+        const BEEP: &str =
+            r#"CREATE AQ b AS SELECT beep(t.id) FROM sensor t, sensor s WHERE s.accel_x > 500"#;
+        let mut aorta = Aorta::with_lab(EngineConfig::seeded(32), PervasiveLab::standard());
+        aorta.execute_sql(BEEP).unwrap();
+        let plan = aorta.catalog.queries().next().unwrap().clone();
+        let schema = aorta.registry.schema(DeviceKind::Sensor).clone();
+        let id_idx = schema.index_of("id").unwrap();
+        let sensor_tuple = |id: Value| {
+            let mut values = vec![Value::Null; schema.len()];
+            values[id_idx] = id;
+            Tuple::new(values)
+        };
+        let mut cache = BTreeMap::new();
+        cache.insert(
+            DeviceKind::Sensor,
+            vec![
+                sensor_tuple(Value::Int(u32::MAX as i64 + 4)), // truncates to 3
+                sensor_tuple(Value::Int(-1)),                  // truncates to u32::MAX
+                sensor_tuple(Value::Null),                     // no usable id at all
+                sensor_tuple(Value::Int(1)),                   // the only real device
+            ],
+        );
+        let event = sensor_tuple(Value::Int(0));
+        let candidates = aorta.candidates_for(&plan, &event, &cache);
+        assert_eq!(
+            candidates.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![DeviceId::new(DeviceKind::Sensor, 1)],
+            "only the in-range id survives; nothing is truncated onto device 3"
+        );
+        assert_eq!(aorta.raw_stats.bad_device_ids, 3);
+        let traced = aorta
+            .trace()
+            .iter()
+            .filter(|e| e.message.contains("unusable id"))
+            .count();
+        assert_eq!(traced, 1, "bad-id trace is deduplicated per query");
+    }
+
+    /// The tentpole semantics end to end: `AVG(s.accel_x) OVER LAST 3`
+    /// smooths the signal, so a lone spike never fires but a sustained one
+    /// does — and the rising edge re-arms when the window average falls.
+    /// Both detection modes must agree byte for byte (windowed plans run
+    /// the scalar walk merged into the vectorized pass in name order).
+    #[test]
+    fn windowed_aggregates_fire_on_sustained_signal_not_spikes() {
+        use aorta_data::{Tuple, Value};
+
+        const SMOOTH: &str = r#"CREATE AQ smooth AS
+            SELECT beep(t.id) FROM sensor t, sensor s
+            WHERE AVG(s.accel_x) OVER LAST 3 > 700"#;
+        let run = |config: EngineConfig| {
+            let mut aorta = Aorta::with_lab(config, PervasiveLab::standard());
+            aorta.execute_sql(SMOOTH).unwrap();
+            let schema = aorta.registry.schema(DeviceKind::Sensor).clone();
+            let id_idx = schema.index_of("id").unwrap();
+            let accel_idx = schema.index_of("accel_x").unwrap();
+            let mut detected = Vec::new();
+            // Windows over the feed: a lone 300→900 step only reaches
+            // avg 700 at the third 900 (not > 700), fires at the fourth;
+            // the 0-stretch drains the window (re-arming the edge) and the
+            // second sustained 900 run fires again.
+            for accel in [300, 900, 900, 900, 900, 0, 0, 0, 900, 900, 900] {
+                let mut values = vec![Value::Null; schema.len()];
+                values[id_idx] = Value::Int(0);
+                values[accel_idx] = Value::Int(accel);
+                aorta.detect_on_batch(DeviceKind::Sensor, vec![Tuple::new(values)]);
+                detected.push(aorta.stats().events_detected);
+            }
+            (detected, aorta.trace().render())
+        };
+        let (vec_detected, vec_trace) = run(EngineConfig::seeded(33));
+        let (sca_detected, sca_trace) = run(EngineConfig::seeded(33).with_scalar_detect());
+        assert_eq!(vec_detected, vec![0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 2]);
+        assert_eq!(vec_detected, sca_detected);
+        assert_eq!(
+            vec_trace, sca_trace,
+            "detection modes must agree byte for byte"
+        );
+    }
+
+    /// Pushdown is accounting-only: a run with the flag on is byte-identical
+    /// to the baseline (same trace, same stats, same digest) while the
+    /// pushdown counters show real suppression and byte savings.
+    #[test]
+    fn pushdown_accounting_never_perturbs_the_run() {
+        let run = |config: EngineConfig| {
+            let lab = PervasiveLab::standard()
+                .with_periodic_events(SimDuration::from_mins(1), SimDuration::ZERO);
+            let mut aorta = Aorta::with_lab(config, lab);
+            aorta.execute_sql(SNAPSHOT).unwrap();
+            aorta.run_for(SimDuration::from_mins(3));
+            aorta
+        };
+        let on = run(EngineConfig::seeded(34).with_pushdown());
+        let off = run(EngineConfig::seeded(34));
+        assert_eq!(on.trace().render(), off.trace().render());
+        assert_eq!(on.stats(), off.stats());
+        assert_eq!(on.state_digest(), off.state_digest());
+        let push = on.pushdown_stats();
+        assert_eq!(off.pushdown_stats(), crate::PushdownStats::default());
+        assert!(
+            push.suppressed_tuples > 0,
+            "idle sensors below the threshold must be suppressed: {push:?}"
+        );
+        assert!(push.shipped_tuples > 0, "cameras always ship: {push:?}");
+        assert!(
+            push.wire_bytes() < push.baseline_bytes,
+            "suppression must save wire bytes: {push:?}"
+        );
+        assert_eq!(
+            push.saved_bytes(),
+            push.baseline_bytes - push.reply_bytes - push.marker_bytes
         );
     }
 

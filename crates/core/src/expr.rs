@@ -132,6 +132,14 @@ pub fn eval_expr(expr: &Expr, env: &Env<'_>, ctx: &EvalContext<'_>) -> Result<Va
             }
             call_builtin(name, &values, ctx)
         }
+        // Window aggregates need per-(query, source) sample history, which
+        // only the continuous-detection path carries. The planner routes
+        // every windowed conjunct to that path (see `AqPlan::plan`), so
+        // reaching this arm means a one-shot SELECT (or a projection) tried
+        // to use one as a scalar.
+        Expr::WindowAgg { func, .. } => Err(EngineError::Eval(format!(
+            "{func} OVER LAST is only supported in continuous-query predicates (CREATE AQ)"
+        ))),
     }
 }
 

@@ -44,6 +44,7 @@ mod exec;
 mod expr;
 mod lock;
 mod pindex;
+mod placement;
 mod plan;
 mod recovery;
 mod shared;
@@ -54,11 +55,11 @@ pub use config::{AdmissionConfig, DispatchPolicy, EngineConfig};
 pub use cost::{estimate_action_cost, CostContext};
 pub use engine::{Aorta, ExecOutput};
 pub use error::EngineError;
-pub use exec::EngineStats;
+pub use exec::{EngineStats, PushdownStats};
 pub use expr::{eval_expr, Env, EvalContext};
 pub use lock::LockManager;
 pub use pindex::PredicateIndex;
-pub use plan::{ActionCallPlan, AqPlan, DevicePart};
+pub use plan::{ActionCallPlan, AqPlan, DevicePart, WindowedCmp};
 pub use recovery::{
     genesis_fingerprint, recover_engine, recover_from_log, request_from_wire, restore_from_image,
     wire_from_request, GenesisSpec, Recovered,

@@ -614,6 +614,10 @@ impl PredicateIndex {
                     any_error = true;
                 }
                 let first_seen = !final_edge.contains_key(&source);
+                // Audited fold: the inner `unwrap_or(false)` is the edge
+                // map's "never observed ⇒ low" encoding (same invariant as
+                // the scalar loop's `edge.insert(..).unwrap_or(false)`),
+                // not a swallowed failure.
                 let was = final_edge
                     .get(&source)
                     .copied()

@@ -1,0 +1,184 @@
+//! The operator-placement pass: in-network pushdown compilation.
+//!
+//! Every registered AQ's event conjuncts are walked in AND order and the
+//! **maximal pushable prefix** is compiled into a device-side
+//! [`PushProgram`] (see [`aorta_device::pushdown`]): indexable comparisons
+//! (`attr <op> constant`, exactly the class the shared predicate index
+//! interns) become [`PushTerm::Attr`] steps, windowed aggregate comparisons
+//! become [`PushTerm::Window`] steps, and the first conjunct of any other
+//! shape — scalar function calls, cross-attribute comparisons — stops the
+//! prefix, because evaluating it needs the engine.
+//!
+//! Placement is *sound by construction*: a device suppresses a sample only
+//! when every watching query's prefix evaluates false, and since each
+//! prefix is a prefix of that query's short-circuit AND chain, the engine
+//! itself would have rejected the sample on the same conjunct. Kinds that
+//! serve as any query's action-target (device part) are never suppressible
+//! — their tuples feed the candidate join of `fire_event`, which runs on
+//! the engine.
+//!
+//! The pass is re-run on every `CREATE AQ` / `DROP AQ`, mirroring how the
+//! predicate index tracks the catalog.
+
+use std::collections::BTreeSet;
+
+use aorta_device::pushdown::{PushOp, PushPrefix, PushProgram, PushStep, PushTerm};
+use aorta_device::DeviceKind;
+use aorta_net::DeviceRegistry;
+
+use crate::catalog::Catalog;
+use crate::expr::{extract_comparison, CmpOp};
+
+fn push_op(op: CmpOp) -> PushOp {
+    match op {
+        CmpOp::Eq => PushOp::Eq,
+        CmpOp::Ne => PushOp::Ne,
+        CmpOp::Lt => PushOp::Lt,
+        CmpOp::Le => PushOp::Le,
+        CmpOp::Gt => PushOp::Gt,
+        CmpOp::Ge => PushOp::Ge,
+    }
+}
+
+/// Compiles the catalog's registered queries into per-kind pushdown
+/// programs against the registry's current schemas.
+pub(crate) fn build_program(catalog: &Catalog, registry: &DeviceRegistry) -> PushProgram {
+    let mut program = PushProgram::default();
+    let mut device_kinds: BTreeSet<DeviceKind> = BTreeSet::new();
+    for plan in catalog.queries() {
+        if let Some(d) = &plan.device {
+            device_kinds.insert(d.kind);
+        }
+    }
+    for plan in catalog.queries() {
+        let schema = registry.schema(plan.event_kind);
+        let mut steps = Vec::new();
+        for (idx, conjunct) in plan.event_conjuncts.iter().enumerate() {
+            if let Some(w) = plan.windowed.iter().find(|w| w.idx == idx) {
+                steps.push(PushStep {
+                    term: PushTerm::Window {
+                        agg: w.agg,
+                        attr: w.attr.clone(),
+                        window: w.window,
+                        slot: w.idx,
+                    },
+                    op: w.op,
+                    constant: w.constant.clone(),
+                });
+            } else if let Some(cmp) = extract_comparison(conjunct, &plan.event_binding, schema) {
+                steps.push(PushStep {
+                    term: PushTerm::Attr(cmp.attr),
+                    op: push_op(cmp.op),
+                    constant: cmp.constant,
+                });
+            } else {
+                break; // first non-pushable conjunct ends the prefix
+            }
+        }
+        program
+            .prefixes
+            .entry(plan.event_kind)
+            .or_default()
+            .push(PushPrefix {
+                query_id: plan.query_id,
+                steps,
+            });
+    }
+    program.suppressible = program
+        .prefixes
+        .keys()
+        .copied()
+        .filter(|k| !device_kinds.contains(k))
+        .collect();
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AqPlan;
+    use aorta_device::PervasiveLab;
+    use aorta_sql::ast::Statement;
+
+    fn registry() -> DeviceRegistry {
+        DeviceRegistry::from_lab(PervasiveLab::standard())
+    }
+
+    fn catalog_with(queries: &[(&str, &str)]) -> Catalog {
+        let mut catalog = Catalog::with_builtins();
+        for (name, sql) in queries {
+            let stmts = aorta_sql::parse(sql).unwrap();
+            let Statement::Select(select) = stmts.into_iter().next().unwrap() else {
+                panic!("expected SELECT");
+            };
+            let plan = AqPlan::plan(name, &select, &catalog).unwrap();
+            catalog.register_query(plan).unwrap();
+        }
+        catalog
+    }
+
+    #[test]
+    fn maximal_prefix_stops_at_the_first_non_pushable_conjunct() {
+        let catalog = catalog_with(&[(
+            "q",
+            r#"SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c
+               WHERE s.accel_x > 500 AND distance(s.loc, s.loc) < 1.0 AND s.light > 10"#,
+        )]);
+        let program = build_program(&catalog, &registry());
+        let prefixes = &program.prefixes[&DeviceKind::Sensor];
+        assert_eq!(prefixes.len(), 1);
+        // Only the leading indexable comparison is pushed: the distance()
+        // call stops the prefix before s.light > 10.
+        assert_eq!(prefixes[0].steps.len(), 1);
+        assert!(matches!(&prefixes[0].steps[0].term, PushTerm::Attr(a) if a == "accel_x"));
+    }
+
+    #[test]
+    fn windowed_comparisons_are_pushable() {
+        let catalog = catalog_with(&[(
+            "q",
+            r#"SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c
+               WHERE s.accel_x > 100 AND AVG(s.accel_x) OVER LAST 5 > 400"#,
+        )]);
+        let program = build_program(&catalog, &registry());
+        let steps = &program.prefixes[&DeviceKind::Sensor][0].steps;
+        assert_eq!(steps.len(), 2);
+        assert!(matches!(
+            &steps[1].term,
+            PushTerm::Window {
+                window: 5,
+                slot: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn device_part_kinds_are_never_suppressible() {
+        // beep() targets sensors, so the sensor table is both event source
+        // and action target: its samples must always ship.
+        let catalog = catalog_with(&[
+            (
+                "a",
+                r#"SELECT beep(t.id) FROM sensor t, sensor s WHERE s.accel_x > 500"#,
+            ),
+            (
+                "b",
+                r#"SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c
+                   WHERE s.accel_x > 500"#,
+            ),
+        ]);
+        let program = build_program(&catalog, &registry());
+        assert!(!program.suppressible.contains(&DeviceKind::Sensor));
+        // With only the camera query, sensors become suppressible (cameras,
+        // the device part, do not).
+        let catalog = catalog_with(&[(
+            "b",
+            r#"SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c
+               WHERE s.accel_x > 500"#,
+        )]);
+        let program = build_program(&catalog, &registry());
+        assert!(program.suppressible.contains(&DeviceKind::Sensor));
+        assert!(!program.suppressible.contains(&DeviceKind::Camera));
+    }
+}

@@ -14,8 +14,10 @@
 
 use std::fmt;
 
+use aorta_data::{Value, ValueType};
+use aorta_device::pushdown::{PushAgg, PushOp};
 use aorta_device::DeviceKind;
-use aorta_sql::ast::{Expr, Select};
+use aorta_sql::ast::{AggFunc, BinOp, Expr, Select};
 
 use crate::catalog::Catalog;
 use crate::EngineError;
@@ -30,6 +32,29 @@ pub struct DevicePart {
     /// Conjuncts that involve the device binding (pure-device and
     /// cross-binding ones alike); a candidate must satisfy all of them.
     pub conjuncts: Vec<Expr>,
+}
+
+/// One windowed-aggregate comparison among a plan's event conjuncts:
+/// `AGG(attr) OVER LAST n <op> constant` at conjunct index `idx`.
+///
+/// The planner only admits window aggregates in this shape (and only over
+/// the event table), so detection can evaluate them from the device-resident
+/// [`aorta_device::pushdown::WindowBank`] and the placement pass can push
+/// them whole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedCmp {
+    /// Index into [`AqPlan::event_conjuncts`].
+    pub idx: usize,
+    /// The aggregate function.
+    pub agg: PushAgg,
+    /// The aggregated event-table attribute.
+    pub attr: String,
+    /// Window length in samples.
+    pub window: u32,
+    /// Comparison operator, normalized so the aggregate is the left operand.
+    pub op: PushOp,
+    /// The literal the aggregate is compared against.
+    pub constant: Value,
 }
 
 /// One action operator in the plan.
@@ -54,6 +79,10 @@ pub struct AqPlan {
     pub event_kind: DeviceKind,
     /// Conjuncts involving only the event binding.
     pub event_conjuncts: Vec<Expr>,
+    /// The windowed-aggregate comparisons among `event_conjuncts`, in
+    /// ascending `idx` order. Empty for plans without window clauses —
+    /// those run through the shared predicate index unchanged.
+    pub windowed: Vec<WindowedCmp>,
     /// The action-target part, when the query embeds actions.
     pub device: Option<DevicePart>,
     /// The action operators.
@@ -145,12 +174,49 @@ impl AqPlan {
             }
         }
 
+        // Window aggregates are detection-time constructs backed by
+        // device-resident window state: they are only meaningful as whole
+        // event conjuncts of the form `AGG(col) OVER LAST n <op> literal`.
+        // Anywhere else — action arguments, device-part conjuncts, or a
+        // conjunct of any other shape — there is no window to read from,
+        // so the plan is rejected up front rather than erroring per tuple.
+        for a in &actions {
+            if a.args.iter().any(contains_window) {
+                return Err(EngineError::Planning(format!(
+                    "window aggregates cannot appear in action arguments \
+                     (action '{}')",
+                    a.action
+                )));
+            }
+        }
+        if let Some(c) = device_conjuncts.iter().find(|c| contains_window(c)) {
+            return Err(EngineError::Planning(format!(
+                "window aggregates must be over the event table, but '{c}' \
+                 involves the action-target table"
+            )));
+        }
+        let event_schema = aorta_device::parse_catalog(&aorta_device::catalog_for(event_kind))
+            .expect("built-in catalogs always parse");
+        let mut windowed = Vec::new();
+        for (idx, conjunct) in event_conjuncts.iter().enumerate() {
+            if !contains_window(conjunct) {
+                continue;
+            }
+            windowed.push(extract_windowed(
+                conjunct,
+                idx,
+                &event_binding,
+                &event_schema,
+            )?);
+        }
+
         Ok(AqPlan {
             query_id: u32::MAX, // assigned at registration
             name: name.to_string(),
             event_binding,
             event_kind,
             event_conjuncts,
+            windowed,
             device: device_binding.map(|(binding, kind)| DevicePart {
                 binding,
                 kind,
@@ -169,6 +235,7 @@ impl AqPlan {
             event_binding: "s".into(),
             event_kind: DeviceKind::Sensor,
             event_conjuncts: Vec::new(),
+            windowed: Vec::new(),
             device: None,
             actions: vec![ActionCallPlan {
                 action: "photo".into(),
@@ -176,6 +243,96 @@ impl AqPlan {
             }],
         }
     }
+}
+
+/// True when the expression contains a window-aggregate subexpression.
+fn contains_window(expr: &Expr) -> bool {
+    let mut found = false;
+    expr.walk(&mut |e| {
+        if matches!(e, Expr::WindowAgg { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn push_op(op: BinOp) -> Option<PushOp> {
+    match op {
+        BinOp::Eq => Some(PushOp::Eq),
+        BinOp::Ne => Some(PushOp::Ne),
+        BinOp::Lt => Some(PushOp::Lt),
+        BinOp::Le => Some(PushOp::Le),
+        BinOp::Gt => Some(PushOp::Gt),
+        BinOp::Ge => Some(PushOp::Ge),
+        _ => None,
+    }
+}
+
+fn push_agg(f: AggFunc) -> PushAgg {
+    match f {
+        AggFunc::Avg => PushAgg::Avg,
+        AggFunc::Max => PushAgg::Max,
+        AggFunc::Min => PushAgg::Min,
+        AggFunc::Count => PushAgg::Count,
+    }
+}
+
+/// Admits a window-bearing event conjunct only in the supported shape
+/// `AGG(col) OVER LAST n <op> literal` (either operand order) with the
+/// column on the event table and of a numeric type.
+fn extract_windowed(
+    conjunct: &Expr,
+    idx: usize,
+    event_binding: &str,
+    event_schema: &aorta_data::Schema,
+) -> Result<crate::plan::WindowedCmp, EngineError> {
+    let shape_err = || {
+        EngineError::Planning(format!(
+            "window aggregate comparisons must have the form \
+             'AGG(column) OVER LAST n <op> literal', got '{conjunct}'"
+        ))
+    };
+    let Expr::Binary { op, lhs, rhs } = conjunct else {
+        return Err(shape_err());
+    };
+    let Some(op) = push_op(*op) else {
+        return Err(shape_err());
+    };
+    let (window_expr, constant, op) = match (lhs.as_ref(), rhs.as_ref()) {
+        (w @ Expr::WindowAgg { .. }, Expr::Literal(v)) => (w, v.clone(), op),
+        (Expr::Literal(v), w @ Expr::WindowAgg { .. }) => (w, v.clone(), op.flipped()),
+        _ => return Err(shape_err()),
+    };
+    let Expr::WindowAgg { func, arg, window } = window_expr else {
+        unreachable!("matched above");
+    };
+    let Expr::Column { qualifier, name } = arg.as_ref() else {
+        return Err(shape_err());
+    };
+    if qualifier.as_deref().is_some_and(|q| q != event_binding) {
+        return Err(EngineError::Planning(format!(
+            "window aggregates must be over the event table ('{event_binding}'), \
+             got '{window_expr}'"
+        )));
+    }
+    let attr = event_schema.require(name).map_err(|e| {
+        EngineError::Planning(format!("window aggregate over unknown attribute: {e}"))
+    })?;
+    if !matches!(attr.value_type(), ValueType::Int | ValueType::Float) {
+        return Err(EngineError::Planning(format!(
+            "{func} OVER LAST aggregates a numeric attribute, but '{name}' is \
+             {:?}",
+            attr.value_type()
+        )));
+    }
+    Ok(crate::plan::WindowedCmp {
+        idx,
+        agg: push_agg(*func),
+        attr: name.clone(),
+        window: *window,
+        op,
+        constant,
+    })
 }
 
 /// True when the expression mentions a column qualified by `binding`, or an
@@ -328,6 +485,71 @@ mod tests {
         let err = plan(r#"SELECT photo(c.ip, s.loc, "d"), beep(s.id) FROM sensor s, camera c"#)
             .unwrap_err();
         assert!(err.to_string().contains("same device kind"), "{err}");
+    }
+
+    #[test]
+    fn windowed_conjuncts_are_extracted() {
+        let p = plan(
+            r#"SELECT beep(t.id) FROM sensor t, sensor s
+               WHERE s.accel_x > 100 AND AVG(s.accel_x) OVER LAST 5 > 400"#,
+        )
+        .unwrap();
+        assert_eq!(p.event_conjuncts.len(), 2);
+        assert_eq!(p.windowed.len(), 1);
+        let w = &p.windowed[0];
+        assert_eq!(w.idx, 1);
+        assert_eq!(w.agg, aorta_device::pushdown::PushAgg::Avg);
+        assert_eq!(w.attr, "accel_x");
+        assert_eq!(w.window, 5);
+        assert_eq!(w.op, aorta_device::pushdown::PushOp::Gt);
+        assert_eq!(w.constant, Value::Int(400));
+    }
+
+    #[test]
+    fn flipped_windowed_comparison_normalizes() {
+        let p = plan(
+            r#"SELECT beep(t.id) FROM sensor t, sensor s
+               WHERE 400 < MIN(s.accel_x) OVER LAST 3"#,
+        )
+        .unwrap();
+        let w = &p.windowed[0];
+        assert_eq!(w.agg, aorta_device::pushdown::PushAgg::Min);
+        assert_eq!(w.op, aorta_device::pushdown::PushOp::Gt);
+    }
+
+    #[test]
+    fn windowed_shapes_outside_the_supported_class_are_rejected() {
+        // Not compared to a literal.
+        let err = plan(
+            r#"SELECT beep(t.id) FROM sensor t, sensor s
+               WHERE AVG(s.accel_x) OVER LAST 5 > s.temp"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("must have the form"), "{err}");
+        // In an action argument.
+        let err = plan(
+            r#"SELECT beep(COUNT(s.id) OVER LAST 2) FROM sensor t, sensor s
+               WHERE s.accel_x > 500"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("action arguments"), "{err}");
+        // Over the action-target table.
+        let err = plan(
+            r#"SELECT beep(t.id) FROM sensor t, sensor s
+               WHERE MAX(t.accel_x) OVER LAST 4 > 500"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("must be over the event table"),
+            "{err}"
+        );
+        // Over a non-numeric attribute.
+        let err = plan(
+            r#"SELECT beep(t.id) FROM sensor t, sensor s
+               WHERE MAX(s.loc) OVER LAST 4 = 1"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("numeric attribute"), "{err}");
     }
 
     #[test]

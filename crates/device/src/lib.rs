@@ -41,6 +41,7 @@ mod lab;
 mod op;
 mod phone;
 mod profile;
+pub mod pushdown;
 mod rfid;
 mod sensor;
 mod status;

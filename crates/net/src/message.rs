@@ -57,6 +57,11 @@ pub enum Message {
     MessageAck,
     /// Close the connection.
     Close,
+    /// In-network pushdown marker: the device's reply when its pushed
+    /// filter program suppressed the sample. Carries no payload — its
+    /// one-byte cost is what suppressed samples pay on the wire instead of
+    /// a full [`Message::AttrReply`].
+    Suppressed,
 }
 
 /// Decoding failure.
@@ -86,6 +91,7 @@ const TAG_PHOTO_ACK: u8 = 8;
 const TAG_SEND_MESSAGE: u8 = 9;
 const TAG_MESSAGE_ACK: u8 = 10;
 const TAG_CLOSE: u8 = 11;
+const TAG_SUPPRESSED: u8 = 12;
 
 const VAL_NULL: u8 = 0;
 const VAL_BOOL: u8 = 1;
@@ -229,6 +235,7 @@ impl Message {
             }
             Message::MessageAck => buf.put_u8(TAG_MESSAGE_ACK),
             Message::Close => buf.put_u8(TAG_CLOSE),
+            Message::Suppressed => buf.put_u8(TAG_SUPPRESSED),
         }
         buf.freeze()
     }
@@ -313,6 +320,7 @@ impl Message {
             }
             TAG_MESSAGE_ACK => Message::MessageAck,
             TAG_CLOSE => Message::Close,
+            TAG_SUPPRESSED => Message::Suppressed,
             t => return Err(err(format!("unknown message tag {t}"))),
         };
         if buf.has_remaining() {
@@ -370,6 +378,17 @@ mod tests {
         });
         round_trip(Message::MessageAck);
         round_trip(Message::Close);
+        round_trip(Message::Suppressed);
+    }
+
+    #[test]
+    fn suppressed_marker_is_one_byte() {
+        // The pushdown accounting depends on the marker being strictly
+        // smaller than any attribute reply: the whole point of suppression
+        // is paying one byte per hop instead of the payload.
+        assert_eq!(Message::Suppressed.wire_len(), 1);
+        let reply = Message::AttrReply { values: vec![] };
+        assert!(Message::Suppressed.wire_len() <= reply.wire_len());
     }
 
     #[test]

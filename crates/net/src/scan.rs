@@ -59,6 +59,27 @@ impl ScanOperator {
             .collect()
     }
 
+    /// The wire cost, in bytes, of shipping one scanned tuple's sensory
+    /// payload from its device: the [`Message::AttrReply`] the scan
+    /// exchange carries. Non-sensory attributes come from registry
+    /// metadata and never travel, so they are excluded. Used by the
+    /// engine's pushdown accounting to compare shipped payloads against
+    /// the one-byte [`Message::Suppressed`] marker.
+    pub fn reply_wire_len(schema: &aorta_data::Schema, tuple: &Tuple) -> usize {
+        let values: Vec<Value> = schema
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind() == AttrKind::Sensory)
+            .map(|(i, _)| tuple.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        Message::AttrReply { values }.wire_len()
+    }
+
+    /// The wire cost of a suppressed sample: the bare marker message.
+    pub fn suppressed_wire_len() -> usize {
+        Message::Suppressed.wire_len()
+    }
+
     /// Produces the tuple for a single device (`None` when offline/unknown).
     pub fn scan_device(
         &self,
@@ -282,6 +303,23 @@ mod tests {
         let schema = reg.schema(DeviceKind::Phone).clone();
         let cov_idx = schema.index_of("in_coverage").unwrap();
         assert_eq!(tuples[0].get(cov_idx), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn reply_wire_len_counts_only_sensory_payload() {
+        let mut reg = registry();
+        let scan = ScanOperator::new(DeviceKind::Sensor);
+        let mut rng = SimRng::seed(9);
+        let schema = reg.schema(DeviceKind::Sensor).clone();
+        let t = scan
+            .scan_device(&mut reg, DeviceId::sensor(0), SimTime::ZERO, &mut rng)
+            .unwrap();
+        let len = ScanOperator::reply_wire_len(&schema, &t);
+        // Tag + count + one tagged value per sensory attribute, at least.
+        let sensory = schema.sensory().count();
+        assert!(len >= 5 + sensory, "{len} bytes for {sensory} attrs");
+        // Suppression must always be cheaper than shipping.
+        assert!(ScanOperator::suppressed_wire_len() < len);
     }
 
     #[test]

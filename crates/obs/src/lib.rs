@@ -101,6 +101,26 @@ pub mod detect_metrics {
     pub const INDEX_GROUPS: &str = "aorta_predicate_index_groups";
 }
 
+/// Metric names for the in-network pushdown accounting pass.
+///
+/// Same rationale as [`detect_metrics`]: the engine records these and the
+/// pushdown experiment asserts over them, so the spelling lives in one
+/// place. All byte series are hop-weighted (a reply from a mote `d` hops
+/// out is forwarded `d` times).
+pub mod push_metrics {
+    /// Counter, labelled `kind`: scanned tuples shipped in full.
+    pub const SHIPPED: &str = "aorta_push_shipped_tuples";
+    /// Counter, labelled `kind`: scanned tuples suppressed device-side
+    /// (every watching query's pushed prefix evaluated cleanly false).
+    pub const SUPPRESSED: &str = "aorta_push_suppressed_tuples";
+    /// Counter, labelled `kind`: hop-weighted bytes actually on the wire
+    /// (full replies plus one-byte suppression markers).
+    pub const WIRE_BYTES: &str = "aorta_push_wire_bytes";
+    /// Counter, labelled `kind`: hop-weighted bytes the scans would have
+    /// cost with pushdown off.
+    pub const BASELINE_BYTES: &str = "aorta_push_baseline_bytes";
+}
+
 /// The instrumented engine stage a [`SpanEvent`] belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SpanKind {

@@ -127,6 +127,46 @@ pub enum UnOp {
     Neg,
 }
 
+/// Aggregate functions usable in a sliding-window clause
+/// (`AVG(s.accel_x) OVER LAST 5`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AggFunc {
+    /// Arithmetic mean of the numeric samples in the window.
+    Avg,
+    /// Maximum sample in the window.
+    Max,
+    /// Minimum sample in the window.
+    Min,
+    /// Number of non-NULL samples in the window.
+    Count,
+}
+
+impl AggFunc {
+    /// Parses an aggregate-function name (case-insensitive); `None` for
+    /// anything that is not a window aggregate.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "AVG" => Some(AggFunc::Avg),
+            "MAX" => Some(AggFunc::Max),
+            "MIN" => Some(AggFunc::Min),
+            "COUNT" => Some(AggFunc::Count),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Avg => "AVG",
+            AggFunc::Max => "MAX",
+            AggFunc::Min => "MIN",
+            AggFunc::Count => "COUNT",
+        };
+        f.write_str(s)
+    }
+}
+
 /// An expression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
@@ -162,6 +202,16 @@ pub enum Expr {
         /// Right operand.
         rhs: Box<Expr>,
     },
+    /// A sliding-window aggregate over the last `window` delivered samples
+    /// of a column (`AVG(s.accel_x) OVER LAST 5`).
+    WindowAgg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated expression (a column reference after validation).
+        arg: Box<Expr>,
+        /// Window length in samples (≥ 1).
+        window: u32,
+    },
 }
 
 impl Expr {
@@ -191,6 +241,7 @@ impl Expr {
                 lhs.walk(visit);
                 rhs.walk(visit);
             }
+            Expr::WindowAgg { arg, .. } => arg.walk(visit),
         }
     }
 
@@ -255,6 +306,12 @@ impl fmt::Display for Expr {
                 UnOp::Neg => write!(f, "-({expr})"),
             },
             Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            // The OVER LAST suffix binds tightest (it is parsed as part of
+            // the call in `primary`), so no parentheses are needed for the
+            // printed form to re-parse in any embedding context.
+            Expr::WindowAgg { func, arg, window } => {
+                write!(f, "{func}({arg}) OVER LAST {window}")
+            }
         }
     }
 }
@@ -381,6 +438,31 @@ mod tests {
         assert!(text.contains("SELECT photo(c.ip, \"dir\")"), "{text}");
         assert!(text.contains("FROM sensor s, camera c"), "{text}");
         assert!(text.contains("WHERE (s.accel_x > 500)"), "{text}");
+    }
+
+    #[test]
+    fn window_agg_displays_and_walks() {
+        let w = Expr::WindowAgg {
+            func: AggFunc::Avg,
+            arg: Box::new(col("s", "accel_x")),
+            window: 5,
+        };
+        assert_eq!(w.to_string(), "AVG(s.accel_x) OVER LAST 5");
+        let cmp = Expr::Binary {
+            op: BinOp::Gt,
+            lhs: Box::new(w),
+            rhs: Box::new(Expr::Literal(Value::Int(400))),
+        };
+        assert_eq!(cmp.to_string(), "(AVG(s.accel_x) OVER LAST 5 > 400)");
+        let mut cols = 0;
+        cmp.walk(&mut |e| {
+            if matches!(e, Expr::Column { .. }) {
+                cols += 1;
+            }
+        });
+        assert_eq!(cols, 1, "walk must descend into the aggregate argument");
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
     }
 
     #[test]

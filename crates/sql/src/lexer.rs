@@ -58,7 +58,7 @@ pub struct Token {
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "CREATE", "DROP", "ACTION", "AQ", "AS",
-    "PROFILE", "TRUE", "FALSE", "NULL", "EXPLAIN",
+    "PROFILE", "TRUE", "FALSE", "NULL", "EXPLAIN", "OVER", "LAST",
 ];
 
 /// The tokenizer.
@@ -388,6 +388,23 @@ mod tests {
         assert!(Lexer::new("\"unterminated").tokenize().is_err());
         assert!(Lexer::new("12abc").tokenize().is_err());
         assert!(Lexer::new(r#""bad \q escape""#).tokenize().is_err());
+    }
+
+    #[test]
+    fn window_keywords_tokenize() {
+        assert_eq!(
+            kinds("AVG(x) over last 5"),
+            vec![
+                TokenKind::Ident("AVG".into()),
+                TokenKind::Symbol("("),
+                TokenKind::Ident("x".into()),
+                TokenKind::Symbol(")"),
+                TokenKind::Keyword("OVER".into()),
+                TokenKind::Keyword("LAST".into()),
+                TokenKind::Int(5),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]

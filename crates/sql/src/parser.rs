@@ -405,6 +405,11 @@ impl Parser {
                             self.expect_symbol(",")?;
                         }
                     }
+                    // Window suffix? `AVG(s.accel_x) OVER LAST 5` turns the
+                    // call into a sliding-window aggregate.
+                    if self.eat_keyword("OVER") {
+                        return self.window_suffix(name, args);
+                    }
                     return Ok(Expr::Call { name, args });
                 }
                 // Qualified column?
@@ -422,6 +427,41 @@ impl Parser {
             }
             other => Err(self.err_here(format!("expected an expression, found {other}"))),
         }
+    }
+
+    /// Parses the rest of a window clause after `OVER` has been consumed,
+    /// turning `name(args)` into a [`Expr::WindowAgg`].
+    fn window_suffix(&mut self, name: String, args: Vec<Expr>) -> Result<Expr, SqlError> {
+        let Some(func) = AggFunc::from_name(&name) else {
+            return Err(self.err_here(format!(
+                "'{name}' is not a window aggregate (expected AVG, MAX, MIN or COUNT)"
+            )));
+        };
+        if args.len() != 1 {
+            return Err(self.err_here(format!(
+                "{func} OVER LAST takes exactly 1 argument, got {}",
+                args.len()
+            )));
+        }
+        self.expect_keyword("LAST")?;
+        let window = match self.peek().kind {
+            TokenKind::Int(n) if n >= 1 => {
+                self.bump();
+                u32::try_from(n)
+                    .map_err(|_| self.err_here(format!("window length {n} out of range")))?
+            }
+            ref other => {
+                return Err(self.err_here(format!(
+                    "expected a positive window length after LAST, found {other}"
+                )))
+            }
+        };
+        let mut args = args;
+        Ok(Expr::WindowAgg {
+            func,
+            arg: Box::new(args.remove(0)),
+            window,
+        })
     }
 }
 
@@ -569,6 +609,50 @@ mod tests {
     }
 
     #[test]
+    fn parses_window_aggregates() {
+        let Statement::Select(s) =
+            one("SELECT a FROM t WHERE AVG(s.accel_x) OVER LAST 5 > 400 AND s.id = 1")
+        else {
+            panic!();
+        };
+        let pred = s.predicate.unwrap();
+        let conjuncts = pred.conjuncts();
+        assert_eq!(conjuncts.len(), 2);
+        let Expr::Binary {
+            op: BinOp::Gt, lhs, ..
+        } = conjuncts[0]
+        else {
+            panic!("expected comparison, got {:?}", conjuncts[0]);
+        };
+        assert_eq!(
+            **lhs,
+            Expr::WindowAgg {
+                func: AggFunc::Avg,
+                arg: Box::new(Expr::Column {
+                    qualifier: Some("s".into()),
+                    name: "accel_x".into(),
+                }),
+                window: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn window_aggregate_errors() {
+        let err = parse("SELECT a FROM t WHERE median(s.x) OVER LAST 5 > 1").unwrap_err();
+        assert!(err.message().contains("not a window aggregate"), "{err}");
+        let err = parse("SELECT a FROM t WHERE AVG(s.x, s.y) OVER LAST 5 > 1").unwrap_err();
+        assert!(err.message().contains("exactly 1 argument"), "{err}");
+        let err = parse("SELECT a FROM t WHERE AVG(s.x) OVER LAST 0 > 1").unwrap_err();
+        assert!(err.message().contains("positive window length"), "{err}");
+        let err = parse("SELECT a FROM t WHERE AVG(s.x) OVER 5 > 1").unwrap_err();
+        assert!(err.message().contains("expected LAST"), "{err}");
+        // A plain call named like an aggregate stays a call.
+        let e = parse_expr("count(s.x)").unwrap();
+        assert!(matches!(e, Expr::Call { .. }));
+    }
+
+    #[test]
     fn parse_expr_roundtrips_display() {
         for src in [
             "s.accel_x > 500",
@@ -576,6 +660,8 @@ mod tests {
             "(NOT (s.id = 3))",
             "-(s.accel_x)",
             r#"coverage(c.id, s.loc) AND s.accel_x > (500 + 1)"#,
+            "AVG(s.accel_x) OVER LAST 5 > 400",
+            "MIN(s.accel_x) OVER LAST 12 <= 90 AND COUNT(s.accel_x) OVER LAST 3 >= 2",
         ] {
             let e = parse_expr(src).unwrap();
             let reparsed = parse_expr(&e.to_string()).unwrap();

@@ -137,6 +137,19 @@ impl ValidationContext {
                 self.validate_expr(lhs, bindings)?;
                 self.validate_expr(rhs, bindings)
             }
+            Expr::WindowAgg { func, arg, window } => {
+                if !matches!(**arg, Expr::Column { .. }) {
+                    return Err(SqlError::unpositioned(format!(
+                        "{func} OVER LAST aggregates a column, got '{arg}'"
+                    )));
+                }
+                if *window < 1 {
+                    return Err(SqlError::unpositioned(format!(
+                        "{func} window length must be at least 1"
+                    )));
+                }
+                self.validate_expr(arg, bindings)
+            }
         }
     }
 }
@@ -217,6 +230,21 @@ mod tests {
         assert!(err.message().contains("takes 3 arguments"), "{err}");
         let err = check("SELECT teleport(s.loc) FROM sensor s").unwrap_err();
         assert!(err.message().contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn window_aggregates_validate() {
+        assert_eq!(
+            check("SELECT id FROM sensor s WHERE AVG(s.accel_x) OVER LAST 5 > 400"),
+            Ok(())
+        );
+        // The aggregated column must resolve.
+        let err = check("SELECT id FROM sensor s WHERE MAX(s.zoom) OVER LAST 5 > 1").unwrap_err();
+        assert!(err.message().contains("no attribute 'zoom'"), "{err}");
+        // Only columns may be aggregated.
+        let err = check("SELECT id FROM sensor s WHERE AVG(coverage(s.id, s.loc)) OVER LAST 5 > 1")
+            .unwrap_err();
+        assert!(err.message().contains("aggregates a column"), "{err}");
     }
 
     #[test]

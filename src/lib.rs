@@ -29,4 +29,4 @@ pub use aorta_sim as sim;
 pub use aorta_sql as sql;
 pub use aorta_xml as xml;
 
-pub use aorta_core::{Aorta, EngineConfig};
+pub use aorta_core::{Aorta, EngineConfig, PushdownStats};

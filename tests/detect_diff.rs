@@ -8,7 +8,10 @@
 //! operators and constants (drawn from small pools so duplicates and
 //! overlaps are common), non-indexable predicates, error-prone predicates,
 //! interleaved register/drop churn, and random tuple batches including
-//! id-less and NULL-valued tuples.
+//! id-less and NULL-valued tuples. A third replay runs with pushdown
+//! accounting enabled and must be observably identical to both (suppression
+//! is bookkeeping, never behaviour), with a wire ledger that never exceeds
+//! the ship-everything baseline.
 
 use aorta::data::{Location, Tuple, Value};
 use aorta::device::{DeviceKind, PervasiveLab};
@@ -30,8 +33,19 @@ enum Op {
     Run(u64),
 }
 
+/// Predicates prefixed `CAM ` plan as photo-on-camera AQs: the camera
+/// device part leaves the sensor kind suppressible (no query targets
+/// sensors as devices), so scripts that drop their last beep query flip
+/// sensors between suppressible and not under pushdown, mid-run.
 fn plan_for(pred: &str) -> AqPlan {
-    let sql = format!("SELECT beep(t.id) FROM sensor t, sensor s WHERE {pred}");
+    let sql = if let Some(p) = pred.strip_prefix("CAM ") {
+        format!(
+            r#"SELECT photo(c.ip, s.loc, "p") FROM sensor s, camera c
+               WHERE {p} AND coverage(c.id, s.loc)"#
+        )
+    } else {
+        format!("SELECT beep(t.id) FROM sensor t, sensor s WHERE {pred}")
+    };
     let stmts = aorta::sql::parse(&sql).expect("generated predicates parse");
     let Statement::Select(select) = stmts.into_iter().next().expect("one statement") else {
         panic!("expected SELECT");
@@ -44,22 +58,40 @@ fn plan_for(pred: &str) -> AqPlan {
 /// comparisons (the sharing the index exploits) the common case, while
 /// variants 0–2 cover what the index *cannot* serve: call and OR conjuncts
 /// (scalar fallback slots) and a type-mismatched comparison that errors on
-/// every tuple.
+/// every tuple. Variants 3–4 produce windowed aggregates, so random AQ sets
+/// mix windowed plans (scalar detection, merged by name into the vectorized
+/// order) with indexed ones, and windowed comparisons land at random depths
+/// of the pushdown prefix.
 fn random_conjunct(rng: &mut SimRng) -> String {
     let int_attrs = ["accel_x", "accel_y", "light", "depth"];
     let all_attrs = ["accel_x", "accel_y", "light", "depth", "temp", "battery"];
+    let aggs = ["AVG", "MAX", "MIN", "COUNT"];
     let ops = [">", ">=", "<", "<=", "=", "<>"];
     let consts = [-500i64, -1, 0, 1, 40, 100, 500, 501];
-    match rng.range(0..=9u64) {
+    match rng.range(0..=11u64) {
         0 => "distance(s.loc, s.loc) < 1.0".to_string(),
+        // Parenthesized: joined with AND by `random_pred`, a bare OR would
+        // re-associate (`a AND b OR c` is `(a AND b) OR c`) and swallow
+        // neighbouring conjuncts into the fallback slot.
         1 => format!(
-            "s.{} > {} OR s.{} <= {}",
+            "(s.{} > {} OR s.{} <= {})",
             rng.pick(&int_attrs).unwrap(),
             rng.pick(&consts).unwrap(),
             rng.pick(&int_attrs).unwrap(),
             rng.pick(&consts).unwrap(),
         ),
         2 => "s.loc > 500".to_string(),
+        // Windowed comparisons take a plain literal on the right (a negative
+        // number parses as unary minus, which the planner rejects), so draw
+        // from the non-negative half of the constant pool.
+        3 | 4 => format!(
+            "{}(s.{}) OVER LAST {} {} {}",
+            rng.pick(&aggs).unwrap(),
+            rng.pick(&all_attrs).unwrap(),
+            rng.range(2..=4u64),
+            rng.pick(&ops).unwrap(),
+            rng.pick(&consts[3..]).unwrap(),
+        ),
         _ => format!(
             "s.{} {} {}",
             rng.pick(&all_attrs).unwrap(),
@@ -72,7 +104,15 @@ fn random_conjunct(rng: &mut SimRng) -> String {
 fn random_pred(rng: &mut SimRng) -> String {
     let n = rng.range(1..=3u64);
     let conjuncts: Vec<String> = (0..n).map(|_| random_conjunct(rng)).collect();
-    conjuncts.join(" AND ")
+    let pred = conjuncts.join(" AND ");
+    // A third of the AQs dispatch photos instead of beeps (see `plan_for`),
+    // mixing device-part kinds so pushdown suppressibility varies with the
+    // live query set.
+    if rng.chance(0.33) {
+        format!("CAM {pred}")
+    } else {
+        pred
+    }
 }
 
 /// A random sensor tuple: a small source-id pool (so rising/falling edges
@@ -135,14 +175,17 @@ struct Replay {
 }
 
 impl Replay {
-    fn new(seed: u64, vectorized: bool) -> Replay {
+    fn new(seed: u64, vectorized: bool, pushdown: bool) -> Replay {
         let lab = PervasiveLab::standard()
             .with_periodic_events(SimDuration::from_secs(30), SimDuration::from_secs(3));
-        let config = if vectorized {
+        let mut config = if vectorized {
             EngineConfig::seeded(seed)
         } else {
             EngineConfig::seeded(seed).with_scalar_detect()
         };
+        if pushdown {
+            config = config.with_pushdown();
+        }
         Replay {
             aorta: Aorta::with_lab(config, lab),
             live: Vec::new(),
@@ -182,22 +225,34 @@ impl Replay {
 proptest::proptest! {
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
 
-    /// The core differential property: for any seed, any random AQ set and
-    /// any interleaving of synthetic batches, real scan epochs and
-    /// register/drop churn, the vectorized path and the scalar oracle agree
-    /// on every counter after every step and render byte-identical traces.
+    /// The core differential property: for any seed, any random AQ set
+    /// (now including windowed aggregates) and any interleaving of
+    /// synthetic batches, real scan epochs and register/drop churn, the
+    /// vectorized path and the scalar oracle agree on every counter after
+    /// every step and render byte-identical traces — and a third replay
+    /// with pushdown accounting enabled is indistinguishable from both
+    /// while never claiming more wire bytes than the baseline.
     #[test]
     fn vectorized_detection_matches_the_scalar_oracle(seed in 0u64..1_000_000) {
         let script = random_script(seed, 40);
-        let mut vec_replay = Replay::new(seed, true);
-        let mut sca_replay = Replay::new(seed, false);
+        let mut vec_replay = Replay::new(seed, true, false);
+        let mut sca_replay = Replay::new(seed, false, false);
+        let mut psh_replay = Replay::new(seed, true, true);
         for (step, op) in script.iter().enumerate() {
             vec_replay.apply(op);
             sca_replay.apply(op);
+            psh_replay.apply(op);
             proptest::prop_assert_eq!(
                 vec_replay.aorta.stats(),
                 sca_replay.aorta.stats(),
                 "stats diverged at step {} ({:?})",
+                step,
+                op
+            );
+            proptest::prop_assert_eq!(
+                vec_replay.aorta.stats(),
+                psh_replay.aorta.stats(),
+                "pushdown perturbed stats at step {} ({:?})",
                 step,
                 op
             );
@@ -215,6 +270,29 @@ proptest::proptest! {
             vec_trace,
             sca_trace
         );
+        let psh_trace = psh_replay.aorta.trace().render();
+        proptest::prop_assert!(
+            vec_trace == psh_trace,
+            "pushdown perturbed trace bytes for seed {}",
+            seed
+        );
+        // Accounting invariants: pushdown is off by default (no counters on
+        // the plain replays), and with it on the wire never costs more than
+        // shipping everything.
+        proptest::prop_assert_eq!(
+            vec_replay.aorta.pushdown_stats(),
+            aorta::PushdownStats::default()
+        );
+        let push = psh_replay.aorta.pushdown_stats();
+        proptest::prop_assert!(
+            push.wire_bytes() <= push.baseline_bytes,
+            "pushdown made the wire more expensive: {:?}",
+            push
+        );
+        proptest::prop_assert_eq!(
+            push.saved_bytes(),
+            push.baseline_bytes - push.wire_bytes()
+        );
     }
 }
 
@@ -228,18 +306,23 @@ fn fixed_mixed_workload_is_byte_identical_across_modes() {
         "s.accel_x > 450",
         "s.accel_x > 450", // duplicate: shares one group
         "s.accel_x >= 500",
-        "s.loc > 500",                                      // errors every tuple
-        "distance(s.loc, s.loc) < 1.0 AND s.accel_x > 480", // fallback
-        "s.temp > 1000",                                    // never fires
+        "s.loc > 500",                                        // errors every tuple
+        "distance(s.loc, s.loc) < 1.0 AND s.accel_x > 480",   // fallback
+        "s.temp > 1000",                                      // never fires
+        "AVG(s.accel_x) OVER LAST 3 > 300",                   // windowed, smoothed
+        "COUNT(s.temp) OVER LAST 2 >= 1 AND s.accel_x > 470", // windowed + indexed
     ];
-    let run = |vectorized: bool| {
+    let run = |vectorized: bool, pushdown: bool| {
         let lab = PervasiveLab::standard()
             .with_periodic_events(SimDuration::from_mins(1), SimDuration::from_secs(2));
-        let config = if vectorized {
+        let mut config = if vectorized {
             EngineConfig::seeded(0xD1FF)
         } else {
             EngineConfig::seeded(0xD1FF).with_scalar_detect()
         };
+        if pushdown {
+            config = config.with_pushdown();
+        }
         let mut aorta = Aorta::with_lab(config, lab);
         for (i, p) in preds.iter().enumerate() {
             let mut plan = plan_for(p);
@@ -249,10 +332,27 @@ fn fixed_mixed_workload_is_byte_identical_across_modes() {
         aorta.run_for(SimDuration::from_mins(4));
         aorta
     };
-    let vectorized = run(true);
-    let scalar = run(false);
+    let vectorized = run(true, false);
+    let scalar = run(false, false);
     assert_eq!(vectorized.stats(), scalar.stats());
     assert!(vectorized.stats().events_detected > 0, "workload must fire");
     assert!(vectorized.stats().eval_errors > 0, "workload must error");
     assert_eq!(vectorized.trace().render(), scalar.trace().render());
+    // Pushdown accounting must be invisible in either detection mode: same
+    // stats, same trace bytes, and the two pushdown arms agree with each
+    // other on the byte ledger.
+    let vec_push = run(true, true);
+    let sca_push = run(false, true);
+    assert_eq!(vec_push.stats(), vectorized.stats());
+    assert_eq!(sca_push.stats(), vectorized.stats());
+    assert_eq!(vec_push.trace().render(), vectorized.trace().render());
+    assert_eq!(sca_push.trace().render(), vectorized.trace().render());
+    assert_eq!(vec_push.pushdown_stats(), sca_push.pushdown_stats());
+    let push = vec_push.pushdown_stats();
+    assert!(push.shipped_tuples > 0, "real scans must ship something");
+    assert!(
+        push.wire_bytes() <= push.baseline_bytes,
+        "pushdown made the wire more expensive: {push:?}"
+    );
+    assert_eq!(vectorized.pushdown_stats(), aorta::PushdownStats::default());
 }
